@@ -1,0 +1,245 @@
+(* tytan — command-line front end for the simulated TyTAN platform.
+
+     tytan boot [--baseline]         boot a device, print the memory map
+     tytan run [--ticks N] [--tasks K]
+                                     boot, load K secure tasks, run, report
+     tytan attest                    run a remote-attestation exchange
+     tytan inspect                   dump the EA-MPU rule set after boot
+
+   See also: dune exec bench/main.exe (tables) and examples/. *)
+
+open Cmdliner
+open Tytan_machine
+open Tytan_rtos
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let make_platform baseline =
+  if baseline then Platform.create ~config:Platform.baseline_config ()
+  else Platform.create ()
+
+let baseline_flag =
+  Arg.(value & flag & info [ "baseline" ] ~doc:"Unmodified FreeRTOS (no TyTAN).")
+
+(* --- boot ----------------------------------------------------------------- *)
+
+let boot baseline =
+  let p = make_platform baseline in
+  Printf.printf "%s booted.\n"
+    (if baseline then "Unmodified FreeRTOS" else "TyTAN");
+  Printf.printf "OS memory: %d bytes\n" (Platform.os_memory_bytes p);
+  Printf.printf "Tick: every %d cycles (%.2f kHz at %d MHz)\n"
+    (Platform.config p).Platform.tick_period
+    (float_of_int Cycles.clock_hz
+    /. float_of_int (Platform.config p).Platform.tick_period
+    /. 1000.0)
+    (Cycles.clock_hz / 1_000_000);
+  print_endline "Memory map:";
+  List.iter
+    (fun (name, region) ->
+      Printf.printf "  %-16s %s (%d bytes)\n" name
+        (Format.asprintf "%a" Tytan_eampu.Region.pp region)
+        (Tytan_eampu.Region.size region))
+    (Platform.memory_map p)
+
+let boot_cmd =
+  Cmd.v (Cmd.info "boot" ~doc:"Boot a device and print its memory map")
+    Term.(const boot $ baseline_flag)
+
+(* --- run ------------------------------------------------------------------- *)
+
+let run baseline ticks task_count =
+  let p = make_platform baseline in
+  let secure = not baseline in
+  let tasks =
+    List.init task_count (fun i ->
+        let telf = Tasks.counter ~secure () in
+        match
+          Platform.load_blocking p ~name:(Printf.sprintf "task-%d" i) ~secure telf
+        with
+        | Ok tcb -> (tcb, telf)
+        | Error e -> failwith e)
+  in
+  Printf.printf "Loaded %d %s task(s); running %d ticks...\n" task_count
+    (if secure then "secure" else "normal")
+    ticks;
+  Platform.run_ticks p ticks;
+  let kernel = Platform.kernel p in
+  List.iter
+    (fun ((tcb : Tcb.t), telf) ->
+      let count =
+        let eip =
+          match Platform.rtm p with
+          | Some rtm when tcb.secure -> Rtm.code_eip rtm
+          | Some _ | None -> Kernel.code_eip kernel
+        in
+        Cpu.with_firmware (Platform.cpu p) ~eip (fun () ->
+            Cpu.load32 (Platform.cpu p)
+              (tcb.region_base + Tasks.data_cell_offset telf))
+      in
+      Printf.printf "  %-10s ran %d times (%d activations)\n" tcb.name count
+        tcb.activations)
+    tasks;
+  Printf.printf "ticks=%d context switches=%d faults=%d cycles=%d (%.1f ms)\n"
+    (Kernel.tick_count kernel)
+    (Kernel.context_switches kernel)
+    (Kernel.faults kernel)
+    (Cycles.now (Platform.clock p))
+    (Cycles.to_ms (Cycles.now (Platform.clock p)));
+  print_endline "CPU usage:";
+  List.iter
+    (fun ((tcb : Tcb.t), share) ->
+      if share > 0.0005 then
+        Printf.printf "  %-12s %5.1f %%\n" tcb.name (100.0 *. share))
+    (Kernel.cpu_usage kernel)
+
+let run_cmd =
+  let ticks =
+    Arg.(value & opt int 100 & info [ "ticks" ] ~doc:"Ticks to simulate.")
+  in
+  let tasks =
+    Arg.(value & opt int 3 & info [ "tasks" ] ~doc:"Periodic tasks to load.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Boot, load periodic tasks and run the scheduler")
+    Term.(const run $ baseline_flag $ ticks $ tasks)
+
+(* --- attest ---------------------------------------------------------------- *)
+
+let attest () =
+  let p = Platform.create () in
+  let telf = Tasks.counter () in
+  let task = Result.get_ok (Platform.load_blocking p ~name:"fw" telf) in
+  Platform.run_ticks p 3;
+  let rtm = Option.get (Platform.rtm p) in
+  let id = (Option.get (Rtm.find_by_tcb rtm task)).Rtm.id in
+  let att = Option.get (Platform.attestation p) in
+  let nonce = Bytes.of_string "cli-nonce" in
+  let report = Option.get (Attestation.remote_attest att ~id ~nonce) in
+  let ka =
+    Attestation.derive_ka ~platform_key:(Platform.config p).Platform.platform_key
+  in
+  Printf.printf "task identity:  %s\n" (Task_id.to_hex id);
+  Printf.printf "report MAC:     %s\n"
+    (Tytan_crypto.Sha1.to_hex report.Attestation.mac);
+  Printf.printf "verifier check: %b\n"
+    (Attestation.verify ~ka report ~expected:(Rtm.identity_of_telf telf) ~nonce)
+
+let attest_cmd =
+  Cmd.v (Cmd.info "attest" ~doc:"Run a remote-attestation exchange")
+    Term.(const attest $ const ())
+
+(* --- inspect --------------------------------------------------------------- *)
+
+let inspect () =
+  let p = Platform.create () in
+  let telf = Tasks.counter () in
+  ignore (Platform.load_blocking p ~name:"example-task" telf);
+  Format.printf "%a@." Tytan_eampu.Eampu.pp (Option.get (Platform.eampu p))
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Dump the EA-MPU rule set of a booted device with one task")
+    Term.(const inspect $ const ())
+
+(* --- disasm --------------------------------------------------------------- *)
+
+let disasm () =
+  let telf = Tasks.counter () in
+  Printf.printf "Disassembly of the example 'counter' secure task (%d bytes text):\n"
+    telf.Tytan_telf.Telf.text_size;
+  let lines =
+    Disasm.of_bytes (Bytes.sub telf.Tytan_telf.Telf.image 0 telf.Tytan_telf.Telf.text_size)
+  in
+  Format.printf "%a@." Disasm.pp lines;
+  Printf.printf "(+ %d bytes of data, %d relocation(s))\n"
+    (Bytes.length telf.Tytan_telf.Telf.image - telf.Tytan_telf.Telf.text_size)
+    (Tytan_telf.Telf.reloc_count telf)
+
+let disasm_cmd =
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble the example secure task binary")
+    Term.(const disasm $ const ())
+
+(* --- trace ---------------------------------------------------------------- *)
+
+let trace_run ticks =
+  let config = { Platform.default_config with trace_enabled = true } in
+  let p = Platform.create ~config () in
+  let telf = Tasks.counter () in
+  ignore (Platform.load_blocking p ~name:"traced" telf);
+  Platform.run_ticks p ticks;
+  Format.printf "%a@." Trace.pp (Platform.trace p)
+
+let trace_cmd =
+  let ticks =
+    Arg.(value & opt int 5 & info [ "ticks" ] ~doc:"Ticks to trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run with event tracing and dump the event log")
+    Term.(const trace_run $ ticks)
+
+(* --- fleet ---------------------------------------------------------------- *)
+
+let fleet devices loss =
+  let open Tytan_provision in
+  let registry = Registry.create ~master:(Bytes.of_string "cli-root-secret") in
+  let fw = Tasks.counter () in
+  Registry.set_manifest registry [ ("control-fw", Rtm.identity_of_telf fw) ];
+  let fleet =
+    List.init devices (fun i ->
+        let d =
+          Fleet.manufacture registry
+            ~serial:(Printf.sprintf "ecu-%03d" (i + 1))
+            ~loss_percent:loss ~link_seed:(i + 3) ()
+        in
+        ignore (Result.get_ok (Fleet.deploy d ~name:"control-fw" fw));
+        d)
+  in
+  (* The last device gets a tampered build. *)
+  (match List.rev fleet with
+  | last :: _ -> (
+      match
+        Kernel.find_task_by_name (Platform.kernel (Fleet.platform last)) "control-fw"
+      with
+      | Some tcb ->
+          Platform.unload (Fleet.platform last) tcb;
+          let tampered =
+            let image = Bytes.copy fw.Tytan_telf.Telf.image in
+            Bytes.blit (Isa.encode Isa.Nop) 0 image 200 8;
+            { fw with Tytan_telf.Telf.image }
+          in
+          ignore (Result.get_ok (Fleet.deploy last ~name:"control-fw" tampered))
+      | None -> ())
+  | [] -> ());
+  Printf.printf "auditing %d device(s) over a %d%%-loss uplink...
+" devices loss;
+  List.iter
+    (fun report -> Format.printf "%a@." Fleet.pp_report report)
+    (Fleet.audit_fleet registry fleet ~max_attempts:30 ())
+
+let fleet_cmd =
+  let devices =
+    Arg.(value & opt int 3 & info [ "devices" ] ~doc:"Fleet size.")
+  in
+  let loss =
+    Arg.(value & opt int 30 & info [ "loss" ] ~doc:"Uplink frame loss, percent.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Provision a fleet, tamper with one device, audit them all")
+    Term.(const fleet $ devices $ loss)
+
+let () =
+  let info =
+    Cmd.info "tytan" ~version:"1.0.0"
+      ~doc:"Simulated TyTAN trust anchor for tiny devices (DAC 2015)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            boot_cmd; run_cmd; attest_cmd; inspect_cmd; disasm_cmd; trace_cmd;
+            fleet_cmd;
+          ]))

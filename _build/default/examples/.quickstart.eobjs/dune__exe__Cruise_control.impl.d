@@ -1,0 +1,1 @@
+examples/cruise_control.ml: Cpu Cycles Devices Format Heap Kernel Option Platform Printf Result Rtm String Tcb Tytan_core Tytan_machine Tytan_rtos Tytan_tasks

@@ -1,0 +1,1 @@
+examples/event_driven_io.ml: Assembler Cpu Devices Ipc Isa Kernel Option Platform Printf Result Rtm Task_id Tcb Toolchain Tytan_core Tytan_machine Tytan_rtos Tytan_tasks Tytan_telf Word

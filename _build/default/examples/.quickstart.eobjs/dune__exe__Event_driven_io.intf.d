@@ -1,0 +1,1 @@
+examples/event_driven_io.mli:

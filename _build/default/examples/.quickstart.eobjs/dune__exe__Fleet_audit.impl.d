@@ -1,0 +1,1 @@
+examples/fleet_audit.ml: Bytes Fleet Format List Platform Printf Registry Result Rtm String Tytan_core Tytan_machine Tytan_provision Tytan_rtos Tytan_tasks Tytan_telf

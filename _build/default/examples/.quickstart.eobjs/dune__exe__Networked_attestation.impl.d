@@ -1,0 +1,1 @@
+examples/networked_attestation.ml: Attestation Bytes Cosim Link Option Platform Printf Result Rtm Tytan_core Tytan_machine Tytan_netsim Tytan_rtos Tytan_tasks Tytan_telf Verifier

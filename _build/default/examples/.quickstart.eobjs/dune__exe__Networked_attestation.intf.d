@@ -1,0 +1,1 @@
+examples/networked_attestation.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Assembler Attestation Bytes Cpu Format Isa Kernel Option Platform Printf Rtm Task_id Tcb Toolchain Tytan_core Tytan_eampu Tytan_machine Tytan_rtos Tytan_telf

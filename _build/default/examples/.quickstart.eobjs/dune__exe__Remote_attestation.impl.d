@@ -1,0 +1,1 @@
+examples/remote_attestation.ml: Attestation Bytes Option Platform Printf Result Rtm Task_id Tytan_core Tytan_machine Tytan_tasks Tytan_telf

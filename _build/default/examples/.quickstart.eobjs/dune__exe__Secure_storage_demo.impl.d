@@ -1,0 +1,1 @@
+examples/secure_storage_demo.ml: Bytes Option Platform Printf Result Rtm Secure_storage Task_id Tytan_core Tytan_machine Tytan_tasks

@@ -1,0 +1,1 @@
+examples/tasklang_alarm.ml: Ast Bytes Compile Cpu Cycles Disasm Format Isa List Option Platform Printf Result Rtm Task_id Tcb Tytan_core Tytan_lang Tytan_machine Tytan_rtos Tytan_telf

@@ -1,0 +1,1 @@
+examples/tasklang_alarm.mli:

@@ -1,0 +1,80 @@
+(* Fleet provisioning and audit — the full multi-stakeholder lifecycle.
+
+   The manufacturer provisions four ECUs with per-device platform keys
+   derived from its root secret, the operator deploys the engine and
+   brake firmware to all of them, and the fleet goes into the field
+   behind lossy radio uplinks.  Later, one device gets a backdoored
+   engine firmware and another loses its brake firmware entirely.  A
+   single fleet audit — attestation challenges over the network, retried
+   through frame loss — pinpoints both, per component.
+
+   Run: dune exec examples/fleet_audit.exe *)
+
+open Tytan_core
+open Tytan_provision
+module Tasks = Tytan_tasks.Task_lib
+
+let () =
+  (* Manufacturing time. *)
+  let registry = Registry.create ~master:(Bytes.of_string "acme-root-secret-2015") in
+  let engine_fw = Tasks.counter () in
+  let brake_fw = Tasks.counter ~stack_size:768 () in
+  Registry.set_manifest registry
+    [
+      ("engine-fw", Rtm.identity_of_telf engine_fw);
+      ("brake-fw", Rtm.identity_of_telf brake_fw);
+    ];
+  let serials = [ "ecu-001"; "ecu-002"; "ecu-003"; "ecu-004" ] in
+  let devices =
+    List.mapi
+      (fun i serial ->
+        Fleet.manufacture registry ~serial ~loss_percent:35 ~link_seed:(i + 3) ())
+      serials
+  in
+  Printf.printf "manufactured %d devices with per-device keys\n"
+    (List.length devices);
+
+  (* Deployment. *)
+  List.iter
+    (fun d ->
+      ignore (Result.get_ok (Fleet.deploy d ~name:"engine-fw" engine_fw));
+      ignore (Result.get_ok (Fleet.deploy d ~name:"brake-fw" brake_fw)))
+    devices;
+  print_endline "deployed engine-fw and brake-fw fleet-wide";
+
+  (* The field is not kind. *)
+  let nth n = List.nth devices n in
+  (* ecu-002: engine firmware replaced by a backdoored build. *)
+  let victim = nth 1 in
+  (match
+     Tytan_rtos.Kernel.find_task_by_name
+       (Platform.kernel (Fleet.platform victim))
+       "engine-fw"
+   with
+  | Some tcb ->
+      Platform.unload (Fleet.platform victim) tcb;
+      let backdoored =
+        let image = Bytes.copy engine_fw.Tytan_telf.Telf.image in
+        Bytes.blit (Tytan_machine.Isa.encode Tytan_machine.Isa.Nop) 0 image 200 8;
+        { engine_fw with Tytan_telf.Telf.image }
+      in
+      ignore (Result.get_ok (Fleet.deploy victim ~name:"engine-fw" backdoored))
+  | None -> ());
+  (* ecu-004: brake firmware crashed out and was never reloaded. *)
+  (match
+     Tytan_rtos.Kernel.find_task_by_name
+       (Platform.kernel (Fleet.platform (nth 3)))
+       "brake-fw"
+   with
+  | Some tcb -> Platform.unload (Fleet.platform (nth 3)) tcb
+  | None -> ());
+  print_endline "— time passes; ecu-002 is backdoored, ecu-004 lost brake-fw —";
+
+  (* The audit. *)
+  let reports = Fleet.audit_fleet registry devices ~max_attempts:30 () in
+  print_endline "fleet audit (35% uplink loss):";
+  List.iter (fun r -> Format.printf "%a@." Fleet.pp_report r) reports;
+  let bad = List.filter (fun r -> not (Fleet.healthy r)) reports in
+  Printf.printf "=> %d/%d devices need attention: %s\n" (List.length bad)
+    (List.length reports)
+    (String.concat ", " (List.map (fun r -> r.Fleet.device_serial) bad))

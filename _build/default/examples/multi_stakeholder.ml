@@ -1,0 +1,156 @@
+(* Multiple mutually distrusting stakeholders on one ECU.
+
+   The component supplier ships a proprietary injection-control task; the
+   car manufacturer (OEM) ships a logging task; a third party manages to
+   get a malicious diagnostic task installed.  TyTAN keeps them apart:
+
+   - the supplier's and OEM's tasks run and communicate over secure IPC
+     with authenticated sender identities — neither can spoof the other;
+   - the malicious task is killed the moment it probes another task's
+     memory, without disturbing anyone's deadlines;
+   - an exclusive MMIO grant gives only the supplier's task access to the
+     injector hardware.
+
+   Run: dune exec examples/multi_stakeholder.exe *)
+
+open Tytan_machine
+open Tytan_rtos
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let injector_addr = 0xF200_0000
+
+let () =
+  let platform = Platform.create () in
+  let injector = Platform.attach_console platform ~base:injector_addr in
+  let rtm = Option.get (Platform.rtm platform) in
+  let cell tcb telf i =
+    let entry = Option.get (Rtm.find_by_tcb rtm tcb) in
+    Cpu.with_firmware (Platform.cpu platform) ~eip:(Rtm.code_eip rtm)
+      (fun () ->
+        Cpu.load32 (Platform.cpu platform)
+          (entry.Rtm.base + Tasks.data_cell_offset telf + (4 * i)))
+  in
+
+  (* The OEM's logger: a secure IPC receiver accumulating reports. *)
+  let logger_telf = Tasks.ipc_receiver () in
+  let logger =
+    Result.get_ok
+      (Platform.load_blocking platform ~name:"oem-logger" ~provider:"oem"
+         logger_telf)
+  in
+  let logger_id = (Option.get (Rtm.find_by_tcb rtm logger)).Rtm.id in
+
+  (* The supplier's injection controller: writes the injector and reports
+     to the OEM logger every tick over secure IPC. *)
+  let lo, hi = Task_id.to_words logger_id in
+  let controller_prog =
+    Toolchain.secure_program
+      ~main:(fun p ->
+        let open Isa in
+        Assembler.label p "main";
+        Assembler.label p "loop";
+        (* drive the injector *)
+        Assembler.instr p (Movi (6, injector_addr));
+        Assembler.instr p (Movi (7, 0x42));
+        Assembler.instr p (Stw (6, 0, 7));
+        (* report to the OEM logger over secure IPC *)
+        Assembler.instr p (Movi (0, 88));
+        Assembler.instr p (Movi (8, lo));
+        Assembler.instr p (Movi (9, hi));
+        Assembler.instr p (Movi (10, Ipc.mode_sync));
+        Assembler.instr p (Swi Ipc.swi_send);
+        Assembler.movi_label p ~rd:4 "sent";
+        Assembler.instr p (Ldw (5, 4, 0));
+        Assembler.instr p (Addi (5, 5, 1));
+        Assembler.instr p (Stw (4, 0, 5));
+        Assembler.instr p (Movi (0, 1));
+        Assembler.instr p (Swi 2);
+        Assembler.jmp_label p "loop";
+        Assembler.begin_data p;
+        Assembler.label p "sent";
+        Assembler.word p 0)
+      ()
+  in
+  let controller_telf =
+    Tytan_telf.Builder.of_program ~stack_size:512 controller_prog
+  in
+  let controller =
+    Result.get_ok
+      (Platform.load_blocking platform ~name:"supplier-controller"
+         ~provider:"supplier" controller_telf)
+  in
+  (* Only the supplier's task may touch the injector hardware. *)
+  (match
+     Platform.restrict_mmio_to_task platform controller ~base:injector_addr
+       ~size:4
+   with
+  | Ok () -> print_endline "injector MMIO window granted to supplier-controller only"
+  | Error e -> failwith e);
+
+  Platform.run_ticks platform 20;
+  Printf.printf "logger received %d authenticated reports (sender id low word 0x%X)\n"
+    (cell logger logger_telf 0) (cell logger logger_telf 2);
+  let lo, _ = Task_id.to_words (Option.get (Rtm.find_by_tcb rtm controller)).Rtm.id in
+  Printf.printf "matches the supplier controller's identity: %b\n"
+    (cell logger logger_telf 2 = lo);
+
+  (* The malicious diagnostic task probes the supplier's memory... *)
+  let controller_entry = Option.get (Rtm.find_by_tcb rtm controller) in
+  let probe_addr = controller_entry.Rtm.base + Tasks.data_cell_offset controller_telf in
+  let mallory_telf = Tasks.spy ~victim_addr:probe_addr in
+  let mallory =
+    Result.get_ok
+      (Platform.load_blocking platform ~name:"mallory" ~secure:false
+         ~provider:"aftermarket" mallory_telf)
+  in
+  Platform.run_ticks platform 5;
+  Printf.printf "mallory (memory probe): %s\n"
+    (Format.asprintf "%a" Tcb.pp_state mallory.Tcb.state);
+
+  (* ...and a second one tries to drive the injector directly. *)
+  let mallory2_prog =
+    Toolchain.normal_program ~main:(fun p ->
+        Assembler.label p "main";
+        Assembler.instr p (Isa.Movi (6, injector_addr));
+        Assembler.instr p (Isa.Movi (7, 0xFF));
+        Assembler.instr p (Isa.Stw (6, 0, 7));
+        Assembler.label p "rest";
+        Assembler.jmp_label p "rest")
+  in
+  let mallory2 =
+    Result.get_ok
+      (Platform.load_blocking platform ~name:"mallory2" ~secure:false
+         (Tytan_telf.Builder.of_program ~stack_size:256 mallory2_prog))
+  in
+  Platform.run_ticks platform 5;
+  Printf.printf "mallory2 (injector write): %s\n"
+    (Format.asprintf "%a" Tcb.pp_state mallory2.Tcb.state);
+
+  (* Deadlines held throughout: the supplier's controller kept reporting. *)
+  let before = cell logger logger_telf 0 in
+  Platform.run_ticks platform 20;
+  Printf.printf "controller still reporting after the attacks: +%d reports in 20 ticks\n"
+    (cell logger logger_telf 0 - before);
+  Printf.printf "injector received %d legitimate commands\n"
+    (String.length (Devices.Console.contents injector));
+
+  (* Each stakeholder attests its own task with its own key. *)
+  let attestation = Option.get (Platform.attestation platform) in
+  let kp = (Platform.config platform).Platform.platform_key in
+  let check ~provider ~task_name =
+    match Kernel.find_task_by_name (Platform.kernel platform) task_name with
+    | None -> Printf.printf "%s: not loaded\n" task_name
+    | Some tcb ->
+        let id = (Option.get (Rtm.find_by_tcb rtm tcb)).Rtm.id in
+        let nonce = Bytes.of_string (provider ^ "-challenge") in
+        let report =
+          Option.get
+            (Attestation.remote_attest_for_provider attestation ~provider ~id ~nonce)
+        in
+        let ka = Attestation.derive_provider_ka ~platform_key:kp ~provider in
+        Printf.printf "%s attested by %s: %b\n" task_name provider
+          (Attestation.verify ~ka report ~expected:id ~nonce)
+  in
+  check ~provider:"supplier" ~task_name:"supplier-controller";
+  check ~provider:"oem" ~task_name:"oem-logger"

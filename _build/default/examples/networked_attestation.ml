@@ -1,0 +1,80 @@
+(* Remote attestation as it actually happens: over an unreliable network.
+
+   A fleet operator's verifier challenges a deployed device across a
+   lossy radio link.  Frames drop, the verifier retries with the same
+   nonce, the device answers every challenge through its Remote Attest
+   component — and the device's control task never misses a beat while
+   doing so.  Finally the device is "compromised" (task swapped for a
+   backdoored build) and the next audit fails.
+
+   Run: dune exec examples/networked_attestation.exe *)
+
+open Tytan_core
+open Tytan_netsim
+module Tasks = Tytan_tasks.Task_lib
+
+let outcome_name = function
+  | Verifier.Pending -> "pending"
+  | Verifier.Attested -> "ATTESTED"
+  | Verifier.Refused -> "refused (not loaded)"
+  | Verifier.Gave_up -> "gave up (network)"
+
+let audit cosim ~ka ~expected ~label =
+  let v = Verifier.create ~ka ~expected ~max_attempts:25 () in
+  Cosim.attach_verifier cosim v;
+  let slices = Cosim.run_until_settled cosim ~max_slices:1000 in
+  Printf.printf "%-34s %-22s (%d attempt(s), %d slices)\n" label
+    (outcome_name (Verifier.outcome v))
+    (Verifier.attempts v) slices;
+  v
+
+let () =
+  let platform = Platform.create () in
+  let genuine = Tasks.counter () in
+  let task = Result.get_ok (Platform.load_blocking platform ~name:"ctrl-fw" genuine) in
+  let rtm = Option.get (Platform.rtm platform) in
+  let _device_id = (Option.get (Rtm.find_by_tcb rtm task)).Rtm.id in
+  let ka =
+    Attestation.derive_ka
+      ~platform_key:(Platform.config platform).Platform.platform_key
+  in
+  let reference = Rtm.identity_of_telf genuine in
+
+  (* A rough radio: 55% frame loss, 2-slice propagation. *)
+  let link = Link.create ~seed:3 ~loss_percent:55 ~delay:2 () in
+  let cosim = Cosim.create platform ~link () in
+
+  print_endline "— fleet audit over a 55%-loss link —";
+  let _ = audit cosim ~ka ~expected:reference ~label:"audit #1 (genuine firmware)" in
+  let _ = audit cosim ~ka ~expected:reference ~label:"audit #2 (still genuine)" in
+  Printf.printf "link: %d frames sent, %d dropped; device served %d challenges\n"
+    (Link.sent_count link) (Link.dropped_count link)
+    (Cosim.challenges_served cosim);
+
+  (* The device task kept running at full rate throughout the audits. *)
+  let count =
+    Tytan_machine.Cpu.with_firmware (Platform.cpu platform)
+      ~eip:(Rtm.code_eip rtm) (fun () ->
+        Tytan_machine.Cpu.load32 (Platform.cpu platform)
+          (task.Tytan_rtos.Tcb.region_base + Tasks.data_cell_offset genuine))
+  in
+  Printf.printf "control task activations so far: %d (one per tick — no misses)\n"
+    count;
+
+  (* Attack: the firmware is replaced by a backdoored build. *)
+  print_endline "— attacker swaps in a backdoored build —";
+  Platform.unload platform task;
+  let backdoored =
+    let image = Bytes.copy genuine.Tytan_telf.Telf.image in
+    Bytes.blit (Tytan_machine.Isa.encode Tytan_machine.Isa.Nop) 0 image 200 8;
+    { genuine with Tytan_telf.Telf.image }
+  in
+  let _ = Result.get_ok (Platform.load_blocking platform ~name:"ctrl-fw" backdoored) in
+  let v = audit cosim ~ka ~expected:reference ~label:"audit #3 (after the swap)" in
+  (match Verifier.outcome v with
+  | Verifier.Refused ->
+      print_endline
+        "the device cannot produce a report for the reference identity:\n\
+         the backdoored build has a different measurement — detected."
+  | Verifier.Attested -> print_endline "BUG: backdoored build attested"
+  | Verifier.Pending | Verifier.Gave_up -> print_endline "(network trouble)")

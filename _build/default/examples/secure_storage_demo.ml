@@ -1,0 +1,66 @@
+(* Sealed storage bound to task identity.
+
+   A secure task seals a calibration value through the secure-storage
+   service (reached over secure IPC, so the service knows exactly who is
+   asking).  The stored blob is encrypted under Kt = HMAC(id_t | Kp):
+   after a firmware update changes the task's binary — and therefore its
+   identity — the updated task can no longer unseal the old data, while
+   reinstalling the original binary can.
+
+   Run: dune exec examples/secure_storage_demo.exe *)
+
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let () =
+  let platform = Platform.create () in
+  let storage_id = Option.get (Platform.storage_service_id platform) in
+  let storage = Option.get (Platform.storage platform) in
+  let rtm = Option.get (Platform.rtm platform) in
+  let cell tcb telf i =
+    let entry = Option.get (Rtm.find_by_tcb rtm tcb) in
+    Tytan_machine.Cpu.with_firmware (Platform.cpu platform)
+      ~eip:(Rtm.code_eip rtm) (fun () ->
+        Tytan_machine.Cpu.load32 (Platform.cpu platform)
+          (entry.Rtm.base + Tasks.data_cell_offset telf + (4 * i)))
+  in
+
+  (* Version 1 of the calibration task seals value 7777 into slot 5,
+     then reads it back — all from guest code over IPC. *)
+  let v1 = Tasks.storage_client ~storage:storage_id ~slot:5 ~value:7777 in
+  let task1 = Result.get_ok (Platform.load_blocking platform ~name:"calib-v1" v1) in
+  Platform.run_ticks platform 10;
+  Printf.printf "v1: phase=%d readback=%d status=%d (0 = ok)\n"
+    (cell task1 v1 0) (cell task1 v1 1) (cell task1 v1 2);
+  let v1_id = (Option.get (Rtm.find_by_tcb rtm task1)).Rtm.id in
+  Platform.unload platform task1;
+
+  (* An "updated firmware" tries to read the same slot.  Its binary
+     differs (it would seal 9999), so its identity — and hence its task
+     key — differ: the unseal fails. *)
+  let v2 = Tasks.storage_client ~storage:storage_id ~slot:5 ~value:9999 in
+  let task2 = Result.get_ok (Platform.load_blocking platform ~name:"calib-v2" v2) in
+  let v2_id = (Option.get (Rtm.find_by_tcb rtm task2)).Rtm.id in
+  Printf.printf "identities differ: %b (v1=%s, v2=%s)\n"
+    (not (Task_id.equal v1_id v2_id))
+    (Task_id.to_hex v1_id) (Task_id.to_hex v2_id);
+  (* Ask the host API directly what v2 would get from v1's slot. *)
+  (match Secure_storage.unseal storage ~owner:v2_id ~slot:5 with
+  | Some _ -> print_endline "BUG: v2 unsealed v1's data"
+  | None -> print_endline "v2 cannot unseal v1's data (key bound to identity)");
+  Platform.unload platform task2;
+
+  (* Reinstalling the original binary restores access: same binary, same
+     identity, same Kt. *)
+  let task3 = Result.get_ok (Platform.load_blocking platform ~name:"calib-v1-again" v1) in
+  let v3_id = (Option.get (Rtm.find_by_tcb rtm task3)).Rtm.id in
+  (match Secure_storage.unseal storage ~owner:v3_id ~slot:5 with
+  | Some plaintext ->
+      Printf.printf "reinstalled v1 unseals its data: first word = %ld\n"
+        (Bytes.get_int32_le plaintext 0)
+  | None -> print_endline "BUG: reinstalled v1 cannot unseal");
+
+  Printf.printf "storage stats: %d slots used, %d seals, %d rejected unseals\n"
+    (Secure_storage.slots_used storage)
+    (Secure_storage.seals storage)
+    (Secure_storage.unseal_failures storage)

@@ -1,0 +1,1 @@
+lib/core/attestation.ml: Bytes Cost_model Cpu Cycles List Rtm Task_id Tytan_crypto Tytan_machine Word

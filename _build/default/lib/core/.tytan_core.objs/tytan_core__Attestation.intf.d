@@ -1,0 +1,1 @@
+lib/core/attestation.mli: Cpu Rtm Task_id Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/core/heap.ml: List Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/core/heap.mli: Tytan_machine Word

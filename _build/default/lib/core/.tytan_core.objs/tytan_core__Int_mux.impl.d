@@ -1,0 +1,1 @@
+lib/core/int_mux.ml: Array Context Cost_model Cpu Cycles Exception_engine Kernel List Printf Regfile Tcb Toolchain Tytan_machine Tytan_rtos Word

@@ -1,0 +1,1 @@
+lib/core/int_mux.mli: Context Kernel Tytan_machine Tytan_rtos Word

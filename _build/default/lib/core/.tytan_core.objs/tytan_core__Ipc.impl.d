@@ -1,0 +1,1 @@
+lib/core/ipc.ml: Array Cost_model Cpu Cycles Exception_engine Kernel List Regfile Rtm Scheduler Task_id Tcb Toolchain Trace Tytan_machine Tytan_rtos Word

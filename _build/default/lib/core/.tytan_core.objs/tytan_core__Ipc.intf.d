@@ -1,0 +1,1 @@
+lib/core/ipc.mli: Kernel Rtm Task_id Tcb Tytan_machine Tytan_rtos Word

@@ -1,0 +1,1 @@
+lib/core/loader.ml: Array Bytes Context Cost_model Cpu Cycles Eampu Heap Ipc Kernel List Memory Mpu_driver Perm Region Rtm Task_id Tcb Telf Trace Tytan_eampu Tytan_machine Tytan_rtos Tytan_telf Word

@@ -1,0 +1,1 @@
+lib/core/loader.mli: Heap Kernel Mpu_driver Region Rtm Tcb Telf Tytan_eampu Tytan_machine Tytan_rtos Tytan_telf Word

@@ -1,0 +1,1 @@
+lib/core/mpu_driver.ml: Cost_model Cycles Eampu List Tytan_eampu Tytan_machine Word

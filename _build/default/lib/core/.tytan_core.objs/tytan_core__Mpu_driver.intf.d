@@ -1,0 +1,1 @@
+lib/core/mpu_driver.mli: Cycles Eampu Tytan_eampu Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/core/platform.mli: Attestation Cpu Cycles Devices Eampu Heap Int_mux Ipc Kernel Loader Mpu_driver Region Rtm Secure_storage Task_id Tcb Trace Tytan_eampu Tytan_machine Tytan_rtos Tytan_telf Word

@@ -1,0 +1,1 @@
+lib/core/rtm.ml: Array Bytes Cost_model Cpu Cycles Int32 List Relocate Task_id Tcb Telf Tytan_crypto Tytan_machine Tytan_rtos Tytan_telf Word

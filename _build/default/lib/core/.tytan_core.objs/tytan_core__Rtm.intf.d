@@ -1,0 +1,1 @@
+lib/core/rtm.mli: Cpu Task_id Tcb Telf Tytan_machine Tytan_rtos Tytan_telf Word

@@ -1,0 +1,1 @@
+lib/core/secure_storage.ml: Array Bytes Cost_model Cpu Cycles Hashtbl Int32 Int64 Ipc List Option Task_id Tytan_crypto Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/core/secure_storage.mli: Cpu Task_id Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/core/task_id.ml: Bytes Char Format Int32 List Map Printf String Tytan_crypto Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/core/task_id.mli: Format Map Tytan_machine Word

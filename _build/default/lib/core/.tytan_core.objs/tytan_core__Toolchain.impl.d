@@ -1,0 +1,1 @@
+lib/core/toolchain.ml: Array Assembler Bytes Isa Regfile Tytan_machine Tytan_telf

@@ -1,0 +1,1 @@
+lib/core/toolchain.mli: Assembler Tytan_machine Tytan_telf

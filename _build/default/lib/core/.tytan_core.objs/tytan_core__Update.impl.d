@@ -1,0 +1,1 @@
+lib/core/update.ml: Cost_model Cpu Cycles Int_mux Kernel Option Platform Rtm Task_id Tcb Telf Trace Tytan_machine Tytan_rtos Tytan_telf Word

@@ -1,0 +1,1 @@
+lib/core/update.mli: Platform Task_id Tcb Telf Tytan_rtos Tytan_telf

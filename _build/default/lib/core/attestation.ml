@@ -1,0 +1,73 @@
+open Tytan_machine
+module Crypto = Tytan_crypto
+
+type report = {
+  id : Task_id.t;
+  nonce : bytes;
+  mac : bytes;
+}
+
+type t = {
+  cpu : Cpu.t;
+  code_eip : Word.t;
+  kp_addr : Word.t;
+  rtm : Rtm.t;
+  mutable reports : int;
+}
+
+let create cpu ~code_eip ~kp_addr ~rtm =
+  { cpu; code_eip; kp_addr; rtm; reports = 0 }
+
+let code_eip t = t.code_eip
+
+let read_platform_key t =
+  Cpu.with_firmware t.cpu ~eip:t.code_eip (fun () ->
+      Cpu.load_bytes t.cpu t.kp_addr Crypto.Sha1.digest_size)
+
+(* Charge cycles for the SHA-1 compressions a crypto operation really
+   performed. *)
+let charged t f =
+  let before = Crypto.Sha1.total_compressions () in
+  let result = f () in
+  let used = Crypto.Sha1.total_compressions () - before in
+  Cycles.charge (Cpu.clock t.cpu) (used * Cost_model.crypto_per_compression);
+  result
+
+let local_attest t id = Rtm.find t.rtm id <> None
+let loaded_identities t = List.map (fun e -> e.Rtm.id) (Rtm.all t.rtm)
+
+let report_payload ~id ~nonce = Bytes.cat nonce (Task_id.to_bytes id)
+
+let attest_with_key t ~key ~id ~nonce =
+  match Rtm.find t.rtm id with
+  | None -> None
+  | Some _ ->
+      let mac = charged t (fun () -> Crypto.Hmac.mac ~key (report_payload ~id ~nonce)) in
+      t.reports <- t.reports + 1;
+      Some { id; nonce; mac }
+
+let derive_ka ~platform_key =
+  Crypto.Kdf.derive ~platform_key ~purpose:"remote-attestation"
+
+let derive_provider_ka ~platform_key ~provider =
+  Crypto.Kdf.derive_provider_key ~platform_key ~provider
+
+let remote_attest t ~id ~nonce =
+  let key = charged t (fun () -> derive_ka ~platform_key:(read_platform_key t)) in
+  attest_with_key t ~key ~id ~nonce
+
+let remote_attest_for_provider t ~provider ~id ~nonce =
+  let key =
+    charged t (fun () ->
+        derive_provider_ka ~platform_key:(read_platform_key t) ~provider)
+  in
+  attest_with_key t ~key ~id ~nonce
+
+let verify ~ka report ~expected ~nonce =
+  Task_id.equal report.id expected
+  && Crypto.Constant_time.equal report.nonce nonce
+  && Crypto.Hmac.verify ~key:ka
+       (report_payload ~id:report.id ~nonce:report.nonce)
+       ~tag:report.mac
+
+let reports_issued t = t.reports

@@ -1,0 +1,55 @@
+(** Local and remote attestation.
+
+    The identity [id_t] computed by the RTM serves directly as the local
+    attestation report: the EA-MPU guarantees only the RTM writes the
+    directory, so a local verifier reading an identity out of it knows it
+    is genuine.
+
+    Remote attestation proves [id_t] to a verifier across a network: the
+    Remote Attest component MACs the verifier's nonce together with the
+    identity under an attestation key [Ka] derived from the platform key
+    [Kp].  Only Remote Attest can read [Kp] (EA-MPU rule), so only the
+    genuine platform can produce the MAC.  Per-provider keys (paper
+    footnote 2) let mutually distrusting stakeholders verify their own
+    tasks without sharing a key. *)
+
+open Tytan_machine
+
+type report = {
+  id : Task_id.t;
+  nonce : bytes;
+  mac : bytes;  (** HMAC-SHA1 over nonce | id under Ka (or a provider key) *)
+}
+
+type t
+
+val create : Cpu.t -> code_eip:Word.t -> kp_addr:Word.t -> rtm:Rtm.t -> t
+(** [kp_addr] is the protected platform-key location; reads happen under
+    the component's identity, so the EA-MPU must grant them. *)
+
+val code_eip : t -> Word.t
+
+val local_attest : t -> Task_id.t -> bool
+(** Is a task with this identity currently loaded?  (A local verifier's
+    view of the RTM directory.) *)
+
+val loaded_identities : t -> Task_id.t list
+
+val remote_attest : t -> id:Task_id.t -> nonce:bytes -> report option
+(** Produce a report for a loaded task; [None] if no such task is loaded.
+    Charges cycles for the key derivation and MAC. *)
+
+val remote_attest_for_provider :
+  t -> provider:string -> id:Task_id.t -> nonce:bytes -> report option
+(** Same, MACed under the provider-specific key. *)
+
+val verify : ka:bytes -> report -> expected:Task_id.t -> nonce:bytes -> bool
+(** Verifier side: check the MAC, the identity and the nonce (constant
+    time; stale nonces are rejected by the caller tracking freshness). *)
+
+val derive_ka : platform_key:bytes -> bytes
+(** How a provisioned verifier derives [Ka] from the shared [Kp]. *)
+
+val derive_provider_ka : platform_key:bytes -> provider:string -> bytes
+
+val reports_issued : t -> int

@@ -1,0 +1,37 @@
+let freertos_save = 38
+let freertos_restore = 254
+let int_mux_store_context = 38
+let int_mux_wipe_registers = 16
+let int_mux_branch = 41
+let int_mux_restore_branch = 106
+let int_mux_restore_assist = 214
+let reloc_base = 37
+let reloc_per_address = 660
+let eampu_find_slot_base = 76
+let eampu_find_slot_step = 19
+let eampu_policy_check = 824
+let eampu_write_rule = 225
+let rtm_measure_base = 4_300
+let rtm_per_block = 3_933
+let rtm_revert_base = 114
+let rtm_revert_per_address = 518
+let crypto_per_compression = rtm_per_block
+let loader_parse_header = 500
+let loader_alloc = 300
+let loader_copy_per_byte = 50
+let loader_stack_prep = 400
+let loader_register = 300
+let loader_copy_chunk = 512
+let ipc_origin_lookup = 76
+let ipc_sender_lookup = 214
+let ipc_receiver_lookup = 214
+let ipc_copy_message = 512
+let ipc_finish = 192
+
+let ipc_proxy_total =
+  ipc_origin_lookup + ipc_sender_lookup + ipc_receiver_lookup
+  + ipc_copy_message + ipc_finish
+
+let boot_verify_per_block = rtm_per_block
+let update_swap_base = 350
+let update_migrate_per_word = 16

@@ -1,0 +1,65 @@
+open Tytan_machine
+
+let alignment = 16
+
+type block = {
+  base : Word.t;
+  size : int;
+}
+
+type t = {
+  mutable free_list : block list;  (* sorted by base *)
+  mutable allocated : block list;
+}
+
+let create ~base ~size =
+  let aligned = (base + alignment - 1) / alignment * alignment in
+  let size = size - (aligned - base) in
+  if size <= 0 then invalid_arg "Heap.create: empty heap";
+  { free_list = [ { base = aligned; size } ]; allocated = [] }
+
+let round_up n = (n + alignment - 1) / alignment * alignment
+
+let alloc t ~size =
+  if size <= 0 then invalid_arg "Heap.alloc: size must be positive";
+  let size = round_up size in
+  let rec scan before = function
+    | [] -> None
+    | b :: rest when b.size >= size ->
+        let taken = { base = b.base; size } in
+        let remainder =
+          if b.size > size then
+            [ { base = b.base + size; size = b.size - size } ]
+          else []
+        in
+        t.free_list <- List.rev_append before (remainder @ rest);
+        t.allocated <- taken :: t.allocated;
+        Some taken.base
+    | b :: rest -> scan (b :: before) rest
+  in
+  scan [] t.free_list
+
+let coalesce blocks =
+  let sorted = List.sort (fun a b -> compare a.base b.base) blocks in
+  let rec merge = function
+    | a :: b :: rest when a.base + a.size = b.base ->
+        merge ({ base = a.base; size = a.size + b.size } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let free t base =
+  match List.partition (fun b -> b.base = base) t.allocated with
+  | [ block ], remaining ->
+      t.allocated <- remaining;
+      t.free_list <- coalesce (block :: t.free_list)
+  | [], _ -> invalid_arg "Heap.free: address not allocated"
+  | _ :: _ :: _, _ -> assert false
+
+let allocated_bytes t = List.fold_left (fun n b -> n + b.size) 0 t.allocated
+let free_bytes t = List.fold_left (fun n b -> n + b.size) 0 t.free_list
+let allocation_count t = List.length t.allocated
+
+let largest_free_block t =
+  List.fold_left (fun n b -> max n b.size) 0 t.free_list

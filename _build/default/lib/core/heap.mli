@@ -1,0 +1,26 @@
+(** First-fit allocator for the task heap.
+
+    The loader allocates one contiguous block per task ("the base address
+    of a task changes depending on which memory regions are free at load
+    time") and returns it on unload.  Adjacent free blocks coalesce. *)
+
+open Tytan_machine
+
+type t
+
+val create : base:Word.t -> size:int -> t
+
+val alloc : t -> size:int -> Word.t option
+(** First-fit allocation, 16-byte aligned.  [None] when no free block
+    fits. *)
+
+val free : t -> Word.t -> unit
+(** Return a block by its base address.
+    @raise Invalid_argument for an address not currently allocated. *)
+
+val allocated_bytes : t -> int
+val free_bytes : t -> int
+val allocation_count : t -> int
+
+val largest_free_block : t -> int
+(** For fragmentation diagnostics in tests. *)

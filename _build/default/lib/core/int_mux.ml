@@ -1,0 +1,128 @@
+open Tytan_machine
+open Tytan_rtos
+
+type t = {
+  kernel : Kernel.t;
+  code_eip : Word.t;
+  mutable secure_saves : int;
+  mutable secure_restores : int;
+}
+
+let create kernel ~code_eip =
+  { kernel; code_eip; secure_saves = 0; secure_restores = 0 }
+
+let code_eip t = t.code_eip
+
+let secure_save t (tcb : Tcb.t) gprs =
+  let cpu = Kernel.cpu t.kernel in
+  let clock = Cpu.clock cpu in
+  t.secure_saves <- t.secure_saves + 1;
+  Cpu.with_firmware cpu ~eip:t.code_eip (fun () ->
+      Cycles.charge clock Cost_model.int_mux_store_context;
+      Context.save_frame cpu tcb gprs;
+      Cycles.charge clock Cost_model.int_mux_wipe_registers;
+      Regfile.wipe_gprs (Cpu.regs cpu);
+      Cycles.charge clock Cost_model.int_mux_branch)
+
+(* Resuming a secure task: clear the registers (they may hold another
+   task's data), point SP at the saved frame, announce the invocation
+   reason, and enter the task at its dedicated entry point.  The entry
+   routine does the actual unstacking as guest code. *)
+let secure_restore t (tcb : Tcb.t) =
+  let cpu = Kernel.cpu t.kernel in
+  let clock = Cpu.clock cpu in
+  let regs = Cpu.regs cpu in
+  t.secure_restores <- t.secure_restores + 1;
+  Cycles.charge clock Cost_model.int_mux_restore_branch;
+  let reason =
+    if tcb.live_frame then begin
+      Cycles.charge clock Cost_model.int_mux_restore_assist;
+      Toolchain.reason_resume
+    end
+    else Toolchain.reason_start
+  in
+  Regfile.wipe_gprs regs;
+  Regfile.set regs Regfile.sp tcb.saved_sp;
+  Regfile.set regs Regfile.reason reason;
+  Regfile.set regs 12 tcb.inbox_base;
+  Regfile.set_interrupts regs true;
+  Regfile.set_eip regs tcb.entry
+
+let context_ops t =
+  let cpu = Kernel.cpu t.kernel in
+  let kernel_eip = Kernel.code_eip t.kernel in
+  let baseline =
+    Context.baseline cpu ~save_cost:Cost_model.freertos_save
+      ~restore_cost:Cost_model.freertos_restore
+  in
+  {
+    Context.save =
+      (fun tcb gprs ->
+        if tcb.secure then secure_save t tcb gprs
+        else Cpu.with_firmware cpu ~eip:kernel_eip (fun () -> baseline.save tcb gprs));
+    restore =
+      (fun tcb ->
+        if tcb.secure then secure_restore t tcb
+        else Cpu.with_firmware cpu ~eip:kernel_eip (fun () -> baseline.restore tcb));
+  }
+
+(* Kernel syscalls from a secure caller expose only their argument
+   registers; everything else reaches the OS as zeroes. *)
+let os_swis = [ 0; 1; 2; 8; 9; 10 ]
+
+let sanitize gprs =
+  Array.init (Array.length gprs) (fun i -> if i <= 2 then gprs.(i) else 0)
+
+let install_vectors t =
+  let cpu = Kernel.cpu t.kernel in
+  let engine = Cpu.engine cpu in
+  let in_mux f = Cpu.with_firmware cpu ~eip:t.code_eip f in
+  let tick_handler () =
+    in_mux (fun () ->
+        let gprs = Regfile.all_gprs (Cpu.regs cpu) in
+        Kernel.save_current t.kernel ~gprs;
+        Kernel.service_tick t.kernel)
+  in
+  let addr =
+    Exception_engine.register_firmware engine ~name:"int-mux-tick" tick_handler
+  in
+  Exception_engine.set_vector engine (Kernel.tick_irq t.kernel) addr;
+  for irq = 0 to Exception_engine.swi_vector_base - 1 do
+    if irq <> Kernel.tick_irq t.kernel then begin
+      let handler () =
+        in_mux (fun () ->
+            let gprs = Regfile.all_gprs (Cpu.regs cpu) in
+            Kernel.save_current t.kernel ~gprs;
+            Kernel.service_irq t.kernel ~irq)
+      in
+      let addr =
+        Exception_engine.register_firmware engine
+          ~name:(Printf.sprintf "int-mux-irq-%d" irq)
+          handler
+      in
+      Exception_engine.set_vector engine irq addr
+    end
+  done;
+  for swi = 0 to 15 do
+    let handler () =
+      in_mux (fun () ->
+          let caller = Kernel.current t.kernel in
+          let gprs = Regfile.all_gprs (Cpu.regs cpu) in
+          Kernel.save_current t.kernel ~gprs;
+          let visible =
+            match caller with
+            | Some tcb when tcb.secure && List.mem swi os_swis -> sanitize gprs
+            | Some _ | None -> gprs
+          in
+          Kernel.service_swi t.kernel ~swi ~gprs:visible)
+    in
+    let addr =
+      Exception_engine.register_firmware engine
+        ~name:(Printf.sprintf "int-mux-swi-%d" swi)
+        handler
+    in
+    Exception_engine.set_vector engine (Exception_engine.swi_vector_base + swi) addr
+  done
+
+let secure_saves t = t.secure_saves
+let secure_restores t = t.secure_restores

@@ -1,0 +1,39 @@
+(** The trusted interrupt multiplexer (Int Mux).
+
+    Whenever an interrupt or software interrupt fires while a {e secure}
+    task runs, the Int Mux — not the untrusted OS — saves the task's
+    context to the task's own stack, wipes the CPU registers so the
+    interrupt handler learns nothing, and only then branches to the
+    handling routine (Table 2).  Symmetrically, a secure task is resumed
+    by branching to its entry routine with the reason register set to
+    "resume"; the routine itself pops the saved registers and executes the
+    dedicated interrupt-return instruction (Table 3).
+
+    Normal tasks keep the unmodified FreeRTOS paths, performed under the
+    OS's code identity.
+
+    The Int Mux owns every interrupt vector on a TyTAN platform: handlers
+    see sanitised register state.  For the kernel's own syscalls from a
+    secure caller, only the argument registers r0–r2 are passed through;
+    trusted-service SWIs (IPC and friends) receive the full snapshot. *)
+
+open Tytan_machine
+open Tytan_rtos
+
+type t
+
+val create : Kernel.t -> code_eip:Word.t -> t
+
+val code_eip : t -> Word.t
+
+val context_ops : t -> Context.ops
+(** Secure-aware save/restore, to be installed with
+    {!Kernel.set_context_ops}. *)
+
+val install_vectors : t -> unit
+(** Route the tick IRQ and all SWI vectors through the Int Mux. *)
+
+val secure_saves : t -> int
+(** Secure context saves performed (for tests and benches). *)
+
+val secure_restores : t -> int

@@ -1,0 +1,285 @@
+open Tytan_machine
+open Tytan_rtos
+
+let swi_send = 3
+let swi_done = 4
+let swi_shm = 12
+let inbox_size = 64
+let message_words = 8
+let mode_async = 0
+let mode_sync = 1
+
+type service = {
+  service_name : string;
+  service_id : Task_id.t;
+  handler : sender:Task_id.t -> message:Word.t array -> Word.t array option;
+}
+
+type session = {
+  sender : Tcb.t;
+  receiver : Tcb.t;
+  receiver_prev_sp : Word.t;
+  receiver_prev_state : Tcb.state;
+  receiver_prev_wake : int;
+  receiver_prev_live_frame : bool;
+}
+
+type t = {
+  kernel : Kernel.t;
+  rtm : Rtm.t;
+  code_eip : Word.t;
+  proxy_id : Task_id.t;
+  shm_alloc : size:int -> Word.t option;
+  shm_grant :
+    a:Tcb.t -> b:Tcb.t -> base:Word.t -> size:int -> (unit, string) result;
+  mutable services : service list;
+  mutable sessions : session list;  (* stack: most recent first *)
+  mutable deliveries : int;
+}
+
+let create kernel rtm ~code_eip ~proxy_id ~shm_alloc ~shm_grant =
+  {
+    kernel;
+    rtm;
+    code_eip;
+    proxy_id;
+    shm_alloc;
+    shm_grant;
+    services = [];
+    sessions = [];
+    deliveries = 0;
+  }
+
+let code_eip t = t.code_eip
+let deliveries t = t.deliveries
+let sync_sessions_open t = List.length t.sessions
+
+let register_service t ~name ~id ~handler =
+  t.services <- { service_name = name; service_id = id; handler } :: t.services
+
+let find_service t id =
+  List.find_opt (fun s -> Task_id.equal s.service_id id) t.services
+
+let cpu t = Kernel.cpu t.kernel
+let clock t = Cpu.clock (cpu t)
+let as_proxy t f = Cpu.with_firmware (cpu t) ~eip:t.code_eip f
+
+(* --- Inbox access (proxy identity) -------------------------------------- *)
+
+let write_inbox t (receiver : Tcb.t) ~sender_id ~message =
+  as_proxy t (fun () ->
+      let base = receiver.inbox_base in
+      let lo, hi = Task_id.to_words sender_id in
+      Cpu.store32 (cpu t) base 1;
+      Cpu.store32 (cpu t) (Word.add base 4) lo;
+      Cpu.store32 (cpu t) (Word.add base 8) hi;
+      for i = 0 to message_words - 1 do
+        let v = if i < Array.length message then message.(i) else 0 in
+        Cpu.store32 (cpu t) (Word.add base (16 + (4 * i))) v
+      done);
+  t.deliveries <- t.deliveries + 1
+
+let read_inbox t (receiver : Tcb.t) =
+  as_proxy t (fun () ->
+      let base = receiver.inbox_base in
+      if Cpu.load32 (cpu t) base = 0 then None
+      else begin
+        let lo = Cpu.load32 (cpu t) (Word.add base 4) in
+        let hi = Cpu.load32 (cpu t) (Word.add base 8) in
+        let message =
+          Array.init message_words (fun i ->
+              Cpu.load32 (cpu t) (Word.add base (16 + (4 * i))))
+        in
+        Cpu.store32 (cpu t) base 0;
+        Some (Task_id.of_words ~lo ~hi, message)
+      end)
+
+(* --- Synchronous hand-off ----------------------------------------------- *)
+
+(* Branch to the receiver's entry routine with reason "message".  The
+   handler borrows the sender's time slice and runs just below the
+   receiver's saved frame. *)
+let branch_to_receiver t (receiver : Tcb.t) =
+  let regs = Cpu.regs (cpu t) in
+  Regfile.wipe_gprs regs;
+  Regfile.set regs Regfile.sp receiver.saved_sp;
+  Regfile.set regs Regfile.reason Toolchain.reason_message;
+  Regfile.set regs 12 receiver.inbox_base;
+  Regfile.set_interrupts regs true;
+  Regfile.set_eip regs receiver.entry;
+  receiver.state <- Tcb.Running;
+  Scheduler.set_current (Kernel.scheduler t.kernel) (Some receiver)
+
+let start_sync_session t ~(sender : Tcb.t) ~(receiver : Tcb.t) =
+  let sched = Kernel.scheduler t.kernel in
+  let session =
+    {
+      sender;
+      receiver;
+      receiver_prev_sp = receiver.saved_sp;
+      receiver_prev_state = receiver.state;
+      receiver_prev_wake = receiver.wake_tick;
+      receiver_prev_live_frame = receiver.live_frame;
+    }
+  in
+  Scheduler.remove sched sender;
+  sender.state <- Tcb.Blocked Tcb.Ipc_reply_wait;
+  Scheduler.remove sched receiver;
+  t.sessions <- session :: t.sessions;
+  branch_to_receiver t receiver
+
+let finish_sync_session t session =
+  let sched = Kernel.scheduler t.kernel in
+  let receiver = session.receiver in
+  (* Drop the stale handler frame and put the receiver back exactly where
+     it was before the hand-off. *)
+  Scheduler.remove sched receiver;
+  receiver.saved_sp <- session.receiver_prev_sp;
+  receiver.live_frame <- session.receiver_prev_live_frame;
+  (match session.receiver_prev_state with
+  | Tcb.Ready | Tcb.Running -> Scheduler.add_ready sched receiver
+  | Tcb.Blocked reason when session.receiver_prev_wake > 0 ->
+      Scheduler.sleep_on sched receiver ~wake_tick:session.receiver_prev_wake
+        ~reason
+  | Tcb.Blocked _ -> Scheduler.add_ready sched receiver
+  | Tcb.Suspended -> receiver.state <- Tcb.Suspended
+  | Tcb.Terminated -> receiver.state <- Tcb.Terminated);
+  (* Release the sender. *)
+  Scheduler.remove sched session.sender;
+  if session.sender.state <> Tcb.Terminated then
+    Scheduler.add_ready sched session.sender
+
+(* --- SWI handlers -------------------------------------------------------- *)
+
+let kill_caller t (tcb : Tcb.t) reason =
+  Trace.emitf (Kernel.trace t.kernel) ~source:"ipc" "killing %s: %s" tcb.name
+    reason;
+  Kernel.kill_task t.kernel tcb
+
+let resolve_sender t =
+  let charge n = Cycles.charge (clock t) n in
+  charge Cost_model.ipc_origin_lookup;
+  let origin = Exception_engine.origin (Cpu.engine (cpu t)) in
+  charge Cost_model.ipc_sender_lookup;
+  Rtm.find_by_eip t.rtm origin
+
+let handle_send t (caller : Tcb.t) gprs =
+  match resolve_sender t with
+  | None -> kill_caller t caller "sender has no registered identity"
+  | Some sender_entry ->
+      let receiver_id = Task_id.of_words ~lo:gprs.(8) ~hi:gprs.(9) in
+      let mode = gprs.(10) in
+      let message = Array.sub gprs 0 message_words in
+      Cycles.charge (clock t) Cost_model.ipc_receiver_lookup;
+      (match find_service t receiver_id with
+      | Some service -> (
+          Cycles.charge (clock t) Cost_model.ipc_copy_message;
+          let reply =
+            service.handler ~sender:sender_entry.Rtm.id ~message
+          in
+          Cycles.charge (clock t) Cost_model.ipc_finish;
+          (match reply with
+          | Some words ->
+              write_inbox t caller ~sender_id:service.service_id ~message:words
+          | None -> ());
+          Kernel.dispatch t.kernel)
+      | None -> (
+          match Rtm.find t.rtm receiver_id with
+          | None -> kill_caller t caller "unknown IPC receiver"
+          | Some receiver_entry ->
+              let receiver = receiver_entry.Rtm.tcb in
+              Cycles.charge (clock t) Cost_model.ipc_copy_message;
+              write_inbox t receiver ~sender_id:sender_entry.Rtm.id ~message;
+              Cycles.charge (clock t) Cost_model.ipc_finish;
+              Trace.emitf (Kernel.trace t.kernel) ~source:"ipc"
+                "%s -> %s (%s)" caller.name receiver.name
+                (if mode = mode_sync then "sync" else "async");
+              if
+                mode = mode_sync && receiver.secure
+                && receiver.state <> Tcb.Terminated
+                && receiver.id <> caller.id
+              then start_sync_session t ~sender:caller ~receiver
+              else
+                (* Asynchronous (or a receiver without an entry routine):
+                   the sender continues; the receiver sees the message the
+                   next time it inspects its inbox. *)
+                Kernel.dispatch t.kernel))
+
+let handle_done t (caller : Tcb.t) =
+  match t.sessions with
+  | session :: rest when session.receiver.Tcb.id = caller.id ->
+      t.sessions <- rest;
+      finish_sync_session t session;
+      Kernel.dispatch t.kernel
+  | _ :: _ | [] -> kill_caller t caller "IPC-done outside a message handler"
+
+let handle_shm t (caller : Tcb.t) gprs =
+  let peer_id = Task_id.of_words ~lo:gprs.(8) ~hi:gprs.(9) in
+  let size = max 16 gprs.(0) in
+  let fail reason =
+    write_inbox t caller ~sender_id:t.proxy_id
+      ~message:[| 1; 0; 0; 0; 0; 0; 0; 0 |];
+    Trace.emitf (Kernel.trace t.kernel) ~source:"ipc" "shm failed: %s" reason;
+    Kernel.dispatch t.kernel
+  in
+  match (Rtm.find_by_tcb t.rtm caller, Rtm.find t.rtm peer_id) with
+  | None, _ -> kill_caller t caller "shared memory from unregistered task"
+  | Some _, None -> fail "unknown peer"
+  | Some caller_entry, Some peer_entry -> (
+      match t.shm_alloc ~size with
+      | None -> fail "out of memory"
+      | Some base -> (
+          match
+            t.shm_grant ~a:caller_entry.Rtm.tcb ~b:peer_entry.Rtm.tcb ~base
+              ~size
+          with
+          | Error e -> fail e
+          | Ok () ->
+              (* Tell both parties where the window lives. *)
+              let note = [| 0; base; size; 0; 0; 0; 0; 0 |] in
+              write_inbox t caller ~sender_id:peer_entry.Rtm.id ~message:note;
+              write_inbox t peer_entry.Rtm.tcb ~sender_id:caller_entry.Rtm.id
+                ~message:note;
+              Kernel.dispatch t.kernel))
+
+let handle_swi t ~swi ~gprs =
+  match Kernel.current t.kernel with
+  | None -> false
+  | Some caller ->
+      if swi = swi_send then begin
+        handle_send t caller gprs;
+        true
+      end
+      else if swi = swi_done then begin
+        handle_done t caller;
+        true
+      end
+      else if swi = swi_shm then begin
+        handle_shm t caller gprs;
+        true
+      end
+      else false
+
+let on_task_exit t (tcb : Tcb.t) =
+  let involved s = s.sender.Tcb.id = tcb.id || s.receiver.Tcb.id = tcb.id in
+  let closing, remaining = List.partition involved t.sessions in
+  t.sessions <- remaining;
+  List.iter
+    (fun session ->
+      if session.receiver.Tcb.id = tcb.id then
+        (* Receiver died mid-handler: release the blocked sender. *)
+        finish_sync_session t session
+      else begin
+        (* Sender died: the receiver hand-off still stands; just make sure
+           the sender is not resurrected later. *)
+        let sched = Kernel.scheduler t.kernel in
+        Scheduler.remove sched session.sender
+      end)
+    closing
+
+let deliver_from_host t ~sender ~receiver message =
+  match Rtm.find t.rtm receiver with
+  | None -> Error "unknown receiver"
+  | Some entry ->
+      write_inbox t entry.Rtm.tcb ~sender_id:sender ~message;
+      Ok ()

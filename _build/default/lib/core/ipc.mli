@@ -1,0 +1,97 @@
+(** The secure IPC proxy.
+
+    A sender S loads its 8-word message into r0–r7, the receiver's
+    identity into r8/r9 and the delivery mode into r10 (0 = asynchronous,
+    1 = synchronous), then raises SWI {!swi_send}.  The proxy:
+
+    + reads the interrupt origin from the hardware and resolves S's
+      identity through the RTM's directory — the sender {e cannot} forge
+      its identity;
+    + resolves the receiver R by identity;
+    + writes the message and [id_S] into R's inbox.  Only the proxy holds
+      a write grant on inboxes, so a message in an inbox is implicitly
+      authentic;
+    + synchronous: branches to R's entry routine with reason "message"
+      (the sender blocks until R's handler signals completion with SWI
+      {!swi_done}); asynchronous: S continues, R finds the message the
+      next time it looks.
+
+    Receivers may also be {e trusted services} (e.g. secure storage):
+    host-implemented endpoints addressed by identity whose replies are
+    delivered back into the sender's inbox.
+
+    Inbox layout (16-byte header + 8 message words, 64 bytes reserved):
+    {v
+      +0   status (0 = empty, 1 = message pending)
+      +4   sender identity (low word)
+      +8   sender identity (high word)
+      +12  reserved
+      +16  message words m0 … m7
+    v} *)
+
+open Tytan_machine
+open Tytan_rtos
+
+val swi_send : int
+(** SWI number for message send (3). *)
+
+val swi_done : int
+(** SWI the entry routine raises when a synchronous handler finishes (4). *)
+
+val swi_shm : int
+(** SWI requesting a shared-memory window (12). *)
+
+val inbox_size : int
+(** Reserved inbox bytes per task (64). *)
+
+val message_words : int
+(** Message payload registers (8, r0–r7). *)
+
+val mode_async : int
+val mode_sync : int
+
+type t
+
+val create :
+  Kernel.t ->
+  Rtm.t ->
+  code_eip:Word.t ->
+  proxy_id:Task_id.t ->
+  shm_alloc:(size:int -> Word.t option) ->
+  shm_grant:(a:Tcb.t -> b:Tcb.t -> base:Word.t -> size:int -> (unit, string) result) ->
+  t
+(** [proxy_id] is the proxy's own identity (used as the sender of
+    error notes); [shm_alloc]/[shm_grant] are provided by the platform
+    (heap + EA-MPU driver) for shared-memory setup. *)
+
+val code_eip : t -> Word.t
+
+val register_service :
+  t ->
+  name:string ->
+  id:Task_id.t ->
+  handler:(sender:Task_id.t -> message:Word.t array -> Word.t array option) ->
+  unit
+(** Add a trusted host-side endpoint.  A [Some reply] (up to 8 words) is
+    written to the sender's inbox as a message from the service. *)
+
+val handle_swi : t -> swi:int -> gprs:Word.t array -> bool
+(** The kernel SWI hook entry point; claims {!swi_send}, {!swi_done} and
+    {!swi_shm}. *)
+
+val on_task_exit : t -> Tcb.t -> unit
+(** Clean up IPC sessions the task participates in (a blocked sender is
+    released if its receiver dies mid-handler). *)
+
+(** {2 Host-side helpers (tests, examples)} *)
+
+val read_inbox : t -> Tcb.t -> (Task_id.t * Word.t array) option
+(** Read and clear a pending inbox message, under the proxy's identity. *)
+
+val deliver_from_host :
+  t -> sender:Task_id.t -> receiver:Task_id.t -> Word.t array -> (unit, string) result
+(** Inject a message as if a trusted host component sent it (asynchronous
+    delivery only). *)
+
+val deliveries : t -> int
+val sync_sessions_open : t -> int

@@ -1,0 +1,174 @@
+(** The TyTAN platform: the composition root.
+
+    [create ()] builds the whole simulated device — memory, CPU, exception
+    engine, tick timer, EA-MPU, kernel and the six trusted components —
+    runs secure boot, installs the static protection rules and starts the
+    scheduler with the idle task and the loader service task.
+
+    [create ~config:baseline_config ()] instead builds the {e unmodified
+    FreeRTOS} device: no EA-MPU, plain kernel vectors and context ops, no
+    measurement — the baseline of Tables 2, 3, 4 and 8.
+
+    {2 Memory map}
+
+    {v
+      0x0000_0100  IDT (128 B, write-protected after boot)
+      0x0000_0200  platform key Kp (20 B, readable only by Remote Attest
+                   and Secure Storage)
+      0x0000_1000  kernel code (incl. the idle stub), then the trusted
+                   component code regions (EA-MPU driver, Int Mux, IPC
+                   proxy, RTM, Remote Attest, Secure Storage, ELF loader,
+                   incl. the loader service stub), then kernel data
+                   (idle + service stacks)
+      heap         task allocations, to the end of RAM
+      0xF000_0000  MMIO window (tick timer; sensors and consoles attach
+                   here)
+    v}
+
+    Component region sizes are modelled on the paper's Table 8 totals
+    (FreeRTOS 215 617 B; TyTAN + 34 326 B), so the memory-consumption
+    experiment reproduces from the map itself. *)
+
+open Tytan_machine
+open Tytan_eampu
+open Tytan_rtos
+
+exception Boot_failure of string
+(** Secure boot found a trusted component whose measurement does not
+    match the manufacturer's reference. *)
+
+type config = {
+  secure : bool;  (** TyTAN (true) or unmodified FreeRTOS (false) *)
+  mem_size : int;
+  tick_period : int;  (** cycles between tick IRQs *)
+  eampu_slots : int;
+  trace_enabled : bool;
+  platform_key : bytes;  (** exactly 20 bytes; the manufacturer-provisioned Kp *)
+  tamper_component : string option;
+  (** test hook: corrupt this component's code before boot verification *)
+  allow_dynamic_loading : bool;
+  (** TyTAN's headline flexibility.  With [false] the platform behaves
+      like TrustLite: the task set is fixed once {!finish_boot} seals the
+      configuration (the related-work comparison mode). *)
+  mutable boot_finished : bool;
+}
+
+val default_config : config
+(** TyTAN at 1.5 kHz tick (32 000 cycles at 48 MHz), 2 MiB RAM,
+    32 EA-MPU slots. *)
+
+val baseline_config : config
+(** Same platform without any TyTAN extension. *)
+
+val trustlite_config : config
+(** Static-configuration mode (all tasks loaded at boot, as TrustLite
+    requires); used by the related-work comparison. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** {2 Accessors} *)
+
+val cpu : t -> Cpu.t
+val kernel : t -> Kernel.t
+val clock : t -> Cycles.t
+val trace : t -> Trace.t
+val config : t -> config
+val loader : t -> Loader.t
+val heap : t -> Heap.t
+
+val eampu : t -> Eampu.t option
+val mpu_driver : t -> Mpu_driver.t option
+val int_mux : t -> Int_mux.t option
+val rtm : t -> Rtm.t option
+val ipc : t -> Ipc.t option
+val attestation : t -> Attestation.t option
+val storage : t -> Secure_storage.t option
+
+val storage_service_id : t -> Task_id.t option
+(** The IPC identity of the secure-storage service. *)
+
+val attest_service_id : t -> Task_id.t option
+(** The IPC identity of the local-attestation service: send
+    [[id_lo; id_hi; …]] and receive [[status; id_lo; id_hi; …]] with
+    status 0 when a task with that identity is loaded. *)
+
+val kp_addr : t -> Word.t
+
+(** {2 Running} *)
+
+val run : t -> cycles:int -> Cpu.status
+(** Advance the machine by (at least) this many cycles, polling the tick
+    timer between instructions. *)
+
+val run_ticks : t -> int -> unit
+(** Run for a number of tick periods. *)
+
+val poll : t -> unit
+
+(** {2 Loading} *)
+
+val load_blocking :
+  t ->
+  name:string ->
+  ?priority:int ->
+  ?secure:bool ->
+  ?provider:string ->
+  Tytan_telf.Telf.t ->
+  (Tcb.t, string) result
+
+val submit_load :
+  t ->
+  name:string ->
+  ?priority:int ->
+  ?secure:bool ->
+  ?provider:string ->
+  Tytan_telf.Telf.t ->
+  unit
+(** Queue an asynchronous load, performed incrementally by the loader
+    service task as scheduling allows. *)
+
+val finish_boot : t -> unit
+(** Seal the configuration: in static mode, later (un)load attempts are
+    rejected (TrustLite semantics).  A no-op when dynamic loading is
+    allowed. *)
+
+val unload : t -> Tcb.t -> unit
+(** @raise Invalid_argument in sealed static mode. *)
+
+val suspend : t -> Tcb.t -> unit
+val resume : t -> Tcb.t -> unit
+
+(** {2 Devices} *)
+
+val attach_sensor :
+  t -> name:string -> base:Word.t -> sample:(cycles:int -> Word.t) -> Devices.Sensor.t
+
+val attach_console : t -> base:Word.t -> Devices.Console.t
+
+val attach_rx_fifo :
+  t -> name:string -> base:Word.t -> irq:int -> capacity:int ->
+  Devices.Rx_fifo.t
+(** An interrupt-driven receive FIFO (a CAN controller / radio).  Inject
+    frames with {!Devices.Rx_fifo.inject}; read from guest code via MMIO,
+    or route to a queue with {!route_rx_to_queue}. *)
+
+val route_rx_to_queue : t -> Devices.Rx_fifo.t -> queue_id:int -> int ref
+(** Deferred interrupt handling: bind the FIFO's IRQ to a kernel handler
+    that drains it into the RT queue, waking blocked receivers.  Returns
+    the counter of frames dropped because the queue was full. *)
+
+val restrict_mmio_to_task : t -> Tcb.t -> base:Word.t -> size:int -> (unit, string) result
+(** Install an EA-MPU rule granting an MMIO window exclusively to one
+    task (plus making it protected from everyone else). *)
+
+(** {2 Memory accounting (Table 8)} *)
+
+val memory_map : t -> (string * Region.t) list
+val os_memory_bytes : t -> int
+(** Static memory of the OS and (in TyTAN mode) trusted components, with
+    no task loaded. *)
+
+val component_region : t -> string -> Region.t option
+(** Look up a named region, e.g. ["rtm"] or ["kernel-code"]. *)

@@ -1,0 +1,55 @@
+(** The secure-storage task.
+
+    Sealed storage bound to task identity: each task's data is encrypted
+    under [Kt = HMAC(id_t | Kp)].  Because [id_t] is the hash of the task
+    binary, only a task with the {e same binary} can recover data it
+    stored — an updated or substituted task derives a different key and
+    the authenticated decryption fails.
+
+    Tasks reach the service over secure IPC (sender identification comes
+    for free); the message protocol is:
+    {v
+      request : [op; slot; w0 .. w5]     op 1 = seal, 2 = unseal
+      reply   : [status; w0 .. w5; 0]    status 0 = ok, 1 = not found /
+                                         verification failed
+    v}
+    Each slot stores 24 bytes (six words).  The host API below exposes the
+    same operations for tests, examples and host-resident verifiers. *)
+
+open Tytan_machine
+
+type t
+
+val create : Cpu.t -> code_eip:Word.t -> kp_addr:Word.t -> t
+
+val code_eip : t -> Word.t
+
+val ipc_handler :
+  t -> sender:Task_id.t -> message:Word.t array -> Word.t array option
+(** The service endpoint registered with the IPC proxy. *)
+
+val seal : t -> owner:Task_id.t -> slot:int -> bytes -> unit
+(** Encrypt-then-MAC the payload under the owner's [Kt] and store it.
+    Charges cycles for the key derivation and sealing. *)
+
+val unseal : t -> owner:Task_id.t -> slot:int -> bytes option
+(** [None] when the slot is empty or the requester's [Kt] fails to
+    authenticate the blob (different identity stored it). *)
+
+val slots_used : t -> int
+val seals : t -> int
+val unseal_failures : t -> int
+
+(** {2 Non-volatile persistence}
+
+    Sealed blobs are ciphertext: exporting them to NVM and importing them
+    after a reboot is safe by construction.  Unsealing succeeds only on
+    the same platform (same Kp) {e and} for the same task binary (same
+    id_t) — Kt binds both. *)
+
+val export : t -> (int * bytes) list
+(** Every slot's encoded sealed blob, ready for NVM. *)
+
+val import : t -> (int * bytes) list -> (unit, string) result
+(** Restore blobs from NVM (e.g. after a reboot on a fresh platform
+    instance).  Structurally invalid blobs are rejected wholesale. *)

@@ -1,0 +1,41 @@
+open Tytan_machine
+
+type t = string (* exactly [size] bytes *)
+
+let size = 8
+
+let of_digest digest =
+  if Bytes.length digest < size then
+    invalid_arg "Task_id.of_digest: digest too short";
+  Bytes.sub_string digest 0 size
+
+let of_image image = of_digest (Tytan_crypto.Sha1.digest image)
+let to_bytes t = Bytes.of_string t
+
+let of_bytes b =
+  if Bytes.length b <> size then invalid_arg "Task_id.of_bytes: need 8 bytes";
+  Bytes.to_string b
+
+let to_words t =
+  let b = Bytes.of_string t in
+  let lo = Int32.to_int (Bytes.get_int32_le b 0) land Word.max_value in
+  let hi = Int32.to_int (Bytes.get_int32_le b 4) land Word.max_value in
+  (lo, hi)
+
+let of_words ~lo ~hi =
+  let b = Bytes.create size in
+  Bytes.set_int32_le b 0 (Int32.of_int lo);
+  Bytes.set_int32_le b 4 (Int32.of_int hi);
+  Bytes.to_string b
+
+let equal = String.equal
+let compare = String.compare
+
+let to_hex t =
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.of_seq (String.to_seq t)))
+
+let pp ppf t = Format.pp_print_string ppf (to_hex t)
+
+module Map = Map.Make (String)

@@ -1,0 +1,41 @@
+(** Task identities.
+
+    A task's identity [id_t] is the hash digest of its (position-
+    independent) binary.  For performance the implementation — like the
+    paper's (footnote 9) — uses only the first 64 bits of the SHA-1
+    digest, which also lets an identity travel in two CPU registers during
+    IPC. *)
+
+open Tytan_machine
+
+type t
+(** 8 bytes; total order; usable as a map key. *)
+
+val size : int
+(** 8. *)
+
+val of_digest : bytes -> t
+(** Truncate a 20-byte SHA-1 digest.  @raise Invalid_argument if the
+    digest is shorter than 8 bytes. *)
+
+val of_image : bytes -> t
+(** Hash a binary image and truncate — the identity a verifier computes
+    for a reference binary. *)
+
+val to_bytes : t -> bytes
+
+val of_bytes : bytes -> t
+(** @raise Invalid_argument unless exactly 8 bytes. *)
+
+val to_words : t -> Word.t * Word.t
+(** (low, high) little-endian halves, as passed in registers r8/r9
+    during IPC. *)
+
+val of_words : lo:Word.t -> hi:Word.t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t

@@ -1,0 +1,77 @@
+open Tytan_machine
+
+let reason_start = 0
+let reason_resume = 1
+let reason_message = 2
+let swi_ipc_done = 4
+
+(* dispatch (5) + resume path (16) + message path (2) *)
+let entry_stub_instructions = 23
+
+let emit_stub p =
+  let open Isa in
+  Assembler.label p "_start";
+  Assembler.instr p (Cmpi (Regfile.reason, reason_resume));
+  Assembler.jz_label p "__resume";
+  Assembler.instr p (Cmpi (Regfile.reason, reason_message));
+  Assembler.jz_label p "__message";
+  Assembler.jmp_label p "main";
+  Assembler.label p "__resume";
+  (* Pop r14 … r0 — the reverse of the save order (see Rtos.Context). *)
+  for reg = 14 downto 0 do
+    Assembler.instr p (Pop reg)
+  done;
+  Assembler.instr p Iret;
+  Assembler.label p "__message";
+  Assembler.call_label p "on_message";
+  Assembler.instr p (Swi swi_ipc_done)
+
+(* The message handler is emitted before the user's [main] because user
+   code conventionally ends with [begin_data] + data words — anything
+   emitted afterwards would land in the non-executable data section. *)
+let secure_program ~main ?on_message () =
+  let p = Assembler.create () in
+  emit_stub p;
+  (match on_message with
+  | Some emit -> emit p
+  | None ->
+      Assembler.label p "on_message";
+      Assembler.instr p Isa.Ret);
+  main p;
+  Assembler.assemble p
+
+let normal_program ~main =
+  let p = Assembler.create () in
+  Assembler.label p "_start";
+  Assembler.jmp_label p "main";
+  main p;
+  Assembler.assemble p
+
+let synthetic_secure ~image_size ~reloc_count ~stack_size =
+  (* Fixed prefix: stub (23 instructions), default handler (1), and a
+     three-instruction sleep loop. *)
+  let prefix_bytes = (entry_stub_instructions + 1 + 3) * Isa.width in
+  let fixed = prefix_bytes + (reloc_count * 4) in
+  if image_size < fixed || image_size mod 4 <> 0 then
+    invalid_arg "Toolchain.synthetic_secure: image size too small or unaligned";
+  let nops = (image_size - fixed) / Isa.width in
+  let tail = image_size - fixed - (nops * Isa.width) in
+  let main p =
+    Assembler.label p "main";
+    Assembler.label p "loop";
+    Assembler.instr p (Isa.Movi (0, 1));
+    Assembler.instr p (Isa.Swi 2);
+    Assembler.jmp_label p "loop";
+    for _ = 1 to nops do
+      Assembler.instr p Isa.Nop
+    done;
+    Assembler.begin_data p;
+    for _ = 1 to reloc_count do
+      Assembler.word_label p "main"
+    done;
+    Assembler.space p tail
+  in
+  let program = secure_program ~main () in
+  assert (Bytes.length program.Assembler.image = image_size);
+  assert (Array.length program.Assembler.relocations = reloc_count);
+  Tytan_telf.Builder.of_program ~stack_size program

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Char Constant_time Sha1

@@ -1,0 +1,1 @@
+lib/crypto/keystream.ml: Buffer Bytes Char Constant_time Hmac Int32 Sha1

@@ -1,0 +1,8 @@
+let equal a b =
+  Bytes.length a = Bytes.length b
+  &&
+  let acc = ref 0 in
+  for i = 0 to Bytes.length a - 1 do
+    acc := !acc lor (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i))
+  done;
+  !acc = 0

@@ -1,0 +1,9 @@
+(** Timing-safe byte-string comparison.
+
+    Attestation-report and storage-tag verification must not leak, through
+    early exit, how many prefix bytes of an attacker-supplied tag were
+    correct. *)
+
+val equal : bytes -> bytes -> bool
+(** [equal a b] compares without data-dependent early exit.  Strings of
+    different lengths compare unequal (length is not secret). *)

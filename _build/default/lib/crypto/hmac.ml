@@ -1,0 +1,26 @@
+let normalize_key key =
+  let key =
+    if Bytes.length key > Sha1.block_size then Sha1.digest key else key
+  in
+  let padded = Bytes.make Sha1.block_size '\000' in
+  Bytes.blit key 0 padded 0 (Bytes.length key);
+  padded
+
+let xor_with b v =
+  Bytes.map (fun c -> Char.chr (Char.code c lxor v)) b
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha1.init () in
+  Sha1.feed inner (xor_with key 0x36);
+  Sha1.feed inner msg;
+  let inner_digest = Sha1.finalize inner in
+  let outer = Sha1.init () in
+  Sha1.feed outer (xor_with key 0x5C);
+  Sha1.feed outer inner_digest;
+  Sha1.finalize outer
+
+let mac_string ~key s = mac ~key (Bytes.of_string s)
+
+let verify ~key msg ~tag =
+  Constant_time.equal (mac ~key msg) tag

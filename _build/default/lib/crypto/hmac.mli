@@ -1,0 +1,14 @@
+(** HMAC-SHA1 (RFC 2104).
+
+    TyTAN uses MACs for remote attestation reports and for deriving
+    per-task storage keys: [Kt = HMAC(id_t | Kp)]. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** [mac ~key msg] is the 20-byte HMAC-SHA1 tag of [msg] under [key].
+    Keys longer than the SHA-1 block size are hashed first, shorter keys
+    are zero-padded, per the RFC. *)
+
+val mac_string : key:bytes -> string -> bytes
+
+val verify : key:bytes -> bytes -> tag:bytes -> bool
+(** Constant-time tag comparison. *)

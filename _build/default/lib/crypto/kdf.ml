@@ -1,0 +1,9 @@
+let derive ~platform_key ~purpose =
+  Hmac.mac_string ~key:platform_key ("tytan-kdf/" ^ purpose)
+
+let derive_task_key ~platform_key ~task_id =
+  (* Kt = HMAC(id_t | Kp): the id is the MACed message, keyed by Kp. *)
+  Hmac.mac ~key:platform_key task_id
+
+let derive_provider_key ~platform_key ~provider =
+  derive ~platform_key ~purpose:("provider/" ^ provider)

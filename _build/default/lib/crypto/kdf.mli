@@ -1,0 +1,20 @@
+(** Key derivation from the platform key.
+
+    The TyTAN hardware ships with a platform key [Kp]; further keys are
+    derived from it rather than stored — e.g. the attestation key [Ka]
+    accessible only to the Remote Attest component, per-task storage keys
+    [Kt = HMAC(id_t | Kp)], and (following the SANCUS-style scheme the
+    paper cites in footnote 2) per-provider attestation keys. *)
+
+val derive : platform_key:bytes -> purpose:string -> bytes
+(** [derive ~platform_key ~purpose] is a 20-byte key bound to [purpose]
+    (e.g. ["remote-attestation"], ["secure-storage"]).  Distinct purposes
+    yield independent keys. *)
+
+val derive_task_key : platform_key:bytes -> task_id:bytes -> bytes
+(** [Kt = HMAC(id_t | Kp)]: the per-task storage key.  Because [id_t] is
+    the hash of the task binary, an updated (different) binary derives a
+    different key and cannot unseal the old task's data. *)
+
+val derive_provider_key : platform_key:bytes -> provider:string -> bytes
+(** Per-stakeholder attestation key (paper footnote 2). *)

@@ -1,0 +1,70 @@
+type sealed = {
+  nonce : bytes;
+  ciphertext : bytes;
+  tag : bytes;
+}
+
+let enc_key key = Hmac.mac_string ~key "keystream/enc"
+let mac_key key = Hmac.mac_string ~key "keystream/mac"
+
+let keystream_block ~key ~nonce i =
+  let counter = Bytes.create 4 in
+  Bytes.set_int32_be counter 0 (Int32.of_int i);
+  Hmac.mac ~key (Bytes.cat nonce counter)
+
+let xor_keystream ~key ~nonce data =
+  let out = Bytes.copy data in
+  let len = Bytes.length data in
+  let block = ref Bytes.empty in
+  for i = 0 to len - 1 do
+    let j = i mod Sha1.digest_size in
+    if j = 0 then block := keystream_block ~key ~nonce (i / Sha1.digest_size);
+    Bytes.set out i
+      (Char.chr
+         (Char.code (Bytes.get data i) lxor Char.code (Bytes.get !block j)))
+  done;
+  out
+
+let tag_of ~key ~nonce ciphertext =
+  Hmac.mac ~key:(mac_key key) (Bytes.cat nonce ciphertext)
+
+let seal ~key ~nonce plaintext =
+  let ciphertext = xor_keystream ~key:(enc_key key) ~nonce plaintext in
+  { nonce; ciphertext; tag = tag_of ~key ~nonce ciphertext }
+
+let open_sealed ~key sealed =
+  let expected = tag_of ~key ~nonce:sealed.nonce sealed.ciphertext in
+  if Constant_time.equal expected sealed.tag then
+    Some (xor_keystream ~key:(enc_key key) ~nonce:sealed.nonce sealed.ciphertext)
+  else None
+
+let encode s =
+  let b = Buffer.create 64 in
+  let add_sized data =
+    let len = Bytes.create 4 in
+    Bytes.set_int32_be len 0 (Int32.of_int (Bytes.length data));
+    Buffer.add_bytes b len;
+    Buffer.add_bytes b data
+  in
+  add_sized s.nonce;
+  add_sized s.ciphertext;
+  Buffer.add_bytes b s.tag;
+  Buffer.to_bytes b
+
+let decode b =
+  let len = Bytes.length b in
+  let read_sized pos =
+    if pos + 4 > len then None
+    else
+      let n = Int32.to_int (Bytes.get_int32_be b pos) in
+      if n < 0 || pos + 4 + n > len then None
+      else Some (Bytes.sub b (pos + 4) n, pos + 4 + n)
+  in
+  match read_sized 0 with
+  | None -> None
+  | Some (nonce, pos) -> (
+      match read_sized pos with
+      | None -> None
+      | Some (ciphertext, pos) ->
+          if len - pos <> Sha1.digest_size then None
+          else Some { nonce; ciphertext; tag = Bytes.sub b pos Sha1.digest_size })

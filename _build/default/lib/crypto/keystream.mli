@@ -1,0 +1,27 @@
+(** Authenticated encryption for the secure-storage task, built from
+    HMAC-SHA1 in counter mode (encrypt-then-MAC).
+
+    The paper only specifies that data handed to the secure storage task
+    "gets encrypted with Kt"; any symmetric scheme fits.  We build one from
+    the primitives we already have rather than pulling in a cipher:
+    keystream block [i] = HMAC(Kt, nonce | i), XORed over the plaintext,
+    then a MAC over nonce and ciphertext under a separate derived key. *)
+
+type sealed = {
+  nonce : bytes;
+  ciphertext : bytes;
+  tag : bytes;
+}
+
+val seal : key:bytes -> nonce:bytes -> bytes -> sealed
+(** Encrypt-then-MAC under [key].  The caller supplies a unique [nonce]
+    per sealing (the storage task uses a monotonic counter). *)
+
+val open_sealed : key:bytes -> sealed -> bytes option
+(** [None] if the tag does not verify (wrong key — i.e. wrong task
+    identity — or tampered ciphertext). *)
+
+val encode : sealed -> bytes
+(** Wire format: [len nonce | nonce | len ct | ct | tag]. *)
+
+val decode : bytes -> sealed option

@@ -1,0 +1,45 @@
+(** SHA-1 (RFC 3174), implemented from scratch.
+
+    The paper's RTM uses SHA-1 to compute task identities ("we use SHA-1
+    but other hash algorithms can also be used").  The streaming interface
+    matters for TyTAN: the RTM must be {e interruptible} during hash
+    computation, so it feeds the task image to the hash one 64-byte block
+    at a time, yielding to the scheduler in between (see Table 7: cost is
+    linear in the number of blocks). *)
+
+type ctx
+(** Streaming hash context. *)
+
+val digest_size : int
+(** 20 bytes. *)
+
+val block_size : int
+(** 64 bytes — the unit of interruption for the RTM. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> bytes -> unit
+(** Absorb data; may be called any number of times. *)
+
+val feed_sub : ctx -> bytes -> pos:int -> len:int -> unit
+
+val finalize : ctx -> bytes
+(** Produce the 20-byte digest.  The context must not be used again. *)
+
+val digest : bytes -> bytes
+(** One-shot hash. *)
+
+val digest_string : string -> bytes
+
+val compression_count : ctx -> int
+(** Number of 64-byte compression-function invocations so far (including
+    none for buffered partial data).  The RTM charges cycles per
+    compression, so this is the calibration hook for Table 7. *)
+
+val to_hex : bytes -> string
+
+val total_compressions : unit -> int
+(** Process-global count of compression-function invocations across all
+    contexts.  Trusted services charge simulated cycles for crypto by
+    sampling this before and after an operation, so the cycle cost of a
+    MAC or key derivation reflects the real block count. *)

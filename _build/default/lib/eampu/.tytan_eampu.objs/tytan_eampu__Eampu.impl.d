@@ -1,0 +1,1 @@
+lib/eampu/eampu.ml: Access Array Format List Perm Printf Region Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/eampu/eampu.mli: Access Format Perm Region Tytan_machine Word

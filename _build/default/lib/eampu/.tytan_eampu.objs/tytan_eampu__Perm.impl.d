@@ -1,0 +1,1 @@
+lib/eampu/perm.ml: Format Tytan_machine

@@ -1,0 +1,1 @@
+lib/eampu/perm.mli: Format Tytan_machine

@@ -1,0 +1,1 @@
+lib/eampu/region.ml: Format Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/eampu/region.mli: Format Tytan_machine Word

@@ -1,0 +1,143 @@
+open Tytan_machine
+
+type rule =
+  | Exec of {
+      region : Region.t;
+      entry : Word.t option;
+    }
+  | Grant of {
+      code : Region.t;
+      data : Region.t;
+      perm : Perm.t;
+    }
+
+type t = {
+  slots : rule option array;
+  mutable enabled : bool;
+}
+
+let default_slot_count = 18
+
+let create ?(slots = default_slot_count) () =
+  if slots <= 0 then invalid_arg "Eampu.create: need at least one slot";
+  { slots = Array.make slots None; enabled = false }
+
+let slot_count t = Array.length t.slots
+
+let check_index t i =
+  if i < 0 || i >= Array.length t.slots then
+    invalid_arg (Printf.sprintf "Eampu: slot %d out of range" i)
+
+let slot t i =
+  check_index t i;
+  t.slots.(i)
+
+let set_slot t i rule =
+  check_index t i;
+  t.slots.(i) <- rule
+
+let clear_slot t i = set_slot t i None
+let enabled t = t.enabled
+let enable t = t.enabled <- true
+
+let iter_slots t f =
+  Array.iteri (fun i -> function Some r -> f i r | None -> ()) t.slots
+
+let used_slots t =
+  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 t.slots
+
+let first_free_slot t =
+  let n = Array.length t.slots in
+  let rec scan i =
+    if i >= n then None else if t.slots.(i) = None then Some i else scan (i + 1)
+  in
+  scan 0
+
+let conflicts t candidate =
+  (* Only executable regions must be pairwise disjoint: each belongs to
+     exactly one protection domain.  Grants may reference any region —
+     several principals legitimately hold grants over one task's memory
+     (the task itself, the Int Mux, the IPC proxy, the RTM). *)
+  let conflict existing =
+    match (candidate, existing) with
+    | Exec { region = a; _ }, Exec { region = b; _ } -> Region.overlaps a b
+    | Grant _, Exec _ | Exec _, Grant _ | Grant _, Grant _ -> false
+  in
+  let found = ref [] in
+  iter_slots t (fun i r -> if conflict r then found := (i, r) :: !found);
+  List.rev !found
+
+let exec_rule_covering t addr =
+  let found = ref None in
+  iter_slots t (fun _ rule ->
+      match rule with
+      | Exec { region; entry } when Region.contains region addr && !found = None
+        ->
+          found := Some (region, entry)
+      | Exec _ | Grant _ -> ());
+  !found
+
+let check_execute t ~eip ~addr ~size =
+  match exec_rule_covering t addr with
+  | None ->
+      Access.violation ~eip ~addr ~size ~kind:Access.Execute
+        "no executable region covers this address"
+  | Some (region, entry) -> (
+      if Region.contains region eip then
+        (* Sequential flow or internal jump within the same region. *)
+        ()
+      else
+        match entry with
+        | None -> ()
+        | Some entry ->
+            if not (Word.equal addr entry) then
+              Access.violation ~eip ~addr ~size ~kind:Access.Execute
+                (Format.asprintf
+                   "region %a may only be entered at its entry point %a"
+                   Region.pp region Word.pp entry))
+
+let check_data t ~eip ~addr ~size ~kind =
+  let protected_ = ref false in
+  let granted = ref false in
+  iter_slots t (fun _ rule ->
+      match rule with
+      | Grant g when Region.overlaps_range g.data addr size ->
+          protected_ := true;
+          if
+            Region.contains g.code eip
+            && Region.contains_range g.data addr size
+            && Perm.allows g.perm kind
+          then granted := true
+      | Grant _ -> ()
+      | Exec e when Region.overlaps_range e.region addr size ->
+          (* Code regions are never writable and only readable by
+             themselves (the RTM gets an explicit Grant when measuring). *)
+          protected_ := true;
+          if kind = Access.Read && Region.contains e.region eip then
+            granted := true
+      | Exec _ -> ());
+  if !protected_ && not !granted then
+    Access.violation ~eip ~addr ~size ~kind "no EA-MPU rule grants this access"
+
+let check t ~eip ~addr ~size ~kind =
+  if t.enabled then
+    match kind with
+    | Access.Execute -> check_execute t ~eip ~addr ~size
+    | Access.Read | Access.Write -> check_data t ~eip ~addr ~size ~kind
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>EA-MPU (%s, %d/%d slots used)"
+    (if t.enabled then "enabled" else "disabled")
+    (used_slots t) (slot_count t);
+  iter_slots t (fun i rule ->
+      match rule with
+      | Exec { region; entry } ->
+          Format.fprintf ppf "@ %2d: exec %a%a" i Region.pp region
+            (fun ppf -> function
+              | None -> ()
+              | Some e -> Format.fprintf ppf " entry=%a" Word.pp e)
+            entry
+      | Grant { code; data; perm } ->
+          Format.fprintf ppf "@ %2d: %a by %a on %a" i Perm.pp perm Region.pp
+            code Region.pp data);
+  Format.fprintf ppf "@]"

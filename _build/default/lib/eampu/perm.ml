@@ -1,0 +1,19 @@
+type t = {
+  read : bool;
+  write : bool;
+}
+
+let r = { read = true; write = false }
+let w = { read = false; write = true }
+let rw = { read = true; write = true }
+let none = { read = false; write = false }
+
+let allows t = function
+  | Tytan_machine.Access.Read -> t.read
+  | Tytan_machine.Access.Write -> t.write
+  | Tytan_machine.Access.Execute -> false
+
+let pp ppf t =
+  Format.fprintf ppf "%s%s"
+    (if t.read then "r" else "-")
+    (if t.write then "w" else "-")

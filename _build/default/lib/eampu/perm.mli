@@ -1,0 +1,16 @@
+(** Read/write permissions carried by an EA-MPU access rule. *)
+
+type t = {
+  read : bool;
+  write : bool;
+}
+
+val r : t
+val w : t
+val rw : t
+val none : t
+
+val allows : t -> Tytan_machine.Access.kind -> bool
+(** Execute never matches a data permission. *)
+
+val pp : Format.formatter -> t -> unit

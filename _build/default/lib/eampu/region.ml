@@ -1,0 +1,27 @@
+open Tytan_machine
+
+type t = {
+  base : Word.t;
+  size : int;
+}
+
+let make ~base ~size =
+  if size <= 0 then invalid_arg "Region.make: size must be positive";
+  if base < 0 || base + size - 1 > Word.max_value then
+    invalid_arg "Region.make: region wraps the address space";
+  { base; size }
+
+let base t = t.base
+let size t = t.size
+let last t = t.base + t.size - 1
+let contains t addr = addr >= t.base && addr <= last t
+
+let contains_range t addr len =
+  len > 0 && addr >= t.base && addr + len - 1 <= last t
+
+let overlaps_range t addr len =
+  len > 0 && addr <= last t && addr + len - 1 >= t.base
+
+let overlaps a b = a.base <= last b && b.base <= last a
+let equal a b = a.base = b.base && a.size = b.size
+let pp ppf t = Format.fprintf ppf "[%a..%a]" Word.pp t.base Word.pp (last t)

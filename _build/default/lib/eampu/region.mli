@@ -1,0 +1,28 @@
+(** Contiguous physical memory regions [\[base, base + size)]. *)
+
+open Tytan_machine
+
+type t = private {
+  base : Word.t;
+  size : int;
+}
+
+val make : base:Word.t -> size:int -> t
+(** @raise Invalid_argument if [size <= 0] or the region wraps the
+    address space. *)
+
+val base : t -> Word.t
+val size : t -> int
+val last : t -> Word.t
+(** Address of the final byte. *)
+
+val contains : t -> Word.t -> bool
+val contains_range : t -> Word.t -> int -> bool
+(** Whole range [[addr, addr+len)] inside the region. *)
+
+val overlaps_range : t -> Word.t -> int -> bool
+(** Any byte of [[addr, addr+len)] inside the region. *)
+
+val overlaps : t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

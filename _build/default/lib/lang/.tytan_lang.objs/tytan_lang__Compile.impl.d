@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Assembler Ast Ipc Isa List Option Printf Task_id Toolchain Tytan_core Tytan_machine Tytan_telf Word

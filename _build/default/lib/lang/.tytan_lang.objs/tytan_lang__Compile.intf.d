@@ -1,0 +1,1 @@
+lib/lang/compile.mli: Ast Telf Tytan_machine Tytan_telf

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Hashtbl List Tytan_core Tytan_machine Word

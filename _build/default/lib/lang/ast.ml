@@ -1,0 +1,181 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Ge
+
+type expr =
+  | Int of int
+  | Var of string
+  | Load of expr
+  | Inbox_status
+  | Inbox_word of int
+  | Binop of binop * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | Store of expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Delay of expr
+  | Yield
+  | Exit
+  | Send of {
+      payload : expr list;
+      receiver : Tytan_core.Task_id.t;
+      sync : bool;
+    }
+  | Clear_inbox
+  | Queue_send of { queue : int; value : expr; timeout : int }
+  | Queue_recv of { queue : int; into : string; timeout : int }
+
+type program = {
+  globals : (string * int) list;
+  body : stmt list;
+  on_message : stmt list option;
+}
+
+let program ?(globals = []) ?on_message body = { globals; body; on_message }
+
+let rec check_expr ~globals = function
+  | Int _ | Inbox_status -> Ok ()
+  | Var name ->
+      if List.mem_assoc name globals then Ok ()
+      else Error (Printf.sprintf "undefined variable %S" name)
+  | Load e -> check_expr ~globals e
+  | Inbox_word i ->
+      if i >= 0 && i < 8 then Ok ()
+      else Error (Printf.sprintf "inbox word %d out of range" i)
+  | Binop (_, a, b) -> (
+      match check_expr ~globals a with
+      | Ok () -> check_expr ~globals b
+      | Error _ as e -> e)
+
+let rec check_stmt ~globals = function
+  | Assign (name, e) ->
+      if not (List.mem_assoc name globals) then
+        Error (Printf.sprintf "undefined variable %S" name)
+      else check_expr ~globals e
+  | Store (a, v) -> (
+      match check_expr ~globals a with
+      | Ok () -> check_expr ~globals v
+      | Error _ as e -> e)
+  | If (c, t, e) -> (
+      match check_expr ~globals c with
+      | Ok () -> (
+          match check_block ~globals t with
+          | Ok () -> check_block ~globals e
+          | Error _ as err -> err)
+      | Error _ as err -> err)
+  | While (c, body) -> (
+      match check_expr ~globals c with
+      | Ok () -> check_block ~globals body
+      | Error _ as err -> err)
+  | Delay e -> check_expr ~globals e
+  | Yield | Exit | Clear_inbox -> Ok ()
+  | Queue_send { value; _ } -> check_expr ~globals value
+  | Queue_recv { into; _ } ->
+      if List.mem_assoc into globals then Ok ()
+      else Error (Printf.sprintf "undefined variable %S" into)
+  | Send { payload; _ } ->
+      if List.length payload > 8 then Error "IPC payload exceeds 8 words"
+      else
+        List.fold_left
+          (fun acc e -> match acc with Ok () -> check_expr ~globals e | e -> e)
+          (Ok ()) payload
+
+and check_block ~globals stmts =
+  List.fold_left
+    (fun acc s -> match acc with Ok () -> check_stmt ~globals s | e -> e)
+    (Ok ()) stmts
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Ge -> ">="
+
+let rec pp_expr ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Var name -> Format.pp_print_string ppf name
+  | Load e -> Format.fprintf ppf "[%a]" pp_expr e
+  | Inbox_status -> Format.pp_print_string ppf "inbox.status"
+  | Inbox_word i -> Format.fprintf ppf "inbox[%d]" i
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+
+let rec pp_stmt ppf = function
+  | Assign (name, e) -> Format.fprintf ppf "@[<h>%s := %a@]" name pp_expr e
+  | Store (a, v) -> Format.fprintf ppf "@[<h>[%a] := %a@]" pp_expr a pp_expr v
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if %a {@ %a@]@ @[<v 2>} else {@ %a@]@ }"
+        pp_expr c pp_block t pp_block e
+  | While (c, body) ->
+      Format.fprintf ppf "@[<v 2>while %a {@ %a@]@ }" pp_expr c pp_block body
+  | Delay e -> Format.fprintf ppf "delay %a" pp_expr e
+  | Yield -> Format.pp_print_string ppf "yield"
+  | Exit -> Format.pp_print_string ppf "exit"
+  | Send { payload; receiver; sync } ->
+      Format.fprintf ppf "@[<h>send%s [%a] -> %s@]"
+        (if sync then "!" else "")
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_expr)
+        payload
+        (Tytan_core.Task_id.to_hex receiver)
+  | Clear_inbox -> Format.pp_print_string ppf "clear_inbox"
+  | Queue_send { queue; value; timeout } ->
+      Format.fprintf ppf "@[<h>queue[%d] <- %a (timeout %d)@]" queue pp_expr
+        value timeout
+  | Queue_recv { queue; into; timeout } ->
+      Format.fprintf ppf "@[<h>%s <- queue[%d] (timeout %d)@]" into queue
+        timeout
+
+and pp_block ppf stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+    pp_stmt ppf stmts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, init) -> Format.fprintf ppf "global %s = %d@ " name init)
+    t.globals;
+  pp_block ppf t.body;
+  (match t.on_message with
+  | Some handler ->
+      Format.fprintf ppf "@ @[<v 2>on_message {@ %a@]@ }" pp_block handler
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let validate t =
+  let rec dup = function
+    | [] -> None
+    | (name, _) :: rest ->
+        if List.mem_assoc name rest then Some name else dup rest
+  in
+  match dup t.globals with
+  | Some name -> Error (Printf.sprintf "duplicate global %S" name)
+  | None -> (
+      match check_block ~globals:t.globals t.body with
+      | Error _ as e -> e
+      | Ok () -> (
+          match t.on_message with
+          | None -> Ok ()
+          | Some handler -> check_block ~globals:t.globals handler))

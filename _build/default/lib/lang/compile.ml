@@ -1,0 +1,204 @@
+open Tytan_machine
+open Tytan_core
+
+(* Register conventions (see the mli): the expression result lives in r0,
+   r1 is the right operand of a binop, r4 holds variable addresses,
+   r12 the inbox pointer. *)
+
+let var_label name = "g_" ^ name
+
+type ctx = {
+  asm : Assembler.t;
+  mutable next_label : int;
+}
+
+let fresh ctx prefix =
+  let n = ctx.next_label in
+  ctx.next_label <- n + 1;
+  Printf.sprintf "__%s_%d" prefix n
+
+let emit ctx i = Assembler.instr ctx.asm i
+
+let rec compile_expr ctx (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> emit ctx (Isa.Movi (0, Word.of_int n))
+  | Ast.Var name ->
+      Assembler.movi_label ctx.asm ~rd:4 (var_label name);
+      emit ctx (Isa.Ldw (0, 4, 0))
+  | Ast.Load addr ->
+      compile_expr ctx addr;
+      emit ctx (Isa.Ldw (0, 0, 0))
+  | Ast.Inbox_status -> emit ctx (Isa.Ldw (0, 12, 0))
+  | Ast.Inbox_word i -> emit ctx (Isa.Ldw (0, 12, 16 + (4 * i)))
+  | Ast.Binop (op, a, b) -> (
+      compile_expr ctx a;
+      emit ctx (Isa.Push 0);
+      compile_expr ctx b;
+      emit ctx (Isa.Mov (1, 0));
+      emit ctx (Isa.Pop 0);
+      match op with
+      | Ast.Add -> emit ctx (Isa.Add (0, 0, 1))
+      | Ast.Sub -> emit ctx (Isa.Sub (0, 0, 1))
+      | Ast.Mul -> emit ctx (Isa.Mul (0, 0, 1))
+      | Ast.And -> emit ctx (Isa.And (0, 0, 1))
+      | Ast.Or -> emit ctx (Isa.Or (0, 0, 1))
+      | Ast.Xor -> emit ctx (Isa.Xor (0, 0, 1))
+      | Ast.Shl ->
+          (* dynamic shifts are lowered as repeated doubling *)
+          compile_shift ctx ~left:true
+      | Ast.Shr -> compile_shift ctx ~left:false
+      | Ast.Eq -> compile_compare ctx (fun l -> Assembler.jz_label ctx.asm l)
+      | Ast.Ne -> compile_compare ctx (fun l -> Assembler.jnz_label ctx.asm l)
+      | Ast.Lt -> compile_compare ctx (fun l -> Assembler.jlt_label ctx.asm l)
+      | Ast.Ge -> compile_compare ctx (fun l -> Assembler.jge_label ctx.asm l))
+
+(* r0 := r0 <shifted by> r1, as a loop (the ISA only has immediate
+   shifts). *)
+and compile_shift ctx ~left =
+  let loop = fresh ctx "shift" in
+  let done_ = fresh ctx "shift_done" in
+  Assembler.label ctx.asm loop;
+  emit ctx (Isa.Cmpi (1, 0));
+  Assembler.jz_label ctx.asm done_;
+  emit ctx (if left then Isa.Shl (0, 0, 1) else Isa.Shr (0, 0, 1));
+  emit ctx (Isa.Addi (1, 1, Word.of_signed (-1)));
+  Assembler.jmp_label ctx.asm loop;
+  Assembler.label ctx.asm done_
+
+(* r0 := (r0 ? r1) as 0/1, where [branch_if_true] jumps when the compare
+   flags satisfy the operator.  Movi does not touch the flags, so the
+   1-then-maybe-0 sequence is sound. *)
+and compile_compare ctx branch_if_true =
+  let yes = fresh ctx "cmp" in
+  emit ctx (Isa.Cmp (0, 1));
+  emit ctx (Isa.Movi (0, 1));
+  branch_if_true yes;
+  emit ctx (Isa.Movi (0, 0));
+  Assembler.label ctx.asm yes
+
+let rec compile_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (name, e) ->
+      compile_expr ctx e;
+      Assembler.movi_label ctx.asm ~rd:4 (var_label name);
+      emit ctx (Isa.Stw (4, 0, 0))
+  | Ast.Store (addr, value) ->
+      compile_expr ctx addr;
+      emit ctx (Isa.Push 0);
+      compile_expr ctx value;
+      emit ctx (Isa.Mov (1, 0));
+      emit ctx (Isa.Pop 0);
+      emit ctx (Isa.Stw (0, 0, 1))
+  | Ast.If (cond, then_, else_) ->
+      let else_label = fresh ctx "else" in
+      let end_label = fresh ctx "endif" in
+      compile_expr ctx cond;
+      emit ctx (Isa.Cmpi (0, 0));
+      Assembler.jz_label ctx.asm else_label;
+      compile_block ctx then_;
+      Assembler.jmp_label ctx.asm end_label;
+      Assembler.label ctx.asm else_label;
+      compile_block ctx else_;
+      Assembler.label ctx.asm end_label
+  | Ast.While (cond, body) ->
+      let loop = fresh ctx "while" in
+      let end_label = fresh ctx "endwhile" in
+      Assembler.label ctx.asm loop;
+      compile_expr ctx cond;
+      emit ctx (Isa.Cmpi (0, 0));
+      Assembler.jz_label ctx.asm end_label;
+      compile_block ctx body;
+      Assembler.jmp_label ctx.asm loop;
+      Assembler.label ctx.asm end_label
+  | Ast.Delay e ->
+      compile_expr ctx e;
+      emit ctx (Isa.Swi 2)
+  | Ast.Yield -> emit ctx (Isa.Swi 0)
+  | Ast.Exit -> emit ctx (Isa.Swi 1)
+  | Ast.Send { payload; receiver; sync } ->
+      (* Evaluate payload words onto the stack, then pop them into
+         r(m-1) … r0. *)
+      List.iter
+        (fun e ->
+          compile_expr ctx e;
+          emit ctx (Isa.Push 0))
+        payload;
+      let m = List.length payload in
+      for reg = m - 1 downto 0 do
+        emit ctx (Isa.Pop reg)
+      done;
+      let lo, hi = Task_id.to_words receiver in
+      emit ctx (Isa.Movi (8, lo));
+      emit ctx (Isa.Movi (9, hi));
+      emit ctx (Isa.Movi (10, if sync then Ipc.mode_sync else Ipc.mode_async));
+      emit ctx (Isa.Swi Ipc.swi_send)
+  | Ast.Clear_inbox ->
+      emit ctx (Isa.Movi (0, 0));
+      emit ctx (Isa.Stw (12, 0, 0))
+  | Ast.Queue_send { queue; value; timeout } ->
+      compile_expr ctx value;
+      emit ctx (Isa.Mov (1, 0));
+      emit ctx (Isa.Movi (0, Word.of_int queue));
+      emit ctx (Isa.Movi (2, Word.of_int timeout));
+      emit ctx (Isa.Swi 8)
+  | Ast.Queue_recv { queue; into; timeout } ->
+      emit ctx (Isa.Movi (0, Word.of_int queue));
+      emit ctx (Isa.Movi (2, Word.of_int timeout));
+      emit ctx (Isa.Swi 9);
+      (* r0 = value, r1 = status: keep the variable on timeout *)
+      let skip = fresh ctx "recv_skip" in
+      emit ctx (Isa.Cmpi (1, 0));
+      Assembler.jnz_label ctx.asm skip;
+      Assembler.movi_label ctx.asm ~rd:4 (var_label into);
+      emit ctx (Isa.Stw (4, 0, 0));
+      Assembler.label ctx.asm skip
+
+and compile_block ctx stmts = List.iter (compile_stmt ctx) stmts
+
+let compile_body (t : Ast.program) asm =
+  let ctx = { asm; next_label = 0 } in
+  Assembler.label asm "main";
+  compile_block ctx t.body;
+  (* Falling off the end parks the task politely. *)
+  let park = fresh ctx "park" in
+  Assembler.label asm park;
+  emit ctx (Isa.Movi (0, 1000));
+  emit ctx (Isa.Swi 2);
+  Assembler.jmp_label asm park;
+  ctx
+
+let emit_globals asm (t : Ast.program) =
+  Assembler.begin_data asm;
+  List.iter
+    (fun (name, init) ->
+      Assembler.label asm (var_label name);
+      Assembler.word asm (Word.of_int init))
+    t.globals
+
+let to_program ~secure (t : Ast.program) =
+  (match Ast.validate t with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Tasklang: " ^ e));
+  if secure then
+    let on_message = Option.map (fun handler p ->
+        let ctx = { asm = p; next_label = 10_000 } in
+        Assembler.label p "on_message";
+        compile_block ctx handler;
+        Assembler.instr p Isa.Ret)
+        t.on_message
+    in
+    Toolchain.secure_program
+      ~main:(fun p ->
+        let _ctx = compile_body t p in
+        emit_globals p t)
+      ?on_message ()
+  else begin
+    if t.on_message <> None then
+      invalid_arg "Tasklang: normal tasks cannot have a message handler";
+    Toolchain.normal_program ~main:(fun p ->
+        let _ctx = compile_body t p in
+        emit_globals p t)
+  end
+
+let to_telf ?(secure = true) ?(stack_size = 512) t =
+  Tytan_telf.Builder.of_program ~stack_size (to_program ~secure t)

@@ -1,0 +1,18 @@
+(** Tasklang → ISA code generation.
+
+    A straightforward stack-machine lowering: expressions evaluate into
+    r0 (spilling to the task stack for binops), variables live as data
+    words addressed through relocations, control flow uses PC-relative
+    branches.  Registers used: r0/r1 (expression scratch), r4 (address
+    temporary), r12 (inbox pointer, provided by the trusted software for
+    secure tasks). *)
+
+open Tytan_telf
+
+val to_program : secure:bool -> Ast.program -> Tytan_machine.Assembler.program
+(** Lower to an assembled program (with the secure entry stub when
+    [secure]).  @raise Invalid_argument when {!Ast.validate} fails. *)
+
+val to_telf : ?secure:bool -> ?stack_size:int -> Ast.program -> Telf.t
+(** Convenience: lower and package ([secure] defaults to true,
+    [stack_size] to 512). *)

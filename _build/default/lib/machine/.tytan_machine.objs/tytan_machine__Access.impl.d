@@ -1,0 +1,1 @@
+lib/machine/access.ml: Format Word

@@ -1,0 +1,1 @@
+lib/machine/access.mli: Format Word

@@ -1,0 +1,1 @@
+lib/machine/assembler.ml: Array Bytes Hashtbl Int32 Isa List Word

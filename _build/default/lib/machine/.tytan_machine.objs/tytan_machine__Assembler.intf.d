@@ -1,0 +1,1 @@
+lib/machine/assembler.mli: Isa Word

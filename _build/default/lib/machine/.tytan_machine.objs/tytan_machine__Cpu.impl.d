@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Access Bytes Cycles Exception_engine Fun Isa Memory Regfile Word

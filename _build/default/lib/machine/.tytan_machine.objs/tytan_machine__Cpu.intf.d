@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Access Cycles Exception_engine Memory Regfile Word

@@ -1,0 +1,1 @@
+lib/machine/devices.ml: Buffer Char Cycles Exception_engine List Memory Word

@@ -1,0 +1,1 @@
+lib/machine/disasm.ml: Bytes Char Format Isa List Memory Option Printf String Word

@@ -1,0 +1,1 @@
+lib/machine/disasm.mli: Format Isa Memory Word

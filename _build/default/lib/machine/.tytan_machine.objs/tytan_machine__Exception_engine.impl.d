@@ -1,0 +1,1 @@
+lib/machine/exception_engine.ml: Hashtbl Memory Option Printf Word

@@ -1,0 +1,1 @@
+lib/machine/exception_engine.mli: Memory Word

@@ -1,0 +1,1 @@
+lib/machine/isa.ml: Bytes Char Format Int32 Printf Word

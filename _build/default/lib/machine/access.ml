@@ -1,0 +1,26 @@
+type kind =
+  | Read
+  | Write
+  | Execute
+
+let pp_kind ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+  | Execute -> Format.pp_print_string ppf "execute"
+
+type violation = {
+  eip : Word.t;
+  addr : Word.t;
+  size : int;
+  kind : kind;
+  reason : string;
+}
+
+exception Violation of violation
+
+let violation ~eip ~addr ~size ~kind reason =
+  raise (Violation { eip; addr; size; kind; reason })
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<h>%a of %d byte(s) at %a from eip=%a denied: %s@]"
+    pp_kind v.kind v.size Word.pp v.addr Word.pp v.eip v.reason

@@ -1,0 +1,112 @@
+type item =
+  | Ins of Isa.t
+  | Def_label of string
+  | Movi_label of Isa.reg * string
+  | Branch_label of (Word.t -> Isa.t) * string
+  | Data_word of Word.t
+  | Word_label of string
+  | Space of int
+  | Data_mark
+
+type t = { mutable items : item list (* reversed *) }
+type program = {
+  image : bytes;
+  text_size : int;
+  relocations : int array;
+  symbols : (string * int) list;
+  entry : int;
+}
+
+let create () = { items = [] }
+let push t item = t.items <- item :: t.items
+let label t name = push t (Def_label name)
+let instr t i = push t (Ins i)
+let instrs t is = List.iter (instr t) is
+let movi_label t ~rd name = push t (Movi_label (rd, name))
+let jmp_label t name = push t (Branch_label ((fun d -> Isa.Jmp d), name))
+let jz_label t name = push t (Branch_label ((fun d -> Isa.Jz d), name))
+let jnz_label t name = push t (Branch_label ((fun d -> Isa.Jnz d), name))
+let jlt_label t name = push t (Branch_label ((fun d -> Isa.Jlt d), name))
+let jge_label t name = push t (Branch_label ((fun d -> Isa.Jge d), name))
+let call_label t name = push t (Branch_label ((fun d -> Isa.Call d), name))
+let word t w = push t (Data_word w)
+let word_label t name = push t (Word_label name)
+let begin_data t = push t Data_mark
+
+let space t n =
+  if n < 0 then invalid_arg "Assembler.space: negative size";
+  push t (Space n)
+
+let item_size = function
+  | Ins _ | Movi_label _ | Branch_label _ -> Isa.width
+  | Data_word _ | Word_label _ -> 4
+  | Space n -> n
+  | Def_label _ | Data_mark -> 0
+
+let here t = List.fold_left (fun acc i -> acc + item_size i) 0 t.items
+
+let assemble t =
+  let items = List.rev t.items in
+  (* First pass: label offsets. *)
+  let symbols = Hashtbl.create 16 in
+  let data_mark = ref None in
+  let total =
+    List.fold_left
+      (fun offset item ->
+        (match item with
+        | Def_label name ->
+            if Hashtbl.mem symbols name then
+              invalid_arg ("Assembler: duplicate label " ^ name);
+            Hashtbl.add symbols name offset
+        | Data_mark ->
+            if !data_mark <> None then
+              invalid_arg "Assembler: begin_data used twice";
+            data_mark := Some offset
+        | Ins _ | Movi_label _ | Branch_label _ | Data_word _ | Word_label _
+        | Space _ -> ());
+        offset + item_size item)
+      0 items
+  in
+  let resolve name =
+    match Hashtbl.find_opt symbols name with
+    | Some off -> off
+    | None -> invalid_arg ("Assembler: undefined label " ^ name)
+  in
+  (* Second pass: emit. *)
+  let image = Bytes.make total '\000' in
+  let relocations = ref [] in
+  let emit offset item =
+    (match item with
+    | Def_label _ -> ()
+    | Ins i -> Bytes.blit (Isa.encode i) 0 image offset Isa.width
+    | Movi_label (rd, name) ->
+        let target = resolve name in
+        Bytes.blit (Isa.encode (Isa.Movi (rd, target))) 0 image offset Isa.width;
+        relocations := (offset + Isa.imm_field_offset) :: !relocations
+    | Branch_label (make, name) ->
+        let displacement = resolve name - (offset + Isa.width) in
+        let i = make (Word.of_signed displacement) in
+        Bytes.blit (Isa.encode i) 0 image offset Isa.width
+    | Data_word w -> Bytes.set_int32_le image offset (Int32.of_int w)
+    | Word_label name ->
+        Bytes.set_int32_le image offset (Int32.of_int (resolve name));
+        relocations := offset :: !relocations
+    | Space _ | Data_mark -> ());
+    offset + item_size item
+  in
+  let final = List.fold_left emit 0 items in
+  assert (final = total);
+  let symbols_list =
+    Hashtbl.fold (fun name off acc -> (name, off) :: acc) symbols []
+    |> List.sort compare
+  in
+  let entry =
+    match Hashtbl.find_opt symbols "_start" with Some o -> o | None -> 0
+  in
+  {
+    image;
+    text_size = (match !data_mark with Some m -> m | None -> total);
+    relocations = Array.of_list (List.sort compare !relocations);
+    symbols = symbols_list;
+    entry;
+  }

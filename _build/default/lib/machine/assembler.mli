@@ -1,0 +1,83 @@
+(** Two-pass assembler for the simulated core.
+
+    The assembler plays the role of the TyTAN tool chain: it turns a
+    label-based program into a position-independent image linked at base 0,
+    together with the relocation table the loader needs.  Branches are
+    PC-relative and need no relocation; taking the {e address} of a label
+    ([movi_label], [word_label]) emits a relocation entry, exactly the
+    "number of addresses changed by relocation" the paper's Table 5 sweeps.
+
+    Example:
+    {[
+      let p = Assembler.create () in
+      Assembler.label p "loop";
+      Assembler.movi_label p ~rd:0 "counter";   (* reloc *)
+      Assembler.instr p (Isa.Ldw (1, 0, 0));
+      Assembler.instr p (Isa.Addi (1, 1, 1));
+      Assembler.instr p (Isa.Stw (0, 0, 1));
+      Assembler.jmp_label p "loop";
+      Assembler.label p "counter";
+      Assembler.word p 0;
+      let prog = Assembler.assemble p in ...
+    ]} *)
+
+type t
+(** A program under construction. *)
+
+type program = {
+  image : bytes;  (** code + data linked at base 0 *)
+  text_size : int;
+  (** bytes of executable code at the start of the image; everything after
+      is writable data (see [begin_data]) *)
+  relocations : int array;
+  (** byte offsets (into [image]) of 32-bit fields holding absolute
+      base-relative addresses; the loader adds the load base to each *)
+  symbols : (string * int) list;  (** label name → offset in [image] *)
+  entry : int;  (** offset of the entry point (label ["_start"] if
+                     defined, else 0) *)
+}
+
+val create : unit -> t
+
+val label : t -> string -> unit
+(** Define a label at the current position.  @raise Invalid_argument on
+    duplicate definition (at [assemble] time). *)
+
+val instr : t -> Isa.t -> unit
+(** Emit a concrete instruction. *)
+
+val instrs : t -> Isa.t list -> unit
+
+val movi_label : t -> rd:Isa.reg -> string -> unit
+(** [movi_label p ~rd l] loads the absolute address of [l] into [rd];
+    emits one relocation entry. *)
+
+val jmp_label : t -> string -> unit
+val jz_label : t -> string -> unit
+val jnz_label : t -> string -> unit
+val jlt_label : t -> string -> unit
+val jge_label : t -> string -> unit
+val call_label : t -> string -> unit
+(** PC-relative control transfers to a label; no relocation. *)
+
+val word : t -> Word.t -> unit
+(** Emit a 32-bit data word. *)
+
+val word_label : t -> string -> unit
+(** Emit a data word holding the absolute address of a label; emits one
+    relocation entry. *)
+
+val begin_data : t -> unit
+(** Mark the text/data boundary: everything emitted afterwards is
+    non-executable, writable data.  Without the marker the whole image
+    counts as text.  May be called at most once. *)
+
+val space : t -> int -> unit
+(** Reserve [n] zero bytes. *)
+
+val here : t -> int
+(** Current offset (useful for size assertions in tests). *)
+
+val assemble : t -> program
+(** Resolve labels and produce the final image.
+    @raise Invalid_argument on undefined or duplicate labels. *)

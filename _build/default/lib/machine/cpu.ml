@@ -1,0 +1,235 @@
+type status =
+  | Running
+  | Halted
+
+type check =
+  eip:Word.t -> addr:Word.t -> size:int -> kind:Access.kind -> unit
+
+type t = {
+  mem : Memory.t;
+  regs : Regfile.t;
+  clock : Cycles.t;
+  engine : Exception_engine.t;
+  mutable check : check;
+  mutable fault_handler : (Access.violation -> unit) option;
+  mutable halted : bool;
+  mutable firmware_eip : Word.t option;
+  mutable last_eip : Word.t;
+  mutable resume_grant : Word.t option;
+}
+
+let allow_all ~eip:_ ~addr:_ ~size:_ ~kind:_ = ()
+
+let create mem clock engine =
+  {
+    mem;
+    regs = Regfile.create ();
+    clock;
+    engine;
+    check = allow_all;
+    fault_handler = None;
+    halted = false;
+    firmware_eip = None;
+    last_eip = 0;
+    resume_grant = None;
+  }
+
+let mem t = t.mem
+let regs t = t.regs
+let clock t = t.clock
+let engine t = t.engine
+let set_check t check = t.check <- check
+let set_fault_handler t f = t.fault_handler <- Some f
+let halted t = t.halted
+let halt t = t.halted <- true
+let unhalt t = t.halted <- false
+
+let current_code_eip t =
+  match t.firmware_eip with
+  | Some eip -> eip
+  | None -> Regfile.eip t.regs
+
+let checked t addr size kind =
+  t.check ~eip:(current_code_eip t) ~addr ~size ~kind
+
+let load32 t addr =
+  checked t addr 4 Access.Read;
+  Memory.read32 t.mem addr
+
+let store32 t addr v =
+  checked t addr 4 Access.Write;
+  Memory.write32 t.mem addr v
+
+let load8 t addr =
+  checked t addr 1 Access.Read;
+  Memory.read8 t.mem addr
+
+let store8 t addr v =
+  checked t addr 1 Access.Write;
+  Memory.write8 t.mem addr v
+
+let load_bytes t addr len =
+  checked t addr len Access.Read;
+  Memory.read_bytes t.mem addr len
+
+let store_bytes t addr b =
+  checked t addr (Bytes.length b) Access.Write;
+  Memory.blit_bytes t.mem addr b
+
+let with_firmware t ~eip f =
+  let saved = t.firmware_eip in
+  t.firmware_eip <- Some eip;
+  Fun.protect ~finally:(fun () -> t.firmware_eip <- saved) f
+
+let push_word t v =
+  let sp = Word.sub (Regfile.get t.regs Regfile.sp) 4 in
+  Regfile.set t.regs Regfile.sp sp;
+  store32 t sp v
+
+let pop_word t =
+  let sp = Regfile.get t.regs Regfile.sp in
+  let v = load32 t sp in
+  Regfile.set t.regs Regfile.sp (Word.add sp 4);
+  v
+
+(* Hardware exception entry: the exception engine itself saves EIP and
+   EFLAGS to the interrupted stack; these pushes are hardware-originated
+   and bypass the protection hook (matching the paper: the engine is
+   hardware, only the remaining registers are software-saved). *)
+let raw_push t v =
+  let sp = Word.sub (Regfile.get t.regs Regfile.sp) 4 in
+  Regfile.set t.regs Regfile.sp sp;
+  Memory.write32 t.mem sp v
+
+let enter_vector t n ~origin =
+  Exception_engine.set_origin t.engine origin;
+  Cycles.charge t.clock Exception_engine.entry_cost;
+  raw_push t (Regfile.eflags t.regs);
+  raw_push t (Regfile.eip t.regs);
+  Regfile.set_interrupts t.regs false;
+  let handler = Exception_engine.vector t.engine n in
+  match Exception_engine.firmware_handler t.engine handler with
+  | Some f -> f ()
+  | None -> Regfile.set_eip t.regs handler
+
+let grant_resume t addr = t.resume_grant <- Some addr
+
+let interrupt_return t =
+  let eip = pop_word t in
+  let eflags = pop_word t in
+  Regfile.set_eip t.regs eip;
+  Regfile.set_eflags t.regs eflags;
+  grant_resume t eip
+
+let service_pending t =
+  if Regfile.interrupts_enabled t.regs then
+    match Exception_engine.pending_irq t.engine with
+    | None -> ()
+    | Some line ->
+        Exception_engine.ack_irq t.engine line;
+        enter_vector t line ~origin:(Regfile.eip t.regs)
+
+let set_flags_from t result =
+  Regfile.set_zero t.regs (result = 0);
+  Regfile.set_negative t.regs (Word.to_signed result < 0)
+
+let execute t pc instr =
+  let r = t.regs in
+  let get = Regfile.get r in
+  let set = Regfile.set r in
+  let next = Word.add pc Isa.width in
+  Regfile.set_eip r next;
+  let relative displacement = Word.add next (Word.of_signed (Word.to_signed displacement)) in
+  match instr with
+  | Isa.Nop -> ()
+  | Isa.Movi (rd, imm) -> set rd imm
+  | Isa.Mov (rd, rs1) -> set rd (get rs1)
+  | Isa.Add (rd, a, b) ->
+      let v = Word.add (get a) (get b) in
+      set rd v;
+      set_flags_from t v
+  | Isa.Addi (rd, a, imm) ->
+      let v = Word.add (get a) imm in
+      set rd v;
+      set_flags_from t v
+  | Isa.Sub (rd, a, b) ->
+      let v = Word.sub (get a) (get b) in
+      set rd v;
+      set_flags_from t v
+  | Isa.Mul (rd, a, b) ->
+      let v = Word.mul (get a) (get b) in
+      set rd v;
+      set_flags_from t v
+  | Isa.And (rd, a, b) -> set rd (Word.logand (get a) (get b))
+  | Isa.Or (rd, a, b) -> set rd (Word.logor (get a) (get b))
+  | Isa.Xor (rd, a, b) -> set rd (Word.logxor (get a) (get b))
+  | Isa.Shl (rd, a, n) -> set rd (Word.shift_left (get a) n)
+  | Isa.Shr (rd, a, n) -> set rd (Word.shift_right_logical (get a) n)
+  | Isa.Cmp (a, b) ->
+      let v = Word.sub (get a) (get b) in
+      set_flags_from t v;
+      Regfile.set_carry r (get a < get b)
+  | Isa.Cmpi (a, imm) ->
+      let v = Word.sub (get a) imm in
+      set_flags_from t v;
+      Regfile.set_carry r (get a < imm)
+  | Isa.Ldw (rd, a, imm) -> set rd (load32 t (Word.add (get a) imm))
+  | Isa.Stw (a, imm, b) -> store32 t (Word.add (get a) imm) (get b)
+  | Isa.Ldb (rd, a, imm) -> set rd (load8 t (Word.add (get a) imm))
+  | Isa.Stb (a, imm, b) -> store8 t (Word.add (get a) imm) (get b land 0xFF)
+  | Isa.Jmp d -> Regfile.set_eip r (relative d)
+  | Isa.Jz d -> if Regfile.zero_flag r then Regfile.set_eip r (relative d)
+  | Isa.Jnz d -> if not (Regfile.zero_flag r) then Regfile.set_eip r (relative d)
+  | Isa.Jlt d -> if Regfile.negative_flag r then Regfile.set_eip r (relative d)
+  | Isa.Jge d ->
+      if not (Regfile.negative_flag r) then Regfile.set_eip r (relative d)
+  | Isa.Jmpr a -> Regfile.set_eip r (get a)
+  | Isa.Call d ->
+      set Regfile.lr next;
+      Regfile.set_eip r (relative d)
+  | Isa.Callr a ->
+      set Regfile.lr next;
+      Regfile.set_eip r (get a)
+  | Isa.Ret -> Regfile.set_eip r (get Regfile.lr)
+  | Isa.Push a -> push_word t (get a)
+  | Isa.Pop rd -> set rd (pop_word t)
+  | Isa.Swi n -> enter_vector t (Exception_engine.swi_vector_base + n) ~origin:pc
+  | Isa.Iret -> interrupt_return t
+  | Isa.Halt -> t.halted <- true
+
+let step t =
+  if t.halted then Halted
+  else begin
+    (try
+       service_pending t;
+       if not t.halted then begin
+         let pc = Regfile.eip t.regs in
+         (match t.resume_grant with
+         | Some granted when Word.equal granted pc -> t.resume_grant <- None
+         | Some _ | None ->
+             t.check ~eip:t.last_eip ~addr:pc ~size:Isa.width
+               ~kind:Access.Execute);
+         let instr = Isa.decode (Memory.read_bytes t.mem pc Isa.width) in
+         Cycles.charge t.clock (Isa.cost instr);
+         t.last_eip <- pc;
+         execute t pc instr
+       end
+     with Access.Violation v -> (
+       match t.fault_handler with
+       | Some handler -> handler v
+       | None -> raise (Access.Violation v)));
+    if t.halted then Halted else Running
+  end
+
+let run t ~until_cycles ~poll =
+  let rec loop () =
+    if t.halted then Halted
+    else if Cycles.now t.clock >= until_cycles then Running
+    else begin
+      poll ();
+      match step t with
+      | Halted -> Halted
+      | Running -> loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,18 @@
+type t = { mutable count : int }
+
+let create () = { count = 0 }
+let now c = c.count
+
+let charge c n =
+  assert (n >= 0);
+  c.count <- c.count + n
+
+let reset c = c.count <- 0
+
+let measure c f =
+  let before = c.count in
+  let result = f () in
+  (result, c.count - before)
+
+let clock_hz = 48_000_000
+let to_ms cycles = float_of_int cycles /. float_of_int clock_hz *. 1000.0

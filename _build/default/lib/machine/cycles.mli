@@ -1,0 +1,30 @@
+(** Global clock-cycle accounting for the simulated platform.
+
+    The paper reports every result in clock cycles precisely because the
+    platform clock speed is incidental.  Every simulated hardware operation
+    and every trusted-software primitive charges cycles to one counter so
+    that benchmarks can report deterministic cycle counts. *)
+
+type t
+(** A mutable cycle counter. *)
+
+val create : unit -> t
+
+val now : t -> int
+(** Cycles elapsed since [create] (or the last [reset]). *)
+
+val charge : t -> int -> unit
+(** [charge c n] advances the counter by [n >= 0] cycles. *)
+
+val reset : t -> unit
+
+val measure : t -> (unit -> 'a) -> 'a * int
+(** [measure c f] runs [f ()] and returns its result together with the
+    number of cycles charged during the call. *)
+
+val clock_hz : int
+(** Nominal clock frequency used to convert cycles to wall time in
+    reports: 48 MHz, matching the paper's Spartan-6 deployment. *)
+
+val to_ms : int -> float
+(** Convert a cycle count to milliseconds at {!clock_hz}. *)

@@ -1,0 +1,142 @@
+module Timer = struct
+  type t = {
+    engine : Exception_engine.t;
+    clock : Cycles.t;
+    irq : int;
+    mutable period : int;
+    mutable next_deadline : int;
+    mutable enabled : bool;
+    mutable fired : int;
+  }
+
+  let create engine clock ~irq ~period =
+    if period <= 0 then invalid_arg "Timer.create: period must be positive";
+    {
+      engine;
+      clock;
+      irq;
+      period;
+      next_deadline = Cycles.now clock + period;
+      enabled = true;
+      fired = 0;
+    }
+
+  let poll t =
+    if t.enabled && Cycles.now t.clock >= t.next_deadline then begin
+      Exception_engine.raise_irq t.engine t.irq;
+      t.fired <- t.fired + 1;
+      (* Catch up without raising a burst of back-to-back IRQs: a real tick
+         timer latches one pending interrupt however late it is served. *)
+      let now = Cycles.now t.clock in
+      let missed = (now - t.next_deadline) / t.period in
+      t.next_deadline <- t.next_deadline + ((missed + 1) * t.period)
+    end
+
+  let set_period t p =
+    if p <= 0 then invalid_arg "Timer.set_period: period must be positive";
+    t.period <- p;
+    t.next_deadline <- Cycles.now t.clock + p
+
+  let period t = t.period
+  let enable t = t.enabled <- true
+  let disable t = t.enabled <- false
+  let fired t = t.fired
+end
+
+module Sensor = struct
+  type t = {
+    name : string;
+    base : Word.t;
+    clock : Cycles.t;
+    sample : cycles:int -> Word.t;
+    mutable reads : int;
+  }
+
+  let create ~name ~base ~clock ~sample =
+    { name; base; clock; sample; reads = 0 }
+
+  let device t =
+    {
+      Memory.name = t.name;
+      base = t.base;
+      size = 4;
+      read32 =
+        (fun ~offset:_ ->
+          t.reads <- t.reads + 1;
+          Word.of_int (t.sample ~cycles:(Cycles.now t.clock)));
+      write32 = (fun ~offset:_ _ -> ());
+    }
+
+  let reads t = t.reads
+  let reset_reads t = t.reads <- 0
+end
+
+module Rx_fifo = struct
+  type t = {
+    engine : Exception_engine.t;
+    name : string;
+    base : Word.t;
+    irq : int;
+    capacity : int;
+    mutable frames : Word.t list;  (* head = oldest *)
+    mutable dropped : int;
+    mutable received : int;
+  }
+
+  let create engine ~name ~base ~irq ~capacity =
+    if capacity <= 0 then invalid_arg "Rx_fifo.create: capacity must be positive";
+    { engine; name; base; irq; capacity; frames = []; dropped = 0; received = 0 }
+
+  let pending t = List.length t.frames
+
+  let pop t =
+    match t.frames with
+    | [] -> 0
+    | frame :: rest ->
+        t.frames <- rest;
+        frame
+
+  let device t =
+    {
+      Memory.name = t.name;
+      base = t.base;
+      size = 8;
+      read32 = (fun ~offset -> if offset = 0 then pending t else pop t);
+      write32 = (fun ~offset:_ _ -> ());
+    }
+
+  let inject t frame =
+    if pending t >= t.capacity then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      t.frames <- t.frames @ [ frame ];
+      t.received <- t.received + 1;
+      Exception_engine.raise_irq t.engine t.irq;
+      true
+    end
+
+  let dropped t = t.dropped
+  let received t = t.received
+  let irq t = t.irq
+end
+
+module Console = struct
+  type t = { base : Word.t; buffer : Buffer.t }
+
+  let create ~base = { base; buffer = Buffer.create 64 }
+
+  let device t =
+    {
+      Memory.name = "console";
+      base = t.base;
+      size = 4;
+      read32 = (fun ~offset:_ -> 0);
+      write32 =
+        (fun ~offset:_ v -> Buffer.add_char t.buffer (Char.chr (v land 0xFF)));
+    }
+
+  let contents t = Buffer.contents t.buffer
+  let clear t = Buffer.clear t.buffer
+end

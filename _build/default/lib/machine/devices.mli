@@ -1,0 +1,88 @@
+(** Peripheral models attached over MMIO, as on the Siskiyou Peak platform.
+
+    - {!Timer}: the system tick source; fires an IRQ line each time the
+      global clock crosses a period boundary.  Device models are polled by
+      the platform run loop between instructions.
+    - {!Sensor}: a read-only MMIO register whose value is a function of
+      simulated time — used for the accelerator-pedal and radar sensors of
+      the paper's adaptive-cruise-control use case.
+    - {!Console}: a write-only byte sink for diagnostic output. *)
+
+module Timer : sig
+  type t
+
+  val create : Exception_engine.t -> Cycles.t -> irq:int -> period:int -> t
+  (** A periodic timer raising IRQ [irq] every [period] cycles, starting
+      enabled. *)
+
+  val poll : t -> unit
+  (** Fire the IRQ if the clock has crossed the next deadline.  Called by
+      the platform between instructions. *)
+
+  val set_period : t -> int -> unit
+  val period : t -> int
+  val enable : t -> unit
+  val disable : t -> unit
+  val fired : t -> int
+  (** Number of IRQs raised so far. *)
+end
+
+module Sensor : sig
+  type t
+
+  val create :
+    name:string ->
+    base:Word.t ->
+    clock:Cycles.t ->
+    sample:(cycles:int -> Word.t) ->
+    t
+  (** A 4-byte read-only MMIO register at [base]; reads return
+      [sample ~cycles:(now clock)]. *)
+
+  val device : t -> Memory.device
+  val reads : t -> int
+  (** Number of MMIO reads served — the use-case benches count these to
+      verify sampling rates. *)
+
+  val reset_reads : t -> unit
+end
+
+module Rx_fifo : sig
+  (** An interrupt-driven receive FIFO — a CAN controller or radio seen
+      from the software side.  The host environment injects frames; the
+      device raises its IRQ line whenever data is pending.  MMIO layout:
+      [base+0] read = frames pending, [base+4] read = pop the oldest
+      frame (0 when empty). *)
+
+  type t
+
+  val create :
+    Exception_engine.t -> name:string -> base:Word.t -> irq:int ->
+    capacity:int -> t
+
+  val device : t -> Memory.device
+
+  val inject : t -> Word.t -> bool
+  (** Deliver a frame from the outside world; [false] (and counted as
+      dropped) when the FIFO is full.  Raises the IRQ line. *)
+
+  val pending : t -> int
+  val dropped : t -> int
+
+  val received : t -> int
+  (** Frames successfully injected. *)
+
+  val irq : t -> int
+  (** The line this device asserts. *)
+end
+
+module Console : sig
+  type t
+
+  val create : base:Word.t -> t
+  (** A 4-byte write-only MMIO register; each write appends its low byte. *)
+
+  val device : t -> Memory.device
+  val contents : t -> string
+  val clear : t -> unit
+end

@@ -1,0 +1,66 @@
+type t = {
+  mem : Memory.t;
+  idt_base : Word.t;
+  mutable pending : int;  (* bitmask of asserted IRQ lines *)
+  firmware : (Word.t, string * (unit -> unit)) Hashtbl.t;
+  mutable next_firmware : Word.t;
+  mutable origin : Word.t;
+}
+
+let vector_count = 32
+let entry_size = 4
+let idt_size = vector_count * entry_size
+let swi_vector_base = 16
+let firmware_base = 0xFFFF_0000
+
+let create mem ~idt_base =
+  {
+    mem;
+    idt_base;
+    pending = 0;
+    firmware = Hashtbl.create 16;
+    next_firmware = firmware_base;
+    origin = 0;
+  }
+
+let idt_base t = t.idt_base
+
+let check_vector n =
+  if n < 0 || n >= vector_count then
+    invalid_arg (Printf.sprintf "Exception_engine: bad vector %d" n)
+
+let set_vector t n addr =
+  check_vector n;
+  Memory.write32 t.mem (t.idt_base + (n * entry_size)) addr
+
+let vector t n =
+  check_vector n;
+  Memory.read32 t.mem (t.idt_base + (n * entry_size))
+
+let register_firmware t ~name f =
+  let addr = t.next_firmware in
+  t.next_firmware <- t.next_firmware + 8;
+  Hashtbl.replace t.firmware addr (name, f);
+  addr
+
+let firmware_handler t addr =
+  Option.map snd (Hashtbl.find_opt t.firmware addr)
+
+let firmware_name t addr =
+  Option.map fst (Hashtbl.find_opt t.firmware addr)
+
+let raise_irq t n =
+  if n < 0 || n >= swi_vector_base then
+    invalid_arg (Printf.sprintf "Exception_engine: bad IRQ line %d" n);
+  t.pending <- t.pending lor (1 lsl n)
+
+let pending_irq t =
+  if t.pending = 0 then None
+  else
+    let rec first n = if t.pending land (1 lsl n) <> 0 then n else first (n + 1) in
+    Some (first 0)
+
+let ack_irq t n = t.pending <- t.pending land lnot (1 lsl n)
+let set_origin t eip = t.origin <- eip
+let origin t = t.origin
+let entry_cost = 8

@@ -1,0 +1,51 @@
+(** Flat physical memory with memory-mapped I/O, as on Siskiyou Peak.
+
+    The simulated core uses a flat physical addressing model and talks to
+    peripherals through MMIO windows.  Reads and writes that hit a
+    registered MMIO window are dispatched to the owning device; everything
+    else is backed by RAM.  Words are little-endian.
+
+    Raw accessors here perform {e no} protection checks; access control is
+    enforced by the CPU's protection hook before it touches memory. *)
+
+type t
+
+type device = {
+  name : string;
+  base : Word.t;
+  size : int;
+  read32 : offset:int -> Word.t;
+  write32 : offset:int -> Word.t -> unit;
+}
+(** An MMIO device occupying [\[base, base+size)].  Offsets passed to the
+    handlers are word-aligned offsets from [base]. *)
+
+val create : size:int -> t
+(** [create ~size] allocates [size] bytes of zeroed RAM. *)
+
+val size : t -> int
+
+val map_device : t -> device -> unit
+(** Register an MMIO window.  @raise Invalid_argument if it overlaps an
+    existing window or falls outside the address space. *)
+
+val device_at : t -> Word.t -> device option
+(** The device whose window covers the given address, if any. *)
+
+val read8 : t -> Word.t -> int
+val write8 : t -> Word.t -> int -> unit
+
+val read32 : t -> Word.t -> Word.t
+(** Little-endian 32-bit load.  MMIO windows require word alignment. *)
+
+val write32 : t -> Word.t -> Word.t -> unit
+
+val blit_bytes : t -> Word.t -> bytes -> unit
+(** [blit_bytes mem addr b] copies [b] into RAM at [addr]. *)
+
+val read_bytes : t -> Word.t -> int -> bytes
+(** [read_bytes mem addr len] copies [len] bytes of RAM starting at
+    [addr]. *)
+
+val fill : t -> Word.t -> int -> int -> unit
+(** [fill mem addr len v] sets [len] bytes to the byte value [v]. *)

@@ -1,0 +1,55 @@
+type event = {
+  at_cycle : int;
+  source : string;
+  detail : string;
+}
+
+type t = {
+  clock : Cycles.t;
+  capacity : int;
+  events : event Queue.t;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 4096) clock =
+  { clock; capacity; events = Queue.create (); enabled = false }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let emit t ~source detail =
+  if t.enabled then begin
+    if Queue.length t.events >= t.capacity then ignore (Queue.pop t.events);
+    Queue.push { at_cycle = Cycles.now t.clock; source; detail } t.events
+  end
+
+let emitf t ~source fmt =
+  Format.kasprintf (fun detail -> emit t ~source detail) fmt
+
+let events t = List.of_seq (Queue.to_seq t.events)
+
+let find t ~source ~substring =
+  let matches e =
+    String.equal e.source source
+    &&
+    let len_s = String.length substring and len_d = String.length e.detail in
+    let rec at i =
+      if i + len_s > len_d then false
+      else if String.sub e.detail i len_s = substring then true
+      else at (i + 1)
+    in
+    at 0
+  in
+  List.find_opt matches (events t)
+
+let count t ~source =
+  Queue.fold (fun n e -> if String.equal e.source source then n + 1 else n) 0 t.events
+
+let clear t = Queue.clear t.events
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@[<h>[%10d] %-12s %s@]@." e.at_cycle e.source e.detail)
+    (events t)

@@ -1,0 +1,31 @@
+(** Bounded event trace for debugging and for assertions in tests.
+
+    Components append structured events (context switches, faults, IPC
+    deliveries, measurement steps); tests assert on the recorded sequence.
+    Tracing is off by default and costs nothing when disabled. *)
+
+type event = {
+  at_cycle : int;
+  source : string;  (** emitting component, e.g. ["scheduler"] *)
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> Cycles.t -> t
+(** Keep at most [capacity] (default 4096) most recent events. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val emit : t -> source:string -> string -> unit
+val emitf : t -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val events : t -> event list
+(** Oldest first. *)
+
+val find : t -> source:string -> substring:string -> event option
+val count : t -> source:string -> int
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type t = int
+
+let bits = 32
+let max_value = 0xFFFF_FFFF
+let of_int n = n land max_value
+
+let to_signed w =
+  if w land 0x8000_0000 <> 0 then w - 0x1_0000_0000 else w
+
+let of_signed n = n land max_value
+let add a b = (a + b) land max_value
+let sub a b = (a - b) land max_value
+let mul a b = a * b land max_value
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognot a = lnot a land max_value
+let shift_left a n = if n >= bits then 0 else (a lsl n) land max_value
+let shift_right_logical a n = if n >= bits then 0 else a lsr n
+let equal (a : t) (b : t) = a = b
+let compare_signed a b = compare (to_signed a) (to_signed b)
+let pp ppf w = Format.fprintf ppf "0x%08X" w

@@ -1,0 +1,40 @@
+(** 32-bit machine words represented as OCaml [int]s.
+
+    The simulated Siskiyou-Peak-like core is a 32-bit machine with a flat
+    physical address space.  All register and memory values are kept in the
+    range [0, 2^32).  Arithmetic wraps modulo 2^32, mirroring the hardware. *)
+
+type t = int
+(** A 32-bit word.  Invariant: [0 <= w <= 0xFFFF_FFFF]. *)
+
+val bits : int
+(** Number of bits in a word (32). *)
+
+val max_value : t
+(** Largest representable word, [0xFFFF_FFFF]. *)
+
+val of_int : int -> t
+(** [of_int n] truncates [n] to the low 32 bits. *)
+
+val to_signed : t -> int
+(** [to_signed w] interprets [w] as a two's-complement 32-bit integer. *)
+
+val of_signed : int -> t
+(** [of_signed n] encodes a (possibly negative) integer as a 32-bit word. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+
+val equal : t -> t -> bool
+val compare_signed : t -> t -> int
+(** Signed two's-complement comparison. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [0x0000BEEF]. *)

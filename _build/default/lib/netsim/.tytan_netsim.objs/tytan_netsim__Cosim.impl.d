@@ -1,0 +1,1 @@
+lib/netsim/cosim.ml: Attestation Link List Platform Protocol Tytan_core Verifier

@@ -1,0 +1,1 @@
+lib/netsim/cosim.mli: Link Platform Tytan_core Verifier

@@ -1,0 +1,1 @@
+lib/netsim/protocol.ml: Attestation Buffer Bytes Char Int32 Task_id Tytan_core Tytan_crypto

@@ -1,0 +1,1 @@
+lib/netsim/protocol.mli: Attestation Task_id Tytan_core

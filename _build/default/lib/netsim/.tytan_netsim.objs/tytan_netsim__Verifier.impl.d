@@ -1,0 +1,1 @@
+lib/netsim/verifier.ml: Attestation Bytes Printf Protocol Task_id Tytan_core

@@ -1,0 +1,1 @@
+lib/netsim/verifier.mli: Task_id Tytan_core

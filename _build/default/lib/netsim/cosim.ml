@@ -1,0 +1,79 @@
+open Tytan_core
+
+type t = {
+  platform : Platform.t;
+  link : Link.t;
+  slice_cycles : int;
+  mutable verifiers : Verifier.t list;
+  mutable slice : int;
+  mutable served : int;
+}
+
+let create platform ~link ?slice_cycles () =
+  let slice_cycles =
+    match slice_cycles with
+    | Some c -> c
+    | None -> (Platform.config platform).Platform.tick_period
+  in
+  { platform; link; slice_cycles; verifiers = []; slice = 0; served = 0 }
+
+let attach_verifier t v = t.verifiers <- v :: t.verifiers
+
+(* The device's network agent: an OS-level driver that hands attestation
+   challenges to the Remote Attest component and transmits its reports.
+   Malformed or non-challenge frames are dropped silently. *)
+let device_agent t frame =
+  match Platform.attestation t.platform with
+  | None -> ()
+  | Some attestation -> (
+      match Protocol.decode frame with
+      | Error _ | Ok (Protocol.Response _) | Ok (Protocol.Refusal _) -> ()
+      | Ok (Protocol.Challenge { seq; id; nonce }) ->
+          t.served <- t.served + 1;
+          let reply =
+            match Attestation.remote_attest attestation ~id ~nonce with
+            | Some report -> Protocol.Response { seq; report }
+            | None -> Protocol.Refusal { seq }
+          in
+          Link.send t.link ~from:Link.Device ~at:t.slice (Protocol.encode reply))
+
+let step t =
+  (* 1. The device computes for one slice. *)
+  ignore (Platform.run t.platform ~cycles:t.slice_cycles);
+  (* 2. Device-bound frames arrive and are served. *)
+  List.iter (device_agent t) (Link.deliver t.link ~to_:Link.Device ~at:t.slice);
+  (* 3. Remote-bound frames reach the verifiers. *)
+  let for_remote = Link.deliver t.link ~to_:Link.Remote ~at:t.slice in
+  List.iter
+    (fun frame -> List.iter (fun v -> Verifier.on_frame v frame) t.verifiers)
+    for_remote;
+  (* 4. Verifiers may (re)transmit. *)
+  List.iter
+    (fun v ->
+      match Verifier.poll v ~at:t.slice with
+      | Some frame -> Link.send t.link ~from:Link.Remote ~at:t.slice frame
+      | None -> ())
+    t.verifiers;
+  t.slice <- t.slice + 1
+
+let run t ~slices =
+  for _ = 1 to slices do
+    step t
+  done
+
+let run_until_settled t ~max_slices =
+  let settled () =
+    List.for_all (fun v -> Verifier.outcome v <> Verifier.Pending) t.verifiers
+  in
+  let start = t.slice in
+  let rec go () =
+    if settled () || t.slice - start >= max_slices then t.slice - start
+    else begin
+      step t;
+      go ()
+    end
+  in
+  go ()
+
+let slice t = t.slice
+let challenges_served t = t.served

@@ -1,0 +1,34 @@
+(** Co-simulation of one TyTAN device with a remote verifier across a
+    lossy link.
+
+    Each slice advances the device by a fixed cycle budget, pumps due
+    frames in both directions, lets the device's network agent answer
+    challenges (through the Remote Attest component, charging its crypto
+    cycles), and polls the verifier for retransmissions.  Everything is
+    deterministic. *)
+
+open Tytan_core
+
+type t
+
+val create :
+  Platform.t ->
+  link:Link.t ->
+  ?slice_cycles:int ->
+  unit ->
+  t
+(** [slice_cycles] defaults to one tick period. *)
+
+val attach_verifier : t -> Verifier.t -> unit
+(** Multiple concurrent verifier sessions are supported. *)
+
+val run : t -> slices:int -> unit
+(** Advance the co-simulation.  Stops early only if the device halts. *)
+
+val run_until_settled : t -> max_slices:int -> int
+(** Run until every attached verifier leaves [Pending] (or the bound is
+    hit); returns the slices consumed. *)
+
+val slice : t -> int
+val challenges_served : t -> int
+(** Challenges the device agent answered (including refusals). *)

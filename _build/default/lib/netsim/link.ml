@@ -1,0 +1,50 @@
+type side =
+  | Device
+  | Remote
+
+type frame = {
+  dest : side;
+  due : int;
+  payload : bytes;
+}
+
+type t = {
+  mutable in_flight : frame list;  (* kept sorted by due *)
+  mutable rng : int;
+  loss_percent : int;
+  delay : int;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ?(seed = 0x5EED) ?(loss_percent = 0) ?(delay = 1) () =
+  if loss_percent < 0 || loss_percent > 100 then
+    invalid_arg "Link.create: loss_percent out of range";
+  if delay < 0 then invalid_arg "Link.create: negative delay";
+  { in_flight = []; rng = seed; loss_percent; delay; sent = 0; dropped = 0 }
+
+(* Deterministic LCG (Numerical Recipes constants). *)
+let next_rand t =
+  t.rng <- (t.rng * 1664525) + 1013904223 land 0x3FFF_FFFF;
+  t.rng land 0x3FFF_FFFF
+
+let other = function Device -> Remote | Remote -> Device
+
+let send t ~from ~at payload =
+  t.sent <- t.sent + 1;
+  if next_rand t mod 100 < t.loss_percent then t.dropped <- t.dropped + 1
+  else begin
+    let frame = { dest = other from; due = at + t.delay; payload } in
+    let earlier, later = List.partition (fun f -> f.due <= frame.due) t.in_flight in
+    t.in_flight <- earlier @ (frame :: later)
+  end
+
+let deliver t ~to_ ~at =
+  let due, remaining =
+    List.partition (fun f -> f.dest = to_ && f.due <= at) t.in_flight
+  in
+  t.in_flight <- remaining;
+  List.map (fun f -> f.payload) due
+
+let sent_count t = t.sent
+let dropped_count t = t.dropped

@@ -1,0 +1,29 @@
+(** A lossy, delayed duplex link between a device and a remote peer.
+
+    Remote attestation only means something over an unreliable network:
+    challenges and reports can be dropped or delayed, and the verifier
+    must drive retries.  The link is deterministic (seeded PRNG), so
+    protocol tests reproduce exactly.
+
+    Time is measured in {e slices} — the co-simulation quantum
+    ({!Cosim}).  A frame sent at slice [s] becomes deliverable at
+    [s + delay] unless the loss lottery drops it. *)
+
+type side =
+  | Device
+  | Remote
+
+type t
+
+val create : ?seed:int -> ?loss_percent:int -> ?delay:int -> unit -> t
+(** [loss_percent] (default 0) of frames are silently dropped;
+    survivors arrive [delay] (default 1) slices after sending. *)
+
+val send : t -> from:side -> at:int -> bytes -> unit
+(** Queue a frame sent at slice [at]. *)
+
+val deliver : t -> to_:side -> at:int -> bytes list
+(** Frames due for [to_] at slice [at] (oldest first); removes them. *)
+
+val sent_count : t -> int
+val dropped_count : t -> int

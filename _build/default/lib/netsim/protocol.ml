@@ -1,0 +1,75 @@
+open Tytan_core
+
+type message =
+  | Challenge of { seq : int; id : Task_id.t; nonce : bytes }
+  | Response of { seq : int; report : Attestation.report }
+  | Refusal of { seq : int }
+
+let mac_size = Tytan_crypto.Sha1.digest_size
+
+let encode = function
+  | Challenge { seq; id; nonce } ->
+      let b = Buffer.create 32 in
+      Buffer.add_char b 'C';
+      let seq_bytes = Bytes.create 4 in
+      Bytes.set_int32_be seq_bytes 0 (Int32.of_int seq);
+      Buffer.add_bytes b seq_bytes;
+      Buffer.add_bytes b (Task_id.to_bytes id);
+      Buffer.add_char b (Char.chr (Bytes.length nonce land 0xFF));
+      Buffer.add_bytes b nonce;
+      Buffer.to_bytes b
+  | Response { seq; report } ->
+      let b = Buffer.create 64 in
+      Buffer.add_char b 'R';
+      let seq_bytes = Bytes.create 4 in
+      Bytes.set_int32_be seq_bytes 0 (Int32.of_int seq);
+      Buffer.add_bytes b seq_bytes;
+      Buffer.add_bytes b (Task_id.to_bytes report.Attestation.id);
+      Buffer.add_char b (Char.chr (Bytes.length report.Attestation.nonce land 0xFF));
+      Buffer.add_bytes b report.Attestation.nonce;
+      Buffer.add_bytes b report.Attestation.mac;
+      Buffer.to_bytes b
+  | Refusal { seq } ->
+      let b = Bytes.create 5 in
+      Bytes.set b 0 'X';
+      Bytes.set_int32_be b 1 (Int32.of_int seq);
+      b
+
+let decode b =
+  let len = Bytes.length b in
+  let seq_of () = Int32.to_int (Bytes.get_int32_be b 1) in
+  if len < 5 then Error "frame too short"
+  else
+    match Bytes.get b 0 with
+    | 'X' -> if len = 5 then Ok (Refusal { seq = seq_of () }) else Error "bad refusal"
+    | 'C' ->
+        if len < 14 then Error "truncated challenge"
+        else
+          let nonce_len = Char.code (Bytes.get b 13) in
+          if len <> 14 + nonce_len then Error "bad challenge length"
+          else
+            Ok
+              (Challenge
+                 {
+                   seq = seq_of ();
+                   id = Task_id.of_bytes (Bytes.sub b 5 8);
+                   nonce = Bytes.sub b 14 nonce_len;
+                 })
+    | 'R' ->
+        if len < 14 + mac_size then Error "truncated response"
+        else
+          let nonce_len = Char.code (Bytes.get b 13) in
+          if len <> 14 + nonce_len + mac_size then Error "bad response length"
+          else
+            Ok
+              (Response
+                 {
+                   seq = seq_of ();
+                   report =
+                     {
+                       Attestation.id = Task_id.of_bytes (Bytes.sub b 5 8);
+                       nonce = Bytes.sub b 14 nonce_len;
+                       mac = Bytes.sub b (14 + nonce_len) mac_size;
+                     };
+                 })
+    | _ -> Error "unknown frame tag"

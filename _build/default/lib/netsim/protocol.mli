@@ -1,0 +1,24 @@
+(** Wire format of the remote-attestation protocol.
+
+    {v
+      challenge : 'C' | seq(4) | id(8) | nonce_len(1) | nonce
+      response  : 'R' | seq(4) | id(8) | nonce_len(1) | nonce | mac(20)
+      refusal   : 'X' | seq(4)                (no such task loaded)
+    v}
+
+    The sequence number pairs retransmitted challenges with their
+    responses; freshness comes from the nonce, authenticity from the
+    MAC. *)
+
+open Tytan_core
+
+type message =
+  | Challenge of { seq : int; id : Task_id.t; nonce : bytes }
+  | Response of { seq : int; report : Attestation.report }
+  | Refusal of { seq : int }
+
+val encode : message -> bytes
+
+val decode : bytes -> (message, string) result
+(** Malformed frames (truncated, bad tag, bad lengths) are errors —
+    the device agent drops them. *)

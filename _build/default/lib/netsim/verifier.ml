@@ -1,0 +1,72 @@
+open Tytan_core
+
+type outcome =
+  | Pending
+  | Attested
+  | Refused
+  | Gave_up
+
+type t = {
+  ka : bytes;
+  expected : Task_id.t;
+  timeout_slices : int;
+  max_attempts : int;
+  nonce : bytes;
+  seq : int;
+  mutable outcome : outcome;
+  mutable attempts : int;
+  mutable next_send : int;
+  mutable rejected : int;
+}
+
+(* One verifier instance = one challenge (nonce, seq); retransmissions
+   reuse both so duplicated responses stay valid exactly once each. *)
+let counter = ref 0
+
+let create ~ka ~expected ?(timeout_slices = 8) ?(max_attempts = 10) () =
+  incr counter;
+  {
+    ka;
+    expected;
+    timeout_slices;
+    max_attempts;
+    nonce = Bytes.of_string (Printf.sprintf "vnonce-%06d" !counter);
+    seq = !counter;
+    outcome = Pending;
+    attempts = 0;
+    next_send = 0;
+    rejected = 0;
+  }
+
+let poll t ~at =
+  if t.outcome <> Pending || at < t.next_send then None
+  else if t.attempts >= t.max_attempts then begin
+    t.outcome <- Gave_up;
+    None
+  end
+  else begin
+    t.attempts <- t.attempts + 1;
+    t.next_send <- at + t.timeout_slices;
+    Some
+      (Protocol.encode
+         (Protocol.Challenge { seq = t.seq; id = t.expected; nonce = t.nonce }))
+  end
+
+let on_frame t frame =
+  if t.outcome = Pending then
+    match Protocol.decode frame with
+    | Error _ -> t.rejected <- t.rejected + 1
+    | Ok (Protocol.Challenge _) -> t.rejected <- t.rejected + 1
+    | Ok (Protocol.Refusal { seq }) ->
+        if seq = t.seq then t.outcome <- Refused else t.rejected <- t.rejected + 1
+    | Ok (Protocol.Response { seq; report }) ->
+        if
+          seq = t.seq
+          && Attestation.verify ~ka:t.ka report ~expected:t.expected
+               ~nonce:t.nonce
+        then t.outcome <- Attested
+        else t.rejected <- t.rejected + 1
+
+let outcome t = t.outcome
+let attempts t = t.attempts
+let rejected_frames t = t.rejected

@@ -1,0 +1,39 @@
+(** The remote verifier's retry state machine.
+
+    Provisioned with the attestation key and the reference binary's
+    identity, the verifier sends a fresh challenge, waits
+    [timeout_slices], and retransmits (with the {e same} nonce and
+    sequence — retransmissions are idempotent) up to [max_attempts]
+    times.  A response only counts if its sequence matches an
+    outstanding challenge, the nonce is the one we sent, the identity is
+    the expected one and the MAC verifies. *)
+
+open Tytan_core
+
+type outcome =
+  | Pending
+  | Attested  (** a genuine report arrived *)
+  | Refused  (** the device says the task is not loaded *)
+  | Gave_up  (** retries exhausted *)
+
+type t
+
+val create :
+  ka:bytes ->
+  expected:Task_id.t ->
+  ?timeout_slices:int ->
+  ?max_attempts:int ->
+  unit ->
+  t
+(** Defaults: 8-slice timeout, 10 attempts. *)
+
+val poll : t -> at:int -> bytes option
+(** Called every slice; [Some frame] when a (re)transmission is due. *)
+
+val on_frame : t -> bytes -> unit
+(** Feed a received frame; malformed, stale and forged frames are
+    counted and ignored. *)
+
+val outcome : t -> outcome
+val attempts : t -> int
+val rejected_frames : t -> int

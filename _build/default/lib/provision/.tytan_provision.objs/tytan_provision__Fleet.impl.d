@@ -1,0 +1,1 @@
+lib/provision/fleet.ml: Cosim Format Link List Platform Registry Tytan_core Tytan_netsim Verifier

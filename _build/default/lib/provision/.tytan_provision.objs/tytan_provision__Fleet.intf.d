@@ -1,0 +1,1 @@
+lib/provision/fleet.mli: Format Platform Registry Tytan_core Tytan_rtos Tytan_telf

@@ -1,0 +1,1 @@
+lib/provision/registry.ml: Attestation Task_id Tytan_core Tytan_crypto

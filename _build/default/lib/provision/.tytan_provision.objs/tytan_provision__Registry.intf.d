@@ -1,0 +1,1 @@
+lib/provision/registry.mli: Task_id Tytan_core

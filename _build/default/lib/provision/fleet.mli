@@ -1,0 +1,54 @@
+(** Fleet management: manufacture, deploy, audit.
+
+    A fleet is a set of simulated devices, each with its own
+    registry-derived platform key and its own lossy uplink.  [audit]
+    challenges every device for every manifest entry through the
+    co-simulated network and reports, per device, which components
+    attested, were refused, or were unreachable — the workflow an
+    operator runs to find the compromised ECU in a vehicle fleet. *)
+
+open Tytan_core
+
+type device
+
+val serial : device -> string
+val platform : device -> Platform.t
+
+val manufacture :
+  Registry.t ->
+  serial:string ->
+  ?loss_percent:int ->
+  ?link_seed:int ->
+  unit ->
+  device
+(** Boot a device provisioned with its registry key, attached to its own
+    uplink. *)
+
+val deploy :
+  device -> name:string -> ?provider:string -> Tytan_telf.Telf.t ->
+  (Tytan_rtos.Tcb.t, string) result
+(** Load a secure task onto the device (the physical-access / update
+    channel, not the network). *)
+
+type component_status =
+  | Healthy  (** attested against the manifest reference *)
+  | Compromised_or_missing  (** device refused: no task with that identity *)
+  | Unreachable  (** retries exhausted — network, or a wedged device *)
+
+type audit_report = {
+  device_serial : string;
+  components : (string * component_status) list;
+  slices_taken : int;
+}
+
+val audit :
+  Registry.t -> device -> ?max_attempts:int -> unit -> audit_report
+(** Challenge the device for every manifest entry over its uplink. *)
+
+val audit_fleet :
+  Registry.t -> device list -> ?max_attempts:int -> unit -> audit_report list
+
+val healthy : audit_report -> bool
+(** Every manifest component attested. *)
+
+val pp_report : Format.formatter -> audit_report -> unit

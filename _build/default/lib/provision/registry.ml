@@ -1,0 +1,21 @@
+open Tytan_core
+module Crypto = Tytan_crypto
+
+type t = {
+  master : bytes;
+  mutable manifest : (string * Task_id.t) list;
+}
+
+let create ~master = { master; manifest = [] }
+
+let platform_key t ~serial =
+  Crypto.Hmac.mac_string ~key:t.master ("device/" ^ serial)
+
+let attestation_key t ~serial =
+  Attestation.derive_ka ~platform_key:(platform_key t ~serial)
+
+let provider_attestation_key t ~serial ~provider =
+  Attestation.derive_provider_ka ~platform_key:(platform_key t ~serial) ~provider
+
+let set_manifest t entries = t.manifest <- entries
+let manifest t = t.manifest

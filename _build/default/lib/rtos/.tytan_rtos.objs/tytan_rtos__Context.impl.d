@@ -1,0 +1,1 @@
+lib/rtos/context.ml: Array Cpu Cycles Regfile Tcb Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/rtos/context.mli: Cpu Tcb Tytan_machine Word

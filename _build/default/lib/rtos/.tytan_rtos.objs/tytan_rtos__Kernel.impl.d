@@ -1,0 +1,1 @@
+lib/rtos/kernel.ml: Access Array Context Cpu Cycles Exception_engine Format Hashtbl Isa List Printf Regfile Rt_queue Scheduler String Sw_timer Tcb Trace Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/rtos/kernel.mli: Context Cpu Rt_queue Scheduler Sw_timer Tcb Trace Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/rtos/rt_queue.ml: List Tcb Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/rtos/rt_queue.mli: Tcb Tytan_machine Word

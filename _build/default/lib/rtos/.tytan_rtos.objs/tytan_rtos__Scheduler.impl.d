@@ -1,0 +1,1 @@
+lib/rtos/scheduler.ml: Array Format List Printf Tcb

@@ -1,0 +1,1 @@
+lib/rtos/scheduler.mli: Format Tcb

@@ -1,0 +1,1 @@
+lib/rtos/sw_timer.ml: List

@@ -1,0 +1,1 @@
+lib/rtos/tcb.ml: Format Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/rtos/tcb.mli: Format Tytan_machine Word

@@ -1,0 +1,57 @@
+open Tytan_machine
+
+type ops = {
+  save : Tcb.t -> Word.t array -> unit;
+  restore : Tcb.t -> unit;
+}
+
+let software_saved = 15 (* r0 .. r14; SP is implied by the frame address *)
+let frame_words = software_saved + 2
+let frame_bytes = frame_words * 4
+
+let build_initial_frame_raw cpu ~stack_top ~entry =
+  let eflags = 8 (* IF set *) in
+  Cpu.store32 cpu (Word.sub stack_top 4) eflags;
+  Cpu.store32 cpu (Word.sub stack_top 8) entry;
+  (* r0 (highest of the register block) down to r14. *)
+  for i = 0 to software_saved - 1 do
+    Cpu.store32 cpu (Word.sub stack_top (12 + (4 * i))) 0
+  done;
+  Word.sub stack_top frame_bytes
+
+let build_initial_frame cpu (tcb : Tcb.t) =
+  tcb.saved_sp <-
+    build_initial_frame_raw cpu ~stack_top:(Tcb.stack_top tcb) ~entry:tcb.entry
+
+let save_frame cpu (tcb : Tcb.t) gprs =
+  (* The hardware already pushed EFLAGS and EIP; SP sits below them.  The
+     software part stores r0 first (just below EIP) down to r14. *)
+  let regs = Cpu.regs cpu in
+  let sp = Regfile.get regs Regfile.sp in
+  for i = 0 to software_saved - 1 do
+    Cpu.store32 cpu (Word.sub sp (4 * (i + 1))) gprs.(i)
+  done;
+  tcb.saved_sp <- Word.sub sp (software_saved * 4)
+
+let restore_frame cpu (tcb : Tcb.t) =
+  let regs = Cpu.regs cpu in
+  let sp = ref tcb.saved_sp in
+  for i = software_saved - 1 downto 0 do
+    Regfile.set regs i (Cpu.load32 cpu !sp);
+    sp := Word.add !sp 4
+  done;
+  Regfile.set regs Regfile.sp !sp;
+  Cpu.interrupt_return cpu
+
+let baseline cpu ~save_cost ~restore_cost =
+  let clock = Cpu.clock cpu in
+  {
+    save =
+      (fun tcb gprs ->
+        Cycles.charge clock save_cost;
+        save_frame cpu tcb gprs);
+    restore =
+      (fun tcb ->
+        Cycles.charge clock restore_cost;
+        restore_frame cpu tcb);
+  }

@@ -1,0 +1,51 @@
+open Tytan_machine
+
+type t = {
+  id : int;
+  capacity : int;
+  mutable items : Word.t list;  (* head = oldest *)
+  mutable send_waiters : (Tcb.t * Word.t) list;
+  mutable recv_waiters : Tcb.t list;
+}
+
+let create ~id ~capacity =
+  if capacity <= 0 then invalid_arg "Rt_queue.create: capacity must be positive";
+  { id; capacity; items = []; send_waiters = []; recv_waiters = [] }
+
+let id t = t.id
+let capacity t = t.capacity
+let length t = List.length t.items
+let is_full t = length t >= t.capacity
+let is_empty t = t.items = []
+
+let push t v =
+  if is_full t then invalid_arg "Rt_queue.push: full";
+  t.items <- t.items @ [ v ]
+
+let pop t =
+  match t.items with
+  | [] -> invalid_arg "Rt_queue.pop: empty"
+  | v :: rest ->
+      t.items <- rest;
+      v
+
+let add_send_waiter t tcb ~value = t.send_waiters <- t.send_waiters @ [ (tcb, value) ]
+let add_recv_waiter t tcb = t.recv_waiters <- t.recv_waiters @ [ tcb ]
+
+let take_send_waiter t =
+  match t.send_waiters with
+  | [] -> None
+  | w :: rest ->
+      t.send_waiters <- rest;
+      Some w
+
+let take_recv_waiter t =
+  match t.recv_waiters with
+  | [] -> None
+  | w :: rest ->
+      t.recv_waiters <- rest;
+      Some w
+
+let drop_waiter t (tcb : Tcb.t) =
+  t.send_waiters <- List.filter (fun (w, _) -> w.Tcb.id <> tcb.id) t.send_waiters;
+  t.recv_waiters <- List.filter (fun w -> w.Tcb.id <> tcb.id) t.recv_waiters

@@ -1,0 +1,32 @@
+(** Real-time message queues (FreeRTOS [xQueue] analogue).
+
+    Bounded FIFOs of single words with blocking send/receive and
+    tick-denominated timeouts.  The structure lives here; the kernel
+    performs the blocking and wake-ups so that queue operations stay
+    bounded-time (a send wakes at most one receiver and vice versa). *)
+
+open Tytan_machine
+
+type t
+
+val create : id:int -> capacity:int -> t
+val id : t -> int
+val capacity : t -> int
+val length : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val push : t -> Word.t -> unit
+(** @raise Invalid_argument if full (the kernel checks first). *)
+
+val pop : t -> Word.t
+(** @raise Invalid_argument if empty. *)
+
+(** Waiter bookkeeping: FIFO lists of blocked tasks, kept here so a
+    timeout can drop a specific task. *)
+
+val add_send_waiter : t -> Tcb.t -> value:Word.t -> unit
+val add_recv_waiter : t -> Tcb.t -> unit
+val take_send_waiter : t -> (Tcb.t * Word.t) option
+val take_recv_waiter : t -> Tcb.t option
+val drop_waiter : t -> Tcb.t -> unit

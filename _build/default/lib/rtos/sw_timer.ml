@@ -1,0 +1,50 @@
+type id = int
+
+type entry = {
+  id : id;
+  mutable deadline : int;
+  period : int option;
+  callback : unit -> unit;
+}
+
+type t = {
+  mutable entries : entry list;  (* sorted by deadline *)
+  mutable next_id : id;
+}
+
+let create () = { entries = []; next_id = 0 }
+
+let insert t entry =
+  let earlier, later =
+    List.partition (fun e -> e.deadline <= entry.deadline) t.entries
+  in
+  t.entries <- earlier @ (entry :: later)
+
+let arm t ~at_tick ?period callback =
+  (match period with
+  | Some p when p <= 0 -> invalid_arg "Sw_timer.arm: period must be positive"
+  | Some _ | None -> ());
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  insert t { id; deadline = at_tick; period; callback };
+  id
+
+let cancel t id = t.entries <- List.filter (fun e -> e.id <> id) t.entries
+
+let fire_due t ~now =
+  let rec loop fired =
+    match t.entries with
+    | e :: rest when e.deadline <= now ->
+        t.entries <- rest;
+        e.callback ();
+        (match e.period with
+        | Some p ->
+            e.deadline <- e.deadline + p;
+            insert t e
+        | None -> ());
+        loop (fired + 1)
+    | _ :: _ | [] -> fired
+  in
+  loop 0
+
+let armed_count t = List.length t.entries

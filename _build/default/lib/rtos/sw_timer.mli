@@ -1,0 +1,22 @@
+(** Software timers ("special alarms and time-outs" in the paper's
+    real-time feature list).
+
+    One-shot or periodic callbacks driven by the kernel tick.  Callbacks
+    run in kernel (firmware) context and must be short and bounded — they
+    are charged to the tick handler's budget. *)
+
+type t
+type id = int
+
+val create : unit -> t
+
+val arm :
+  t -> at_tick:int -> ?period:int -> (unit -> unit) -> id
+(** Schedule a callback for [at_tick]; with [?period] it re-arms itself
+    every [period] ticks afterwards. *)
+
+val cancel : t -> id -> unit
+val fire_due : t -> now:int -> int
+(** Run every callback due at or before [now]; returns how many fired. *)
+
+val armed_count : t -> int

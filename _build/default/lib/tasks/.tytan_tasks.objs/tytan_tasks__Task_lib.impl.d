@@ -1,0 +1,1 @@
+lib/tasks/task_lib.ml: Assembler Builder Ipc Isa Task_id Telf Toolchain Tytan_core Tytan_machine Tytan_telf Word

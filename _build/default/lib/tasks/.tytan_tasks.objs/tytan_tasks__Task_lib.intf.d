@@ -1,0 +1,1 @@
+lib/tasks/task_lib.mli: Task_id Telf Tytan_core Tytan_machine Tytan_telf Word

@@ -1,0 +1,375 @@
+open Tytan_machine
+open Tytan_telf
+open Tytan_core
+
+let data_cell_offset (telf : Telf.t) = telf.text_size
+
+let build ~secure ?(stack_size = 512) ?on_message main =
+  let program =
+    if secure then Toolchain.secure_program ~main ?on_message ()
+    else Toolchain.normal_program ~main
+  in
+  Builder.of_program ~stack_size program
+
+(* Common idiom: load the address of a data label, bump the word there. *)
+let increment_cell p ~addr_reg ~scratch label =
+  Assembler.movi_label p ~rd:addr_reg label;
+  Assembler.instr p (Isa.Ldw (scratch, addr_reg, 0));
+  Assembler.instr p (Isa.Addi (scratch, scratch, 1));
+  Assembler.instr p (Isa.Stw (addr_reg, 0, scratch))
+
+let delay_one_tick p =
+  Assembler.instr p (Isa.Movi (0, 1));
+  Assembler.instr p (Isa.Swi 2)
+
+let counter ?(secure = true) ?(stack_size = 512) () =
+  build ~secure ~stack_size (fun p ->
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      increment_cell p ~addr_reg:4 ~scratch:5 "counter";
+      delay_one_tick p;
+      Assembler.jmp_label p "loop";
+      Assembler.begin_data p;
+      Assembler.label p "counter";
+      Assembler.word p 0)
+
+let sensor_poller ?(secure = true) ~sensor_addr ?(period_ticks = 1) () =
+  build ~secure (fun p ->
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      Assembler.instr p (Isa.Movi (6, sensor_addr));
+      Assembler.instr p (Isa.Ldw (7, 6, 0));
+      Assembler.movi_label p ~rd:4 "latest";
+      Assembler.instr p (Isa.Stw (4, 0, 7));
+      increment_cell p ~addr_reg:4 ~scratch:5 "samples";
+      Assembler.instr p (Isa.Movi (0, period_ticks));
+      Assembler.instr p (Isa.Swi 2);
+      Assembler.jmp_label p "loop";
+      Assembler.begin_data p;
+      Assembler.label p "samples";
+      Assembler.word p 0;
+      Assembler.label p "latest";
+      Assembler.word p 0)
+
+(* t0 of the use case: merge sensor reports from the inbox, drive the
+   actuator, hold the 1.5 kHz period. *)
+let cruise_controller ~actuator_addr =
+  build ~secure:true ~stack_size:768 (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      (* Poll the inbox (r12, provided by the trusted software at start
+         and preserved across interrupts by the secure context paths). *)
+      Assembler.instr p (Ldw (0, 12, 0));
+      Assembler.instr p (Cmpi (0, 0));
+      Assembler.jz_label p "compute";
+      Assembler.instr p (Ldw (1, 12, 16)); (* m0 = sensor value *)
+      Assembler.instr p (Ldw (2, 12, 20)); (* m1 = tag: 1 pedal, 2 radar *)
+      Assembler.instr p (Cmpi (2, 1));
+      Assembler.jnz_label p "radar_report";
+      Assembler.movi_label p ~rd:4 "pedal";
+      Assembler.instr p (Stw (4, 0, 1));
+      Assembler.jmp_label p "clear";
+      Assembler.label p "radar_report";
+      Assembler.movi_label p ~rd:4 "radar";
+      Assembler.instr p (Stw (4, 0, 1));
+      Assembler.label p "clear";
+      Assembler.instr p (Movi (0, 0));
+      Assembler.instr p (Stw (12, 0, 0));
+      Assembler.label p "compute";
+      (* command = pedal - radar correction; write to the actuator *)
+      Assembler.movi_label p ~rd:4 "pedal";
+      Assembler.instr p (Ldw (1, 4, 0));
+      Assembler.movi_label p ~rd:4 "radar";
+      Assembler.instr p (Ldw (2, 4, 0));
+      Assembler.instr p (Sub (3, 1, 2));
+      Assembler.instr p (Movi (6, actuator_addr));
+      Assembler.instr p (Stw (6, 0, 3));
+      increment_cell p ~addr_reg:4 ~scratch:5 "iterations";
+      delay_one_tick p;
+      Assembler.jmp_label p "loop";
+      Assembler.begin_data p;
+      Assembler.label p "iterations";
+      Assembler.word p 0;
+      Assembler.label p "pedal";
+      Assembler.word p 0;
+      Assembler.label p "radar";
+      Assembler.word p 0)
+
+let sensor_feeder ?(secure = true) ~sensor_addr ~controller ~tag
+    ?(period_ticks = 1) ?(pad_instructions = 0) () =
+  let lo, hi = Task_id.to_words controller in
+  build ~secure (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      Assembler.instr p (Movi (6, sensor_addr));
+      Assembler.instr p (Ldw (0, 6, 0)); (* m0 = reading *)
+      Assembler.movi_label p ~rd:4 "latest";
+      Assembler.instr p (Stw (4, 0, 0));
+      increment_cell p ~addr_reg:4 ~scratch:5 "samples";
+      (* reload m0: the counter bump clobbered r0 *)
+      Assembler.movi_label p ~rd:4 "latest";
+      Assembler.instr p (Ldw (0, 4, 0));
+      Assembler.instr p (Movi (1, tag)); (* m1 = source tag *)
+      Assembler.instr p (Movi (8, lo));
+      Assembler.instr p (Movi (9, hi));
+      Assembler.instr p (Movi (10, Ipc.mode_async));
+      Assembler.instr p (Swi Ipc.swi_send);
+      Assembler.instr p (Movi (0, period_ticks));
+      Assembler.instr p (Swi 2);
+      Assembler.jmp_label p "loop";
+      for _ = 1 to pad_instructions do
+        Assembler.instr p Nop
+      done;
+      Assembler.begin_data p;
+      Assembler.label p "samples";
+      Assembler.word p 0;
+      Assembler.label p "latest";
+      Assembler.word p 0)
+
+let ipc_sender ?(secure = true) ~receiver ?(message0 = 42) ?(sync = true)
+    ?(repeat = false) () =
+  let lo, hi = Task_id.to_words receiver in
+  build ~secure (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.label p "send";
+      Assembler.instr p (Movi (0, message0));
+      for i = 1 to 7 do
+        Assembler.instr p (Movi (i, i))
+      done;
+      Assembler.instr p (Movi (8, lo));
+      Assembler.instr p (Movi (9, hi));
+      Assembler.instr p (Movi (10, if sync then Ipc.mode_sync else Ipc.mode_async));
+      Assembler.instr p (Swi Ipc.swi_send);
+      increment_cell p ~addr_reg:4 ~scratch:5 "sent";
+      delay_one_tick p;
+      if repeat then Assembler.jmp_label p "send"
+      else begin
+        Assembler.label p "rest";
+        Assembler.instr p (Movi (0, 100));
+        Assembler.instr p (Swi 2);
+        Assembler.jmp_label p "rest"
+      end;
+      Assembler.begin_data p;
+      Assembler.label p "sent";
+      Assembler.word p 0)
+
+let ipc_receiver ?(secure = true) () =
+  build ~secure
+    ~on_message:(fun p ->
+      let open Isa in
+      Assembler.label p "on_message";
+      Assembler.instr p (Ldw (0, 12, 16)); (* m0 *)
+      Assembler.movi_label p ~rd:4 "sum";
+      Assembler.instr p (Ldw (5, 4, 0));
+      Assembler.instr p (Add (5, 5, 0));
+      Assembler.instr p (Stw (4, 0, 5));
+      increment_cell p ~addr_reg:4 ~scratch:5 "received";
+      Assembler.instr p (Ldw (0, 12, 4)); (* sender id low *)
+      Assembler.movi_label p ~rd:4 "last_sender";
+      Assembler.instr p (Stw (4, 0, 0));
+      (* consume the message *)
+      Assembler.instr p (Movi (0, 0));
+      Assembler.instr p (Stw (12, 0, 0));
+      Assembler.instr p Ret)
+    (fun p ->
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      Assembler.instr p (Isa.Movi (0, 10));
+      Assembler.instr p (Isa.Swi 2);
+      Assembler.jmp_label p "loop";
+      Assembler.begin_data p;
+      Assembler.label p "received";
+      Assembler.word p 0;
+      Assembler.label p "sum";
+      Assembler.word p 0;
+      Assembler.label p "last_sender";
+      Assembler.word p 0)
+
+let storage_client ~storage ~slot ~value =
+  let lo, hi = Task_id.to_words storage in
+  build ~secure:true (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      (* Seal: op 1, slot, payload value in the first data word. *)
+      Assembler.instr p (Movi (0, 1));
+      Assembler.instr p (Movi (1, slot));
+      Assembler.instr p (Movi (2, value));
+      for i = 3 to 7 do
+        Assembler.instr p (Movi (i, 0))
+      done;
+      Assembler.instr p (Movi (8, lo));
+      Assembler.instr p (Movi (9, hi));
+      Assembler.instr p (Movi (10, Ipc.mode_sync));
+      Assembler.instr p (Swi Ipc.swi_send);
+      Assembler.movi_label p ~rd:4 "phase";
+      Assembler.instr p (Movi (5, 1));
+      Assembler.instr p (Stw (4, 0, 5));
+      delay_one_tick p;
+      (* Unseal: op 2, same slot; the reply lands in our inbox. *)
+      Assembler.instr p (Movi (0, 2));
+      Assembler.instr p (Movi (1, slot));
+      for i = 2 to 7 do
+        Assembler.instr p (Movi (i, 0))
+      done;
+      Assembler.instr p (Movi (8, lo));
+      Assembler.instr p (Movi (9, hi));
+      Assembler.instr p (Movi (10, Ipc.mode_sync));
+      Assembler.instr p (Swi Ipc.swi_send);
+      (* reply message: m0 = status, m1 = first payload word *)
+      Assembler.instr p (Ldw (0, 12, 16));
+      Assembler.movi_label p ~rd:4 "status";
+      Assembler.instr p (Stw (4, 0, 0));
+      Assembler.instr p (Ldw (0, 12, 20));
+      Assembler.movi_label p ~rd:4 "readback";
+      Assembler.instr p (Stw (4, 0, 0));
+      Assembler.movi_label p ~rd:4 "phase";
+      Assembler.instr p (Movi (5, 2));
+      Assembler.instr p (Stw (4, 0, 5));
+      Assembler.label p "rest";
+      Assembler.instr p (Movi (0, 100));
+      Assembler.instr p (Swi 2);
+      Assembler.jmp_label p "rest";
+      Assembler.begin_data p;
+      Assembler.label p "phase";
+      Assembler.word p 0;
+      Assembler.label p "readback";
+      Assembler.word p 0;
+      Assembler.label p "status";
+      Assembler.word p 0)
+
+let spy ~victim_addr =
+  build ~secure:false (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.instr p (Movi (6, victim_addr));
+      Assembler.instr p (Ldw (7, 6, 0)); (* faults on TyTAN *)
+      Assembler.movi_label p ~rd:4 "loot";
+      Assembler.instr p (Stw (4, 0, 7));
+      increment_cell p ~addr_reg:4 ~scratch:5 "survived";
+      Assembler.label p "rest";
+      Assembler.instr p (Movi (0, 100));
+      Assembler.instr p (Swi 2);
+      Assembler.jmp_label p "rest";
+      Assembler.begin_data p;
+      Assembler.label p "loot";
+      Assembler.word p 0;
+      Assembler.label p "survived";
+      Assembler.word p 0)
+
+let entry_bypass ~victim_entry ~offset =
+  build ~secure:false (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.instr p (Movi (6, Word.add victim_entry offset));
+      Assembler.instr p (Jmpr 6); (* entry-point violation on TyTAN *)
+      Assembler.begin_data p;
+      Assembler.label p "pad";
+      Assembler.word p 0)
+
+let idt_attacker ~idt_addr =
+  build ~secure:false (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.instr p (Movi (6, idt_addr));
+      Assembler.instr p (Movi (7, 0xDEAD));
+      Assembler.instr p (Stw (6, 0, 7)); (* faults on TyTAN *)
+      increment_cell p ~addr_reg:4 ~scratch:5 "survived";
+      Assembler.label p "rest";
+      Assembler.instr p (Movi (0, 100));
+      Assembler.instr p (Swi 2);
+      Assembler.jmp_label p "rest";
+      Assembler.begin_data p;
+      Assembler.label p "survived";
+      Assembler.word p 0)
+
+let shm_requester ~peer ~value =
+  let lo, hi = Task_id.to_words peer in
+  build ~secure:true (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.instr p (Movi (0, 64)); (* window size *)
+      Assembler.instr p (Movi (8, lo));
+      Assembler.instr p (Movi (9, hi));
+      Assembler.instr p (Swi Ipc.swi_shm);
+      (* the proxy's note lands in our inbox: [status; base; size] *)
+      Assembler.instr p (Ldw (1, 12, 16));
+      Assembler.instr p (Ldw (2, 12, 20));
+      Assembler.movi_label p ~rd:4 "status";
+      Assembler.instr p (Stw (4, 0, 1));
+      Assembler.instr p (Movi (3, value));
+      Assembler.instr p (Stw (2, 0, 3));
+      Assembler.movi_label p ~rd:4 "done";
+      Assembler.instr p (Movi (5, 1));
+      Assembler.instr p (Stw (4, 0, 5));
+      Assembler.label p "rest";
+      Assembler.instr p (Movi (0, 100));
+      Assembler.instr p (Swi 2);
+      Assembler.jmp_label p "rest";
+      Assembler.begin_data p;
+      Assembler.label p "status";
+      Assembler.word p 99;
+      Assembler.label p "done";
+      Assembler.word p 0)
+
+let shm_reader () =
+  build ~secure:true (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.label p "poll";
+      Assembler.instr p (Ldw (0, 12, 0));
+      Assembler.instr p (Cmpi (0, 0));
+      Assembler.jnz_label p "got";
+      delay_one_tick p;
+      Assembler.jmp_label p "poll";
+      Assembler.label p "got";
+      Assembler.instr p (Ldw (2, 12, 20)); (* window base *)
+      Assembler.label p "read";
+      Assembler.instr p (Ldw (3, 2, 0));
+      Assembler.instr p (Cmpi (3, 0));
+      Assembler.jnz_label p "publish";
+      delay_one_tick p;
+      Assembler.jmp_label p "read";
+      Assembler.label p "publish";
+      Assembler.movi_label p ~rd:4 "seen";
+      Assembler.instr p (Stw (4, 0, 3));
+      Assembler.label p "rest";
+      Assembler.instr p (Movi (0, 100));
+      Assembler.instr p (Swi 2);
+      Assembler.jmp_label p "rest";
+      Assembler.begin_data p;
+      Assembler.label p "seen";
+      Assembler.word p 0)
+
+let busy_loop ?(secure = true) ?(work = 0) () =
+  build ~secure (fun p ->
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      Assembler.instr p (Isa.Addi (1, 1, 1));
+      for _ = 1 to work do
+        Assembler.instr p Isa.Nop
+      done;
+      Assembler.jmp_label p "loop";
+      Assembler.begin_data p;
+      Assembler.label p "pad";
+      Assembler.word p 0)
+
+let yielder ?(secure = true) ?(count = 5) () =
+  build ~secure (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      increment_cell p ~addr_reg:4 ~scratch:5 "iterations";
+      Assembler.movi_label p ~rd:4 "iterations";
+      Assembler.instr p (Ldw (5, 4, 0));
+      Assembler.instr p (Cmpi (5, count));
+      Assembler.jge_label p "finish";
+      Assembler.instr p (Swi 0);
+      Assembler.jmp_label p "loop";
+      Assembler.label p "finish";
+      Assembler.instr p (Swi 1);
+      Assembler.begin_data p;
+      Assembler.label p "iterations";
+      Assembler.word p 0)

@@ -1,0 +1,97 @@
+(** A small library of ready-made guest task binaries.
+
+    These are the workloads the tests, examples and benchmarks load onto
+    the platform: periodic sensor pollers, IPC senders and receivers,
+    storage clients, and misbehaving tasks for the security tests.  Each
+    builder returns a relocatable TELF binary. *)
+
+open Tytan_machine
+open Tytan_telf
+open Tytan_core
+
+val counter : ?secure:bool -> ?stack_size:int -> unit -> Telf.t
+(** Increment a data-section counter once per tick (delay loop).  The
+    counter cell sits at offset {!Telf.t.text_size} in the loaded image. *)
+
+val sensor_poller :
+  ?secure:bool -> sensor_addr:Word.t -> ?period_ticks:int -> unit -> Telf.t
+(** Each period: read the 32-bit sensor register, store the latest value
+    and an incrementing sample count in the data section, then delay.
+    Data layout: [+0] sample count, [+4] latest value. *)
+
+val cruise_controller : actuator_addr:Word.t -> Telf.t
+(** The use case's engine-control task t0: every tick, merge pedal/radar
+    reports from its inbox and write a command to the actuator MMIO
+    register.  Data layout: [+0] iteration count, [+4] pedal, [+8]
+    radar. *)
+
+val sensor_feeder :
+  ?secure:bool ->
+  sensor_addr:Word.t ->
+  controller:Task_id.t ->
+  tag:int ->
+  ?period_ticks:int ->
+  ?pad_instructions:int ->
+  unit ->
+  Telf.t
+(** The use case's t1/t2: every period, sample the sensor and send the
+    reading (tagged with [tag]) to the controller over asynchronous
+    secure IPC.  [pad_instructions] grows the binary with NOPs — the use
+    case's radar task t2 is padded so that loading it takes the paper's
+    ~27.8 ms.  Data layout: [+0] sample count, [+4] latest value. *)
+
+val ipc_sender :
+  ?secure:bool ->
+  receiver:Task_id.t ->
+  ?message0:Word.t ->
+  ?sync:bool ->
+  ?repeat:bool ->
+  unit ->
+  Telf.t
+(** Send an 8-word message (m0 = [message0], m1..m7 = 1..7) to [receiver]
+    once (then sleep) or every tick ([repeat]). *)
+
+val ipc_receiver : ?secure:bool -> unit -> Telf.t
+(** A secure receiver whose message handler accumulates m0 into its data
+    section.  Data layout: [+0] messages received, [+4] sum of m0,
+    [+8] last sender id (low word). *)
+
+val storage_client :
+  storage:Task_id.t -> slot:Word.t -> value:Word.t -> Telf.t
+(** Seal [value] into [slot] via IPC to the storage service, then unseal
+    it and publish the round-tripped value.  Data layout: [+0] phase
+    (1 = sealed, 2 = unsealed), [+4] value read back, [+8] status. *)
+
+val spy : victim_addr:Word.t -> Telf.t
+(** A malicious task that tries to read another task's memory at the
+    given absolute address, publishing what it got.  On TyTAN the read
+    faults and the task is killed before publishing. *)
+
+val entry_bypass : victim_entry:Word.t -> offset:Word.t -> Telf.t
+(** A malicious task that jumps into a secure task's code {e past} its
+    entry point (a code-reuse attempt).  The EA-MPU kills it. *)
+
+val idt_attacker : idt_addr:Word.t -> Telf.t
+(** Attempts to overwrite an interrupt descriptor table entry. *)
+
+val busy_loop : ?secure:bool -> ?work:int -> unit -> Telf.t
+(** Spin executing ALU work forever without ever yielding — relies on
+    pre-emption for the platform to stay live.  [work] pads the image to
+    roughly that many instructions (for measurement-size sweeps). *)
+
+val yielder : ?secure:bool -> ?count:int -> unit -> Telf.t
+(** Yield [count] times, then exit.  Data layout: [+0] iterations done. *)
+
+val shm_requester : peer:Task_id.t -> value:Word.t -> Telf.t
+(** Request a shared-memory window with [peer] (SWI 12), then write
+    [value] through it.  Data layout: [+0] request status (0 = ok),
+    [+1] done flag. *)
+
+val shm_reader : unit -> Telf.t
+(** Poll the inbox for a shared-window note, then poll the window until a
+    non-zero value appears and publish it.  Data layout: [+0] value
+    seen. *)
+
+val data_cell_offset : Telf.t -> int
+(** Offset of a task's first data word within its loaded image (i.e. its
+    text size) — where the builders above publish results. *)

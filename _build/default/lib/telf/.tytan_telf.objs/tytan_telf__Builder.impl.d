@@ -1,0 +1,1 @@
+lib/telf/builder.ml: Array Assembler Bytes Int32 Isa Telf Tytan_machine Word

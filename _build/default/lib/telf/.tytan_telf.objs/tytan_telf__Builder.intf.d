@@ -1,0 +1,1 @@
+lib/telf/builder.mli: Assembler Telf Tytan_machine

@@ -1,0 +1,1 @@
+lib/telf/relocate.ml: Array Bytes Int32 Tytan_machine Word

@@ -1,0 +1,1 @@
+lib/telf/relocate.mli: Tytan_machine Word

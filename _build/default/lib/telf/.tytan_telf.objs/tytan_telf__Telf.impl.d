@@ -1,0 +1,1 @@
+lib/telf/telf.ml: Array Bytes Format Int32 Printf

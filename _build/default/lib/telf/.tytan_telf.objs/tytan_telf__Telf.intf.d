@@ -1,0 +1,1 @@
+lib/telf/telf.mli: Format

@@ -1,0 +1,36 @@
+open Tytan_machine
+
+let of_program ?(bss_size = 0) ?(stack_size = 256) (p : Assembler.program) =
+  Telf.make ~entry:p.entry ~image:p.image ~text_size:p.text_size
+    ~relocations:p.relocations ~bss_size ~stack_size
+
+let synthetic ?(seed = 0) ~image_size ~reloc_count ~stack_size () =
+  if image_size < Isa.width * 2 + (reloc_count * 4) then
+    invalid_arg "Builder.synthetic: image too small for requested relocations";
+  let code_size =
+    let data_bytes = reloc_count * 4 in
+    let size = image_size - data_bytes in
+    size - (size mod Isa.width)
+  in
+  let image = Bytes.make image_size '\000' in
+  (* Code: NOPs, then an infinite self-jump so a scheduled instance spins
+     harmlessly. *)
+  let nop = Isa.encode Isa.Nop in
+  let instr_count = code_size / Isa.width in
+  for i = 0 to instr_count - 2 do
+    Bytes.blit nop 0 image (i * Isa.width) Isa.width
+  done;
+  let self_jump = Isa.encode (Isa.Jmp (Word.of_signed (-Isa.width))) in
+  Bytes.blit self_jump 0 image ((instr_count - 1) * Isa.width) Isa.width;
+  (* Data words after the code; each relocated field holds a base-relative
+     address inside the image, derived deterministically from the seed. *)
+  let relocations =
+    Array.init reloc_count (fun i ->
+        let off = code_size + (4 * i) in
+        let pseudo = (seed + (i * 2654435761)) land 0x7FFF_FFFF in
+        Bytes.set_int32_le image off (Int32.of_int (pseudo mod image_size));
+        off)
+  in
+  (* Any remaining tail bytes stay zero. *)
+  Telf.make ~entry:0 ~image ~text_size:code_size ~relocations ~bss_size:0
+    ~stack_size

@@ -1,0 +1,17 @@
+(** Building TELF binaries from assembled programs — the front half of the
+    TyTAN tool chain. *)
+
+open Tytan_machine
+
+val of_program :
+  ?bss_size:int -> ?stack_size:int -> Assembler.program -> Telf.t
+(** Package an assembled program (default [stack_size] 256, [bss_size] 0).
+    The program's [_start] label becomes the entry point. *)
+
+val synthetic :
+  ?seed:int -> image_size:int -> reloc_count:int -> stack_size:int -> unit -> Telf.t
+(** A deterministic pseudo-random but well-formed binary with exactly
+    [reloc_count] relocations and the given sizes — used by the benchmark
+    sweeps (Tables 4, 5, 7), which control the relocation count and memory
+    size precisely.  The image consists of [Nop]s terminated by a self-jump
+    and data words; relocation targets are data-word offsets. *)

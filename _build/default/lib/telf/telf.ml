@@ -1,0 +1,94 @@
+type t = {
+  entry : int;
+  image : bytes;
+  text_size : int;
+  relocations : int array;
+  bss_size : int;
+  stack_size : int;
+}
+
+let magic = "TELF"
+let version = 1
+let header_size = 32
+
+let validate ~entry ~image ~text_size ~relocations ~bss_size ~stack_size =
+  let image_size = Bytes.length image in
+  if text_size < 0 || text_size > image_size then
+    Error (Printf.sprintf "text size %d outside image" text_size)
+  else if entry < 0 || entry >= max 1 text_size then
+    Error (Printf.sprintf "entry offset %d outside text" entry)
+  else if bss_size < 0 then Error "negative bss size"
+  else if stack_size < 0 then Error "negative stack size"
+  else
+    let bad_reloc =
+      Array.fold_left
+        (fun acc off ->
+          match acc with
+          | Some _ -> acc
+          | None -> if off < 0 || off + 4 > image_size then Some off else None)
+        None relocations
+    in
+    match bad_reloc with
+    | Some off -> Error (Printf.sprintf "relocation offset %d outside image" off)
+    | None -> Ok ()
+
+let make ~entry ~image ~text_size ~relocations ~bss_size ~stack_size =
+  match validate ~entry ~image ~text_size ~relocations ~bss_size ~stack_size with
+  | Error msg -> invalid_arg ("Telf.make: " ^ msg)
+  | Ok () ->
+      let relocations = Array.copy relocations in
+      Array.sort compare relocations;
+      { entry; image; text_size; relocations; bss_size; stack_size }
+
+let memory_footprint t = Bytes.length t.image + t.bss_size + t.stack_size
+let reloc_count t = Array.length t.relocations
+
+let encode t =
+  let n = Array.length t.relocations in
+  let total = header_size + (4 * n) + Bytes.length t.image in
+  let b = Bytes.make total '\000' in
+  Bytes.blit_string magic 0 b 0 4;
+  let put off v = Bytes.set_int32_le b off (Int32.of_int v) in
+  put 4 version;
+  put 8 t.entry;
+  put 12 (Bytes.length t.image);
+  put 16 t.text_size;
+  put 20 t.bss_size;
+  put 24 t.stack_size;
+  put 28 n;
+  Array.iteri (fun i off -> put (header_size + (4 * i)) off) t.relocations;
+  Bytes.blit t.image 0 b (header_size + (4 * n)) (Bytes.length t.image);
+  b
+
+let decode b =
+  let len = Bytes.length b in
+  if len < header_size then Error "truncated header"
+  else if Bytes.sub_string b 0 4 <> magic then Error "bad magic"
+  else
+    let get off = Int32.to_int (Bytes.get_int32_le b off) in
+    if get 4 <> version then Error (Printf.sprintf "unsupported version %d" (get 4))
+    else
+      let entry = get 8 in
+      let image_size = get 12 in
+      let text_size = get 16 in
+      let bss_size = get 20 in
+      let stack_size = get 24 in
+      let n = get 28 in
+      if n < 0 || image_size < 0 then Error "negative field"
+      else if len <> header_size + (4 * n) + image_size then
+        Error "size mismatch"
+      else
+        let relocations = Array.init n (fun i -> get (header_size + (4 * i))) in
+        let image = Bytes.sub b (header_size + (4 * n)) image_size in
+        match
+          validate ~entry ~image ~text_size ~relocations ~bss_size ~stack_size
+        with
+        | Error msg -> Error msg
+        | Ok () ->
+            Ok { entry; image; text_size; relocations; bss_size; stack_size }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>TELF entry=+%d image=%dB text=%dB bss=%dB stack=%dB relocs=%d@]"
+    t.entry (Bytes.length t.image) t.text_size t.bss_size t.stack_size
+    (Array.length t.relocations)

@@ -1,0 +1,63 @@
+(** TELF — the "tiny ELF" relocatable task binary format.
+
+    The paper extends FreeRTOS with an ELF loader because tasks are loaded
+    at runtime into whatever memory is free, which makes relocation
+    necessary; ELF "encodes all information required for relocation in
+    file headers".  TELF keeps exactly that information and nothing else:
+
+    {v
+      offset  size  field
+      0       4     magic "TELF"
+      4       4     format version (1)
+      8       4     entry-point offset into the image
+      12      4     image size (code + initialised data), bytes
+      16      4     text size (executable prefix of the image), bytes
+      20      4     bss size (zero-initialised data), bytes
+      24      4     stack size, bytes
+      28      4     relocation count n
+      32      4n    relocation offsets (byte offsets into the image of
+                    32-bit fields holding base-relative addresses)
+      32+4n   ...   the image, linked at base 0
+    v}
+
+    A loaded task occupies [image ++ bss ++ stack] contiguously; the
+    loader adds the load base to every relocated field ({e apply}) and the
+    RTM subtracts it again to compute a position-independent measurement
+    ({e revert}). *)
+
+type t = {
+  entry : int;  (** offset of the entry point within the image *)
+  image : bytes;  (** code + initialised data, linked at base 0 *)
+  text_size : int;  (** executable prefix of the image; the rest is data *)
+  relocations : int array;  (** sorted byte offsets of absolute fields *)
+  bss_size : int;
+  stack_size : int;
+}
+
+val magic : string
+val version : int
+val header_size : int
+(** Fixed part of the header, excluding the relocation table (32). *)
+
+val make :
+  entry:int ->
+  image:bytes ->
+  text_size:int ->
+  relocations:int array ->
+  bss_size:int ->
+  stack_size:int ->
+  t
+(** Validates: entry within the text, relocation offsets word-sized and
+    inside the image, sizes non-negative.  @raise Invalid_argument *)
+
+val memory_footprint : t -> int
+(** Bytes of RAM the loaded task occupies: image + bss + stack. *)
+
+val encode : t -> bytes
+
+val decode : bytes -> (t, string) result
+(** Parse and validate an encoded binary. *)
+
+val reloc_count : t -> int
+
+val pp : Format.formatter -> t -> unit

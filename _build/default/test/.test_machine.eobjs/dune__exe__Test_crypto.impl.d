@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Constant_time Hmac Kdf Keystream List Printf Sha1 Sha256 String Tytan_crypto

@@ -1,0 +1,1 @@
+test/test_eampu.ml: Access Alcotest Eampu List Perm Region Tytan_eampu Tytan_machine

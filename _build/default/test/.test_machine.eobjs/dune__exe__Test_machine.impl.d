@@ -1,0 +1,1 @@
+test/test_machine.ml: Access Alcotest Array Assembler Bytes Char Cpu Cycles Devices Disasm Exception_engine Format Isa List Memory Option Regfile String Trace Tytan_machine Word

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Attestation Bytes Cosim Link List Option Platform Protocol Result Rtm Task_id Tytan_core Tytan_machine Tytan_netsim Tytan_tasks Verifier

@@ -1,0 +1,1 @@
+test/test_provision.ml: Alcotest Attestation Bytes Fleet List Platform Registry Result Rtm Tytan_core Tytan_machine Tytan_netsim Tytan_provision Tytan_tasks Tytan_telf

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Heap Ipc Lazy List Option Platform Printf Result Rtm Tcb Toolchain Tytan_core Tytan_eampu Tytan_machine Tytan_rtos Tytan_tasks

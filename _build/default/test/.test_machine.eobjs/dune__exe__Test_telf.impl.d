@@ -1,0 +1,1 @@
+test/test_telf.ml: Alcotest Assembler Builder Bytes Int32 Isa Relocate Result Telf Tytan_machine Tytan_telf Word

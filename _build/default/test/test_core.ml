@@ -1,0 +1,432 @@
+(* Core component tests: task identities, the heap, the toolchain stub,
+   the EA-MPU driver protocol, RTM measurement and the loader state
+   machine (including cycle-cost structure). *)
+
+open Tytan_machine
+open Tytan_eampu
+open Tytan_telf
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Task_id ------------------------------------------------------------- *)
+
+let task_id_tests =
+  [
+    Alcotest.test_case "64-bit truncation of sha1" `Quick (fun () ->
+        let digest = Tytan_crypto.Sha1.digest_string "abc" in
+        let id = Task_id.of_digest digest in
+        check_bool "prefix" true
+          (Bytes.sub digest 0 8 = Task_id.to_bytes id));
+    Alcotest.test_case "words round trip" `Quick (fun () ->
+        let id = Task_id.of_image (Bytes.of_string "some binary") in
+        let lo, hi = Task_id.to_words id in
+        check_bool "round trip" true (Task_id.equal id (Task_id.of_words ~lo ~hi)));
+    Alcotest.test_case "different images different ids" `Quick (fun () ->
+        check_bool "differ" false
+          (Task_id.equal
+             (Task_id.of_image (Bytes.of_string "a"))
+             (Task_id.of_image (Bytes.of_string "b"))));
+    Alcotest.test_case "hex is 16 chars" `Quick (fun () ->
+        check_int "hex length" 16
+          (String.length (Task_id.to_hex (Task_id.of_image Bytes.empty))));
+    Alcotest.test_case "of_bytes validates length" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Task_id.of_bytes (Bytes.make 7 'x'));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "usable as map key" `Quick (fun () ->
+        let id = Task_id.of_image (Bytes.of_string "x") in
+        let m = Task_id.Map.(add id 42 empty) in
+        check_int "found" 42 (Task_id.Map.find id m));
+  ]
+
+(* --- Heap ---------------------------------------------------------------- *)
+
+let heap_tests =
+  [
+    Alcotest.test_case "allocations are 16-aligned and disjoint" `Quick
+      (fun () ->
+        let h = Heap.create ~base:0x1003 ~size:0x1000 in
+        let a = Option.get (Heap.alloc h ~size:100) in
+        let b = Option.get (Heap.alloc h ~size:100) in
+        check_int "a aligned" 0 (a mod 16);
+        check_int "b aligned" 0 (b mod 16);
+        check_bool "disjoint" true (b >= a + 100 || a >= b + 100));
+    Alcotest.test_case "free and reuse" `Quick (fun () ->
+        let h = Heap.create ~base:0x1000 ~size:0x200 in
+        let a = Option.get (Heap.alloc h ~size:0x100) in
+        check_bool "second may fail" true (Heap.alloc h ~size:0x180 = None);
+        Heap.free h a;
+        check_bool "fits after free" true (Heap.alloc h ~size:0x180 <> None));
+    Alcotest.test_case "coalescing restores the full block" `Quick (fun () ->
+        let h = Heap.create ~base:0x1000 ~size:0x300 in
+        let a = Option.get (Heap.alloc h ~size:0x100) in
+        let b = Option.get (Heap.alloc h ~size:0x100) in
+        let c = Option.get (Heap.alloc h ~size:0x100) in
+        Heap.free h a;
+        Heap.free h c;
+        Heap.free h b;
+        check_int "one big block" 0x300 (Heap.largest_free_block h));
+    Alcotest.test_case "double free rejected" `Quick (fun () ->
+        let h = Heap.create ~base:0x1000 ~size:0x100 in
+        let a = Option.get (Heap.alloc h ~size:16) in
+        Heap.free h a;
+        check_bool "raises" true
+          (try
+             Heap.free h a;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "exhaustion returns None" `Quick (fun () ->
+        let h = Heap.create ~base:0x1000 ~size:64 in
+        check_bool "too big" true (Heap.alloc h ~size:128 = None));
+    Alcotest.test_case "accounting" `Quick (fun () ->
+        let h = Heap.create ~base:0x1000 ~size:0x1000 in
+        let _ = Heap.alloc h ~size:100 in
+        check_int "one allocation" 1 (Heap.allocation_count h);
+        check_int "rounded to 16" 112 (Heap.allocated_bytes h));
+  ]
+
+(* --- Toolchain ----------------------------------------------------------- *)
+
+let toolchain_tests =
+  [
+    Alcotest.test_case "stub dispatches on the reason register" `Quick
+      (fun () ->
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun p ->
+              Assembler.label p "main";
+              Assembler.instr p Isa.Halt)
+            ()
+        in
+        (* First instruction compares the reason register against RESUME. *)
+        match Isa.decode (Bytes.sub prog.image 0 Isa.width) with
+        | Isa.Cmpi (r, v) ->
+            check_int "reason register" Regfile.reason r;
+            check_int "resume code" Toolchain.reason_resume v
+        | _ -> Alcotest.fail "expected cmpi");
+    Alcotest.test_case "stub has the documented size" `Quick (fun () ->
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun p ->
+              Assembler.label p "main";
+              Assembler.instr p Isa.Halt)
+            ()
+        in
+        (* stub + the one-instruction default message handler *)
+        check_int "main after stub"
+          ((Toolchain.entry_stub_instructions + 1) * Isa.width)
+          (List.assoc "main" prog.symbols));
+    Alcotest.test_case "default message handler provided" `Quick (fun () ->
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun p ->
+              Assembler.label p "main";
+              Assembler.instr p Isa.Halt)
+            ()
+        in
+        check_bool "on_message defined" true
+          (List.mem_assoc "on_message" prog.symbols));
+    Alcotest.test_case "normal program has no stub" `Quick (fun () ->
+        let prog =
+          Toolchain.normal_program ~main:(fun p ->
+              Assembler.label p "main";
+              Assembler.instr p Isa.Halt)
+        in
+        check_int "entry at 0" 0 prog.entry;
+        (* first instruction is the jump to main *)
+        match Isa.decode (Bytes.sub prog.image 0 Isa.width) with
+        | Isa.Jmp _ -> ()
+        | _ -> Alcotest.fail "expected jmp");
+  ]
+
+(* --- MPU driver ---------------------------------------------------------- *)
+
+let mpu_fixture () =
+  let clock = Cycles.create () in
+  let eampu = Eampu.create ~slots:18 () in
+  (clock, eampu, Mpu_driver.create eampu clock ~code_eip:0x100)
+
+let exec_rule base =
+  Eampu.Exec { region = Region.make ~base ~size:0x100; entry = None }
+
+let mpu_driver_tests =
+  [
+    Alcotest.test_case "install uses first free slot" `Quick (fun () ->
+        let _, eampu, mpu = mpu_fixture () in
+        check_bool "slot 0" true (Mpu_driver.install_rule mpu (exec_rule 0x1000) = Ok 0);
+        check_bool "slot 1" true (Mpu_driver.install_rule mpu (exec_rule 0x2000) = Ok 1);
+        check_int "two used" 2 (Eampu.used_slots eampu));
+    Alcotest.test_case "conflicting rule rejected, no slot burned" `Quick
+      (fun () ->
+        let _, eampu, mpu = mpu_fixture () in
+        ignore (Mpu_driver.install_rule mpu (exec_rule 0x1000));
+        check_bool "rejected" true
+          (Result.is_error (Mpu_driver.install_rule mpu (exec_rule 0x1080)));
+        check_int "still one slot" 1 (Eampu.used_slots eampu));
+    Alcotest.test_case "cycle cost matches Table 6 structure" `Quick
+      (fun () ->
+        let clock, _, mpu = mpu_fixture () in
+        (* First install probes slot 0 (paper's position 1). *)
+        let _, cost1 =
+          Cycles.measure clock (fun () ->
+              Mpu_driver.install_rule mpu (exec_rule 0x1000))
+        in
+        check_int "position 1"
+          (Cost_model.eampu_find_slot_base + Cost_model.eampu_policy_check
+         + Cost_model.eampu_write_rule)
+          cost1;
+        (* Second install probes into slot 1: one extra step. *)
+        let _, cost2 =
+          Cycles.measure clock (fun () ->
+              Mpu_driver.install_rule mpu (exec_rule 0x2000))
+        in
+        check_int "position 2 adds one probe step"
+          (cost1 + Cost_model.eampu_find_slot_step)
+          cost2);
+    Alcotest.test_case "remove frees slots for reuse" `Quick (fun () ->
+        let _, _, mpu = mpu_fixture () in
+        let slot = Result.get_ok (Mpu_driver.install_rule mpu (exec_rule 0x1000)) in
+        Mpu_driver.remove_slot mpu slot;
+        check_bool "slot reused" true
+          (Mpu_driver.install_rule mpu (exec_rule 0x3000) = Ok slot));
+    Alcotest.test_case "full unit reports no free slot" `Quick (fun () ->
+        let _, _, mpu = mpu_fixture () in
+        for i = 0 to 17 do
+          ignore (Mpu_driver.install_rule mpu (exec_rule (0x1000 + (i * 0x200))))
+        done;
+        check_bool "error" true
+          (Result.is_error (Mpu_driver.install_rule mpu (exec_rule 0x9000))));
+    Alcotest.test_case "static install charges nothing" `Quick (fun () ->
+        let clock, _, mpu = mpu_fixture () in
+        let _, cost =
+          Cycles.measure clock (fun () ->
+              Mpu_driver.install_static mpu (exec_rule 0x1000))
+        in
+        check_int "free at boot" 0 cost);
+  ]
+
+(* --- RTM ----------------------------------------------------------------- *)
+
+let rtm_fixture () =
+  let mem = Memory.create ~size:0x10000 in
+  let clock = Cycles.create () in
+  let engine = Exception_engine.create mem ~idt_base:0x100 in
+  let cpu = Cpu.create mem clock engine in
+  (mem, clock, cpu, Rtm.create cpu ~code_eip:0x500)
+
+let load_image mem ~base (telf : Telf.t) =
+  let image = Bytes.copy telf.image in
+  Relocate.apply ~base ~image ~relocations:telf.relocations;
+  Memory.blit_bytes mem base image
+
+let rtm_tests =
+  [
+    Alcotest.test_case "measurement matches reference identity" `Quick
+      (fun () ->
+        let mem, _, _, rtm = rtm_fixture () in
+        let telf = Builder.synthetic ~image_size:300 ~reloc_count:5 ~stack_size:64 () in
+        load_image mem ~base:0x2000 telf;
+        let id = Rtm.measure rtm ~base:0x2000 ~telf in
+        check_bool "position independent" true
+          (Task_id.equal id (Rtm.identity_of_telf telf)));
+    Alcotest.test_case "measurement is location independent" `Quick (fun () ->
+        let mem, _, _, rtm = rtm_fixture () in
+        let telf = Builder.synthetic ~image_size:200 ~reloc_count:3 ~stack_size:64 () in
+        load_image mem ~base:0x2000 telf;
+        let id1 = Rtm.measure rtm ~base:0x2000 ~telf in
+        load_image mem ~base:0x7000 telf;
+        let id2 = Rtm.measure rtm ~base:0x7000 ~telf in
+        check_bool "same identity at both bases" true (Task_id.equal id1 id2));
+    Alcotest.test_case "corrupted image changes the identity" `Quick
+      (fun () ->
+        let mem, _, _, rtm = rtm_fixture () in
+        let telf = Builder.synthetic ~image_size:200 ~reloc_count:0 ~stack_size:64 () in
+        load_image mem ~base:0x2000 telf;
+        Memory.write8 mem 0x2005 0xEE;
+        let id = Rtm.measure rtm ~base:0x2000 ~telf in
+        check_bool "detected" false (Task_id.equal id (Rtm.identity_of_telf telf)));
+    Alcotest.test_case "cost linear in blocks (Table 7 structure)" `Quick
+      (fun () ->
+        let mem, clock, _, rtm = rtm_fixture () in
+        let cost_of blocks =
+          let telf =
+            Builder.synthetic ~image_size:(blocks * 64) ~reloc_count:0
+              ~stack_size:64 ()
+          in
+          load_image mem ~base:0x2000 telf;
+          snd (Cycles.measure clock (fun () -> ignore (Rtm.measure rtm ~base:0x2000 ~telf)))
+        in
+        let c1 = cost_of 1 and c2 = cost_of 2 and c4 = cost_of 4 in
+        check_int "block slope" Cost_model.rtm_per_block (c2 - c1);
+        check_int "linear" (2 * Cost_model.rtm_per_block) (c4 - c2));
+    Alcotest.test_case "cost linear in reverted addresses" `Quick (fun () ->
+        let mem, clock, _, rtm = rtm_fixture () in
+        let cost_of relocs =
+          let telf =
+            Builder.synthetic ~image_size:256 ~reloc_count:relocs ~stack_size:64 ()
+          in
+          load_image mem ~base:0x2000 telf;
+          snd (Cycles.measure clock (fun () -> ignore (Rtm.measure rtm ~base:0x2000 ~telf)))
+        in
+        check_int "address slope" Cost_model.rtm_revert_per_address
+          (cost_of 1 - cost_of 0));
+    Alcotest.test_case "interruptible: one block per step" `Quick (fun () ->
+        let mem, _, _, rtm = rtm_fixture () in
+        let telf = Builder.synthetic ~image_size:256 ~reloc_count:0 ~stack_size:64 () in
+        load_image mem ~base:0x2000 telf;
+        let job = Rtm.start_measure rtm ~base:0x2000 ~telf in
+        let rec count n =
+          match Rtm.step_measure rtm job with
+          | `More -> count (n + 1)
+          | `Done _ -> n + 1
+        in
+        check_int "4 blocks, 4 steps" 4 (count 0));
+    Alcotest.test_case "directory register/find/unregister" `Quick (fun () ->
+        let _, _, _, rtm = rtm_fixture () in
+        let telf = Builder.synthetic ~image_size:64 ~reloc_count:0 ~stack_size:64 () in
+        let id = Rtm.identity_of_telf telf in
+        let tcb =
+          Tytan_rtos.Tcb.make ~id:1 ~name:"x" ~priority:1 ~secure:true
+            ~region_base:0x2000 ~region_size:0x200 ~code_base:0x2000
+            ~code_size:0x40 ~entry:0x2000 ~stack_base:0x2100 ~stack_size:0x100
+            ~inbox_base:0x20C0
+        in
+        Rtm.register rtm { Rtm.id; tcb; base = 0x2000; telf; slots = []; provider = "p" };
+        check_bool "find by id" true (Rtm.find rtm id <> None);
+        check_bool "find by eip inside code" true
+          (Rtm.find_by_eip rtm 0x2010 <> None);
+        check_bool "eip outside code misses" true
+          (Rtm.find_by_eip rtm 0x2100 = None);
+        Rtm.unregister rtm id;
+        check_bool "gone" true (Rtm.find rtm id = None));
+  ]
+
+(* --- Loader (on a live platform) ----------------------------------------- *)
+
+let loader_tests =
+  [
+    Alcotest.test_case "table 4 cost structure: secure load decomposition"
+      `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Toolchain.synthetic_secure ~image_size:3832 ~reloc_count:9 ~stack_size:128 in
+        (* footprint ≈ the paper's 3 962-byte task *)
+        let _, total =
+          Cycles.measure (Platform.clock p) (fun () ->
+              ignore (Platform.load_blocking p ~name:"t" telf))
+        in
+        let blocks = (3832 + 63) / 64 in
+        let measurement_floor = blocks * Cost_model.rtm_per_block in
+        check_bool "RTM dominates but is not everything" true
+          (total > measurement_floor
+          && measurement_floor * 100 / total > 30));
+    Alcotest.test_case "normal load skips measurement" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf () = Toolchain.synthetic_secure ~image_size:3832 ~reloc_count:9 ~stack_size:128 in
+        let _, secure_cost =
+          Cycles.measure (Platform.clock p) (fun () ->
+              ignore (Platform.load_blocking p ~name:"s" (telf ())))
+        in
+        let _, normal_cost =
+          Cycles.measure (Platform.clock p) (fun () ->
+              ignore (Platform.load_blocking p ~name:"n" ~secure:false (telf ())))
+        in
+        check_bool "secure far costlier" true
+          (secure_cost - normal_cost > 50 * Cost_model.rtm_per_block));
+    Alcotest.test_case "secure load installs five rules" `Quick (fun () ->
+        let p = Platform.create () in
+        let eampu = Option.get (Platform.eampu p) in
+        let before = Eampu.used_slots eampu in
+        let telf = Tasks.counter () in
+        ignore (Result.get_ok (Platform.load_blocking p ~name:"c" telf));
+        check_int "five rules" 5 (Eampu.used_slots eampu - before));
+    Alcotest.test_case "unload returns slots and memory" `Quick (fun () ->
+        let p = Platform.create () in
+        let eampu = Option.get (Platform.eampu p) in
+        let slots_before = Eampu.used_slots eampu in
+        let heap_before = Heap.allocated_bytes (Platform.heap p) in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"c" (Tasks.counter ())) in
+        Platform.unload p tcb;
+        check_int "slots back" slots_before (Eampu.used_slots eampu);
+        check_int "heap back" heap_before (Heap.allocated_bytes (Platform.heap p)));
+    Alcotest.test_case "loading many tasks exhausts slots gracefully" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let rec load n =
+          match Platform.load_blocking p ~name:(Printf.sprintf "t%d" n) (Tasks.counter ()) with
+          | Ok _ when n < 20 -> load (n + 1)
+          | Ok _ -> `Too_many
+          | Error _ -> `Failed_at n
+        in
+        match load 0 with
+        | `Failed_at n -> check_bool "some loads succeeded first" true (n >= 3)
+        | `Too_many -> Alcotest.fail "expected slot exhaustion");
+    Alcotest.test_case "out-of-memory load fails cleanly" `Quick (fun () ->
+        let p = Platform.create () in
+        let heap_before = Heap.allocated_bytes (Platform.heap p) in
+        let huge =
+          Builder.synthetic ~image_size:4096 ~reloc_count:0
+            ~stack_size:(8 * 1024 * 1024) ()
+        in
+        check_bool "rejected" true
+          (Result.is_error (Platform.load_blocking p ~name:"huge" huge));
+        check_int "no leak" heap_before (Heap.allocated_bytes (Platform.heap p)));
+    Alcotest.test_case "identity listed after load" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let _ = Result.get_ok (Platform.load_blocking p ~name:"c" telf) in
+        let rtm = Option.get (Platform.rtm p) in
+        check_bool "in directory" true
+          (Rtm.find rtm (Rtm.identity_of_telf telf) <> None));
+    Alcotest.test_case "async load completes via the service task" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        Platform.submit_load p ~name:"async" telf;
+        check_int "queued" 1 (Loader.pending (Platform.loader p));
+        Platform.run_ticks p 80;
+        check_int "drained" 0 (Loader.pending (Platform.loader p));
+        check_bool "task created" true
+          (Tytan_rtos.Kernel.find_task_by_name (Platform.kernel p) "async" <> None));
+    Alcotest.test_case "baseline platform rejects secure tasks" `Quick
+      (fun () ->
+        let p = Platform.create ~config:Platform.baseline_config () in
+        check_bool "rejected" true
+          (Result.is_error
+             (Platform.load_blocking p ~name:"s" (Tasks.counter ()))));
+  ]
+
+let cost_model_tests =
+  [
+    Alcotest.test_case "table 2 components sum to the paper's 95" `Quick
+      (fun () ->
+        check_int "95" 95
+          (Cost_model.int_mux_store_context + Cost_model.int_mux_wipe_registers
+         + Cost_model.int_mux_branch));
+    Alcotest.test_case "table 2 overhead is 57" `Quick (fun () ->
+        check_int "57" 57
+          (Cost_model.int_mux_store_context + Cost_model.int_mux_wipe_registers
+          + Cost_model.int_mux_branch - Cost_model.freertos_save));
+    Alcotest.test_case "ipc proxy components sum to 1208" `Quick (fun () ->
+        check_int "1208" 1208 Cost_model.ipc_proxy_total);
+    Alcotest.test_case "table 6 position 18 cost" `Quick (fun () ->
+        check_int "399 find cost at slot 18"
+          399
+          (Cost_model.eampu_find_slot_base + (17 * Cost_model.eampu_find_slot_step)));
+  ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ("task-id", task_id_tests);
+      ("heap", heap_tests);
+      ("toolchain", toolchain_tests);
+      ("mpu-driver", mpu_driver_tests);
+      ("rtm", rtm_tests);
+      ("loader", loader_tests);
+      ("cost-model", cost_model_tests);
+    ]

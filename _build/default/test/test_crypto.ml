@@ -1,0 +1,258 @@
+(* Crypto substrate tests: SHA-1 and HMAC against published vectors, key
+   derivation, the storage cipher, and constant-time comparison. *)
+
+module Crypto = Tytan_crypto
+open Crypto
+
+let check_hex msg expected b = Alcotest.(check string) msg expected (Sha1.to_hex b)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* FIPS 180-1 / RFC 3174 test vectors. *)
+let sha1_tests =
+  [
+    Alcotest.test_case "empty string" `Quick (fun () ->
+        check_hex "vector" "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+          (Sha1.digest_string ""));
+    Alcotest.test_case "abc" `Quick (fun () ->
+        check_hex "vector" "a9993e364706816aba3e25717850c26c9cd0d89d"
+          (Sha1.digest_string "abc"));
+    Alcotest.test_case "two-block message" `Quick (fun () ->
+        check_hex "vector" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+          (Sha1.digest_string
+             "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+    Alcotest.test_case "million a" `Slow (fun () ->
+        check_hex "vector" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+          (Sha1.digest (Bytes.make 1_000_000 'a')));
+    Alcotest.test_case "streaming equals one-shot" `Quick (fun () ->
+        let data = Bytes.of_string (String.init 300 (fun i -> Char.chr (i land 0xFF))) in
+        let ctx = Sha1.init () in
+        Sha1.feed_sub ctx data ~pos:0 ~len:100;
+        Sha1.feed_sub ctx data ~pos:100 ~len:1;
+        Sha1.feed_sub ctx data ~pos:101 ~len:199;
+        check_bool "equal" true (Sha1.finalize ctx = Sha1.digest data));
+    Alcotest.test_case "compression count" `Quick (fun () ->
+        let ctx = Sha1.init () in
+        Sha1.feed ctx (Bytes.make 128 'x');
+        check_int "two blocks" 2 (Sha1.compression_count ctx));
+    Alcotest.test_case "boundary lengths (55, 56, 63, 64, 65)" `Quick
+      (fun () ->
+        (* Padding edge cases must round-trip through the streaming API. *)
+        List.iter
+          (fun n ->
+            let data = Bytes.make n 'q' in
+            let ctx = Sha1.init () in
+            Sha1.feed ctx data;
+            check_bool
+              (Printf.sprintf "len %d" n)
+              true
+              (Sha1.finalize ctx = Sha1.digest data))
+          [ 55; 56; 63; 64; 65 ]);
+    Alcotest.test_case "double finalize rejected" `Quick (fun () ->
+        let ctx = Sha1.init () in
+        ignore (Sha1.finalize ctx);
+        check_bool "raises" true
+          (try
+             ignore (Sha1.finalize ctx);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "global compression counter advances" `Quick (fun () ->
+        let before = Sha1.total_compressions () in
+        ignore (Sha1.digest (Bytes.make 64 'z'));
+        check_bool "advanced" true (Sha1.total_compressions () > before));
+  ]
+
+(* RFC 2202 HMAC-SHA1 vectors. *)
+let hmac_tests =
+  [
+    Alcotest.test_case "rfc2202 case 1" `Quick (fun () ->
+        check_hex "tag" "b617318655057264e28bc0b6fb378c8ef146be00"
+          (Hmac.mac_string ~key:(Bytes.make 20 '\x0b') "Hi There"));
+    Alcotest.test_case "rfc2202 case 2 (short key)" `Quick (fun () ->
+        check_hex "tag" "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+          (Hmac.mac_string ~key:(Bytes.of_string "Jefe")
+             "what do ya want for nothing?"));
+    Alcotest.test_case "rfc2202 case 3" `Quick (fun () ->
+        check_hex "tag" "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+          (Hmac.mac ~key:(Bytes.make 20 '\xaa') (Bytes.make 50 '\xdd')));
+    Alcotest.test_case "rfc2202 case 6 (long key hashed)" `Quick (fun () ->
+        check_hex "tag" "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+          (Hmac.mac_string ~key:(Bytes.make 80 '\xaa')
+             "Test Using Larger Than Block-Size Key - Hash Key First"));
+    Alcotest.test_case "verify accepts valid tag" `Quick (fun () ->
+        let key = Bytes.of_string "k" in
+        let msg = Bytes.of_string "m" in
+        check_bool "ok" true (Hmac.verify ~key msg ~tag:(Hmac.mac ~key msg)));
+    Alcotest.test_case "verify rejects flipped bit" `Quick (fun () ->
+        let key = Bytes.of_string "k" in
+        let msg = Bytes.of_string "m" in
+        let tag = Hmac.mac ~key msg in
+        Bytes.set tag 0 (Char.chr (Char.code (Bytes.get tag 0) lxor 1));
+        check_bool "rejected" false (Hmac.verify ~key msg ~tag));
+    Alcotest.test_case "different keys different tags" `Quick (fun () ->
+        let msg = Bytes.of_string "msg" in
+        check_bool "differ" false
+          (Hmac.mac ~key:(Bytes.of_string "a") msg
+          = Hmac.mac ~key:(Bytes.of_string "b") msg));
+  ]
+
+let kdf_tests =
+  [
+    Alcotest.test_case "purposes are independent" `Quick (fun () ->
+        let kp = Bytes.make 20 'K' in
+        check_bool "differ" false
+          (Kdf.derive ~platform_key:kp ~purpose:"a"
+          = Kdf.derive ~platform_key:kp ~purpose:"b"));
+    Alcotest.test_case "task key binds identity" `Quick (fun () ->
+        let kp = Bytes.make 20 'K' in
+        let id1 = Bytes.of_string "task-id1" in
+        let id2 = Bytes.of_string "task-id2" in
+        check_bool "differ" false
+          (Kdf.derive_task_key ~platform_key:kp ~task_id:id1
+          = Kdf.derive_task_key ~platform_key:kp ~task_id:id2));
+    Alcotest.test_case "task key binds platform" `Quick (fun () ->
+        let id = Bytes.of_string "task-id1" in
+        check_bool "differ" false
+          (Kdf.derive_task_key ~platform_key:(Bytes.make 20 'A') ~task_id:id
+          = Kdf.derive_task_key ~platform_key:(Bytes.make 20 'B') ~task_id:id));
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let kp = Bytes.make 20 'K' in
+        check_bool "stable" true
+          (Kdf.derive ~platform_key:kp ~purpose:"x"
+          = Kdf.derive ~platform_key:kp ~purpose:"x"));
+    Alcotest.test_case "provider keys differ per provider" `Quick (fun () ->
+        let kp = Bytes.make 20 'K' in
+        check_bool "differ" false
+          (Kdf.derive_provider_key ~platform_key:kp ~provider:"oem"
+          = Kdf.derive_provider_key ~platform_key:kp ~provider:"supplier"));
+  ]
+
+let keystream_tests =
+  [
+    Alcotest.test_case "seal/open round trip" `Quick (fun () ->
+        let key = Bytes.make 20 'S' in
+        let nonce = Bytes.of_string "n0" in
+        let plain = Bytes.of_string "the plaintext payload" in
+        let sealed = Keystream.seal ~key ~nonce plain in
+        check_bool "round trip" true
+          (Keystream.open_sealed ~key sealed = Some plain));
+    Alcotest.test_case "wrong key fails" `Quick (fun () ->
+        let sealed =
+          Keystream.seal ~key:(Bytes.make 20 'A') ~nonce:(Bytes.of_string "n")
+            (Bytes.of_string "data")
+        in
+        check_bool "rejected" true
+          (Keystream.open_sealed ~key:(Bytes.make 20 'B') sealed = None));
+    Alcotest.test_case "tampered ciphertext fails" `Quick (fun () ->
+        let key = Bytes.make 20 'A' in
+        let sealed =
+          Keystream.seal ~key ~nonce:(Bytes.of_string "n")
+            (Bytes.of_string "data!")
+        in
+        Bytes.set sealed.Keystream.ciphertext 0 '\xFF';
+        check_bool "rejected" true (Keystream.open_sealed ~key sealed = None));
+    Alcotest.test_case "ciphertext differs from plaintext" `Quick (fun () ->
+        let key = Bytes.make 20 'A' in
+        let plain = Bytes.of_string "sixteen byte msg" in
+        let sealed = Keystream.seal ~key ~nonce:(Bytes.of_string "n") plain in
+        check_bool "encrypted" false (sealed.Keystream.ciphertext = plain));
+    Alcotest.test_case "distinct nonces give distinct ciphertexts" `Quick
+      (fun () ->
+        let key = Bytes.make 20 'A' in
+        let plain = Bytes.of_string "same plaintext" in
+        let s1 = Keystream.seal ~key ~nonce:(Bytes.of_string "n1") plain in
+        let s2 = Keystream.seal ~key ~nonce:(Bytes.of_string "n2") plain in
+        check_bool "differ" false
+          (s1.Keystream.ciphertext = s2.Keystream.ciphertext));
+    Alcotest.test_case "encode/decode round trip" `Quick (fun () ->
+        let key = Bytes.make 20 'A' in
+        let sealed =
+          Keystream.seal ~key ~nonce:(Bytes.of_string "nonce-8b")
+            (Bytes.of_string "payload bytes")
+        in
+        match Keystream.decode (Keystream.encode sealed) with
+        | Some decoded ->
+            check_bool "open after decode" true
+              (Keystream.open_sealed ~key decoded
+              = Some (Bytes.of_string "payload bytes"))
+        | None -> Alcotest.fail "decode failed");
+    Alcotest.test_case "decode rejects truncation" `Quick (fun () ->
+        let key = Bytes.make 20 'A' in
+        let encoded =
+          Keystream.encode
+            (Keystream.seal ~key ~nonce:(Bytes.of_string "n")
+               (Bytes.of_string "xyz"))
+        in
+        check_bool "rejected" true
+          (Keystream.decode (Bytes.sub encoded 0 (Bytes.length encoded - 3))
+          = None));
+    Alcotest.test_case "empty payload" `Quick (fun () ->
+        let key = Bytes.make 20 'A' in
+        let sealed = Keystream.seal ~key ~nonce:(Bytes.of_string "n") Bytes.empty in
+        check_bool "round trip" true
+          (Keystream.open_sealed ~key sealed = Some Bytes.empty));
+  ]
+
+let constant_time_tests =
+  [
+    Alcotest.test_case "equal strings" `Quick (fun () ->
+        check_bool "eq" true
+          (Constant_time.equal (Bytes.of_string "abc") (Bytes.of_string "abc")));
+    Alcotest.test_case "different strings" `Quick (fun () ->
+        check_bool "neq" false
+          (Constant_time.equal (Bytes.of_string "abc") (Bytes.of_string "abd")));
+    Alcotest.test_case "length mismatch" `Quick (fun () ->
+        check_bool "neq" false
+          (Constant_time.equal (Bytes.of_string "ab") (Bytes.of_string "abc")));
+    Alcotest.test_case "empty" `Quick (fun () ->
+        check_bool "eq" true (Constant_time.equal Bytes.empty Bytes.empty));
+  ]
+
+(* FIPS 180-4 test vectors. *)
+let sha256_tests =
+  [
+    Alcotest.test_case "empty string" `Quick (fun () ->
+        Alcotest.(check string) "vector"
+          "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+          (Sha256.to_hex (Sha256.digest_string "")));
+    Alcotest.test_case "abc" `Quick (fun () ->
+        Alcotest.(check string) "vector"
+          "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+          (Sha256.to_hex (Sha256.digest_string "abc")));
+    Alcotest.test_case "two-block message" `Quick (fun () ->
+        Alcotest.(check string) "vector"
+          "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+          (Sha256.to_hex
+             (Sha256.digest_string
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")));
+    Alcotest.test_case "streaming equals one-shot" `Quick (fun () ->
+        let data = Bytes.of_string (String.init 200 (fun i -> Char.chr (i land 0xFF))) in
+        let ctx = Sha256.init () in
+        Sha256.feed_sub ctx data ~pos:0 ~len:65;
+        Sha256.feed_sub ctx data ~pos:65 ~len:135;
+        check_bool "equal" true (Sha256.finalize ctx = Sha256.digest data));
+    Alcotest.test_case "padding boundaries (55, 56, 63, 64, 65)" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let data = Bytes.make n 'q' in
+            let ctx = Sha256.init () in
+            Sha256.feed ctx data;
+            check_bool (Printf.sprintf "len %d" n) true
+              (Sha256.finalize ctx = Sha256.digest data))
+          [ 55; 56; 63; 64; 65 ]);
+    Alcotest.test_case "same block size as SHA-1 (RTM granularity)" `Quick
+      (fun () ->
+        check_int "64" Sha1.block_size Sha256.block_size);
+  ]
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ("sha1", sha1_tests);
+      ("sha256", sha256_tests);
+      ("hmac", hmac_tests);
+      ("kdf", kdf_tests);
+      ("keystream", keystream_tests);
+      ("constant-time", constant_time_tests);
+    ]

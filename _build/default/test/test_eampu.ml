@@ -1,0 +1,201 @@
+(* EA-MPU semantics: regions, permissions, slot management, overlap
+   policy, execution-aware checks and entry-point enforcement. *)
+
+open Tytan_machine
+open Tytan_eampu
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let region base size = Region.make ~base ~size
+
+let denied f =
+  try
+    f ();
+    false
+  with Access.Violation _ -> true
+
+let region_tests =
+  [
+    Alcotest.test_case "contains boundaries" `Quick (fun () ->
+        let r = region 100 10 in
+        check_bool "first" true (Region.contains r 100);
+        check_bool "last" true (Region.contains r 109);
+        check_bool "past end" false (Region.contains r 110);
+        check_bool "before" false (Region.contains r 99));
+    Alcotest.test_case "contains_range" `Quick (fun () ->
+        let r = region 100 10 in
+        check_bool "whole" true (Region.contains_range r 100 10);
+        check_bool "straddles end" false (Region.contains_range r 105 10);
+        check_bool "empty range" false (Region.contains_range r 100 0));
+    Alcotest.test_case "overlaps_range partial" `Quick (fun () ->
+        let r = region 100 10 in
+        check_bool "straddles start" true (Region.overlaps_range r 95 10);
+        check_bool "disjoint" false (Region.overlaps_range r 110 10));
+    Alcotest.test_case "region overlap symmetry" `Quick (fun () ->
+        let a = region 100 10 and b = region 105 10 and c = region 110 10 in
+        check_bool "a~b" true (Region.overlaps a b && Region.overlaps b a);
+        check_bool "a!~c" false (Region.overlaps a c));
+    Alcotest.test_case "invalid region rejected" `Quick (fun () ->
+        check_bool "zero size" true
+          (try
+             ignore (region 0 0);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "perm allows" `Quick (fun () ->
+        check_bool "r allows read" true (Perm.allows Perm.r Access.Read);
+        check_bool "r denies write" false (Perm.allows Perm.r Access.Write);
+        check_bool "rw allows write" true (Perm.allows Perm.rw Access.Write);
+        check_bool "perm never allows execute" false
+          (Perm.allows Perm.rw Access.Execute));
+  ]
+
+let slot_tests =
+  [
+    Alcotest.test_case "default slot count is 18" `Quick (fun () ->
+        check_int "slots" 18 (Eampu.slot_count (Eampu.create ())));
+    Alcotest.test_case "first_free_slot scans in order" `Quick (fun () ->
+        let e = Eampu.create ~slots:4 () in
+        Eampu.set_slot e 0 (Some (Exec { region = region 0x100 16; entry = None }));
+        Eampu.set_slot e 1 (Some (Exec { region = region 0x200 16; entry = None }));
+        check_bool "slot 2" true (Eampu.first_free_slot e = Some 2));
+    Alcotest.test_case "full unit has no free slot" `Quick (fun () ->
+        let e = Eampu.create ~slots:2 () in
+        for i = 0 to 1 do
+          Eampu.set_slot e i
+            (Some (Exec { region = region (0x100 * (i + 1)) 16; entry = None }))
+        done;
+        check_bool "none" true (Eampu.first_free_slot e = None));
+    Alcotest.test_case "clear frees the slot" `Quick (fun () ->
+        let e = Eampu.create ~slots:2 () in
+        Eampu.set_slot e 0 (Some (Exec { region = region 0x100 16; entry = None }));
+        Eampu.clear_slot e 0;
+        check_int "used" 0 (Eampu.used_slots e));
+    Alcotest.test_case "exec regions must not overlap" `Quick (fun () ->
+        let e = Eampu.create () in
+        Eampu.set_slot e 0 (Some (Exec { region = region 0x100 0x100; entry = None }));
+        let conflicting = Eampu.Exec { region = region 0x180 0x100; entry = None } in
+        check_int "one conflict" 1 (List.length (Eampu.conflicts e conflicting));
+        let disjoint = Eampu.Exec { region = region 0x300 0x100; entry = None } in
+        check_int "no conflict" 0 (List.length (Eampu.conflicts e disjoint)));
+    Alcotest.test_case "grants never conflict" `Quick (fun () ->
+        let e = Eampu.create () in
+        let code = region 0x100 0x100 in
+        Eampu.set_slot e 0 (Some (Exec { region = code; entry = None }));
+        Eampu.set_slot e 1
+          (Some (Grant { code; data = region 0x400 0x100; perm = Perm.rw }));
+        let another =
+          Eampu.Grant { code = region 0x800 16; data = region 0x400 0x100; perm = Perm.r }
+        in
+        check_int "no conflict" 0 (List.length (Eampu.conflicts e another)));
+    Alcotest.test_case "bad slot index rejected" `Quick (fun () ->
+        let e = Eampu.create ~slots:2 () in
+        check_bool "raises" true
+          (try
+             ignore (Eampu.slot e 5);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* A configured unit for check tests:
+   - task A: code at 0x1000 (entry 0x1000), data at 0x2000
+   - task B: code at 0x3000 (entry 0x3000), data at 0x4000
+   - OS: code at 0x5000 with a grant over task A's data only. *)
+let configured () =
+  let e = Eampu.create () in
+  let a_code = region 0x1000 0x100 in
+  let a_data = region 0x2000 0x100 in
+  let b_code = region 0x3000 0x100 in
+  let b_data = region 0x4000 0x100 in
+  let os_code = region 0x5000 0x100 in
+  Eampu.set_slot e 0 (Some (Exec { region = a_code; entry = Some 0x1000 }));
+  Eampu.set_slot e 1 (Some (Grant { code = a_code; data = a_data; perm = Perm.rw }));
+  Eampu.set_slot e 2 (Some (Exec { region = b_code; entry = Some 0x3000 }));
+  Eampu.set_slot e 3 (Some (Grant { code = b_code; data = b_data; perm = Perm.rw }));
+  Eampu.set_slot e 4 (Some (Exec { region = os_code; entry = None }));
+  Eampu.set_slot e 5 (Some (Grant { code = os_code; data = a_data; perm = Perm.r }));
+  Eampu.enable e;
+  e
+
+let check_tests =
+  [
+    Alcotest.test_case "disabled unit allows everything" `Quick (fun () ->
+        let e = Eampu.create () in
+        Eampu.check e ~eip:0 ~addr:0x9999 ~size:4 ~kind:Access.Write);
+    Alcotest.test_case "task reads own data" `Quick (fun () ->
+        let e = configured () in
+        Eampu.check e ~eip:0x1010 ~addr:0x2010 ~size:4 ~kind:Access.Read);
+    Alcotest.test_case "task writes own data" `Quick (fun () ->
+        let e = configured () in
+        Eampu.check e ~eip:0x1010 ~addr:0x2010 ~size:4 ~kind:Access.Write);
+    Alcotest.test_case "task cannot touch another task's data" `Quick
+      (fun () ->
+        let e = configured () in
+        check_bool "read denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x1010 ~addr:0x4010 ~size:4 ~kind:Access.Read));
+        check_bool "write denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x1010 ~addr:0x4010 ~size:4 ~kind:Access.Write)));
+    Alcotest.test_case "os grant is read-only" `Quick (fun () ->
+        let e = configured () in
+        Eampu.check e ~eip:0x5010 ~addr:0x2010 ~size:4 ~kind:Access.Read;
+        check_bool "write denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x5010 ~addr:0x2010 ~size:4 ~kind:Access.Write)));
+    Alcotest.test_case "uncovered memory is open" `Quick (fun () ->
+        let e = configured () in
+        Eampu.check e ~eip:0x1010 ~addr:0x8000 ~size:4 ~kind:Access.Write);
+    Alcotest.test_case "execute denied outside any exec region" `Quick
+      (fun () ->
+        let e = configured () in
+        check_bool "stack execution denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x1010 ~addr:0x2010 ~size:8
+                 ~kind:Access.Execute)));
+    Alcotest.test_case "internal jumps are free" `Quick (fun () ->
+        let e = configured () in
+        Eampu.check e ~eip:0x1008 ~addr:0x1080 ~size:8 ~kind:Access.Execute);
+    Alcotest.test_case "cross-region entry only at entry point" `Quick
+      (fun () ->
+        let e = configured () in
+        Eampu.check e ~eip:0x5010 ~addr:0x1000 ~size:8 ~kind:Access.Execute;
+        check_bool "mid-body entry denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x5010 ~addr:0x1050 ~size:8
+                 ~kind:Access.Execute)));
+    Alcotest.test_case "region without entry point is open to entry" `Quick
+      (fun () ->
+        let e = configured () in
+        Eampu.check e ~eip:0x1010 ~addr:0x5040 ~size:8 ~kind:Access.Execute);
+    Alcotest.test_case "code regions are not writable by anyone" `Quick
+      (fun () ->
+        let e = configured () in
+        check_bool "self write denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x1010 ~addr:0x1050 ~size:4 ~kind:Access.Write));
+        check_bool "foreign write denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x5010 ~addr:0x1050 ~size:4 ~kind:Access.Write)));
+    Alcotest.test_case "code readable only by itself" `Quick (fun () ->
+        let e = configured () in
+        Eampu.check e ~eip:0x1010 ~addr:0x1050 ~size:4 ~kind:Access.Read;
+        check_bool "foreign read denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x5010 ~addr:0x1050 ~size:4 ~kind:Access.Read)));
+    Alcotest.test_case "access straddling a protected boundary denied" `Quick
+      (fun () ->
+        let e = configured () in
+        (* 4-byte write starting 2 bytes before task A's data region ends
+           inside it; the grant requires full containment. *)
+        check_bool "straddle denied" true
+          (denied (fun () ->
+               Eampu.check e ~eip:0x1010 ~addr:0x1FFE ~size:4 ~kind:Access.Write)));
+  ]
+
+let () =
+  Alcotest.run "eampu"
+    [
+      ("region+perm", region_tests);
+      ("slots", slot_tests);
+      ("checks", check_tests);
+    ]

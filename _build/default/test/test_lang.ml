@@ -1,0 +1,397 @@
+(* Tasklang tests: validation, compilation, end-to-end execution on the
+   platform, and a differential property test — random programs must
+   compute the same results on the simulated CPU as in the reference
+   interpreter (exercising compiler → assembler → loader → CPU at once). *)
+
+open Tytan_machine
+open Tytan_rtos
+open Tytan_core
+open Tytan_lang
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Read global #i of a loaded Tasklang task (globals sit at the head of
+   the data section in declaration order). *)
+let global_word p (tcb : Tcb.t) telf i =
+  let eip =
+    match Platform.rtm p with
+    | Some rtm when tcb.Tcb.secure -> Rtm.code_eip rtm
+    | Some _ | None -> Kernel.code_eip (Platform.kernel p)
+  in
+  Cpu.with_firmware (Platform.cpu p) ~eip (fun () ->
+      Cpu.load32 (Platform.cpu p)
+        (tcb.Tcb.region_base + telf.Tytan_telf.Telf.text_size + (4 * i)))
+
+let run_program ?(secure = true) ?(ticks = 5) program =
+  let p =
+    if secure then Platform.create ()
+    else Platform.create ~config:Platform.baseline_config ()
+  in
+  let telf = Compile.to_telf ~secure program in
+  let tcb = Result.get_ok (Platform.load_blocking p ~name:"lang" ~secure telf) in
+  Platform.run_ticks p ticks;
+  (p, tcb, telf)
+
+let validation_tests =
+  [
+    Alcotest.test_case "undefined variable rejected" `Quick (fun () ->
+        let program = Ast.program [ Ast.Assign ("ghost", Ast.Int 1) ] in
+        check_bool "error" true (Result.is_error (Ast.validate program)));
+    Alcotest.test_case "duplicate global rejected" `Quick (fun () ->
+        let program =
+          Ast.program ~globals:[ ("x", 0); ("x", 1) ] [ Ast.Exit ]
+        in
+        check_bool "error" true (Result.is_error (Ast.validate program)));
+    Alcotest.test_case "oversized payload rejected" `Quick (fun () ->
+        let receiver = Task_id.of_image (Bytes.of_string "r") in
+        let program =
+          Ast.program
+            [ Ast.Send { payload = List.init 9 (fun i -> Ast.Int i); receiver; sync = false } ]
+        in
+        check_bool "error" true (Result.is_error (Ast.validate program)));
+    Alcotest.test_case "inbox word range checked" `Quick (fun () ->
+        let program =
+          Ast.program ~globals:[ ("x", 0) ]
+            [ Ast.Assign ("x", Ast.Inbox_word 8) ]
+        in
+        check_bool "error" true (Result.is_error (Ast.validate program)));
+    Alcotest.test_case "valid program accepted" `Quick (fun () ->
+        let program =
+          Ast.program ~globals:[ ("x", 0) ]
+            [ Ast.Assign ("x", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 1)) ]
+        in
+        check_bool "ok" true (Ast.validate program = Ok ()));
+  ]
+
+let execution_tests =
+  [
+    Alcotest.test_case "arithmetic program computes on the device" `Quick
+      (fun () ->
+        let open Ast in
+        let program =
+          program ~globals:[ ("out", 0) ]
+            [
+              Assign
+                ( "out",
+                  Binop (Mul, Binop (Add, Int 4, Int 3), Binop (Sub, Int 10, Int 4)) );
+              Exit;
+            ]
+        in
+        let p, tcb, telf = run_program program in
+        check_int "(4+3)*(10-4)" 42 (global_word p tcb telf 0));
+    Alcotest.test_case "while loop sums 1..10" `Quick (fun () ->
+        let open Ast in
+        let program =
+          program
+            ~globals:[ ("i", 1); ("sum", 0) ]
+            [
+              While
+                ( Binop (Lt, Var "i", Int 11),
+                  [
+                    Assign ("sum", Binop (Add, Var "sum", Var "i"));
+                    Assign ("i", Binop (Add, Var "i", Int 1));
+                  ] );
+              Exit;
+            ]
+        in
+        let p, tcb, telf = run_program program in
+        check_int "sum" 55 (global_word p tcb telf 1));
+    Alcotest.test_case "if/else both arms" `Quick (fun () ->
+        let open Ast in
+        let program =
+          program
+            ~globals:[ ("a", 0); ("b", 0) ]
+            [
+              If (Binop (Eq, Int 5, Int 5), [ Assign ("a", Int 1) ], [ Assign ("a", Int 2) ]);
+              If (Binop (Eq, Int 5, Int 6), [ Assign ("b", Int 1) ], [ Assign ("b", Int 2) ]);
+              Exit;
+            ]
+        in
+        let p, tcb, telf = run_program program in
+        check_int "then arm" 1 (global_word p tcb telf 0);
+        check_int "else arm" 2 (global_word p tcb telf 1));
+    Alcotest.test_case "dynamic shifts" `Quick (fun () ->
+        let open Ast in
+        let program =
+          program
+            ~globals:[ ("l", 0); ("r", 0); ("n", 5) ]
+            [
+              Assign ("l", Binop (Shl, Int 3, Var "n"));
+              Assign ("r", Binop (Shr, Int 0x1000, Var "n"));
+              Exit;
+            ]
+        in
+        let p, tcb, telf = run_program program in
+        check_int "3 << 5" 96 (global_word p tcb telf 0);
+        check_int "0x1000 >> 5" 0x80 (global_word p tcb telf 1));
+    Alcotest.test_case "volatile MMIO access from the language" `Quick
+      (fun () ->
+        let open Ast in
+        let sensor = 0xF300_0000 in
+        let program =
+          program ~globals:[ ("reading", 0) ]
+            [ Assign ("reading", Load (Int sensor)); Exit ]
+        in
+        let p = Platform.create () in
+        ignore
+          (Platform.attach_sensor p ~name:"s" ~base:sensor
+             ~sample:(fun ~cycles:_ -> 777));
+        let telf = Compile.to_telf program in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"mmio" telf) in
+        Platform.run_ticks p 3;
+        check_int "sensor read" 777 (global_word p tcb telf 0));
+    Alcotest.test_case "periodic task with delay holds its rate" `Quick
+      (fun () ->
+        let open Ast in
+        let program =
+          program ~globals:[ ("ticks", 0) ]
+            [
+              While
+                ( Int 1,
+                  [
+                    Assign ("ticks", Binop (Add, Var "ticks", Int 1));
+                    Delay (Int 1);
+                  ] );
+            ]
+        in
+        let p, tcb, telf = run_program ~ticks:12 program in
+        let n = global_word p tcb telf 0 in
+        check_bool "≈ once per tick" true (n >= 10 && n <= 13));
+    Alcotest.test_case "tasklang sender reaches a receiver" `Quick (fun () ->
+        let p = Platform.create () in
+        let rtelf = Tytan_tasks.Task_lib.ipc_receiver () in
+        let receiver = Result.get_ok (Platform.load_blocking p ~name:"recv" rtelf) in
+        let rtm = Option.get (Platform.rtm p) in
+        let rid = (Option.get (Rtm.find_by_tcb rtm receiver)).Rtm.id in
+        let open Ast in
+        let program =
+          program
+            [
+              Send { payload = [ Binop (Add, Int 40, Int 2) ]; receiver = rid; sync = true };
+              Exit;
+            ]
+        in
+        let telf = Compile.to_telf program in
+        ignore (Result.get_ok (Platform.load_blocking p ~name:"send" telf));
+        Platform.run_ticks p 6;
+        let received =
+          Cpu.with_firmware (Platform.cpu p) ~eip:(Rtm.code_eip rtm) (fun () ->
+              Cpu.load32 (Platform.cpu p)
+                (receiver.Tcb.region_base
+                + Tytan_tasks.Task_lib.data_cell_offset rtelf + 4))
+        in
+        check_int "payload arrived" 42 received);
+    Alcotest.test_case "on_message handler in tasklang" `Quick (fun () ->
+        let open Ast in
+        (* Accumulate message word 0 into a global from the handler. *)
+        let program =
+          program
+            ~globals:[ ("total", 0) ]
+            ~on_message:
+              [
+                Assign ("total", Binop (Add, Var "total", Inbox_word 0));
+                Clear_inbox;
+              ]
+            [ While (Int 1, [ Delay (Int 10) ]) ]
+        in
+        let p = Platform.create () in
+        let rtelf = Compile.to_telf program in
+        let receiver = Result.get_ok (Platform.load_blocking p ~name:"acc" rtelf) in
+        let rtm = Option.get (Platform.rtm p) in
+        let rid = (Option.get (Rtm.find_by_tcb rtm receiver)).Rtm.id in
+        let stelf = Tytan_tasks.Task_lib.ipc_sender ~receiver:rid ~message0:21 ~repeat:true () in
+        ignore (Result.get_ok (Platform.load_blocking p ~name:"send" stelf));
+        Platform.run_ticks p 8;
+        let total = global_word p receiver rtelf 0 in
+        check_bool "accumulated multiples of 21" true (total >= 42 && total mod 21 = 0));
+    Alcotest.test_case "queue producer/consumer in tasklang" `Quick
+      (fun () ->
+        let p = Platform.create ~config:Platform.baseline_config () in
+        let qid = Kernel.create_queue (Platform.kernel p) ~capacity:4 in
+        let open Ast in
+        let producer =
+          program ~globals:[ ("i", 0) ]
+            [
+              While
+                ( Binop (Lt, Var "i", Int 5),
+                  [
+                    Assign ("i", Binop (Add, Var "i", Int 1));
+                    Queue_send { queue = qid; value = Var "i"; timeout = 50 };
+                  ] );
+              Exit;
+            ]
+        in
+        let consumer =
+          program ~globals:[ ("sum", 0); ("n", 0); ("got", 0) ]
+            [
+              While
+                ( Binop (Lt, Var "n", Int 5),
+                  [
+                    Queue_recv { queue = qid; into = "got"; timeout = 50 };
+                    Assign ("sum", Binop (Add, Var "sum", Var "got"));
+                    Assign ("n", Binop (Add, Var "n", Int 1));
+                  ] );
+              Exit;
+            ]
+        in
+        let ct = Compile.to_telf ~secure:false consumer in
+        let c = Result.get_ok (Platform.load_blocking p ~name:"cons" ~secure:false ct) in
+        let pt = Compile.to_telf ~secure:false producer in
+        let _ = Result.get_ok (Platform.load_blocking p ~name:"prod" ~secure:false pt) in
+        Platform.run_ticks p 30;
+        check_int "all five received" 5 (global_word p c ct 1);
+        check_int "sum 1..5" 15 (global_word p c ct 0));
+    Alcotest.test_case "queue_recv timeout leaves the variable alone" `Quick
+      (fun () ->
+        let p = Platform.create ~config:Platform.baseline_config () in
+        let qid = Kernel.create_queue (Platform.kernel p) ~capacity:4 in
+        let open Ast in
+        let prog =
+          program ~globals:[ ("got", 777); ("done_", 0) ]
+            [
+              Queue_recv { queue = qid; into = "got"; timeout = 2 };
+              Assign ("done_", Int 1);
+              Exit;
+            ]
+        in
+        let telf = Compile.to_telf ~secure:false prog in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"t" ~secure:false telf) in
+        Platform.run_ticks p 8;
+        check_int "finished" 1 (global_word p tcb telf 1);
+        check_int "sentinel untouched" 777 (global_word p tcb telf 0));
+    Alcotest.test_case "interpreter agrees on a fixed program" `Quick
+      (fun () ->
+        let open Ast in
+        let program =
+          program
+            ~globals:[ ("x", 7); ("y", 0) ]
+            [
+              Assign ("y", Binop (Mul, Var "x", Binop (Add, Var "x", Int 1)));
+              If (Binop (Ge, Var "y", Int 50), [ Assign ("x", Int 1) ], [ Assign ("x", Int 0) ]);
+              Exit;
+            ]
+        in
+        let st = Result.get_ok (Interp.run program) in
+        let p, tcb, telf = run_program program in
+        check_int "y agrees" (Interp.global st "y") (global_word p tcb telf 1);
+        check_int "x agrees" (Interp.global st "x") (global_word p tcb telf 0));
+  ]
+
+(* --- Differential property: random programs, CPU vs interpreter ----------- *)
+
+let var_names = [| "a"; "b"; "c"; "d" |]
+
+(* A scratch RAM window for generated loads/stores, kept identical on
+   both sides: the interpreter mirrors it in an array, the guest writes
+   real memory.  The last page of RAM is free of task allocations in
+   these small scenarios. *)
+let scratch_base = Platform.default_config.Platform.mem_size - 4096
+let scratch_slots = 8
+let scratch_addr k = scratch_base + (4 * (k mod scratch_slots))
+
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.Int (n land 0xFFFF)) small_nat;
+        map (fun i -> Ast.Var var_names.(i mod 4)) small_nat;
+        map (fun k -> Ast.Load (Ast.Int (scratch_addr k))) small_nat;
+      ]
+  in
+  let op =
+    oneofl
+      [ Ast.Add; Ast.Sub; Ast.Mul; Ast.And; Ast.Or; Ast.Xor; Ast.Eq; Ast.Ne; Ast.Lt; Ast.Ge ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (3, map3 (fun o a b -> Ast.Binop (o, a, b)) op (self (depth - 1)) (self (depth - 1)));
+          ])
+    3
+
+let stmt_gen =
+  let open QCheck.Gen in
+  let assign =
+    map2 (fun i e -> Ast.Assign (var_names.(i mod 4), e)) small_nat expr_gen
+  in
+  let store =
+    map2 (fun k e -> Ast.Store (Ast.Int (scratch_addr k), e)) small_nat expr_gen
+  in
+  let if_ =
+    map3 (fun c t e -> Ast.If (c, [ t ], [ e ])) expr_gen assign store
+  in
+  (* Bounded counting loop over the reserved variable "d": terminates by
+     construction on both sides. *)
+  let loop =
+    map2
+      (fun bound body ->
+        let n = 1 + (bound mod 5) in
+        Ast.If
+          ( Ast.Int 1,
+            [
+              Ast.Assign ("d", Ast.Int 0);
+              Ast.While
+                ( Ast.Binop (Ast.Lt, Ast.Var "d", Ast.Int n),
+                  [ body; Ast.Assign ("d", Ast.Binop (Ast.Add, Ast.Var "d", Ast.Int 1)) ] );
+            ],
+            [] ))
+      small_nat assign
+  in
+  frequency [ (4, assign); (2, store); (1, if_); (1, loop) ]
+
+let program_gen =
+  let open QCheck.Gen in
+  let* stmts = list_size (int_range 1 12) stmt_gen in
+  return
+    (Ast.program
+       ~globals:[ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ]
+       (stmts @ [ Ast.Exit ]))
+
+let program_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Ast.pp) program_gen
+
+let differential =
+  QCheck.Test.make
+    ~name:"random programs (loops, memory): CPU execution = interpreter"
+    ~count:40 program_arb (fun program ->
+      (* Interpreter side mirrors the scratch window in an array. *)
+      let mirror = Array.make scratch_slots 0 in
+      let load addr =
+        if addr >= scratch_base && addr < scratch_base + (4 * scratch_slots)
+        then mirror.((addr - scratch_base) / 4)
+        else 0
+      in
+      let store addr v =
+        if addr >= scratch_base && addr < scratch_base + (4 * scratch_slots)
+        then mirror.((addr - scratch_base) / 4) <- v
+      in
+      match Interp.run ~load ~store program with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok st ->
+          let p, tcb, telf = run_program ~secure:false ~ticks:6 program in
+          let globals_agree =
+            List.for_all
+              (fun (i, name) -> global_word p tcb telf i = Interp.global st name)
+              [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ]
+          in
+          let memory_agrees =
+            List.for_all
+              (fun k ->
+                Cpu.load32 (Platform.cpu p) (scratch_base + (4 * k)) = mirror.(k))
+              (List.init scratch_slots Fun.id)
+          in
+          globals_agree && memory_agrees)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ("validation", validation_tests);
+      ("execution", execution_tests);
+      ("differential", [ QCheck_alcotest.to_alcotest differential ]);
+    ]

@@ -1,0 +1,227 @@
+(* API-surface tests: smaller behaviours across the libraries that the
+   themed suites do not reach — accessors, error paths, pretty-printers,
+   counters and conversions a downstream user relies on. *)
+
+open Tytan_machine
+open Tytan_rtos
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let machine_misc =
+  [
+    Alcotest.test_case "cycles: measure isolates the delta" `Quick (fun () ->
+        let c = Cycles.create () in
+        Cycles.charge c 10;
+        let (), d = Cycles.measure c (fun () -> Cycles.charge c 32) in
+        check_int "delta" 32 d;
+        check_int "total" 42 (Cycles.now c));
+    Alcotest.test_case "cycles: to_ms at 48 MHz" `Quick (fun () ->
+        check_bool "1 ms" true (abs_float (Cycles.to_ms 48_000 -. 1.0) < 1e-9));
+    Alcotest.test_case "cycles: negative charge rejected" `Quick (fun () ->
+        let c = Cycles.create () in
+        check_bool "assert fires" true
+          (try
+             Cycles.charge c (-1);
+             false
+           with Assert_failure _ -> true));
+    Alcotest.test_case "word: hex rendering" `Quick (fun () ->
+        check_str "padded" "0x0000BEEF" (Format.asprintf "%a" Word.pp 0xBEEF));
+    Alcotest.test_case "memory: fill validates its range" `Quick (fun () ->
+        let m = Memory.create ~size:16 in
+        check_bool "raises" true
+          (try
+             Memory.fill m 8 16 0;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "engine: firmware names are queryable" `Quick
+      (fun () ->
+        let m = Memory.create ~size:1024 in
+        let e = Exception_engine.create m ~idt_base:0x100 in
+        let addr = Exception_engine.register_firmware e ~name:"my-svc" (fun () -> ()) in
+        check_bool "name" true
+          (Exception_engine.firmware_name e addr = Some "my-svc");
+        check_bool "unknown" true (Exception_engine.firmware_name e 0x42 = None));
+    Alcotest.test_case "engine: bad vector index rejected" `Quick (fun () ->
+        let m = Memory.create ~size:1024 in
+        let e = Exception_engine.create m ~idt_base:0x100 in
+        check_bool "raises" true
+          (try
+             ignore (Exception_engine.vector e 32);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "assembler: here tracks emission" `Quick (fun () ->
+        let p = Assembler.create () in
+        check_int "empty" 0 (Assembler.here p);
+        Assembler.instr p Isa.Nop;
+        Assembler.word p 1;
+        check_int "8 + 4" 12 (Assembler.here p));
+    Alcotest.test_case "sensor: read counting and reset" `Quick (fun () ->
+        let clock = Cycles.create () in
+        let s =
+          Devices.Sensor.create ~name:"s" ~base:0x100 ~clock
+            ~sample:(fun ~cycles:_ -> 1)
+        in
+        let d = Devices.Sensor.device s in
+        ignore (d.Memory.read32 ~offset:0);
+        ignore (d.Memory.read32 ~offset:0);
+        check_int "two reads" 2 (Devices.Sensor.reads s);
+        Devices.Sensor.reset_reads s;
+        check_int "reset" 0 (Devices.Sensor.reads s));
+    Alcotest.test_case "trace: per-source counting" `Quick (fun () ->
+        let c = Cycles.create () in
+        let t = Trace.create c in
+        Trace.enable t;
+        Trace.emit t ~source:"a" "x";
+        Trace.emit t ~source:"a" "y";
+        Trace.emit t ~source:"b" "z";
+        check_int "a twice" 2 (Trace.count t ~source:"a");
+        Trace.clear t;
+        check_int "cleared" 0 (Trace.count t ~source:"a"));
+  ]
+
+let structures_misc =
+  [
+    Alcotest.test_case "rt-queue: send waiters also droppable" `Quick
+      (fun () ->
+        let q = Rt_queue.create ~id:0 ~capacity:1 in
+        let t =
+          Tcb.make ~id:9 ~name:"w" ~priority:1 ~secure:false ~region_base:0
+            ~region_size:0x200 ~code_base:0 ~code_size:8 ~entry:0
+            ~stack_base:0x100 ~stack_size:0x100 ~inbox_base:0
+        in
+        Rt_queue.add_send_waiter q t ~value:5;
+        Rt_queue.drop_waiter q t;
+        check_bool "gone" true (Rt_queue.take_send_waiter q = None));
+    Alcotest.test_case "sw-timer: armed_count reflects pending alarms" `Quick
+      (fun () ->
+        let t = Sw_timer.create () in
+        let id = Sw_timer.arm t ~at_tick:5 (fun () -> ()) in
+        ignore (Sw_timer.arm t ~at_tick:9 (fun () -> ()));
+        check_int "two" 2 (Sw_timer.armed_count t);
+        Sw_timer.cancel t id;
+        check_int "one" 1 (Sw_timer.armed_count t));
+    Alcotest.test_case "heap: invalid sizes rejected" `Quick (fun () ->
+        let h = Heap.create ~base:0x1000 ~size:0x100 in
+        check_bool "raises" true
+          (try
+             ignore (Heap.alloc h ~size:0);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "eampu: pp renders without raising" `Quick (fun () ->
+        let e = Tytan_eampu.Eampu.create ~slots:2 () in
+        Tytan_eampu.Eampu.set_slot e 0
+          (Some
+             (Tytan_eampu.Eampu.Exec
+                { region = Tytan_eampu.Region.make ~base:0x100 ~size:0x10; entry = Some 0x100 }));
+        let rendered = Format.asprintf "%a" Tytan_eampu.Eampu.pp e in
+        check_bool "mentions slots" true (String.length rendered > 10));
+    Alcotest.test_case "keystream: wrong-size tag rejected at decode" `Quick
+      (fun () ->
+        let module K = Tytan_crypto.Keystream in
+        let sealed =
+          K.seal ~key:(Bytes.make 20 'k') ~nonce:(Bytes.of_string "n")
+            (Bytes.of_string "p")
+        in
+        let b = K.encode sealed in
+        (* chop one tag byte: structure no longer parses *)
+        check_bool "rejected" true
+          (K.decode (Bytes.sub b 0 (Bytes.length b - 1)) = None));
+  ]
+
+let platform_misc =
+  [
+    Alcotest.test_case "component_region finds named regions" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        check_bool "rtm exists" true (Platform.component_region p "rtm" <> None);
+        check_bool "nonsense misses" true
+          (Platform.component_region p "flux-capacitor" = None));
+    Alcotest.test_case "memory map region sizes match Table 8 parts" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let size name =
+          Tytan_eampu.Region.size (Option.get (Platform.component_region p name))
+        in
+        check_int "rtm" 9_862 (size "rtm");
+        check_int "int-mux" 2_134 (size "int-mux");
+        check_int "kernel-code" 181_000 (size "kernel-code"));
+    Alcotest.test_case "ipc: host-injected message is readable" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"c" telf) in
+        let rtm = Option.get (Platform.rtm p) in
+        let id = (Option.get (Rtm.find_by_tcb rtm tcb)).Rtm.id in
+        let ipc = Option.get (Platform.ipc p) in
+        let from = Task_id.of_image (Bytes.of_string "host-sender") in
+        check_bool "delivered" true
+          (Result.is_ok
+             (Ipc.deliver_from_host ipc ~sender:from ~receiver:id
+                [| 9; 8; 7; 0; 0; 0; 0; 0 |]));
+        (match Ipc.read_inbox ipc tcb with
+        | Some (sender, words) ->
+            check_bool "sender carried" true (Task_id.equal sender from);
+            check_int "m0" 9 words.(0);
+            check_int "m2" 7 words.(2)
+        | None -> Alcotest.fail "no message");
+        check_bool "consumed" true (Ipc.read_inbox ipc tcb = None));
+    Alcotest.test_case "platform timers fire through run_ticks" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let fired = ref 0 in
+        ignore
+          (Kernel.arm_timer (Platform.kernel p) ~in_ticks:2 ~period:3 (fun () ->
+               incr fired));
+        Platform.run_ticks p 12;
+        check_bool "fired several times" true (!fired >= 3));
+    Alcotest.test_case "int mux exposes its counters" `Quick (fun () ->
+        let p = Platform.create () in
+        ignore (Result.get_ok (Platform.load_blocking p ~name:"c" (Tasks.counter ())));
+        Platform.run_ticks p 5;
+        let mux = Option.get (Platform.int_mux p) in
+        check_bool "counters move" true
+          (Int_mux.secure_saves mux > 0 && Int_mux.secure_restores mux > 0));
+    Alcotest.test_case "loader reports bytes loaded" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        ignore (Result.get_ok (Platform.load_blocking p ~name:"c" telf));
+        check_bool "accounted" true
+          (Loader.bytes_loaded (Platform.loader p)
+          >= Tytan_telf.Telf.memory_footprint telf));
+    Alcotest.test_case "disasm of a full task binary renders" `Quick
+      (fun () ->
+        let telf = Tasks.counter () in
+        let lines =
+          Disasm.of_bytes
+            (Bytes.sub telf.Tytan_telf.Telf.image 0 telf.Tytan_telf.Telf.text_size)
+        in
+        check_bool "every slot decodes" true
+          (List.for_all (fun l -> l.Disasm.instr <> None) lines));
+    Alcotest.test_case "tasklang pp renders a program" `Quick (fun () ->
+        let open Tytan_lang in
+        let program =
+          Ast.program ~globals:[ ("x", 0) ]
+            [
+              Ast.While
+                ( Ast.Binop (Ast.Lt, Ast.Var "x", Ast.Int 3),
+                  [ Ast.Assign ("x", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 1)) ] );
+              Ast.Exit;
+            ]
+        in
+        let rendered = Format.asprintf "%a" Ast.pp program in
+        check_bool "mentions the loop" true
+          (String.length rendered > 20
+          && String.sub rendered 0 6 = "global"));
+  ]
+
+let () =
+  Alcotest.run "misc"
+    [
+      ("machine", machine_misc);
+      ("structures", structures_misc);
+      ("platform", platform_misc);
+    ]

@@ -1,0 +1,199 @@
+(* Networked attestation: the lossy link, the wire protocol, the
+   verifier's retry machine and the whole co-simulation. *)
+
+open Tytan_core
+open Tytan_netsim
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Link ------------------------------------------------------------------ *)
+
+let link_tests =
+  [
+    Alcotest.test_case "lossless delivery after the delay" `Quick (fun () ->
+        let link = Link.create ~delay:2 () in
+        Link.send link ~from:Link.Remote ~at:0 (Bytes.of_string "hello");
+        check_int "not yet" 0 (List.length (Link.deliver link ~to_:Link.Device ~at:1));
+        let due = Link.deliver link ~to_:Link.Device ~at:2 in
+        check_int "delivered" 1 (List.length due);
+        check_bool "payload" true (List.hd due = Bytes.of_string "hello"));
+    Alcotest.test_case "direction separation" `Quick (fun () ->
+        let link = Link.create ~delay:0 () in
+        Link.send link ~from:Link.Remote ~at:0 (Bytes.of_string "to-device");
+        check_int "nothing for remote" 0
+          (List.length (Link.deliver link ~to_:Link.Remote ~at:0));
+        check_int "one for device" 1
+          (List.length (Link.deliver link ~to_:Link.Device ~at:0)));
+    Alcotest.test_case "delivery consumes frames" `Quick (fun () ->
+        let link = Link.create ~delay:0 () in
+        Link.send link ~from:Link.Device ~at:0 (Bytes.of_string "x");
+        ignore (Link.deliver link ~to_:Link.Remote ~at:0);
+        check_int "gone" 0 (List.length (Link.deliver link ~to_:Link.Remote ~at:9)));
+    Alcotest.test_case "loss drops roughly the configured share" `Quick
+      (fun () ->
+        let link = Link.create ~seed:7 ~loss_percent:50 ~delay:0 () in
+        for i = 0 to 199 do
+          Link.send link ~from:Link.Remote ~at:i (Bytes.of_string "f")
+        done;
+        let dropped = Link.dropped_count link in
+        check_bool "lossy but not degenerate" true (dropped > 50 && dropped < 150));
+    Alcotest.test_case "zero loss drops nothing" `Quick (fun () ->
+        let link = Link.create ~loss_percent:0 ~delay:0 () in
+        for i = 0 to 49 do
+          Link.send link ~from:Link.Remote ~at:i (Bytes.of_string "f")
+        done;
+        check_int "none dropped" 0 (Link.dropped_count link));
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let run seed =
+          let link = Link.create ~seed ~loss_percent:30 ~delay:0 () in
+          for i = 0 to 99 do
+            Link.send link ~from:Link.Remote ~at:i (Bytes.of_string "f")
+          done;
+          Link.dropped_count link
+        in
+        check_int "same seed same drops" (run 42) (run 42));
+  ]
+
+(* --- Protocol ---------------------------------------------------------------- *)
+
+let protocol_tests =
+  [
+    Alcotest.test_case "challenge round trip" `Quick (fun () ->
+        let id = Task_id.of_image (Bytes.of_string "task") in
+        let m = Protocol.Challenge { seq = 7; id; nonce = Bytes.of_string "n123" } in
+        check_bool "round trip" true (Protocol.decode (Protocol.encode m) = Ok m));
+    Alcotest.test_case "response round trip" `Quick (fun () ->
+        let report =
+          {
+            Attestation.id = Task_id.of_image (Bytes.of_string "t");
+            nonce = Bytes.of_string "nonce-x";
+            mac = Bytes.make 20 'm';
+          }
+        in
+        let m = Protocol.Response { seq = 3; report } in
+        check_bool "round trip" true (Protocol.decode (Protocol.encode m) = Ok m));
+    Alcotest.test_case "refusal round trip" `Quick (fun () ->
+        let m = Protocol.Refusal { seq = 11 } in
+        check_bool "round trip" true (Protocol.decode (Protocol.encode m) = Ok m));
+    Alcotest.test_case "truncation rejected" `Quick (fun () ->
+        let id = Task_id.of_image (Bytes.of_string "task") in
+        let b = Protocol.encode (Protocol.Challenge { seq = 1; id; nonce = Bytes.of_string "abc" }) in
+        check_bool "error" true
+          (Result.is_error (Protocol.decode (Bytes.sub b 0 (Bytes.length b - 1)))));
+    Alcotest.test_case "unknown tag rejected" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Protocol.decode (Bytes.of_string "Zxxxx"))));
+  ]
+
+(* --- End-to-end co-simulation ------------------------------------------------ *)
+
+let device_with_task () =
+  let p = Platform.create () in
+  let telf = Tasks.counter () in
+  let tcb = Result.get_ok (Platform.load_blocking p ~name:"fw" telf) in
+  let rtm = Option.get (Platform.rtm p) in
+  let id = (Option.get (Rtm.find_by_tcb rtm tcb)).Rtm.id in
+  let ka =
+    Attestation.derive_ka ~platform_key:(Platform.config p).Platform.platform_key
+  in
+  (p, tcb, id, ka)
+
+let cosim_tests =
+  [
+    Alcotest.test_case "attestation over a perfect link" `Quick (fun () ->
+        let p, _, id, ka = device_with_task () in
+        let link = Link.create () in
+        let cosim = Cosim.create p ~link () in
+        let v = Verifier.create ~ka ~expected:id () in
+        Cosim.attach_verifier cosim v;
+        let slices = Cosim.run_until_settled cosim ~max_slices:100 in
+        check_bool "attested" true (Verifier.outcome v = Verifier.Attested);
+        check_int "single attempt" 1 (Verifier.attempts v);
+        check_bool "settled quickly" true (slices <= 5));
+    Alcotest.test_case "attestation survives 60% frame loss via retries"
+      `Quick (fun () ->
+        let p, _, id, ka = device_with_task () in
+        let link = Link.create ~seed:3 ~loss_percent:60 () in
+        let cosim = Cosim.create p ~link () in
+        let v = Verifier.create ~ka ~expected:id ~max_attempts:30 () in
+        Cosim.attach_verifier cosim v;
+        ignore (Cosim.run_until_settled cosim ~max_slices:500);
+        check_bool "eventually attested" true (Verifier.outcome v = Verifier.Attested);
+        check_bool "needed retries" true (Verifier.attempts v > 1));
+    Alcotest.test_case "ghost identity is refused" `Quick (fun () ->
+        let p, _, _, ka = device_with_task () in
+        let link = Link.create () in
+        let cosim = Cosim.create p ~link () in
+        let ghost = Task_id.of_image (Bytes.of_string "not-there") in
+        let v = Verifier.create ~ka ~expected:ghost () in
+        Cosim.attach_verifier cosim v;
+        ignore (Cosim.run_until_settled cosim ~max_slices:100);
+        check_bool "refused" true (Verifier.outcome v = Verifier.Refused));
+    Alcotest.test_case "total loss gives up after max attempts" `Quick
+      (fun () ->
+        let p, _, id, ka = device_with_task () in
+        let link = Link.create ~loss_percent:100 () in
+        let cosim = Cosim.create p ~link () in
+        let v = Verifier.create ~ka ~expected:id ~max_attempts:4 ~timeout_slices:2 () in
+        Cosim.attach_verifier cosim v;
+        ignore (Cosim.run_until_settled cosim ~max_slices:200);
+        check_bool "gave up" true (Verifier.outcome v = Verifier.Gave_up);
+        check_int "all attempts used" 4 (Verifier.attempts v));
+    Alcotest.test_case "wrong verifier key rejects genuine reports" `Quick
+      (fun () ->
+        let p, _, id, _ = device_with_task () in
+        let link = Link.create () in
+        let cosim = Cosim.create p ~link () in
+        let bad_ka = Attestation.derive_ka ~platform_key:(Bytes.make 20 'Z') in
+        let v = Verifier.create ~ka:bad_ka ~expected:id ~max_attempts:3 ~timeout_slices:2 () in
+        Cosim.attach_verifier cosim v;
+        ignore (Cosim.run_until_settled cosim ~max_slices:100);
+        check_bool "never attested" true (Verifier.outcome v = Verifier.Gave_up);
+        check_bool "reports were rejected" true (Verifier.rejected_frames v >= 1));
+    Alcotest.test_case "device keeps its deadlines while attesting" `Quick
+      (fun () ->
+        let p, tcb, id, ka = device_with_task () in
+        let rtm = Option.get (Platform.rtm p) in
+        let base = (Option.get (Rtm.find_by_tcb rtm tcb)).Rtm.base in
+        let count () =
+          Tytan_machine.Cpu.with_firmware (Platform.cpu p)
+            ~eip:(Rtm.code_eip rtm) (fun () ->
+              Tytan_machine.Cpu.load32 (Platform.cpu p)
+                (base + Tasks.data_cell_offset (Tasks.counter ())))
+        in
+        let link = Link.create ~loss_percent:20 ~seed:3 () in
+        let cosim = Cosim.create p ~link () in
+        (* Several concurrent sessions hammer the device. *)
+        for _ = 1 to 5 do
+          Cosim.attach_verifier cosim (Verifier.create ~ka ~expected:id ())
+        done;
+        let before = count () in
+        Cosim.run cosim ~slices:30;
+        check_bool "task held ~1 activation per tick" true
+          (count () - before >= 28));
+    Alcotest.test_case "concurrent sessions all settle" `Quick (fun () ->
+        let p, _, id, ka = device_with_task () in
+        let link = Link.create ~loss_percent:30 ~seed:17 () in
+        let cosim = Cosim.create p ~link () in
+        let sessions =
+          List.init 4 (fun _ -> Verifier.create ~ka ~expected:id ~max_attempts:20 ())
+        in
+        List.iter (Cosim.attach_verifier cosim) sessions;
+        ignore (Cosim.run_until_settled cosim ~max_slices:1000);
+        List.iter
+          (fun v ->
+            check_bool "attested" true (Verifier.outcome v = Verifier.Attested))
+          sessions;
+        check_bool "device served many challenges" true
+          (Cosim.challenges_served cosim >= 4));
+  ]
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ("link", link_tests);
+      ("protocol", protocol_tests);
+      ("cosim", cosim_tests);
+    ]

@@ -1,0 +1,879 @@
+(* Platform integration tests: secure boot, memory accounting (Table 8),
+   end-to-end secure task execution, secure IPC (sync, async, services,
+   shared memory), secure storage over IPC, attestation, and the
+   real-time behaviour of interruptible loading (Table 1's property). *)
+
+open Tytan_machine
+open Tytan_rtos
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Read a word a task published in its data section (offset index words
+   after the text).  Secure task memory is read under the RTM's identity
+   (the only trusted reader); normal task memory under the kernel's. *)
+let data_word p (tcb : Tcb.t) telf index =
+  let rtm = Option.get (Platform.rtm p) in
+  let entry = Option.get (Rtm.find_by_tcb rtm tcb) in
+  let addr = entry.Rtm.base + Tasks.data_cell_offset telf + (4 * index) in
+  let eip =
+    if tcb.Tcb.secure then Rtm.code_eip rtm
+    else Kernel.code_eip (Platform.kernel p)
+  in
+  Cpu.with_firmware (Platform.cpu p) ~eip (fun () ->
+      Cpu.load32 (Platform.cpu p) addr)
+
+let load p ?priority ?secure name telf =
+  Result.get_ok (Platform.load_blocking p ~name ?priority ?secure telf)
+
+let id_of p tcb =
+  (Option.get (Rtm.find_by_tcb (Option.get (Platform.rtm p)) tcb)).Rtm.id
+
+(* --- Boot and memory map ------------------------------------------------- *)
+
+let boot_tests =
+  [
+    Alcotest.test_case "tytan boots with EA-MPU enabled" `Quick (fun () ->
+        let p = Platform.create () in
+        check_bool "enabled" true
+          (Tytan_eampu.Eampu.enabled (Option.get (Platform.eampu p))));
+    Alcotest.test_case "tampered component fails secure boot" `Quick
+      (fun () ->
+        let config =
+          { Platform.default_config with tamper_component = Some "rtm" }
+        in
+        check_bool "boot failure" true
+          (try
+             ignore (Platform.create ~config ());
+             false
+           with Platform.Boot_failure _ -> true));
+    Alcotest.test_case "tampering the kernel is also caught" `Quick (fun () ->
+        let config =
+          { Platform.default_config with tamper_component = Some "kernel-code" }
+        in
+        check_bool "boot failure" true
+          (try
+             ignore (Platform.create ~config ());
+             false
+           with Platform.Boot_failure _ -> true));
+    Alcotest.test_case "table 8: memory consumption" `Quick (fun () ->
+        let tytan = Platform.create () in
+        let baseline = Platform.create ~config:Platform.baseline_config () in
+        check_int "FreeRTOS" 215_617 (Platform.os_memory_bytes baseline);
+        check_int "TyTAN" 249_943 (Platform.os_memory_bytes tytan);
+        let overhead =
+          float_of_int (Platform.os_memory_bytes tytan - Platform.os_memory_bytes baseline)
+          /. float_of_int (Platform.os_memory_bytes baseline)
+        in
+        check_bool "≈15.9% overhead" true (overhead > 0.155 && overhead < 0.165));
+    Alcotest.test_case "memory map has all components disjoint" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let map = Platform.memory_map p in
+        let rec pairwise = function
+          | [] -> ()
+          | (name_a, a) :: rest ->
+              List.iter
+                (fun (name_b, b) ->
+                  check_bool
+                    (Printf.sprintf "%s vs %s disjoint" name_a name_b)
+                    false
+                    (Tytan_eampu.Region.overlaps a b))
+                rest;
+              pairwise rest
+        in
+        pairwise map);
+    Alcotest.test_case "baseline has no trusted components" `Quick (fun () ->
+        let p = Platform.create ~config:Platform.baseline_config () in
+        check_bool "no eampu" true (Platform.eampu p = None);
+        check_bool "no rtm" true (Platform.rtm p = None);
+        check_bool "no storage" true (Platform.storage p = None));
+    Alcotest.test_case "bad platform key rejected" `Quick (fun () ->
+        let config =
+          { Platform.default_config with platform_key = Bytes.of_string "short" }
+        in
+        check_bool "raises" true
+          (try
+             ignore (Platform.create ~config ());
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* --- Secure tasks end to end --------------------------------------------- *)
+
+let secure_task_tests =
+  [
+    Alcotest.test_case "secure periodic task holds its rate" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb = load p "c" telf in
+        Platform.run_ticks p 15;
+        let count = data_word p tcb telf 0 in
+        check_bool "≈ once per tick" true (count >= 13 && count <= 16));
+    Alcotest.test_case "secure and normal tasks coexist" `Quick (fun () ->
+        let p = Platform.create () in
+        let st = Tasks.counter () in
+        let nt = Tasks.counter ~secure:false () in
+        let s = load p "sec" st in
+        let n = load p ~secure:false "norm" nt in
+        Platform.run_ticks p 10;
+        check_bool "secure progressed" true (data_word p s st 0 >= 8);
+        check_bool "normal progressed" true (data_word p n nt 0 >= 8));
+    Alcotest.test_case "int mux pairs saves with restores" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        ignore (load p "c" telf);
+        Platform.run_ticks p 10;
+        let mux = Option.get (Platform.int_mux p) in
+        check_bool "secure saves happened" true (Int_mux.secure_saves mux >= 9);
+        check_bool "restores keep pace" true
+          (abs (Int_mux.secure_restores mux - Int_mux.secure_saves mux) <= 2));
+    Alcotest.test_case "registers survive preemption (frame integrity)"
+      `Quick (fun () ->
+        (* A secure task keeps a running value in r7 across delays; if the
+           Int Mux save/restore path corrupted frames, the sum would
+           drift. *)
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              let open Isa in
+              Assembler.label a "main";
+              Assembler.instr a (Movi (7, 0));
+              Assembler.label a "loop";
+              Assembler.instr a (Addi (7, 7, 5));
+              Assembler.movi_label a ~rd:4 "value";
+              Assembler.instr a (Stw (4, 0, 7));
+              Assembler.instr a (Movi (0, 1));
+              Assembler.instr a (Swi 2);
+              Assembler.jmp_label a "loop";
+              Assembler.begin_data a;
+              Assembler.label a "value";
+              Assembler.word a 0)
+            ()
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:512 prog in
+        let p = Platform.create () in
+        let tcb = load p "acc" telf in
+        Platform.run_ticks p 12;
+        let v = data_word p tcb telf 0 in
+        check_int "multiple of 5" 0 (v mod 5);
+        check_bool "accumulated across ≥10 preemptions" true (v >= 50));
+    Alcotest.test_case "suspend/resume a secure task" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb = load p "c" telf in
+        Platform.run_ticks p 5;
+        Platform.suspend p tcb;
+        let frozen = data_word p tcb telf 0 in
+        Platform.run_ticks p 5;
+        check_int "frozen" frozen (data_word p tcb telf 0);
+        Platform.resume p tcb;
+        Platform.run_ticks p 5;
+        check_bool "thawed" true (data_word p tcb telf 0 > frozen));
+    Alcotest.test_case "unloaded secure task stops existing" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb = load p "c" telf in
+        let id = id_of p tcb in
+        Platform.run_ticks p 3;
+        Platform.unload p tcb;
+        Platform.run_ticks p 3;
+        check_bool "terminated" true (tcb.Tcb.state = Tcb.Terminated);
+        check_bool "out of directory" true
+          (Rtm.find (Option.get (Platform.rtm p)) id = None));
+  ]
+
+(* --- Secure IPC ----------------------------------------------------------- *)
+
+let ipc_tests =
+  [
+    Alcotest.test_case "synchronous send delivers and returns" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let rtelf = Tasks.ipc_receiver () in
+        let receiver = load p "recv" rtelf in
+        let stelf = Tasks.ipc_sender ~receiver:(id_of p receiver) ~message0:42 () in
+        let sender = load p "send" stelf in
+        Platform.run_ticks p 8;
+        check_int "one message" 1 (data_word p receiver rtelf 0);
+        check_int "payload" 42 (data_word p receiver rtelf 1);
+        check_int "sender unblocked and continued" 1 (data_word p sender stelf 0));
+    Alcotest.test_case "sender identity delivered by the proxy" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let rtelf = Tasks.ipc_receiver () in
+        let receiver = load p "recv" rtelf in
+        let stelf = Tasks.ipc_sender ~receiver:(id_of p receiver) () in
+        let sender = load p "send" stelf in
+        Platform.run_ticks p 8;
+        let lo, _ = Task_id.to_words (id_of p sender) in
+        check_int "low identity word" lo (data_word p receiver rtelf 2));
+    Alcotest.test_case "asynchronous send does not block the sender" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let rtelf = Tasks.ipc_receiver () in
+        let receiver = load p "recv" rtelf in
+        let stelf =
+          Tasks.ipc_sender ~receiver:(id_of p receiver) ~sync:false ~repeat:true ()
+        in
+        let sender = load p "send" stelf in
+        Platform.run_ticks p 10;
+        check_bool "sender kept its rate" true (data_word p sender stelf 0 >= 8);
+        ignore receiver);
+    Alcotest.test_case "repeated sync sends all arrive" `Quick (fun () ->
+        let p = Platform.create () in
+        let rtelf = Tasks.ipc_receiver () in
+        let receiver = load p "recv" rtelf in
+        let stelf =
+          Tasks.ipc_sender ~receiver:(id_of p receiver) ~message0:7 ~repeat:true ()
+        in
+        ignore (load p "send" stelf);
+        Platform.run_ticks p 10;
+        let n = data_word p receiver rtelf 0 in
+        check_bool "several messages" true (n >= 8);
+        check_int "sum consistent" (7 * n) (data_word p receiver rtelf 1));
+    Alcotest.test_case "send to unknown identity kills the sender" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let bogus = Task_id.of_image (Bytes.of_string "nobody") in
+        let stelf = Tasks.ipc_sender ~receiver:bogus () in
+        let sender = load p "send" stelf in
+        Platform.run_ticks p 4;
+        check_bool "killed" true (sender.Tcb.state = Tcb.Terminated));
+    Alcotest.test_case "ipc-done outside a handler kills the task" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.instr a (Isa.Swi Ipc.swi_done);
+              Assembler.label a "rest";
+              Assembler.jmp_label a "rest")
+            ()
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:512 prog in
+        let tcb = load p "rogue" telf in
+        Platform.run_ticks p 4;
+        check_bool "killed" true (tcb.Tcb.state = Tcb.Terminated));
+    Alcotest.test_case "receiver death releases a blocked sender" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        (* Receiver whose handler never returns (spins); the sender blocks;
+           unloading the receiver must unblock the sender. *)
+        let rprog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.instr a (Isa.Movi (0, 50));
+              Assembler.instr a (Isa.Swi 2);
+              Assembler.jmp_label a "main")
+            ~on_message:(fun a ->
+              Assembler.label a "on_message";
+              Assembler.label a "spin";
+              Assembler.jmp_label a "spin")
+            ()
+        in
+        let rtelf = Tytan_telf.Builder.of_program ~stack_size:512 rprog in
+        let receiver = load p "stuck" rtelf in
+        let stelf = Tasks.ipc_sender ~receiver:(id_of p receiver) () in
+        let sender = load p "send" stelf in
+        Platform.run_ticks p 4;
+        check_bool "sender blocked" true
+          (sender.Tcb.state = Tcb.Blocked Tcb.Ipc_reply_wait);
+        Platform.unload p receiver;
+        Platform.run_ticks p 4;
+        check_bool "sender released" true (sender.Tcb.state <> Tcb.Blocked Tcb.Ipc_reply_wait));
+    Alcotest.test_case "proxy cycle cost is the documented 1208" `Quick
+      (fun () ->
+        check_int "components" 1_208 Cost_model.ipc_proxy_total);
+  ]
+
+(* --- Secure storage over IPC --------------------------------------------- *)
+
+let storage_tests =
+  [
+    Alcotest.test_case "guest seals and unseals through IPC" `Quick (fun () ->
+        let p = Platform.create () in
+        let storage_id = Option.get (Platform.storage_service_id p) in
+        let telf = Tasks.storage_client ~storage:storage_id ~slot:3 ~value:1234 in
+        let tcb = load p "client" telf in
+        Platform.run_ticks p 10;
+        check_int "completed both phases" 2 (data_word p tcb telf 0);
+        check_int "status ok" 0 (data_word p tcb telf 2);
+        check_int "round-tripped" 1234 (data_word p tcb telf 1));
+    Alcotest.test_case "a different binary cannot unseal the slot" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let storage = Option.get (Platform.storage p) in
+        let owner = Task_id.of_image (Bytes.of_string "owner-binary") in
+        let thief = Task_id.of_image (Bytes.of_string "thief-binary") in
+        Secure_storage.seal storage ~owner ~slot:1 (Bytes.make 24 's');
+        check_bool "owner ok" true
+          (Secure_storage.unseal storage ~owner ~slot:1 <> None);
+        check_bool "thief rejected" true
+          (Secure_storage.unseal storage ~owner:thief ~slot:1 = None);
+        check_int "failure recorded" 1 (Secure_storage.unseal_failures storage));
+    Alcotest.test_case "storage charges cycles for crypto" `Quick (fun () ->
+        let p = Platform.create () in
+        let storage = Option.get (Platform.storage p) in
+        let owner = Task_id.of_image (Bytes.of_string "o") in
+        let _, cost =
+          Cycles.measure (Platform.clock p) (fun () ->
+              Secure_storage.seal storage ~owner ~slot:1 (Bytes.make 24 'x'))
+        in
+        check_bool "several compressions worth" true
+          (cost >= 4 * Cost_model.crypto_per_compression));
+    Alcotest.test_case "empty slot unseal reports not found" `Quick (fun () ->
+        let p = Platform.create () in
+        let storage = Option.get (Platform.storage p) in
+        check_bool "none" true
+          (Secure_storage.unseal storage
+             ~owner:(Task_id.of_image (Bytes.of_string "o"))
+             ~slot:99
+          = None));
+  ]
+
+(* --- NVM persistence across reboot ------------------------------------------ *)
+
+let reboot_tests =
+  [
+    Alcotest.test_case "sealed data survives a reboot of the same device"
+      `Quick (fun () ->
+        let owner = Rtm.identity_of_telf (Tasks.counter ()) in
+        (* First boot: seal, power off (export NVM). *)
+        let p1 = Platform.create () in
+        let s1 = Option.get (Platform.storage p1) in
+        Secure_storage.seal s1 ~owner ~slot:2 (Bytes.make 24 'D');
+        let nvm = Secure_storage.export s1 in
+        (* Second boot of the same device (same Kp), NVM restored. *)
+        let p2 = Platform.create () in
+        let s2 = Option.get (Platform.storage p2) in
+        check_bool "import ok" true (Result.is_ok (Secure_storage.import s2 nvm));
+        (match Secure_storage.unseal s2 ~owner ~slot:2 with
+        | Some b -> check_bool "payload intact" true (b = Bytes.make 24 'D')
+        | None -> Alcotest.fail "unseal failed after reboot"));
+    Alcotest.test_case "another device cannot use the stolen NVM" `Quick
+      (fun () ->
+        let owner = Rtm.identity_of_telf (Tasks.counter ()) in
+        let p1 = Platform.create () in
+        let s1 = Option.get (Platform.storage p1) in
+        Secure_storage.seal s1 ~owner ~slot:2 (Bytes.make 24 'D');
+        let nvm = Secure_storage.export s1 in
+        (* Different platform key: same binary, wrong device. *)
+        let config =
+          { Platform.default_config with platform_key = Bytes.make 20 'Z' }
+        in
+        let p2 = Platform.create ~config () in
+        let s2 = Option.get (Platform.storage p2) in
+        check_bool "import ok (ciphertext is just bytes)" true
+          (Result.is_ok (Secure_storage.import s2 nvm));
+        check_bool "unseal denied on the wrong device" true
+          (Secure_storage.unseal s2 ~owner ~slot:2 = None));
+    Alcotest.test_case "corrupt NVM is rejected atomically" `Quick (fun () ->
+        let p = Platform.create () in
+        let s = Option.get (Platform.storage p) in
+        check_bool "rejected" true
+          (Result.is_error
+             (Secure_storage.import s [ (1, Bytes.of_string "garbage") ]));
+        check_int "store untouched" 0 (Secure_storage.slots_used s));
+  ]
+
+(* --- Attestation ---------------------------------------------------------- *)
+
+let attestation_tests =
+  [
+    Alcotest.test_case "local attestation sees loaded tasks" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb = load p "c" telf in
+        let att = Option.get (Platform.attestation p) in
+        check_bool "loaded" true (Attestation.local_attest att (id_of p tcb));
+        check_bool "not loaded" false
+          (Attestation.local_attest att (Task_id.of_image (Bytes.of_string "x"))));
+    Alcotest.test_case "remote attestation round trip" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb = load p "c" telf in
+        let att = Option.get (Platform.attestation p) in
+        let nonce = Bytes.of_string "fresh-nonce-0001" in
+        let report = Option.get (Attestation.remote_attest att ~id:(id_of p tcb) ~nonce) in
+        let ka =
+          Attestation.derive_ka ~platform_key:(Platform.config p).Platform.platform_key
+        in
+        check_bool "verifies" true
+          (Attestation.verify ~ka report ~expected:(id_of p tcb) ~nonce));
+    Alcotest.test_case "wrong nonce rejected" `Quick (fun () ->
+        let p = Platform.create () in
+        let tcb = load p "c" (Tasks.counter ()) in
+        let att = Option.get (Platform.attestation p) in
+        let report =
+          Option.get
+            (Attestation.remote_attest att ~id:(id_of p tcb)
+               ~nonce:(Bytes.of_string "nonce-A"))
+        in
+        let ka =
+          Attestation.derive_ka ~platform_key:(Platform.config p).Platform.platform_key
+        in
+        check_bool "stale nonce fails" false
+          (Attestation.verify ~ka report ~expected:(id_of p tcb)
+             ~nonce:(Bytes.of_string "nonce-B")));
+    Alcotest.test_case "wrong platform key rejected" `Quick (fun () ->
+        let p = Platform.create () in
+        let tcb = load p "c" (Tasks.counter ()) in
+        let att = Option.get (Platform.attestation p) in
+        let nonce = Bytes.of_string "n" in
+        let report = Option.get (Attestation.remote_attest att ~id:(id_of p tcb) ~nonce) in
+        let bad_ka = Attestation.derive_ka ~platform_key:(Bytes.make 20 'X') in
+        check_bool "fails" false
+          (Attestation.verify ~ka:bad_ka report ~expected:(id_of p tcb) ~nonce));
+    Alcotest.test_case "attesting an unloaded task yields nothing" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let att = Option.get (Platform.attestation p) in
+        check_bool "none" true
+          (Attestation.remote_attest att
+             ~id:(Task_id.of_image (Bytes.of_string "ghost"))
+             ~nonce:(Bytes.of_string "n")
+          = None));
+    Alcotest.test_case "per-provider keys are independent" `Quick (fun () ->
+        let p = Platform.create () in
+        let tcb = load p "c" (Tasks.counter ()) in
+        let att = Option.get (Platform.attestation p) in
+        let nonce = Bytes.of_string "n" in
+        let report =
+          Option.get
+            (Attestation.remote_attest_for_provider att ~provider:"oem"
+               ~id:(id_of p tcb) ~nonce)
+        in
+        let kp = (Platform.config p).Platform.platform_key in
+        let oem = Attestation.derive_provider_ka ~platform_key:kp ~provider:"oem" in
+        let other = Attestation.derive_provider_ka ~platform_key:kp ~provider:"other" in
+        check_bool "oem verifies" true
+          (Attestation.verify ~ka:oem report ~expected:(id_of p tcb) ~nonce);
+        check_bool "other provider cannot" false
+          (Attestation.verify ~ka:other report ~expected:(id_of p tcb) ~nonce));
+  ]
+
+(* --- Real-time behaviour of loading (Table 1 property) -------------------- *)
+
+let realtime_tests =
+  [
+    Alcotest.test_case "interruptible load preserves running tasks' rates"
+      `Quick (fun () ->
+        let p = Platform.create () in
+        let t1 = Tasks.counter () in
+        let a = load p ~priority:4 "t1" t1 in
+        Platform.run_ticks p 10;
+        let before = data_word p a t1 0 in
+        (* Queue a load large enough to span many ticks. *)
+        let big =
+          Toolchain.synthetic_secure ~image_size:16_384 ~reloc_count:9
+            ~stack_size:256
+        in
+        Platform.submit_load p ~name:"big" big;
+        Platform.run_ticks p 100;
+        let during = data_word p a t1 0 - before in
+        check_bool "t1 held ~1 activation per tick while loading" true
+          (during >= 97);
+        check_bool "load finished" true
+          (Kernel.find_task_by_name (Platform.kernel p) "big" <> None));
+    Alcotest.test_case "blocking load would have blocked that long" `Quick
+      (fun () ->
+        (* Sanity for the ablation: the same load done atomically costs
+           multiple tick periods worth of cycles. *)
+        let p = Platform.create () in
+        let big =
+          Toolchain.synthetic_secure ~image_size:16_384 ~reloc_count:9
+            ~stack_size:256
+        in
+        let _, cost =
+          Cycles.measure (Platform.clock p) (fun () ->
+              ignore (Platform.load_blocking p ~name:"big" big))
+        in
+        check_bool "load spans many ticks" true
+          (cost > 5 * (Platform.config p).Platform.tick_period));
+  ]
+
+(* --- Shared memory (large-data IPC, paper section 3) ----------------------- *)
+
+let shm_tests =
+  [
+    Alcotest.test_case "two tasks communicate through a shared window"
+      `Quick (fun () ->
+        let p = Platform.create () in
+        let rtelf = Tasks.shm_reader () in
+        let reader = load p "reader" rtelf in
+        let wtelf = Tasks.shm_requester ~peer:(id_of p reader) ~value:4242 in
+        let writer = load p "writer" wtelf in
+        Platform.run_ticks p 10;
+        check_int "request accepted" 0 (data_word p writer wtelf 0);
+        check_int "writer finished" 1 (data_word p writer wtelf 1);
+        check_int "value crossed the window" 4242 (data_word p reader rtelf 0));
+    Alcotest.test_case "third parties cannot touch the window" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let rtelf = Tasks.shm_reader () in
+        let reader = load p "reader" rtelf in
+        let wtelf = Tasks.shm_requester ~peer:(id_of p reader) ~value:7 in
+        ignore (load p "writer" wtelf);
+        Platform.run_ticks p 6;
+        (* Find the window: the proxy noted its base in the reader's
+           inbox.  A spy probing it must be killed. *)
+        let ipc = Option.get (Platform.ipc p) in
+        let window_base =
+          (* the reader consumed its note?  read the writer's copy *)
+          match Ipc.read_inbox ipc (Kernel.find_task_by_name (Platform.kernel p) "writer" |> Option.get) with
+          | Some (_, note) -> note.(1)
+          | None -> Alcotest.fail "no shm note in the writer's inbox"
+        in
+        let spy = load p ~secure:false "spy" (Tasks.spy ~victim_addr:window_base) in
+        Platform.run_ticks p 4;
+        check_bool "spy killed" true (spy.Tcb.state = Tcb.Terminated));
+    Alcotest.test_case "shm with an unknown peer fails gracefully" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let ghost = Task_id.of_image (Bytes.of_string "ghost") in
+        let wtelf = Tasks.shm_requester ~peer:ghost ~value:1 in
+        let writer = load p "writer" wtelf in
+        Platform.run_ticks p 6;
+        (* The proxy's failure note carries status 1; the task then tries
+           to write through base 0 and is killed, or parks — either way it
+           must not have published success. *)
+        check_bool "no success" true (data_word p writer wtelf 0 <> 0));
+  ]
+
+(* --- Nested synchronous IPC ------------------------------------------------ *)
+
+let nested_ipc_tests =
+  [
+    Alcotest.test_case "receiver's handler can itself send synchronously"
+      `Quick (fun () ->
+        let p = Platform.create () in
+        (* C: final receiver accumulating values. *)
+        let ctelf = Tasks.ipc_receiver () in
+        let c = load p "C" ctelf in
+        (* B: forwards every message it receives to C from its handler. *)
+        let c_lo, c_hi = Task_id.to_words (id_of p c) in
+        let b_prog =
+          Toolchain.secure_program
+            ~on_message:(fun a ->
+              let open Isa in
+              Assembler.label a "on_message";
+              Assembler.instr a (Ldw (0, 12, 16)); (* m0 *)
+              Assembler.instr a (Addi (0, 0, 1000)); (* transform *)
+              Assembler.instr a (Movi (8, c_lo));
+              Assembler.instr a (Movi (9, c_hi));
+              Assembler.instr a (Movi (10, Ipc.mode_sync));
+              Assembler.instr a (Swi Ipc.swi_send);
+              Assembler.instr a Ret)
+            ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.label a "loop";
+              Assembler.instr a (Isa.Movi (0, 50));
+              Assembler.instr a (Isa.Swi 2);
+              Assembler.jmp_label a "loop")
+            ()
+        in
+        let btelf = Tytan_telf.Builder.of_program ~stack_size:768 b_prog in
+        let b = load p "B" btelf in
+        (* A: sends 5 to B synchronously. *)
+        let atelf = Tasks.ipc_sender ~receiver:(id_of p b) ~message0:5 () in
+        let a = load p "A" atelf in
+        Platform.run_ticks p 10;
+        check_int "C received the forwarded message" 1 (data_word p c ctelf 0);
+        check_int "transformed payload" 1005 (data_word p c ctelf 1);
+        check_int "A unblocked" 1 (data_word p a atelf 0));
+  ]
+
+(* Regression: a tick landing during a message hand-off to a receiver
+   that was never scheduler-started must resume the handler, not restart
+   the task from main (the resume decision keys on the live saved frame,
+   not on the started flag). *)
+let handoff_race_test =
+  Alcotest.test_case "interrupted hand-off to a fresh receiver resumes"
+    `Quick (fun () ->
+      let p = Platform.create () in
+      let rtelf = Tasks.ipc_receiver () in
+      let receiver = load p "fresh-recv" rtelf in
+      (* A high-priority sender fires synchronous sends every tick; the
+         receiver only ever runs inside hand-offs, and ticks regularly
+         interrupt the handler. *)
+      let stelf =
+        Tasks.ipc_sender ~receiver:(id_of p receiver) ~message0:3
+          ~sync:true ~repeat:true ()
+      in
+      let sender = load p ~priority:4 "fast-send" stelf in
+      Platform.run_ticks p 40;
+      let sent = data_word p sender stelf 0 in
+      let received = data_word p receiver rtelf 0 in
+      check_bool "sender made progress" true (sent >= 30);
+      check_int "every send was handled exactly once" sent received;
+      check_int "payload sum consistent" (3 * received)
+        (data_word p receiver rtelf 1))
+
+(* --- Execution-time bounding (paper section 5) ----------------------------- *)
+
+let quota_tests =
+  [
+    Alcotest.test_case "runaway task is suspended at its CPU quota" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let runaway = load p "runaway" (Tasks.busy_loop ()) in
+        runaway.Tcb.cpu_quota <- Some 5;
+        let good_telf = Tasks.counter () in
+        let good = load p "good" good_telf in
+        Platform.run_ticks p 12;
+        check_bool "runaway suspended" true
+          (runaway.Tcb.state = Tcb.Suspended);
+        check_int "one quota suspension" 1
+          (Kernel.quota_suspensions (Platform.kernel p));
+        check_bool "well-behaved task unaffected" true
+          (data_word p good good_telf 0 >= 10));
+    Alcotest.test_case "cooperative tasks never hit the quota" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb = load p "coop" telf in
+        tcb.Tcb.cpu_quota <- Some 2;
+        Platform.run_ticks p 20;
+        check_bool "still running" true (tcb.Tcb.state <> Tcb.Suspended);
+        check_int "no suspensions" 0
+          (Kernel.quota_suspensions (Platform.kernel p)));
+    Alcotest.test_case "quota callback fires with the culprit" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let runaway = load p "runaway" (Tasks.busy_loop ()) in
+        runaway.Tcb.cpu_quota <- Some 3;
+        let seen = ref None in
+        Kernel.set_on_quota_exceeded (Platform.kernel p) (fun tcb ->
+            seen := Some tcb.Tcb.name);
+        Platform.run_ticks p 8;
+        check_bool "callback" true (!seen = Some "runaway"));
+  ]
+
+(* --- Local attestation over IPC --------------------------------------------- *)
+
+let local_attest_guest ~service ~subject =
+  let s_lo, s_hi = Task_id.to_words service in
+  let q_lo, q_hi = Task_id.to_words subject in
+  let prog =
+    Toolchain.secure_program
+      ~main:(fun a ->
+        let open Isa in
+        Assembler.label a "main";
+        Assembler.instr a (Movi (0, q_lo));
+        Assembler.instr a (Movi (1, q_hi));
+        Assembler.instr a (Movi (8, s_lo));
+        Assembler.instr a (Movi (9, s_hi));
+        Assembler.instr a (Movi (10, Ipc.mode_sync));
+        Assembler.instr a (Swi Ipc.swi_send);
+        (* reply: m0 = 0 iff loaded *)
+        Assembler.instr a (Ldw (0, 12, 16));
+        Assembler.movi_label a ~rd:4 "verdict";
+        Assembler.instr a (Stw (4, 0, 0));
+        Assembler.movi_label a ~rd:4 "done";
+        Assembler.instr a (Movi (5, 1));
+        Assembler.instr a (Stw (4, 0, 5));
+        Assembler.label a "rest";
+        Assembler.instr a (Movi (0, 100));
+        Assembler.instr a (Swi 2);
+        Assembler.jmp_label a "rest";
+        Assembler.begin_data a;
+        Assembler.label a "verdict";
+        Assembler.word a 99;
+        Assembler.label a "done";
+        Assembler.word a 0)
+      ()
+  in
+  Tytan_telf.Builder.of_program ~stack_size:512 prog
+
+let local_attest_tests =
+  [
+    Alcotest.test_case "task verifies a loaded peer over IPC" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let peer = load p "peer" (Tasks.counter ()) in
+        let service = Option.get (Platform.attest_service_id p) in
+        let telf = local_attest_guest ~service ~subject:(id_of p peer) in
+        let verifier = load p "verifier" telf in
+        Platform.run_ticks p 6;
+        check_int "completed" 1 (data_word p verifier telf 1);
+        check_int "peer attested as loaded" 0 (data_word p verifier telf 0));
+    Alcotest.test_case "task learns a ghost identity is not loaded" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let service = Option.get (Platform.attest_service_id p) in
+        let ghost = Task_id.of_image (Bytes.of_string "not-loaded") in
+        let telf = local_attest_guest ~service ~subject:ghost in
+        let verifier = load p "verifier" telf in
+        Platform.run_ticks p 6;
+        check_int "completed" 1 (data_word p verifier telf 1);
+        check_int "ghost rejected" 1 (data_word p verifier telf 0));
+    Alcotest.test_case "verdict changes after the peer unloads" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let peer = load p "peer" (Tasks.counter ()) in
+        let att = Option.get (Platform.attestation p) in
+        let id = id_of p peer in
+        check_bool "loaded now" true (Attestation.local_attest att id);
+        Platform.unload p peer;
+        check_bool "gone after unload" false (Attestation.local_attest att id));
+  ]
+
+(* --- Static configuration (TrustLite comparison mode) ---------------------- *)
+
+let static_mode_tests =
+  [
+    Alcotest.test_case "boot-time loading works, runtime loading is sealed"
+      `Quick (fun () ->
+        let p = Platform.create ~config:Platform.trustlite_config () in
+        let telf = Tasks.counter () in
+        let tcb = load p "boot-task" telf in
+        Platform.finish_boot p;
+        check_bool "runtime load rejected" true
+          (Result.is_error (Platform.load_blocking p ~name:"late" (Tasks.counter ())));
+        check_bool "unload rejected" true
+          (try
+             Platform.unload p tcb;
+             false
+           with Invalid_argument _ -> true);
+        Platform.run_ticks p 5;
+        check_bool "boot task runs fine" true (data_word p tcb telf 0 >= 4));
+    Alcotest.test_case "dynamic platform is unaffected by finish_boot" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        Platform.finish_boot p;
+        check_bool "still loadable" true
+          (Result.is_ok (Platform.load_blocking p ~name:"late" (Tasks.counter ()))));
+  ]
+
+(* --- Availability under IPC flooding (paper section 5) ---------------------- *)
+
+let dos_tests =
+  [
+    Alcotest.test_case "an IPC-flooding task cannot starve the victim"
+      `Quick (fun () ->
+        let p = Platform.create () in
+        let vtelf = Tasks.counter () in
+        let victim = load p ~priority:4 "victim" vtelf in
+        (* The flooder asynchronously sprays the victim's inbox at its own
+           priority, never yielding between sends beyond the syscall. *)
+        let rtelf = Tasks.ipc_receiver () in
+        let sink = load p "sink" rtelf in
+        let flood_prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              let open Isa in
+              let lo, hi = Task_id.to_words (id_of p sink) in
+              Assembler.label a "main";
+              Assembler.label a "spam";
+              Assembler.instr a (Movi (0, 1));
+              Assembler.instr a (Movi (8, lo));
+              Assembler.instr a (Movi (9, hi));
+              Assembler.instr a (Movi (10, Ipc.mode_async));
+              Assembler.instr a (Swi Ipc.swi_send);
+              Assembler.jmp_label a "spam")
+            ()
+        in
+        let flooder =
+          load p ~priority:2 "flooder"
+            (Tytan_telf.Builder.of_program ~stack_size:512 flood_prog)
+        in
+        Platform.run_ticks p 20;
+        check_bool "victim held its rate under flood" true
+          (data_word p victim vtelf 0 >= 19);
+        check_bool "flooder is merely using its own budget" true
+          (flooder.Tcb.state <> Tcb.Terminated));
+    Alcotest.test_case "flooding plus CPU quota suspends the flooder" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let vtelf = Tasks.counter () in
+        let victim = load p ~priority:4 "victim" vtelf in
+        let flooder = load p ~priority:2 "flooder" (Tasks.busy_loop ()) in
+        flooder.Tcb.cpu_quota <- Some 8;
+        Platform.run_ticks p 20;
+        check_bool "flooder suspended" true (flooder.Tcb.state = Tcb.Suspended);
+        check_bool "victim unaffected" true (data_word p victim vtelf 0 >= 19));
+  ]
+
+(* --- Runtime task update (paper future work) ------------------------------ *)
+
+let update_tests =
+  [
+    Alcotest.test_case "update swaps versions with bounded downtime" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let v1 = Tasks.counter () in
+        let old_task = load p "svc" v1 in
+        Platform.run_ticks p 5;
+        let v2 = Tasks.counter ~stack_size:768 () in
+        let report = Result.get_ok (Update.update_task p ~old_task v2) in
+        check_bool "old unloaded" true (old_task.Tcb.state = Tcb.Terminated);
+        check_bool "new running version present" true
+          (report.Update.task.Tcb.state <> Tcb.Terminated);
+        check_bool "identities differ" false
+          (Task_id.equal report.Update.old_id report.Update.new_id);
+        (* The swap gap is orders of magnitude below the load time. *)
+        check_bool "downtime << staging" true
+          (report.Update.downtime_cycles * 10 < report.Update.staging_cycles);
+        Platform.run_ticks p 5;
+        check_bool "new version runs" true
+          (data_word p report.Update.task v2 0 >= 4));
+    Alcotest.test_case "state migration carries data words over" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let v1 = Tasks.counter () in
+        let old_task = load p "svc" v1 in
+        Platform.run_ticks p 7;
+        let carried = data_word p old_task v1 0 in
+        let v2 = Tasks.counter ~stack_size:768 () in
+        let report =
+          Result.get_ok (Update.update_task p ~old_task ~migrate_words:1 v2)
+        in
+        check_int "counter migrated" carried (data_word p report.Update.task v2 0));
+    Alcotest.test_case "stop-and-reload has load-sized downtime" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let v1 = Tasks.counter () in
+        let old_task = load p "svc" v1 in
+        let naive = Result.get_ok (Update.stop_and_reload p ~old_task (Tasks.counter ~stack_size:768 ())) in
+        let p2 = Platform.create () in
+        let old2 = load p2 "svc" (Tasks.counter ()) in
+        let live = Result.get_ok (Update.update_task p2 ~old_task:old2 (Tasks.counter ~stack_size:768 ())) in
+        check_bool "live update at least 10x less downtime" true
+          (live.Update.downtime_cycles * 10 < naive.Update.downtime_cycles));
+    Alcotest.test_case "update keeps other tasks on schedule" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let bystander_telf = Tasks.counter () in
+        let bystander = load p ~priority:4 "bystander" bystander_telf in
+        let old_task = load p "svc" (Tasks.counter ()) in
+        Platform.run_ticks p 5;
+        let before = data_word p bystander bystander_telf 0 in
+        let _ = Result.get_ok (Update.update_task p ~old_task (Tasks.counter ~stack_size:768 ())) in
+        Platform.run_ticks p 10;
+        check_bool "bystander unaffected" true
+          (data_word p bystander bystander_telf 0 - before >= 9));
+  ]
+
+let () =
+  Alcotest.run "platform"
+    [
+      ("boot", boot_tests);
+      ("secure-tasks", secure_task_tests);
+      ("ipc", ipc_tests);
+      ("storage", storage_tests);
+      ("nvm-reboot", reboot_tests);
+      ("attestation", attestation_tests);
+      ("realtime", realtime_tests);
+      ("shared-memory", shm_tests);
+      ("nested-ipc", handoff_race_test :: nested_ipc_tests);
+      ("cpu-quota", quota_tests);
+      ("local-attest", local_attest_tests);
+      ("static-mode", static_mode_tests);
+      ("dos-resilience", dos_tests);
+      ("update", update_tests);
+    ]

@@ -1,0 +1,152 @@
+(* Provisioning and fleet management: key hierarchy, device isolation,
+   manifest audits, and compromise detection across a fleet. *)
+
+open Tytan_core
+open Tytan_provision
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let master = Bytes.of_string "manufacturer-root-secret"
+
+let registry_tests =
+  [
+    Alcotest.test_case "keys are deterministic per serial" `Quick (fun () ->
+        let r = Registry.create ~master in
+        check_bool "stable" true
+          (Registry.platform_key r ~serial:"ecu-1"
+          = Registry.platform_key r ~serial:"ecu-1"));
+    Alcotest.test_case "different serials get different keys" `Quick
+      (fun () ->
+        let r = Registry.create ~master in
+        check_bool "independent" false
+          (Registry.platform_key r ~serial:"ecu-1"
+          = Registry.platform_key r ~serial:"ecu-2"));
+    Alcotest.test_case "different masters give different fleets" `Quick
+      (fun () ->
+        let r1 = Registry.create ~master in
+        let r2 = Registry.create ~master:(Bytes.of_string "other") in
+        check_bool "independent" false
+          (Registry.platform_key r1 ~serial:"ecu-1"
+          = Registry.platform_key r2 ~serial:"ecu-1"));
+    Alcotest.test_case "platform keys are 20 bytes (Kp format)" `Quick
+      (fun () ->
+        let r = Registry.create ~master in
+        check_int "size" 20
+          (Bytes.length (Registry.platform_key r ~serial:"x")));
+    Alcotest.test_case "attestation key matches the device derivation"
+      `Quick (fun () ->
+        let r = Registry.create ~master in
+        let kp = Registry.platform_key r ~serial:"ecu-1" in
+        check_bool "same Ka both sides" true
+          (Registry.attestation_key r ~serial:"ecu-1"
+          = Attestation.derive_ka ~platform_key:kp));
+  ]
+
+let firmware () = Tasks.counter ()
+
+let fleet_tests =
+  [
+    Alcotest.test_case "device boots with its registry key" `Quick (fun () ->
+        let r = Registry.create ~master in
+        let d = Fleet.manufacture r ~serial:"ecu-1" () in
+        check_bool "key matches" true
+          ((Platform.config (Fleet.platform d)).Platform.platform_key
+          = Registry.platform_key r ~serial:"ecu-1"));
+    Alcotest.test_case "healthy fleet audits clean" `Quick (fun () ->
+        let r = Registry.create ~master in
+        let fw = firmware () in
+        Registry.set_manifest r [ ("control-fw", Rtm.identity_of_telf fw) ];
+        let devices =
+          List.map
+            (fun serial ->
+              let d = Fleet.manufacture r ~serial () in
+              ignore (Result.get_ok (Fleet.deploy d ~name:"control-fw" fw));
+              d)
+            [ "ecu-1"; "ecu-2"; "ecu-3" ]
+        in
+        let reports = Fleet.audit_fleet r devices () in
+        check_int "three reports" 3 (List.length reports);
+        List.iter
+          (fun report -> check_bool report.Fleet.device_serial true (Fleet.healthy report))
+          reports);
+    Alcotest.test_case "the compromised device is singled out" `Quick
+      (fun () ->
+        let r = Registry.create ~master in
+        let fw = firmware () in
+        Registry.set_manifest r [ ("control-fw", Rtm.identity_of_telf fw) ];
+        let good = Fleet.manufacture r ~serial:"ecu-good" () in
+        ignore (Result.get_ok (Fleet.deploy good ~name:"control-fw" fw));
+        let bad = Fleet.manufacture r ~serial:"ecu-bad" () in
+        let backdoored =
+          let image = Bytes.copy fw.Tytan_telf.Telf.image in
+          Bytes.blit (Tytan_machine.Isa.encode Tytan_machine.Isa.Nop) 0 image 200 8;
+          { fw with Tytan_telf.Telf.image }
+        in
+        ignore (Result.get_ok (Fleet.deploy bad ~name:"control-fw" backdoored));
+        let reports = Fleet.audit_fleet r [ good; bad ] () in
+        (match reports with
+        | [ good_report; bad_report ] ->
+            check_bool "good healthy" true (Fleet.healthy good_report);
+            check_bool "bad flagged" false (Fleet.healthy bad_report);
+            check_bool "as compromised" true
+              (List.assoc "control-fw" bad_report.Fleet.components
+              = Fleet.Compromised_or_missing)
+        | _ -> Alcotest.fail "expected two reports"));
+    Alcotest.test_case "one device's key cannot audit another" `Quick
+      (fun () ->
+        (* A verifier holding ecu-1's Ka must reject ecu-2's genuine
+           reports: per-device keys isolate the fleet. *)
+        let r = Registry.create ~master in
+        let fw = firmware () in
+        let d2 = Fleet.manufacture r ~serial:"ecu-2" () in
+        ignore (Result.get_ok (Fleet.deploy d2 ~name:"fw" fw));
+        let wrong_ka = Registry.attestation_key r ~serial:"ecu-1" in
+        let v =
+          Tytan_netsim.Verifier.create ~ka:wrong_ka
+            ~expected:(Rtm.identity_of_telf fw) ~max_attempts:3
+            ~timeout_slices:2 ()
+        in
+        (* drive d2's cosim manually with the wrong-keyed verifier *)
+        let cosim =
+          Tytan_netsim.Cosim.create (Fleet.platform d2)
+            ~link:(Tytan_netsim.Link.create ()) ()
+        in
+        Tytan_netsim.Cosim.attach_verifier cosim v;
+        ignore (Tytan_netsim.Cosim.run_until_settled cosim ~max_slices:100);
+        check_bool "rejected" true
+          (Tytan_netsim.Verifier.outcome v = Tytan_netsim.Verifier.Gave_up));
+    Alcotest.test_case "multi-component manifest reports per component"
+      `Quick (fun () ->
+        let r = Registry.create ~master in
+        let fw_a = Tasks.counter () in
+        let fw_b = Tasks.counter ~stack_size:768 () in
+        Registry.set_manifest r
+          [
+            ("engine-fw", Rtm.identity_of_telf fw_a);
+            ("brake-fw", Rtm.identity_of_telf fw_b);
+          ];
+        let d = Fleet.manufacture r ~serial:"ecu-1" () in
+        ignore (Result.get_ok (Fleet.deploy d ~name:"engine-fw" fw_a));
+        (* brake firmware never installed *)
+        let report = Fleet.audit r d () in
+        check_bool "engine healthy" true
+          (List.assoc "engine-fw" report.Fleet.components = Fleet.Healthy);
+        check_bool "brake flagged" true
+          (List.assoc "brake-fw" report.Fleet.components
+          = Fleet.Compromised_or_missing);
+        check_bool "overall unhealthy" false (Fleet.healthy report));
+    Alcotest.test_case "audit succeeds across a lossy uplink" `Quick
+      (fun () ->
+        let r = Registry.create ~master in
+        let fw = firmware () in
+        Registry.set_manifest r [ ("fw", Rtm.identity_of_telf fw) ];
+        let d = Fleet.manufacture r ~serial:"ecu-radio" ~loss_percent:50 ~link_seed:5 () in
+        ignore (Result.get_ok (Fleet.deploy d ~name:"fw" fw));
+        let report = Fleet.audit r d ~max_attempts:30 () in
+        check_bool "healthy despite loss" true (Fleet.healthy report));
+  ]
+
+let () =
+  Alcotest.run "provision"
+    [ ("registry", registry_tests); ("fleet", fleet_tests) ]

@@ -1,0 +1,171 @@
+(* Reproduction pinning: the paper-facing numbers the benchmark prints,
+   asserted as tests so a refactor cannot silently drift the evaluation.
+   Each case corresponds to a row of EXPERIMENTS.md. *)
+
+open Tytan_machine
+open Tytan_rtos
+open Tytan_telf
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_until_current p (tcb : Tcb.t) =
+  let kernel = Platform.kernel p in
+  let rec go guard =
+    if guard = 0 then failwith "task never became current"
+    else if Kernel.current kernel = Some tcb && tcb.Tcb.state = Tcb.Running
+    then ()
+    else begin
+      ignore (Platform.run p ~cycles:200);
+      go (guard - 1)
+    end
+  in
+  go 10_000
+
+let table2 =
+  Alcotest.test_case "table 2: secure save is 95 cycles, overhead 57" `Quick
+    (fun () ->
+      let measure ~secure =
+        let p = Platform.create () in
+        let telf =
+          if secure then Tasks.busy_loop () else Tasks.busy_loop ~secure:false ()
+        in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"s" ~secure telf) in
+        run_until_current p tcb;
+        let cpu = Platform.cpu p in
+        let ops = Kernel.context_ops (Platform.kernel p) in
+        let gprs = Regfile.all_gprs (Cpu.regs cpu) in
+        snd (Cycles.measure (Platform.clock p) (fun () -> ops.Context.save tcb gprs))
+      in
+      let secure = measure ~secure:true in
+      let baseline = measure ~secure:false in
+      check_int "secure save" 95 secure;
+      check_int "overhead" 57 (secure - baseline))
+
+let table5 =
+  Alcotest.test_case "table 5: relocation rows land in the paper's bands"
+    `Quick (fun () ->
+      List.iter
+        (fun (n, low, high) ->
+          let p = Platform.create () in
+          let telf =
+            Toolchain.synthetic_secure ~image_size:1024 ~reloc_count:n
+              ~stack_size:128
+          in
+          ignore (Result.get_ok (Platform.load_blocking p ~name:"r" telf));
+          let cost =
+            Option.value ~default:(-1)
+              (List.assoc_opt "relocation" (Loader.last_report (Platform.loader p)))
+          in
+          check_bool
+            (Printf.sprintf "n=%d: %d within [%d, %d]" n cost low high)
+            true
+            (cost >= low && cost <= high))
+        (* paper's min/avg bands, widened by ±3% *)
+        [ (0, 35, 39); (1, 652, 724); (2, 1305, 1413); (4, 2555, 2792) ])
+
+let table6 =
+  Alcotest.test_case "table 6: EA-MPU config costs exactly match" `Quick
+    (fun () ->
+      List.iter
+        (fun (position, expected) ->
+          let clock = Cycles.create () in
+          let eampu = Tytan_eampu.Eampu.create ~slots:18 () in
+          let mpu = Mpu_driver.create eampu clock ~code_eip:0x100 in
+          for i = 0 to position - 2 do
+            Tytan_eampu.Eampu.set_slot eampu i
+              (Some
+                 (Tytan_eampu.Eampu.Exec
+                    {
+                      region =
+                        Tytan_eampu.Region.make ~base:(0x10000 + (i * 0x200))
+                          ~size:0x100;
+                      entry = None;
+                    }))
+          done;
+          let rule =
+            Tytan_eampu.Eampu.Exec
+              { region = Tytan_eampu.Region.make ~base:0x90000 ~size:0x100; entry = None }
+          in
+          let _, cost =
+            Cycles.measure clock (fun () -> Mpu_driver.install_rule mpu rule)
+          in
+          check_int (Printf.sprintf "position %d" position) expected cost)
+        [ (1, 1125); (2, 1144); (18, 1448) ])
+
+let table7 =
+  Alcotest.test_case "table 7: measurement within 2% of the paper" `Quick
+    (fun () ->
+      let measured_cost ~blocks =
+        let mem = Memory.create ~size:0x40000 in
+        let clock = Cycles.create () in
+        let engine = Exception_engine.create mem ~idt_base:0x100 in
+        let cpu = Cpu.create mem clock engine in
+        let rtm = Rtm.create cpu ~code_eip:0x500 in
+        let telf =
+          Builder.synthetic ~image_size:(blocks * 64) ~reloc_count:0
+            ~stack_size:128 ()
+        in
+        Memory.blit_bytes mem 0x2000 telf.Telf.image;
+        snd (Cycles.measure clock (fun () -> ignore (Rtm.measure rtm ~base:0x2000 ~telf)))
+      in
+      List.iter
+        (fun (blocks, paper) ->
+          let cost = measured_cost ~blocks in
+          let tolerance = paper / 50 in
+          check_bool
+            (Printf.sprintf "%d blocks: %d ≈ %d" blocks cost paper)
+            true
+            (abs (cost - paper) <= tolerance))
+        [ (1, 8261); (2, 12200); (4, 20078); (8, 35790) ])
+
+let table8 =
+  Alcotest.test_case "table 8: memory totals are the paper's exactly" `Quick
+    (fun () ->
+      check_int "FreeRTOS" 215_617
+        (Platform.os_memory_bytes (Platform.create ~config:Platform.baseline_config ()));
+      check_int "TyTAN" 249_943
+        (Platform.os_memory_bytes (Platform.create ())))
+
+let ipc_cost =
+  Alcotest.test_case "secure IPC proxy costs the paper's 1208" `Quick
+    (fun () -> check_int "proxy" 1_208 Cost_model.ipc_proxy_total)
+
+let table1_shape =
+  Alcotest.test_case
+    "table 1: rates hold during an interruptible multi-tick load" `Quick
+    (fun () ->
+      let p = Platform.create () in
+      let telf = Tasks.counter () in
+      let t1 = Result.get_ok (Platform.load_blocking p ~name:"t1" ~priority:4 telf) in
+      Platform.run_ticks p 5;
+      let big =
+        Toolchain.synthetic_secure ~image_size:11_976 ~reloc_count:9
+          ~stack_size:256
+      in
+      Platform.submit_load p ~name:"t2" big;
+      let before = t1.Tcb.activations in
+      let start = Cycles.now (Platform.clock p) in
+      let rec wait guard =
+        if guard = 0 then failwith "load did not finish"
+        else if Kernel.find_task_by_name (Platform.kernel p) "t2" <> None then ()
+        else begin
+          Platform.run_ticks p 1;
+          wait (guard - 1)
+        end
+      in
+      wait 400;
+      let load_cycles = Cycles.now (Platform.clock p) - start in
+      let ticks_elapsed = load_cycles / (Platform.config p).Platform.tick_period in
+      check_bool "load spanned many scheduling cycles" true (ticks_elapsed >= 10);
+      check_bool "t1 activated about once per tick throughout" true
+        (t1.Tcb.activations - before >= ticks_elapsed - 1))
+
+let () =
+  Alcotest.run "reproduction"
+    [
+      ("pinned",
+       [ table1_shape; table2; table5; table6; table7; table8; ipc_cost ]);
+    ]

@@ -1,0 +1,574 @@
+(* RTOS tests: scheduler policy, RT queues, software timers, and kernel
+   behaviour on a live baseline platform (context switching, delays,
+   priorities, queue syscalls from guest code). *)
+
+open Tytan_machine
+open Tytan_rtos
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tcb ?(priority = 2) ?(secure = false) ~id name =
+  Tcb.make ~id ~name ~priority ~secure ~region_base:0x1000 ~region_size:0x400
+    ~code_base:0x1000 ~code_size:0x100 ~entry:0x1000 ~stack_base:0x1200
+    ~stack_size:0x200 ~inbox_base:0
+
+(* --- Scheduler ----------------------------------------------------------- *)
+
+let scheduler_tests =
+  [
+    Alcotest.test_case "highest priority wins" `Quick (fun () ->
+        let s = Scheduler.create () in
+        let low = tcb ~priority:1 ~id:1 "low" in
+        let high = tcb ~priority:5 ~id:2 "high" in
+        Scheduler.add_ready s low;
+        Scheduler.add_ready s high;
+        check_bool "high picked" true (Scheduler.pick s = Some high));
+    Alcotest.test_case "fifo within a priority" `Quick (fun () ->
+        let s = Scheduler.create () in
+        let a = tcb ~id:1 "a" and b = tcb ~id:2 "b" in
+        Scheduler.add_ready s a;
+        Scheduler.add_ready s b;
+        check_bool "a first" true (Scheduler.take s = Some a);
+        check_bool "b second" true (Scheduler.take s = Some b);
+        check_bool "empty" true (Scheduler.take s = None));
+    Alcotest.test_case "rotate round-robins" `Quick (fun () ->
+        let s = Scheduler.create () in
+        let a = tcb ~id:1 "a" and b = tcb ~id:2 "b" in
+        Scheduler.add_ready s a;
+        Scheduler.add_ready s b;
+        Scheduler.rotate s ~priority:2;
+        check_bool "b now first" true (Scheduler.pick s = Some b));
+    Alcotest.test_case "remove drops from ready" `Quick (fun () ->
+        let s = Scheduler.create () in
+        let a = tcb ~id:1 "a" in
+        Scheduler.add_ready s a;
+        Scheduler.remove s a;
+        check_int "empty" 0 (Scheduler.ready_count s));
+    Alcotest.test_case "delay and wake ordering" `Quick (fun () ->
+        let s = Scheduler.create () in
+        let a = tcb ~id:1 "a" and b = tcb ~id:2 "b" in
+        Scheduler.delay_until s a ~wake_tick:5;
+        Scheduler.delay_until s b ~wake_tick:3;
+        for _ = 1 to 3 do
+          Scheduler.advance_tick s
+        done;
+        let due = Scheduler.wake_due s in
+        check_int "only b due" 1 (List.length due);
+        check_bool "b" true (List.hd due == b);
+        for _ = 1 to 2 do
+          Scheduler.advance_tick s
+        done;
+        check_int "a due later" 1 (List.length (Scheduler.wake_due s)));
+    Alcotest.test_case "sleep_on with max_int never wakes" `Quick (fun () ->
+        let s = Scheduler.create () in
+        let a = tcb ~id:1 "a" in
+        Scheduler.sleep_on s a ~wake_tick:max_int ~reason:(Tcb.Queue_recv_wait 0);
+        for _ = 1 to 100 do
+          Scheduler.advance_tick s
+        done;
+        check_int "still asleep" 0 (List.length (Scheduler.wake_due s)));
+    Alcotest.test_case "priority out of range rejected" `Quick (fun () ->
+        let s = Scheduler.create () in
+        let bad = tcb ~priority:Scheduler.priority_levels ~id:1 "bad" in
+        check_bool "raises" true
+          (try
+             Scheduler.add_ready s bad;
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* --- RT queue structure -------------------------------------------------- *)
+
+let rt_queue_tests =
+  [
+    Alcotest.test_case "fifo order" `Quick (fun () ->
+        let q = Rt_queue.create ~id:0 ~capacity:4 in
+        Rt_queue.push q 1;
+        Rt_queue.push q 2;
+        Rt_queue.push q 3;
+        check_int "pop 1" 1 (Rt_queue.pop q);
+        check_int "pop 2" 2 (Rt_queue.pop q));
+    Alcotest.test_case "capacity enforced" `Quick (fun () ->
+        let q = Rt_queue.create ~id:0 ~capacity:1 in
+        Rt_queue.push q 1;
+        check_bool "full" true (Rt_queue.is_full q);
+        check_bool "push raises" true
+          (try
+             Rt_queue.push q 2;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "waiter fifo and drop" `Quick (fun () ->
+        let q = Rt_queue.create ~id:0 ~capacity:1 in
+        let a = tcb ~id:1 "a" and b = tcb ~id:2 "b" in
+        Rt_queue.add_recv_waiter q a;
+        Rt_queue.add_recv_waiter q b;
+        Rt_queue.drop_waiter q a;
+        check_bool "b remains" true (Rt_queue.take_recv_waiter q = Some b);
+        check_bool "empty" true (Rt_queue.take_recv_waiter q = None));
+    Alcotest.test_case "send waiter carries value" `Quick (fun () ->
+        let q = Rt_queue.create ~id:0 ~capacity:1 in
+        let a = tcb ~id:1 "a" in
+        Rt_queue.add_send_waiter q a ~value:42;
+        match Rt_queue.take_send_waiter q with
+        | Some (w, v) ->
+            check_bool "task" true (w == a);
+            check_int "value" 42 v
+        | None -> Alcotest.fail "no waiter");
+  ]
+
+(* --- Software timers ----------------------------------------------------- *)
+
+let sw_timer_tests =
+  [
+    Alcotest.test_case "one-shot fires once" `Quick (fun () ->
+        let t = Sw_timer.create () in
+        let fired = ref 0 in
+        ignore (Sw_timer.arm t ~at_tick:5 (fun () -> incr fired));
+        check_int "early" 0 (Sw_timer.fire_due t ~now:4);
+        check_int "on time" 1 (Sw_timer.fire_due t ~now:5);
+        check_int "once" 0 (Sw_timer.fire_due t ~now:100);
+        check_int "fired" 1 !fired);
+    Alcotest.test_case "periodic re-arms" `Quick (fun () ->
+        let t = Sw_timer.create () in
+        let fired = ref 0 in
+        ignore (Sw_timer.arm t ~at_tick:2 ~period:3 (fun () -> incr fired));
+        ignore (Sw_timer.fire_due t ~now:2);
+        ignore (Sw_timer.fire_due t ~now:5);
+        ignore (Sw_timer.fire_due t ~now:8);
+        check_int "three times" 3 !fired);
+    Alcotest.test_case "cancel" `Quick (fun () ->
+        let t = Sw_timer.create () in
+        let fired = ref 0 in
+        let id = Sw_timer.arm t ~at_tick:1 (fun () -> incr fired) in
+        Sw_timer.cancel t id;
+        ignore (Sw_timer.fire_due t ~now:10);
+        check_int "never" 0 !fired);
+    Alcotest.test_case "ordering by deadline" `Quick (fun () ->
+        let t = Sw_timer.create () in
+        let order = ref [] in
+        ignore (Sw_timer.arm t ~at_tick:5 (fun () -> order := 5 :: !order));
+        ignore (Sw_timer.arm t ~at_tick:2 (fun () -> order := 2 :: !order));
+        ignore (Sw_timer.fire_due t ~now:10);
+        check_bool "2 before 5" true (!order = [ 5; 2 ]));
+  ]
+
+(* --- Kernel behaviour on a live baseline platform ------------------------ *)
+
+let baseline () = Platform.create ~config:Platform.baseline_config ()
+
+let data_word p (tcb : Tcb.t) telf index =
+  let addr = tcb.region_base + Tasks.data_cell_offset telf + (4 * index) in
+  match Platform.rtm p with
+  | Some rtm when tcb.secure ->
+      (* TyTAN platform: read under the RTM's identity. *)
+      Cpu.with_firmware (Platform.cpu p) ~eip:(Rtm.code_eip rtm) (fun () ->
+          Cpu.load32 (Platform.cpu p) addr)
+  | Some _ | None -> Cpu.load32 (Platform.cpu p) addr
+
+let kernel_tests =
+  [
+    Alcotest.test_case "periodic task runs at tick rate" `Quick (fun () ->
+        let p = baseline () in
+        let telf = Tasks.counter ~secure:false () in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"c" ~secure:false telf) in
+        Platform.run_ticks p 10;
+        let count = data_word p tcb telf 0 in
+        check_bool "ran ~once per tick" true (count >= 9 && count <= 11));
+    Alcotest.test_case "two tasks share the processor" `Quick (fun () ->
+        let p = baseline () in
+        let t1 = Tasks.counter ~secure:false () in
+        let t2 = Tasks.counter ~secure:false () in
+        let a = Result.get_ok (Platform.load_blocking p ~name:"a" ~secure:false t1) in
+        let b = Result.get_ok (Platform.load_blocking p ~name:"b" ~secure:false t2) in
+        Platform.run_ticks p 10;
+        check_bool "both progress" true
+          (data_word p a t1 0 >= 8 && data_word p b t2 0 >= 8));
+    Alcotest.test_case "higher priority preempts busy loop" `Quick (fun () ->
+        let p = baseline () in
+        let busy = Tasks.busy_loop ~secure:false () in
+        let periodic = Tasks.counter ~secure:false () in
+        let _b =
+          Result.get_ok (Platform.load_blocking p ~name:"busy" ~secure:false ~priority:2 busy)
+        in
+        let c =
+          Result.get_ok
+            (Platform.load_blocking p ~name:"hi" ~secure:false ~priority:3 periodic)
+        in
+        Platform.run_ticks p 10;
+        check_bool "high-priority task kept its rate despite the spinner" true
+          (data_word p c periodic 0 >= 9));
+    Alcotest.test_case "yielding task exits after count" `Quick (fun () ->
+        let p = baseline () in
+        let telf = Tasks.yielder ~secure:false ~count:5 () in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"y" ~secure:false telf) in
+        Platform.run_ticks p 5;
+        check_bool "terminated" true (tcb.Tcb.state = Tcb.Terminated);
+        check_int "did its work" 5 (data_word p tcb telf 0));
+    Alcotest.test_case "terminated task memory is reclaimed" `Quick (fun () ->
+        let p = baseline () in
+        let before = Heap.allocated_bytes (Platform.heap p) in
+        let telf = Tasks.yielder ~secure:false ~count:2 () in
+        let _ = Result.get_ok (Platform.load_blocking p ~name:"y" ~secure:false telf) in
+        Platform.run_ticks p 5;
+        check_int "heap back to baseline" before
+          (Heap.allocated_bytes (Platform.heap p)));
+    Alcotest.test_case "suspend stops scheduling, resume restarts" `Quick
+      (fun () ->
+        let p = baseline () in
+        let telf = Tasks.counter ~secure:false () in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"c" ~secure:false telf) in
+        Platform.run_ticks p 5;
+        Platform.suspend p tcb;
+        let frozen = data_word p tcb telf 0 in
+        Platform.run_ticks p 5;
+        check_int "no progress while suspended" frozen (data_word p tcb telf 0);
+        Platform.resume p tcb;
+        Platform.run_ticks p 5;
+        check_bool "resumed" true (data_word p tcb telf 0 > frozen));
+    Alcotest.test_case "idle task runs when nothing is ready" `Quick
+      (fun () ->
+        let p = baseline () in
+        Platform.run_ticks p 3;
+        let idle = Option.get (Kernel.idle_task (Platform.kernel p)) in
+        check_bool "idle was dispatched" true (idle.Tcb.activations > 0));
+    Alcotest.test_case "tick count advances with time" `Quick (fun () ->
+        let p = baseline () in
+        Platform.run_ticks p 7;
+        let ticks = Kernel.tick_count (Platform.kernel p) in
+        check_bool "around 7" true (ticks >= 6 && ticks <= 8));
+    Alcotest.test_case "context switches counted" `Quick (fun () ->
+        let p = baseline () in
+        let telf = Tasks.counter ~secure:false () in
+        let _ = Result.get_ok (Platform.load_blocking p ~name:"c" ~secure:false telf) in
+        Platform.run_ticks p 5;
+        check_bool "switching happened" true
+          (Kernel.context_switches (Platform.kernel p) > 5));
+    Alcotest.test_case "unknown swi kills the task" `Quick (fun () ->
+        let p = baseline () in
+        let prog =
+          Toolchain.normal_program ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.instr a (Isa.Swi 14);
+              Assembler.label a "rest";
+              Assembler.jmp_label a "rest")
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:256 prog in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"bad" ~secure:false telf) in
+        Platform.run_ticks p 2;
+        check_bool "killed" true (tcb.Tcb.state = Tcb.Terminated));
+  ]
+
+(* Queue syscalls from guest code: producer sends 1..n, consumer sums. *)
+let queue_producer qid n =
+  Toolchain.normal_program ~main:(fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.instr p (Movi (3, 0)); (* next value *)
+      Assembler.label p "loop";
+      Assembler.instr p (Addi (3, 3, 1));
+      Assembler.movi_label p ~rd:4 "saved";
+      Assembler.instr p (Stw (4, 0, 3));
+      Assembler.instr p (Movi (0, qid));
+      Assembler.instr p (Mov (1, 3));
+      Assembler.instr p (Movi (2, 50)); (* generous timeout *)
+      Assembler.instr p (Swi 8);
+      Assembler.movi_label p ~rd:4 "saved";
+      Assembler.instr p (Ldw (3, 4, 0));
+      Assembler.instr p (Cmpi (3, n));
+      Assembler.jlt_label p "loop";
+      Assembler.instr p (Swi 1);
+      Assembler.begin_data p;
+      Assembler.label p "saved";
+      Assembler.word p 0)
+
+let queue_consumer qid n =
+  Toolchain.normal_program ~main:(fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      Assembler.instr p (Movi (0, qid));
+      Assembler.instr p (Movi (2, 50));
+      Assembler.instr p (Swi 9); (* r0 = value, r1 = status *)
+      Assembler.instr p (Cmpi (1, 0));
+      Assembler.jnz_label p "loop";
+      Assembler.movi_label p ~rd:4 "sum";
+      Assembler.instr p (Ldw (5, 4, 0));
+      Assembler.instr p (Add (5, 5, 0));
+      Assembler.instr p (Stw (4, 0, 5));
+      Assembler.movi_label p ~rd:4 "count";
+      Assembler.instr p (Ldw (5, 4, 0));
+      Assembler.instr p (Addi (5, 5, 1));
+      Assembler.instr p (Stw (4, 0, 5));
+      Assembler.instr p (Cmpi (5, n));
+      Assembler.jlt_label p "loop";
+      Assembler.label p "rest";
+      Assembler.instr p (Movi (0, 100));
+      Assembler.instr p (Swi 2);
+      Assembler.jmp_label p "rest";
+      Assembler.begin_data p;
+      Assembler.label p "sum";
+      Assembler.word p 0;
+      Assembler.label p "count";
+      Assembler.word p 0)
+
+let queue_syscall_tests =
+  [
+    Alcotest.test_case "producer/consumer over an RT queue" `Quick (fun () ->
+        let p = baseline () in
+        let qid = Kernel.create_queue (Platform.kernel p) ~capacity:2 in
+        let n = 6 in
+        let prod = Tytan_telf.Builder.of_program ~stack_size:256 (queue_producer qid n) in
+        let cons = Tytan_telf.Builder.of_program ~stack_size:256 (queue_consumer qid n) in
+        let c = Result.get_ok (Platform.load_blocking p ~name:"cons" ~secure:false cons) in
+        let _ = Result.get_ok (Platform.load_blocking p ~name:"prod" ~secure:false prod) in
+        Platform.run_ticks p 40;
+        let sum = data_word p c cons 0 in
+        let count = data_word p c cons 1 in
+        check_int "all received" n count;
+        check_int "sum 1..n" (n * (n + 1) / 2) sum);
+    Alcotest.test_case "receive on empty queue times out" `Quick (fun () ->
+        let p = baseline () in
+        let qid = Kernel.create_queue (Platform.kernel p) ~capacity:2 in
+        (* A consumer with a short timeout publishes the status. *)
+        let prog =
+          Toolchain.normal_program ~main:(fun a ->
+              let open Isa in
+              Assembler.label a "main";
+              Assembler.instr a (Movi (0, qid));
+              Assembler.instr a (Movi (2, 2)); (* 2-tick timeout *)
+              Assembler.instr a (Swi 9);
+              Assembler.movi_label a ~rd:4 "status";
+              Assembler.instr a (Stw (4, 0, 1));
+              Assembler.label a "rest";
+              Assembler.instr a (Movi (0, 100));
+              Assembler.instr a (Swi 2);
+              Assembler.jmp_label a "rest";
+              Assembler.begin_data a;
+              Assembler.label a "status";
+              Assembler.word a 99)
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:256 prog in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"t" ~secure:false telf) in
+        Platform.run_ticks p 10;
+        check_int "timeout status" 1 (data_word p tcb telf 0));
+    Alcotest.test_case "unknown queue id returns error status" `Quick
+      (fun () ->
+        let p = baseline () in
+        let prog =
+          Toolchain.normal_program ~main:(fun a ->
+              let open Isa in
+              Assembler.label a "main";
+              Assembler.instr a (Movi (0, 77)); (* no such queue *)
+              Assembler.instr a (Movi (1, 5));
+              Assembler.instr a (Movi (2, 0));
+              Assembler.instr a (Swi 8);
+              Assembler.movi_label a ~rd:4 "status";
+              Assembler.instr a (Stw (4, 0, 1));
+              Assembler.label a "rest";
+              Assembler.instr a (Movi (0, 100));
+              Assembler.instr a (Swi 2);
+              Assembler.jmp_label a "rest";
+              Assembler.begin_data a;
+              Assembler.label a "status";
+              Assembler.word a 99)
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:256 prog in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"t" ~secure:false telf) in
+        Platform.run_ticks p 4;
+        check_int "error status" 2 (data_word p tcb telf 0));
+  ]
+
+(* --- Run-time statistics and dynamic priorities ----------------------------- *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "busy task dominates the CPU accounting" `Quick
+      (fun () ->
+        let p = baseline () in
+        let busy = Result.get_ok (Platform.load_blocking p ~name:"busy" ~secure:false (Tasks.busy_loop ~secure:false ())) in
+        let idleish_telf = Tasks.counter ~secure:false () in
+        let idleish = Result.get_ok (Platform.load_blocking p ~name:"calm" ~secure:false idleish_telf) in
+        Platform.run_ticks p 20;
+        let usage = Kernel.cpu_usage (Platform.kernel p) in
+        let share tcb =
+          try List.assq tcb usage with Not_found -> 0.0
+        in
+        check_bool "busy >> calm" true (share busy > 5.0 *. share idleish);
+        check_bool "busy holds most of the machine" true (share busy > 0.5));
+    Alcotest.test_case "usage shares stay within [0,1] and sum sensibly"
+      `Quick (fun () ->
+        let p = baseline () in
+        ignore (Result.get_ok (Platform.load_blocking p ~name:"a" ~secure:false (Tasks.counter ~secure:false ())));
+        Platform.run_ticks p 10;
+        let usage = Kernel.cpu_usage (Platform.kernel p) in
+        List.iter
+          (fun (_, share) ->
+            check_bool "in range" true (share >= 0.0 && share <= 1.0))
+          usage;
+        let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 usage in
+        check_bool "no double counting" true (total <= 1.01));
+    Alcotest.test_case "priority change takes effect" `Quick (fun () ->
+        let p = baseline () in
+        let a_telf = Tasks.busy_loop ~secure:false () in
+        let a = Result.get_ok (Platform.load_blocking p ~name:"a" ~secure:false ~priority:2 a_telf) in
+        let b_telf = Tasks.counter ~secure:false () in
+        let b = Result.get_ok (Platform.load_blocking p ~name:"b" ~secure:false ~priority:2 b_telf) in
+        Platform.run_ticks p 10;
+        (* Demote the spinner below the counter: the counter should now
+           own the CPU between its delays, and the spinner only fills the
+           slack. *)
+        Kernel.set_priority (Platform.kernel p) a ~priority:1;
+        let before = data_word p b b_telf 0 in
+        Platform.run_ticks p 10;
+        check_bool "counter kept running" true
+          (data_word p b b_telf 0 - before >= 9);
+        check_int "spinner demoted" 1 a.Tcb.priority);
+    Alcotest.test_case "set_priority validates its range" `Quick (fun () ->
+        let p = baseline () in
+        let a = Result.get_ok (Platform.load_blocking p ~name:"a" ~secure:false (Tasks.counter ~secure:false ())) in
+        check_bool "raises" true
+          (try
+             Kernel.set_priority (Platform.kernel p) a ~priority:99;
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* --- Device interrupts (deferred handling) --------------------------------- *)
+
+(* A task that blocks on queue_recv and sums everything it receives. *)
+let rx_consumer qid =
+  Toolchain.normal_program ~main:(fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.label p "loop";
+      Assembler.instr p (Movi (0, qid));
+      Assembler.instr p (Movi (2, Word.of_int Kernel.no_timeout));
+      Assembler.instr p (Swi 9);
+      Assembler.instr p (Cmpi (1, 0));
+      Assembler.jnz_label p "loop";
+      Assembler.movi_label p ~rd:4 "sum";
+      Assembler.instr p (Ldw (5, 4, 0));
+      Assembler.instr p (Add (5, 5, 0));
+      Assembler.instr p (Stw (4, 0, 5));
+      Assembler.movi_label p ~rd:4 "count";
+      Assembler.instr p (Ldw (5, 4, 0));
+      Assembler.instr p (Addi (5, 5, 1));
+      Assembler.instr p (Stw (4, 0, 5));
+      Assembler.jmp_label p "loop";
+      Assembler.begin_data p;
+      Assembler.label p "sum";
+      Assembler.word p 0;
+      Assembler.label p "count";
+      Assembler.word p 0)
+
+let device_irq_tests =
+  [
+    Alcotest.test_case "injected frames wake a blocked receiver" `Quick
+      (fun () ->
+        let p = baseline () in
+        let qid = Kernel.create_queue (Platform.kernel p) ~capacity:8 in
+        let fifo =
+          Platform.attach_rx_fifo p ~name:"can0" ~base:0xF500_0000 ~irq:1
+            ~capacity:8
+        in
+        let _dropped = Platform.route_rx_to_queue p fifo ~queue_id:qid in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:256 (rx_consumer qid) in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"rx" ~secure:false telf) in
+        Platform.run_ticks p 2;
+        check_bool "blocked waiting" true
+          (tcb.Tcb.state = Tcb.Blocked (Tcb.Queue_recv_wait qid));
+        List.iter (fun v -> ignore (Devices.Rx_fifo.inject fifo v)) [ 10; 20; 12 ];
+        Platform.run_ticks p 3;
+        check_int "all frames consumed" 3 (data_word p tcb telf 1);
+        check_int "payload sum" 42 (data_word p tcb telf 0));
+    Alcotest.test_case "same path works on the TyTAN platform" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let qid = Kernel.create_queue (Platform.kernel p) ~capacity:8 in
+        let fifo =
+          Platform.attach_rx_fifo p ~name:"can0" ~base:0xF500_0000 ~irq:1
+            ~capacity:8
+        in
+        let _ = Platform.route_rx_to_queue p fifo ~queue_id:qid in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:256 (rx_consumer qid) in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"rx" ~secure:false telf) in
+        Platform.run_ticks p 2;
+        ignore (Devices.Rx_fifo.inject fifo 7);
+        ignore (Devices.Rx_fifo.inject fifo 8);
+        Platform.run_ticks p 3;
+        check_int "frames consumed through the Int Mux path" 2
+          (data_word p tcb telf 1);
+        ignore tcb);
+    Alcotest.test_case "fifo overflow is counted, not fatal" `Quick (fun () ->
+        let p = baseline () in
+        let fifo =
+          Platform.attach_rx_fifo p ~name:"can0" ~base:0xF500_0000 ~irq:1
+            ~capacity:2
+        in
+        check_bool "first fits" true (Devices.Rx_fifo.inject fifo 1);
+        check_bool "second fits" true (Devices.Rx_fifo.inject fifo 2);
+        check_bool "third dropped" false (Devices.Rx_fifo.inject fifo 3);
+        check_int "one drop" 1 (Devices.Rx_fifo.dropped fifo);
+        check_int "two held" 2 (Devices.Rx_fifo.pending fifo));
+    Alcotest.test_case "secure task can poll the FIFO over MMIO" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let fifo =
+          Platform.attach_rx_fifo p ~name:"can0" ~base:0xF500_0000 ~irq:1
+            ~capacity:8
+        in
+        (* No queue routing: the task polls [pending] and pops itself. *)
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              let open Isa in
+              Assembler.label a "main";
+              Assembler.instr a (Movi (6, 0xF500_0000));
+              Assembler.label a "poll";
+              Assembler.instr a (Ldw (0, 6, 0));
+              Assembler.instr a (Cmpi (0, 0));
+              Assembler.jnz_label a "take";
+              Assembler.instr a (Movi (0, 1));
+              Assembler.instr a (Swi 2);
+              Assembler.jmp_label a "poll";
+              Assembler.label a "take";
+              Assembler.instr a (Ldw (7, 6, 4));
+              Assembler.movi_label a ~rd:4 "got";
+              Assembler.instr a (Stw (4, 0, 7));
+              Assembler.jmp_label a "poll";
+              Assembler.begin_data a;
+              Assembler.label a "got";
+              Assembler.word a 0)
+            ()
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:512 prog in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"poller" telf) in
+        Platform.run_ticks p 2;
+        ignore (Devices.Rx_fifo.inject fifo 321);
+        Platform.run_ticks p 3;
+        check_int "frame read by guest code" 321 (data_word p tcb telf 0));
+    Alcotest.test_case "unbound IRQ lines are harmless" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb = Result.get_ok (Platform.load_blocking p ~name:"c" telf) in
+        Tytan_machine.Exception_engine.raise_irq
+          (Cpu.engine (Platform.cpu p))
+          5;
+        Platform.run_ticks p 5;
+        check_bool "platform still healthy" true (data_word p tcb telf 0 >= 4));
+  ]
+
+let () =
+  Alcotest.run "rtos"
+    [
+      ("scheduler", scheduler_tests);
+      ("rt-queue", rt_queue_tests);
+      ("sw-timer", sw_timer_tests);
+      ("kernel", kernel_tests);
+      ("queue-syscalls", queue_syscall_tests);
+      ("run-time-stats", stats_tests);
+      ("device-irq", device_irq_tests);
+    ]

@@ -1,0 +1,466 @@
+(* Security tests: the attacks TyTAN claims to stop, each run twice where
+   meaningful — once on TyTAN (must be stopped) and once on the unmodified
+   FreeRTOS baseline (where it succeeds, demonstrating the gap TyTAN
+   closes). *)
+
+open Tytan_machine
+open Tytan_rtos
+open Tytan_core
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let secret = 0x5EC12E7
+
+let data_word p (tcb : Tcb.t) telf index =
+  (* Secure tasks are read under the RTM's identity; normal or already
+     reclaimed tasks (whose protection rules are gone) under the
+     kernel's. *)
+  let kernel = Platform.kernel p in
+  let eip =
+    match Platform.rtm p with
+    | Some rtm when tcb.Tcb.secure && Rtm.find_by_tcb rtm tcb <> None ->
+        Rtm.code_eip rtm
+    | Some _ | None -> Kernel.code_eip kernel
+  in
+  Cpu.with_firmware (Platform.cpu p) ~eip (fun () ->
+      Cpu.load32 (Platform.cpu p)
+        (tcb.Tcb.region_base + Tasks.data_cell_offset telf + (4 * index)))
+
+let load p ?secure name telf =
+  Result.get_ok (Platform.load_blocking p ~name ?secure telf)
+
+let victim_cell p victim telf =
+  let rtm = Option.get (Platform.rtm p) in
+  let entry = Option.get (Rtm.find_by_tcb rtm victim) in
+  entry.Rtm.base + Tasks.data_cell_offset telf
+
+(* --- Task isolation ------------------------------------------------------- *)
+
+let isolation_tests =
+  [
+    Alcotest.test_case "spy task reading secure memory is killed" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let vtelf = Tasks.counter () in
+        let victim = load p "victim" vtelf in
+        Platform.run_ticks p 3;
+        let spy_telf = Tasks.spy ~victim_addr:(victim_cell p victim vtelf) in
+        let spy = load p ~secure:false "spy" spy_telf in
+        Platform.run_ticks p 3;
+        check_bool "spy killed" true (spy.Tcb.state = Tcb.Terminated);
+        check_int "no loot escaped" 0 (data_word p spy spy_telf 1);
+        check_bool "victim unharmed and still running" true
+          (victim.Tcb.state <> Tcb.Terminated));
+    Alcotest.test_case "secure spy cannot read another secure task either"
+      `Quick (fun () ->
+        let p = Platform.create () in
+        let vtelf = Tasks.counter () in
+        let victim = load p "victim" vtelf in
+        Platform.run_ticks p 2;
+        (* A secure attacker gains nothing: grants are per-region. *)
+        let spy_prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.instr a (Isa.Movi (6, victim_cell p victim vtelf));
+              Assembler.instr a (Isa.Ldw (7, 6, 0));
+              Assembler.label a "rest";
+              Assembler.jmp_label a "rest")
+            ()
+        in
+        let spy = load p "sspy" (Tytan_telf.Builder.of_program ~stack_size:512 spy_prog) in
+        Platform.run_ticks p 3;
+        check_bool "killed" true (spy.Tcb.state = Tcb.Terminated));
+    Alcotest.test_case "the same spy succeeds on unprotected FreeRTOS" `Quick
+      (fun () ->
+        let p = Platform.create ~config:Platform.baseline_config () in
+        let vtelf = Tasks.counter ~secure:false () in
+        let victim = load p ~secure:false "victim" vtelf in
+        Platform.run_ticks p 5;
+        let spy_telf =
+          Tasks.spy ~victim_addr:(victim.Tcb.region_base + Tasks.data_cell_offset vtelf)
+        in
+        let spy = load p ~secure:false "spy" spy_telf in
+        Platform.run_ticks p 3;
+        check_bool "spy survives on the baseline" true
+          (spy.Tcb.state <> Tcb.Terminated);
+        check_bool "loot obtained" true (data_word p spy spy_telf 0 > 0));
+    Alcotest.test_case "OS (kernel identity) cannot read secure memory"
+      `Quick (fun () ->
+        let p = Platform.create () in
+        let vtelf = Tasks.counter () in
+        let victim = load p "victim" vtelf in
+        let addr = victim_cell p victim vtelf in
+        check_bool "denied" true
+          (try
+             ignore
+               (Cpu.with_firmware (Platform.cpu p)
+                  ~eip:(Kernel.code_eip (Platform.kernel p))
+                  (fun () -> Cpu.load32 (Platform.cpu p) addr));
+             false
+           with Access.Violation _ -> true));
+    Alcotest.test_case "OS can read a normal task (by design)" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter ~secure:false () in
+        let tcb = load p ~secure:false "norm" telf in
+        Platform.run_ticks p 2;
+        let rtm = Option.get (Platform.rtm p) in
+        let base = (Option.get (Rtm.find_by_tcb rtm tcb)).Rtm.base in
+        let v =
+          Cpu.with_firmware (Platform.cpu p)
+            ~eip:(Kernel.code_eip (Platform.kernel p))
+            (fun () ->
+              Cpu.load32 (Platform.cpu p) (base + Tasks.data_cell_offset telf))
+        in
+        check_bool "readable" true (v >= 1));
+    Alcotest.test_case "task faults leave the rest of the system running"
+      `Quick (fun () ->
+        let p = Platform.create () in
+        let good_telf = Tasks.counter () in
+        let good = load p "good" good_telf in
+        let victim_telf = Tasks.counter () in
+        let victim = load p "victim" victim_telf in
+        Platform.run_ticks p 2;
+        let spy = load p ~secure:false "spy"
+            (Tasks.spy ~victim_addr:(victim_cell p victim victim_telf))
+        in
+        Platform.run_ticks p 10;
+        check_bool "spy dead" true (spy.Tcb.state = Tcb.Terminated);
+        check_bool "good task kept its rate" true
+          (data_word p good good_telf 0 >= 10));
+  ]
+
+(* --- Entry-point enforcement (code-reuse prevention) ---------------------- *)
+
+let entry_tests =
+  [
+    Alcotest.test_case "jumping past a secure entry point is killed" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let vtelf = Tasks.counter () in
+        let victim = load p "victim" vtelf in
+        let attacker_telf =
+          Tasks.entry_bypass ~victim_entry:victim.Tcb.entry ~offset:(4 * Isa.width)
+        in
+        let attacker = load p ~secure:false "attacker" attacker_telf in
+        Platform.run_ticks p 3;
+        check_bool "killed" true (attacker.Tcb.state = Tcb.Terminated));
+    Alcotest.test_case "jumping exactly to the entry point is permitted"
+      `Quick (fun () ->
+        (* Invoking a secure task at its entry is legal (that is how the
+           scheduler and IPC proxy enter it); the attacker just donates
+           its time slice. *)
+        let p = Platform.create () in
+        let vtelf = Tasks.counter () in
+        let victim = load p "victim" vtelf in
+        let attacker_telf =
+          Tasks.entry_bypass ~victim_entry:victim.Tcb.entry ~offset:0
+        in
+        let attacker = load p ~secure:false "attacker" attacker_telf in
+        Platform.run_ticks p 3;
+        check_bool "not a violation" true (attacker.Tcb.state <> Tcb.Terminated));
+    Alcotest.test_case "executing from a data region is killed" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        (* A task that jumps into its own data section — code injection. *)
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.movi_label a ~rd:6 "payload";
+              Assembler.instr a (Isa.Jmpr 6);
+              Assembler.begin_data a;
+              Assembler.label a "payload";
+              Assembler.word a 0;
+              Assembler.word a 0)
+            ()
+        in
+        let tcb = load p "inject" (Tytan_telf.Builder.of_program ~stack_size:512 prog) in
+        Platform.run_ticks p 3;
+        check_bool "killed" true (tcb.Tcb.state = Tcb.Terminated));
+    Alcotest.test_case "executing from the stack is killed" `Quick (fun () ->
+        let p = Platform.create () in
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              Assembler.label a "main";
+              (* Jump to wherever the stack pointer is. *)
+              Assembler.instr a (Isa.Mov (6, Regfile.sp));
+              Assembler.instr a (Isa.Jmpr 6))
+            ()
+        in
+        let tcb = load p "stackexec" (Tytan_telf.Builder.of_program ~stack_size:512 prog) in
+        Platform.run_ticks p 3;
+        check_bool "killed" true (tcb.Tcb.state = Tcb.Terminated));
+  ]
+
+(* --- IDT integrity -------------------------------------------------------- *)
+
+let idt_tests =
+  [
+    Alcotest.test_case "task writing the IDT is killed on TyTAN" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.idt_attacker ~idt_addr:0x100 in
+        let tcb = load p ~secure:false "idt-attack" telf in
+        Platform.run_ticks p 3;
+        check_bool "killed" true (tcb.Tcb.state = Tcb.Terminated);
+        check_int "never survived the store" 0 (data_word p tcb telf 0));
+    Alcotest.test_case "the IDT entry is unchanged after the attack" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let engine = Cpu.engine (Platform.cpu p) in
+        let before = Exception_engine.vector engine 0 in
+        let telf = Tasks.idt_attacker ~idt_addr:0x100 in
+        ignore (load p ~secure:false "idt-attack" telf);
+        Platform.run_ticks p 3;
+        check_int "vector intact" before (Exception_engine.vector engine 0));
+    Alcotest.test_case "same attack succeeds on the baseline" `Quick
+      (fun () ->
+        let p = Platform.create ~config:Platform.baseline_config () in
+        (* Attack vector 15 (unused) so the platform keeps running. *)
+        let telf = Tasks.idt_attacker ~idt_addr:(0x100 + (15 * 4)) in
+        let tcb = load p ~secure:false "idt-attack" telf in
+        Platform.run_ticks p 3;
+        check_bool "attack survives without EA-MPU" true
+          (data_word p tcb telf 0 > 0));
+  ]
+
+(* --- Register confidentiality across interrupts --------------------------- *)
+
+let register_wipe_tests =
+  [
+    Alcotest.test_case "interrupt handlers see wiped registers" `Quick
+      (fun () ->
+        (* Plant a recognisable value in a secure task's register, then
+           observe the register file from the kernel's tick path via a
+           software timer callback: the Int Mux must have wiped it. *)
+        let p = Platform.create () in
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.instr a (Isa.Movi (7, secret));
+              Assembler.label a "spin";
+              Assembler.instr a (Isa.Addi (6, 6, 1));
+              Assembler.jmp_label a "spin")
+            ()
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:512 prog in
+        ignore (load p "secretive" telf);
+        let observed = ref [] in
+        let kernel = Platform.kernel p in
+        ignore
+          (Kernel.arm_timer kernel ~in_ticks:2 ~period:1 (fun () ->
+               observed := Regfile.get (Cpu.regs (Platform.cpu p)) 7 :: !observed));
+        Platform.run_ticks p 8;
+        check_bool "some observations" true (!observed <> []);
+        check_bool "secret never visible to the OS" true
+          (List.for_all (fun v -> v <> secret) !observed));
+    Alcotest.test_case "baseline handlers can see task registers" `Quick
+      (fun () ->
+        let p = Platform.create ~config:Platform.baseline_config () in
+        let prog =
+          Toolchain.normal_program ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.instr a (Isa.Movi (7, secret));
+              Assembler.label a "spin";
+              Assembler.instr a (Isa.Addi (6, 6, 1));
+              Assembler.jmp_label a "spin")
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:512 prog in
+        ignore (load p ~secure:false "leaky" telf);
+        let observed = ref [] in
+        let kernel = Platform.kernel p in
+        ignore
+          (Kernel.arm_timer kernel ~in_ticks:2 ~period:1 (fun () ->
+               observed := Regfile.get (Cpu.regs (Platform.cpu p)) 7 :: !observed));
+        Platform.run_ticks p 8;
+        check_bool "register leaks on the baseline" true
+          (List.exists (fun v -> v = secret) !observed));
+    Alcotest.test_case "delay argument still reaches the kernel" `Quick
+      (fun () ->
+        (* Sanitisation keeps syscall arguments (r0–r2) visible: a secure
+           task's 5-tick delay must actually last 5 ticks. *)
+        let p = Platform.create () in
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.label a "loop";
+              Assembler.movi_label a ~rd:4 "count";
+              Assembler.instr a (Isa.Ldw (5, 4, 0));
+              Assembler.instr a (Isa.Addi (5, 5, 1));
+              Assembler.instr a (Isa.Stw (4, 0, 5));
+              Assembler.instr a (Isa.Movi (0, 5));
+              Assembler.instr a (Isa.Swi 2);
+              Assembler.jmp_label a "loop";
+              Assembler.begin_data a;
+              Assembler.label a "count";
+              Assembler.word a 0)
+            ()
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:512 prog in
+        let tcb = load p "slow" telf in
+        Platform.run_ticks p 25;
+        let count = data_word p tcb telf 0 in
+        check_bool "ran once per 5 ticks" true (count >= 4 && count <= 6));
+  ]
+
+(* --- Platform key protection ---------------------------------------------- *)
+
+let key_tests =
+  [
+    Alcotest.test_case "kernel cannot read the platform key" `Quick (fun () ->
+        let p = Platform.create () in
+        check_bool "denied" true
+          (try
+             ignore
+               (Cpu.with_firmware (Platform.cpu p)
+                  ~eip:(Kernel.code_eip (Platform.kernel p))
+                  (fun () -> Cpu.load32 (Platform.cpu p) (Platform.kp_addr p)));
+             false
+           with Access.Violation _ -> true));
+    Alcotest.test_case "tasks cannot read the platform key" `Quick (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.spy ~victim_addr:(Platform.kp_addr p) in
+        let spy = load p ~secure:false "keythief" telf in
+        Platform.run_ticks p 3;
+        check_bool "killed" true (spy.Tcb.state = Tcb.Terminated));
+    Alcotest.test_case "remote-attest component can read the key" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let att = Option.get (Platform.attestation p) in
+        let telf = Tasks.counter () in
+        let tcb = load p "c" telf in
+        let rtm = Option.get (Platform.rtm p) in
+        let id = (Option.get (Rtm.find_by_tcb rtm tcb)).Rtm.id in
+        check_bool "report produced" true
+          (Attestation.remote_attest att ~id ~nonce:(Bytes.of_string "n") <> None));
+  ]
+
+(* --- Attestation detects tampering ---------------------------------------- *)
+
+let tamper_tests =
+  [
+    Alcotest.test_case "a modified binary yields a different identity" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tampered =
+          let image = Bytes.copy telf.Tytan_telf.Telf.image in
+          (* NOP out one instruction: a backdoored build. *)
+          Bytes.blit (Isa.encode Isa.Nop) 0 image 200 Isa.width;
+          { telf with Tytan_telf.Telf.image }
+        in
+        let a = load p "genuine" telf in
+        let b = load p "backdoored" tampered in
+        let rtm = Option.get (Platform.rtm p) in
+        let id_a = (Option.get (Rtm.find_by_tcb rtm a)).Rtm.id in
+        let id_b = (Option.get (Rtm.find_by_tcb rtm b)).Rtm.id in
+        check_bool "identities differ" false (Task_id.equal id_a id_b));
+    Alcotest.test_case "verifier rejects the tampered task's report" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tampered =
+          let image = Bytes.copy telf.Tytan_telf.Telf.image in
+          Bytes.blit (Isa.encode Isa.Nop) 0 image 200 Isa.width;
+          { telf with Tytan_telf.Telf.image }
+        in
+        let tcb = load p "backdoored" tampered in
+        let rtm = Option.get (Platform.rtm p) in
+        let actual_id = (Option.get (Rtm.find_by_tcb rtm tcb)).Rtm.id in
+        let att = Option.get (Platform.attestation p) in
+        let nonce = Bytes.of_string "challenge" in
+        let report = Option.get (Attestation.remote_attest att ~id:actual_id ~nonce) in
+        let ka =
+          Attestation.derive_ka ~platform_key:(Platform.config p).Platform.platform_key
+        in
+        (* The verifier expects the identity of the genuine binary. *)
+        let expected = Rtm.identity_of_telf telf in
+        check_bool "rejected" false
+          (Attestation.verify ~ka report ~expected ~nonce));
+  ]
+
+(* --- Further attack surface ------------------------------------------------ *)
+
+let surface_tests =
+  [
+    Alcotest.test_case "stack overflow is contained to the offender" `Quick
+      (fun () ->
+        (* Recursion without base case: the stack marches down out of the
+           task's region; the first out-of-region push faults and only the
+           offender dies. *)
+        let p = Platform.create () in
+        let good_telf = Tasks.counter () in
+        let good = load p "good" good_telf in
+        let prog =
+          Toolchain.secure_program
+            ~main:(fun a ->
+              Assembler.label a "main";
+              Assembler.label a "recurse";
+              Assembler.instr a (Isa.Push 0);
+              Assembler.jmp_label a "recurse")
+            ()
+        in
+        let telf = Tytan_telf.Builder.of_program ~stack_size:256 prog in
+        let hog = load p "stack-hog" telf in
+        Platform.run_ticks p 6;
+        check_bool "offender killed" true (hog.Tcb.state = Tcb.Terminated);
+        check_bool "bystander fine" true (data_word p good good_telf 0 >= 5));
+    Alcotest.test_case "writing another task's inbox directly is denied"
+      `Quick (fun () ->
+        (* Only the IPC proxy holds a write grant on inboxes: forging a
+           message by writing the mailbox directly must fault. *)
+        let p = Platform.create () in
+        let rtelf = Tasks.ipc_receiver () in
+        let receiver = load p "recv" rtelf in
+        let forger_telf =
+          Tasks.idt_attacker ~idt_addr:receiver.Tcb.inbox_base
+        in
+        let forger = load p ~secure:false "forger" forger_telf in
+        Platform.run_ticks p 4;
+        check_bool "forger killed" true (forger.Tcb.state = Tcb.Terminated);
+        check_int "no forged message" 0 (data_word p receiver rtelf 0));
+    Alcotest.test_case "interrupt storm does not break deadlines" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        let telf = Tasks.counter () in
+        let tcb =
+          Result.get_ok (Platform.load_blocking p ~name:"rt" ~priority:4 telf)
+        in
+        let engine = Cpu.engine (Platform.cpu p) in
+        (* Hammer an unbound IRQ line between every tick. *)
+        for _ = 1 to 20 do
+          Exception_engine.raise_irq engine 7;
+          Platform.run_ticks p 1;
+          Exception_engine.raise_irq engine 7
+        done;
+        check_bool "rate held through the storm" true
+          (data_word p tcb telf 0 >= 19));
+    Alcotest.test_case "same scenario is cycle-for-cycle reproducible"
+      `Quick (fun () ->
+        let run () =
+          let p = Platform.create () in
+          let telf = Tasks.counter () in
+          ignore (load p "c" telf);
+          Platform.run_ticks p 10;
+          Cycles.now (Platform.clock p)
+        in
+        check_int "deterministic" (run ()) (run ()));
+  ]
+
+let () =
+  Alcotest.run "security"
+    [
+      ("isolation", isolation_tests);
+      ("entry-points", entry_tests);
+      ("idt", idt_tests);
+      ("register-wipe", register_wipe_tests);
+      ("platform-key", key_tests);
+      ("tamper-evidence", tamper_tests);
+      ("attack-surface", surface_tests);
+    ]

@@ -1,0 +1,142 @@
+(* TELF binary format: validation, encode/decode, relocation apply/revert
+   and the builder front end. *)
+
+open Tytan_machine
+open Tytan_telf
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample ?(relocs = [| 16 |]) () =
+  let image = Bytes.make 32 '\x11' in
+  Telf.make ~entry:0 ~image ~text_size:16 ~relocations:relocs ~bss_size:8
+    ~stack_size:128
+
+let format_tests =
+  [
+    Alcotest.test_case "encode/decode round trip" `Quick (fun () ->
+        let t = sample () in
+        match Telf.decode (Telf.encode t) with
+        | Ok t' ->
+            check_bool "equal" true
+              (t'.Telf.entry = t.Telf.entry
+              && t'.image = t.image
+              && t'.text_size = t.text_size
+              && t'.relocations = t.relocations
+              && t'.bss_size = t.bss_size
+              && t'.stack_size = t.stack_size)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "bad magic rejected" `Quick (fun () ->
+        let b = Telf.encode (sample ()) in
+        Bytes.set b 0 'X';
+        check_bool "error" true (Result.is_error (Telf.decode b)));
+    Alcotest.test_case "truncated rejected" `Quick (fun () ->
+        let b = Telf.encode (sample ()) in
+        check_bool "error" true
+          (Result.is_error (Telf.decode (Bytes.sub b 0 (Bytes.length b - 4)))));
+    Alcotest.test_case "bad version rejected" `Quick (fun () ->
+        let b = Telf.encode (sample ()) in
+        Bytes.set_int32_le b 4 9l;
+        check_bool "error" true (Result.is_error (Telf.decode b)));
+    Alcotest.test_case "reloc offset outside image rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore
+               (Telf.make ~entry:0 ~image:(Bytes.make 8 ' ') ~text_size:8
+                  ~relocations:[| 6 |] ~bss_size:0 ~stack_size:64);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "entry outside text rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore
+               (Telf.make ~entry:20 ~image:(Bytes.make 32 ' ') ~text_size:16
+                  ~relocations:[||] ~bss_size:0 ~stack_size:64);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "memory footprint" `Quick (fun () ->
+        check_int "image+bss+stack" (32 + 8 + 128)
+          (Telf.memory_footprint (sample ())));
+    Alcotest.test_case "relocations are sorted" `Quick (fun () ->
+        let t = sample ~relocs:[| 20; 4; 12 |] () in
+        check_bool "sorted" true (t.Telf.relocations = [| 4; 12; 20 |]));
+  ]
+
+let relocate_tests =
+  [
+    Alcotest.test_case "apply adds base" `Quick (fun () ->
+        let image = Bytes.make 16 '\x00' in
+        Bytes.set_int32_le image 4 100l;
+        Relocate.apply ~base:0x1000 ~image ~relocations:[| 4 |];
+        check_int "patched" 0x1064 (Int32.to_int (Bytes.get_int32_le image 4)));
+    Alcotest.test_case "revert after apply restores image" `Quick (fun () ->
+        let image = Bytes.of_string "abcdefghijklmnop" in
+        let original = Bytes.copy image in
+        let relocations = [| 0; 8 |] in
+        Relocate.apply ~base:0xBEEF ~image ~relocations;
+        check_bool "changed" false (image = original);
+        Relocate.revert ~base:0xBEEF ~image ~relocations;
+        check_bool "restored" true (image = original));
+    Alcotest.test_case "wraparound is consistent" `Quick (fun () ->
+        let image = Bytes.make 8 '\xFF' in
+        let original = Bytes.copy image in
+        Relocate.apply ~base:0x10 ~image ~relocations:[| 0 |];
+        Relocate.revert ~base:0x10 ~image ~relocations:[| 0 |];
+        check_bool "restored despite wrap" true (image = original));
+    Alcotest.test_case "untouched bytes unchanged" `Quick (fun () ->
+        let image = Bytes.of_string "abcdefgh" in
+        Relocate.apply ~base:1 ~image ~relocations:[| 0 |];
+        check_bool "tail intact" true (Bytes.sub_string image 4 4 = "efgh"));
+  ]
+
+let builder_tests =
+  [
+    Alcotest.test_case "of_program carries structure" `Quick (fun () ->
+        let p = Assembler.create () in
+        Assembler.label p "_start";
+        Assembler.movi_label p ~rd:0 "cell";
+        Assembler.instr p Isa.Halt;
+        Assembler.begin_data p;
+        Assembler.label p "cell";
+        Assembler.word p 0;
+        let telf = Builder.of_program ~stack_size:256 (Assembler.assemble p) in
+        check_int "entry" 0 telf.Telf.entry;
+        check_int "text" 16 telf.Telf.text_size;
+        check_int "relocs" 1 (Telf.reloc_count telf);
+        check_int "stack" 256 telf.Telf.stack_size);
+    Alcotest.test_case "synthetic has exact reloc count" `Quick (fun () ->
+        let telf =
+          Builder.synthetic ~image_size:512 ~reloc_count:7 ~stack_size:128 ()
+        in
+        check_int "relocs" 7 (Telf.reloc_count telf);
+        check_int "image" 512 (Bytes.length telf.Telf.image));
+    Alcotest.test_case "synthetic is deterministic per seed" `Quick (fun () ->
+        let a = Builder.synthetic ~seed:3 ~image_size:256 ~reloc_count:4 ~stack_size:64 () in
+        let b = Builder.synthetic ~seed:3 ~image_size:256 ~reloc_count:4 ~stack_size:64 () in
+        let c = Builder.synthetic ~seed:4 ~image_size:256 ~reloc_count:4 ~stack_size:64 () in
+        check_bool "same seed same image" true (a.Telf.image = b.Telf.image);
+        check_bool "different seed differs" false (a.Telf.image = c.Telf.image));
+    Alcotest.test_case "synthetic too small rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Builder.synthetic ~image_size:8 ~reloc_count:4 ~stack_size:64 ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "synthetic ends with a self-jump" `Quick (fun () ->
+        let telf =
+          Builder.synthetic ~image_size:256 ~reloc_count:0 ~stack_size:64 ()
+        in
+        let code_end = telf.Telf.text_size in
+        let last = Bytes.sub telf.Telf.image (code_end - Isa.width) Isa.width in
+        match Isa.decode last with
+        | Isa.Jmp d -> check_int "self loop" (-Isa.width) (Word.to_signed d)
+        | _ -> Alcotest.fail "expected jmp");
+  ]
+
+let () =
+  Alcotest.run "telf"
+    [
+      ("format", format_tests);
+      ("relocate", relocate_tests);
+      ("builder", builder_tests);
+    ]
