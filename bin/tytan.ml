@@ -231,6 +231,46 @@ let fleet_cmd =
        ~doc:"Provision a fleet, tamper with one device, audit them all")
     Term.(const fleet $ devices $ loss)
 
+(* --- chaos ----------------------------------------------------------------- *)
+
+let chaos seed ticks verify =
+  if ticks < 30 then begin
+    prerr_endline "tytan: chaos needs a fault window of at least 30 ticks";
+    exit 124
+  end;
+  let report = Tytan_fault.Chaos.run ~seed ~ticks () in
+  print_string (Tytan_fault.Chaos.to_string report);
+  if verify then begin
+    let again = Tytan_fault.Chaos.run ~seed ~ticks () in
+    if again = report then
+      print_endline "reproducibility: second run identical (same digest)"
+    else begin
+      print_endline "reproducibility: RUNS DIVERGED";
+      exit 1
+    end
+  end;
+  if not report.Tytan_fault.Chaos.survived then exit 2
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault-plan PRNG seed.")
+  in
+  let ticks =
+    Arg.(value & opt int 40 & info [ "ticks" ] ~doc:"Fault-window length, ticks.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Run the campaign twice and compare reports.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault-injection campaign (bit flips, glitches, \
+          interrupt storms, task kills and hangs over a hostile link) and \
+          print the survival report")
+    Term.(const chaos $ seed $ ticks $ verify)
+
 let () =
   let info =
     Cmd.info "tytan" ~version:"1.0.0"
@@ -241,5 +281,5 @@ let () =
        (Cmd.group info
           [
             boot_cmd; run_cmd; attest_cmd; inspect_cmd; disasm_cmd; trace_cmd;
-            fleet_cmd;
+            fleet_cmd; chaos_cmd;
           ]))

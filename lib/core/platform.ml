@@ -72,6 +72,8 @@ type t = {
   heap : Heap.t;
   loader : Loader.t;
   timer : Devices.Timer.t;
+  pre_exit : (Tcb.t -> unit) ref;
+  mutable pollables : (unit -> unit) list;
   config : config;
   map : (string * Region.t) list;
   eampu : Eampu.t option;
@@ -221,6 +223,10 @@ let create ?(config = default_config) () =
     Heap.create ~base:heap_base ~size:(config.mem_size - heap_base)
   in
   let svc_stack_base = Region.base kernel_data + idle_stack_size in
+  (* Runs before IPC teardown and memory reclamation on every task exit,
+     while the dead task's image is still intact — the supervisor's
+     post-mortem re-measurement hook. *)
+  let pre_exit = ref (fun (_ : Tcb.t) -> ()) in
   let trusted_regions =
     {
       Loader.kernel_code;
@@ -335,6 +341,7 @@ let create ?(config = default_config) () =
       Kernel.set_swi_hook kernel (fun ~swi ~gprs ->
           Ipc.handle_swi ipc ~swi ~gprs || Loader.handle_swi loader ~swi ~gprs);
       Kernel.set_on_exit kernel (fun tcb ->
+          !pre_exit tcb;
           Ipc.on_task_exit ipc tcb;
           Loader.reclaim loader tcb);
       Eampu.enable eampu;
@@ -350,6 +357,8 @@ let create ?(config = default_config) () =
         heap;
         loader;
         timer = Devices.Timer.create engine clock ~irq:0 ~period:config.tick_period;
+        pre_exit;
+        pollables = [];
         config;
         map;
         eampu = Some eampu;
@@ -374,7 +383,9 @@ let create ?(config = default_config) () =
       Kernel.install_vectors kernel;
       Kernel.set_swi_hook kernel (fun ~swi ~gprs ->
           Loader.handle_swi loader ~swi ~gprs);
-      Kernel.set_on_exit kernel (fun tcb -> Loader.reclaim loader tcb);
+      Kernel.set_on_exit kernel (fun tcb ->
+          !pre_exit tcb;
+          Loader.reclaim loader tcb);
       {
         cpu;
         mem;
@@ -385,6 +396,8 @@ let create ?(config = default_config) () =
         heap;
         loader;
         timer = Devices.Timer.create engine clock ~irq:0 ~period:config.tick_period;
+        pre_exit;
+        pollables = [];
         config;
         map;
         eampu = None;
@@ -416,6 +429,8 @@ let create ?(config = default_config) () =
 (* --- Accessors ----------------------------------------------------------- *)
 
 let cpu t = t.cpu
+let memory t = t.mem
+let engine t = t.engine
 let kernel t = t.kernel
 let clock t = t.clock
 let trace t = t.trace
@@ -435,7 +450,12 @@ let kp_addr _ = kp_base
 
 (* --- Running ------------------------------------------------------------- *)
 
-let poll t = Devices.Timer.poll t.timer
+let poll t =
+  Devices.Timer.poll t.timer;
+  List.iter (fun f -> f ()) t.pollables
+
+let add_pollable t f = t.pollables <- t.pollables @ [ f ]
+let set_pre_exit_hook t f = t.pre_exit := f
 
 let run t ~cycles =
   Cpu.run t.cpu
@@ -500,6 +520,12 @@ let route_rx_to_queue t fifo ~queue_id =
           incr dropped
       done);
   dropped
+
+let attach_watchdog t ~name ~base ~irq ~timeout =
+  let wd = Devices.Watchdog.create t.engine t.clock ~name ~base ~irq ~timeout in
+  Memory.map_device t.mem (Devices.Watchdog.device wd);
+  add_pollable t (fun () -> Devices.Watchdog.poll wd);
+  wd
 
 let attach_console t ~base =
   let console = Devices.Console.create ~base in

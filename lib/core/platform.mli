@@ -71,6 +71,8 @@ val create : ?config:config -> unit -> t
 (** {2 Accessors} *)
 
 val cpu : t -> Cpu.t
+val memory : t -> Memory.t
+val engine : t -> Exception_engine.t
 val kernel : t -> Kernel.t
 val clock : t -> Cycles.t
 val trace : t -> Trace.t
@@ -106,6 +108,17 @@ val run_ticks : t -> int -> unit
 (** Run for a number of tick periods. *)
 
 val poll : t -> unit
+(** Poll the tick timer and every attached pollable device (watchdogs). *)
+
+val add_pollable : t -> (unit -> unit) -> unit
+(** Register a closure run on every {!poll} — how time-sensitive devices
+    (e.g. watchdogs) observe the clock between instructions. *)
+
+val set_pre_exit_hook : t -> (Tcb.t -> unit) -> unit
+(** Install the hook run at the {e start} of task exit, before IPC
+    teardown and before the loader reclaims the task's memory — the dead
+    task's image is still intact and can be re-measured.  One hook;
+    installing replaces the previous one. *)
 
 (** {2 Loading} *)
 
@@ -146,6 +159,13 @@ val attach_sensor :
   t -> name:string -> base:Word.t -> sample:(cycles:int -> Word.t) -> Devices.Sensor.t
 
 val attach_console : t -> base:Word.t -> Devices.Console.t
+
+val attach_watchdog :
+  t -> name:string -> base:Word.t -> irq:int -> timeout:int ->
+  Devices.Watchdog.t
+(** A memory-mapped watchdog timer polled between instructions.  Once
+    enabled it raises [irq] (and re-arms) whenever [timeout] cycles pass
+    without a kick.  See {!Devices.Watchdog} for the register map. *)
 
 val attach_rx_fifo :
   t -> name:string -> base:Word.t -> irq:int -> capacity:int ->

@@ -1,0 +1,282 @@
+open Tytan_machine
+open Tytan_rtos
+open Tytan_telf
+
+type policy = {
+  max_restarts : int;
+  backoff_base_ticks : int;
+  backoff_cap_ticks : int;
+}
+
+let default_policy =
+  { max_restarts = 3; backoff_base_ticks = 2; backoff_cap_ticks = 16 }
+
+type task_state =
+  | Running
+  | Waiting_restart
+  | Restarting
+  | Quarantined
+  | Gave_up
+
+type entry = {
+  name : string;
+  telf : Telf.t;
+  reference : Task_id.t;
+  policy : policy;
+  priority : int;
+  secure : bool;
+  provider : string;
+  watchdog : Devices.Watchdog.t option;
+  mutable tcb : Tcb.t option;
+  mutable state : task_state;
+  mutable restart_count : int;
+  (* A supervisor-initiated unload is in flight: the pre-exit hook must
+     not treat the resulting termination as a fresh crash. *)
+  mutable expected_exit : bool;
+  mutable last_activations : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  rtm : Rtm.t;
+  loader : Loader.t;
+  trace : Trace.t;
+  mutable entries : entry list;
+  mutable restarts : int;
+  mutable quarantined : int;
+  mutable gave_up : int;
+  mutable bites : int;
+}
+
+let find_by_name t name = List.find_opt (fun e -> e.name = name) t.entries
+
+let find_by_tcb t (tcb : Tcb.t) =
+  List.find_opt
+    (fun e -> match e.tcb with Some c -> c.Tcb.id = tcb.Tcb.id | None -> false)
+    t.entries
+
+let disable_watchdog entry =
+  match entry.watchdog with
+  | Some wd -> Devices.Watchdog.disable wd
+  | None -> ()
+
+let quarantine t entry ~measured ~why =
+  entry.state <- Quarantined;
+  t.quarantined <- t.quarantined + 1;
+  disable_watchdog entry;
+  Trace.emitf t.trace ~source:"supervisor"
+    "quarantine %s (%s): measured %s, reference %s" entry.name why
+    (Task_id.to_hex measured)
+    (Task_id.to_hex entry.reference);
+  (* If the corrupted instance is still loaded (the hang path), it must
+     not keep running. *)
+  match entry.tcb with
+  | None -> ()
+  | Some tcb ->
+      entry.expected_exit <- true;
+      Loader.unload t.loader tcb;
+      entry.expected_exit <- false;
+      entry.tcb <- None
+
+let schedule_restart t entry ~why =
+  if entry.restart_count >= entry.policy.max_restarts then begin
+    entry.state <- Gave_up;
+    t.gave_up <- t.gave_up + 1;
+    Trace.emitf t.trace ~source:"supervisor" "gave up on %s after %d restarts"
+      entry.name entry.restart_count
+  end
+  else begin
+    entry.restart_count <- entry.restart_count + 1;
+    let delay =
+      min entry.policy.backoff_cap_ticks
+        (entry.policy.backoff_base_ticks lsl (entry.restart_count - 1))
+    in
+    entry.state <- Waiting_restart;
+    Trace.emitf t.trace ~source:"supervisor"
+      "%s %s: measurement ok, restart %d/%d in %d ticks" entry.name why
+      entry.restart_count entry.policy.max_restarts delay;
+    ignore
+      (Kernel.arm_timer t.kernel ~in_ticks:delay (fun () ->
+           if entry.state = Waiting_restart then begin
+             entry.state <- Restarting;
+             Loader.submit t.loader
+               {
+                 Loader.telf = entry.telf;
+                 name = entry.name;
+                 priority = entry.priority;
+                 secure = entry.secure;
+                 provider = entry.provider;
+               }
+           end))
+  end
+
+(* Post-mortem measurement: the dead (or wedged) task's memory is still
+   intact.  A missing RTM entry means the image is already gone — treat
+   it as unverifiable. *)
+let remeasure t (tcb : Tcb.t) =
+  match Rtm.find_by_tcb t.rtm tcb with
+  | None -> None
+  | Some (r : Rtm.entry) -> Some (Rtm.measure t.rtm ~base:r.base ~telf:r.telf)
+
+(* Crash path: runs from the platform pre-exit hook, before IPC teardown
+   and memory reclamation. *)
+let on_task_exit t (tcb : Tcb.t) =
+  match find_by_tcb t tcb with
+  | None -> ()
+  | Some entry when entry.expected_exit -> ()
+  | Some entry -> (
+      disable_watchdog entry;
+      let measured = remeasure t tcb in
+      entry.tcb <- None;
+      match measured with
+      | Some m when Task_id.equal m entry.reference ->
+          schedule_restart t entry ~why:"crashed"
+      | Some m -> quarantine t entry ~measured:m ~why:"crashed corrupted"
+      | None ->
+          Trace.emitf t.trace ~source:"supervisor"
+            "%s exited with no measurable image; not restarting" entry.name;
+          entry.state <- Quarantined;
+          t.quarantined <- t.quarantined + 1)
+
+(* Hang path: the watchdog bit.  The task is still loaded, so re-measure
+   it in place. *)
+let on_bite t entry =
+  t.bites <- t.bites + 1;
+  disable_watchdog entry;
+  Trace.emitf t.trace ~source:"watchdog" "bite: %s missed its deadline"
+    entry.name;
+  match entry.tcb with
+  | None -> ()
+  | Some tcb -> (
+      match remeasure t tcb with
+      | Some m when Task_id.equal m entry.reference ->
+          entry.expected_exit <- true;
+          Loader.unload t.loader tcb;
+          entry.expected_exit <- false;
+          entry.tcb <- None;
+          schedule_restart t entry ~why:"hung"
+      | Some m -> quarantine t entry ~measured:m ~why:"hung corrupted"
+      | None -> ())
+
+(* Restart completion: the loader finished an asynchronous reload.  Gate
+   on a fresh measurement before declaring the task healthy. *)
+let on_loaded t (tcb : Tcb.t) =
+  match
+    List.find_opt
+      (fun e -> e.state = Restarting && e.name = tcb.Tcb.name)
+      t.entries
+  with
+  | None -> ()
+  | Some entry -> (
+      let measured =
+        match Rtm.find_by_tcb t.rtm tcb with
+        | Some (r : Rtm.entry) -> Some r.id
+        | None -> None
+      in
+      match measured with
+      | Some m when Task_id.equal m entry.reference ->
+          entry.tcb <- Some tcb;
+          entry.state <- Running;
+          entry.last_activations <- tcb.Tcb.activations;
+          t.restarts <- t.restarts + 1;
+          (match entry.watchdog with
+          | Some wd ->
+              Devices.Watchdog.kick wd;
+              Devices.Watchdog.enable wd
+          | None -> ());
+          Trace.emitf t.trace ~source:"supervisor"
+            "%s restarted and re-attested (%s)" entry.name (Task_id.to_hex m)
+      | Some m ->
+          entry.tcb <- Some tcb;
+          quarantine t entry ~measured:m ~why:"reload mismatched"
+      | None ->
+          entry.state <- Quarantined;
+          t.quarantined <- t.quarantined + 1;
+          Trace.emitf t.trace ~source:"supervisor"
+            "%s reloaded but missing from the RTM directory; quarantined"
+            entry.name)
+
+(* Kick every running task's watchdog iff the scheduler dispatched it
+   since the last tick — software-observed progress, no task cooperation
+   needed. *)
+let tick t =
+  List.iter
+    (fun e ->
+      match (e.state, e.tcb, e.watchdog) with
+      | Running, Some tcb, Some wd ->
+          if tcb.Tcb.activations <> e.last_activations then begin
+            e.last_activations <- tcb.Tcb.activations;
+            Devices.Watchdog.kick wd
+          end
+      | _ -> ())
+    t.entries
+
+let create platform =
+  let rtm =
+    match Platform.rtm platform with
+    | Some rtm -> rtm
+    | None -> invalid_arg "Supervisor.create: supervision needs the RTM"
+  in
+  let t =
+    {
+      kernel = Platform.kernel platform;
+      rtm;
+      loader = Platform.loader platform;
+      trace = Platform.trace platform;
+      entries = [];
+      restarts = 0;
+      quarantined = 0;
+      gave_up = 0;
+      bites = 0;
+    }
+  in
+  Platform.set_pre_exit_hook platform (fun tcb -> on_task_exit t tcb);
+  Loader.on_loaded t.loader (fun tcb -> on_loaded t tcb);
+  ignore (Kernel.arm_timer t.kernel ~in_ticks:1 ~period:1 (fun () -> tick t));
+  t
+
+let supervise t (tcb : Tcb.t) ?(policy = default_policy) ?watchdog () =
+  if policy.max_restarts < 0 || policy.backoff_base_ticks <= 0
+     || policy.backoff_cap_ticks < policy.backoff_base_ticks
+  then invalid_arg "Supervisor.supervise: malformed policy";
+  match Rtm.find_by_tcb t.rtm tcb with
+  | None -> invalid_arg "Supervisor.supervise: task not in the RTM directory"
+  | Some (r : Rtm.entry) ->
+      let entry =
+        {
+          name = tcb.Tcb.name;
+          telf = r.telf;
+          reference = Rtm.identity_of_telf r.telf;
+          policy;
+          priority = tcb.Tcb.priority;
+          secure = tcb.Tcb.secure;
+          provider = r.provider;
+          watchdog;
+          tcb = Some tcb;
+          state = Running;
+          restart_count = 0;
+          expected_exit = false;
+          last_activations = tcb.Tcb.activations;
+        }
+      in
+      t.entries <- t.entries @ [ entry ];
+      (match watchdog with
+      | Some wd ->
+          Kernel.set_irq_handler t.kernel ~irq:(Devices.Watchdog.irq wd)
+            (fun () -> on_bite t entry);
+          Devices.Watchdog.kick wd;
+          Devices.Watchdog.enable wd
+      | None -> ());
+      Trace.emitf t.trace ~source:"supervisor" "supervising %s (reference %s)"
+        entry.name
+        (Task_id.to_hex entry.reference)
+
+let state_of t ~name =
+  Option.map (fun e -> e.state) (find_by_name t name)
+
+let tcb_of t ~name = Option.bind (find_by_name t name) (fun e -> e.tcb)
+let restarts t = t.restarts
+let quarantined t = t.quarantined
+let gave_up t = t.gave_up
+let bites t = t.bites
+let report t = List.map (fun e -> (e.name, e.state, e.restart_count)) t.entries

@@ -1,0 +1,76 @@
+(** Watchdog-driven task supervision with attestation-gated recovery.
+
+    The supervisor keeps a set of tasks alive across faults while refusing
+    to revive anything it can no longer vouch for.  For each supervised
+    task it holds the reference identity computed from the distributed
+    binary ({!Rtm.identity_of_telf}) and reacts to two failure signals:
+
+    - {e Crash}: the task exits without the supervisor having asked it to
+      (a fault, an EA-MPU violation, an illegal opcode, a kill).  The
+      platform's pre-exit hook fires while the dead task's image is still
+      in memory, so the supervisor re-measures it {e post mortem}.
+    - {e Hang}: the task's watchdog bites — [timeout] cycles passed with
+      no kick.  The supervisor kicks a task's watchdog only while it
+      observes scheduling progress ([Tcb.activations] advancing), so a
+      wedged or suspended task starves its watchdog without any
+      cooperation from the task itself.
+
+    In both cases recovery is gated on measurement: if the re-measured
+    identity still matches the reference, the task is scheduled for
+    restart (through the ordinary interruptible loader path) with
+    exponential backoff; if it does not — e.g. a bit flip corrupted the
+    image — the task is {e quarantined} and never restarted.  After a
+    restart the freshly measured identity is checked once more before the
+    task is declared healthy and its watchdog re-armed.
+
+    All decisions emit [Trace] events under the ["supervisor"] and
+    ["watchdog"] sources. *)
+
+open Tytan_machine
+open Tytan_rtos
+
+type policy = {
+  max_restarts : int;  (** restarts before giving up *)
+  backoff_base_ticks : int;  (** delay before the first restart *)
+  backoff_cap_ticks : int;  (** upper bound on the doubling delay *)
+}
+
+val default_policy : policy
+(** 3 restarts; backoff 2, 4, 8 ticks; cap 16. *)
+
+type task_state =
+  | Running
+  | Waiting_restart  (** backoff timer armed *)
+  | Restarting  (** reload submitted to the loader *)
+  | Quarantined  (** re-measurement mismatched the reference; never revived *)
+  | Gave_up  (** restart budget exhausted *)
+
+type t
+
+val create : Platform.t -> t
+(** Installs the platform pre-exit hook, the loader's completion callback
+    and a per-tick kick timer.  @raise Invalid_argument on a baseline
+    (non-secure) platform — supervision needs the RTM. *)
+
+val supervise :
+  t -> Tcb.t -> ?policy:policy -> ?watchdog:Devices.Watchdog.t -> unit -> unit
+(** Start supervising a loaded task (it must be in the RTM directory;
+    name, priority, security and provider are taken from there).  When a
+    watchdog is given it is kicked, enabled, and its IRQ line bound to the
+    supervisor's bite handler. *)
+
+val state_of : t -> name:string -> task_state option
+val tcb_of : t -> name:string -> Tcb.t option
+(** The currently live TCB (changes across restarts). *)
+
+(** {2 Statistics} *)
+
+val restarts : t -> int
+(** Successful supervised restarts (re-attested and running). *)
+
+val quarantined : t -> int
+val gave_up : t -> int
+val bites : t -> int
+
+val report : t -> (string * task_state * int) list
+(** Per-task: name, state, restart count. *)

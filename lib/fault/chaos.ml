@@ -1,0 +1,207 @@
+open Tytan_machine
+open Tytan_rtos
+open Tytan_core
+open Tytan_netsim
+module Sha1 = Tytan_crypto.Sha1
+module Telf = Tytan_telf.Telf
+module Builder = Tytan_telf.Builder
+
+type report = {
+  seed : int;
+  ticks : int;
+  injected : (string * int) list;
+  link_counters : (string * int) list;
+  supervised : (string * Supervisor.task_state * int) list;
+  restarts : int;
+  quarantined : int;
+  gave_up : int;
+  bites : int;
+  reattested : bool;
+  verifier_attempts : int;
+  kernel_faults : int;
+  context_switches : int;
+  trace_events : int;
+  trace_digest : string;
+  survived : bool;
+}
+
+(* A supervised workload must keep its mutable state out of the
+   initialised data section: the RTM measures the whole image, so a task
+   that writes to its own data would legitimately fail post-mortem
+   re-measurement.  This worker counts in a callee-saved register. *)
+let steady_worker ?(stack_size = 512) () =
+  let program =
+    Toolchain.secure_program
+      ~main:(fun p ->
+        Assembler.label p "main";
+        Assembler.label p "loop";
+        Assembler.instr p (Isa.Addi (4, 4, 1));
+        Assembler.instr p (Isa.Movi (0, 1));
+        Assembler.instr p (Isa.Swi 2);
+        Assembler.jmp_label p "loop")
+      ()
+  in
+  Builder.of_program ~stack_size program
+
+let sensor_base = 0xF100_0000
+let wd_a_base = 0xF100_0100
+let wd_b_base = 0xF100_0200
+let wd_a_irq = 5
+let wd_b_irq = 6
+let storm_irq = 9
+
+let load_or_fail p ~name telf =
+  match Platform.load_blocking p ~name telf with
+  | Ok tcb -> tcb
+  | Error e -> failwith (Printf.sprintf "chaos: loading %s failed: %s" name e)
+
+let trace_digest trace =
+  let ctx = Sha1.init () in
+  List.iter
+    (fun (e : Trace.event) ->
+      Sha1.feed ctx
+        (Bytes.of_string
+           (Printf.sprintf "%d|%s|%s\n" e.at_cycle e.source e.detail)))
+    (Trace.events trace);
+  Sha1.to_hex (Sha1.finalize ctx)
+
+let run ?(seed = 1) ?(ticks = 40) () =
+  if ticks < 30 then invalid_arg "Chaos.run: need at least 30 ticks";
+  let config = { Platform.default_config with trace_enabled = true } in
+  let p = Platform.create ~config () in
+  let tick_period = config.Platform.tick_period in
+  (* Device population: two supervised workers, one sensor poller. *)
+  ignore
+    (Platform.attach_sensor p ~name:"chaos-sensor" ~base:sensor_base
+       ~sample:(fun ~cycles -> (cycles / 1024) land 0xFF));
+  let telf_a = steady_worker ~stack_size:512 () in
+  let telf_b = steady_worker ~stack_size:768 () in
+  let tcb_a = load_or_fail p ~name:"worker-a" telf_a in
+  let tcb_b = load_or_fail p ~name:"worker-b" telf_b in
+  ignore
+    (load_or_fail p ~name:"poller"
+       (Tytan_tasks.Task_lib.sensor_poller ~sensor_addr:sensor_base ()));
+  let wd_a =
+    Platform.attach_watchdog p ~name:"wd-a" ~base:wd_a_base ~irq:wd_a_irq
+      ~timeout:(6 * tick_period)
+  in
+  let wd_b =
+    Platform.attach_watchdog p ~name:"wd-b" ~base:wd_b_base ~irq:wd_b_irq
+      ~timeout:(6 * tick_period)
+  in
+  let sup = Supervisor.create p in
+  let policy =
+    { Supervisor.max_restarts = 3; backoff_base_ticks = 2; backoff_cap_ticks = 8 }
+  in
+  Supervisor.supervise sup tcb_a ~policy ~watchdog:wd_a ();
+  Supervisor.supervise sup tcb_b ~policy ~watchdog:wd_b ();
+  (* The fault plan.  Worker-b is wedged, then its code is bit-flipped
+     while it cannot run; its watchdog bite must end in quarantine.
+     Worker-a is killed outright; its image re-measures clean, so it must
+     come back.  Around them: bus glitches, sensor garbage and an
+     interrupt storm, none of which may confuse the supervisor. *)
+  let rng = Fault_plan.Prng.create seed in
+  let plan =
+    Fault_plan.make ~seed
+      (Fault_plan.
+         [
+           { at_tick = 4; kind = Write_glitch { count = 2; bit = Prng.int rng 8 } };
+           { at_tick = 6; kind = Mmio_glitch { device = "chaos-sensor"; count = 3 } };
+           { at_tick = 8; kind = Irq_storm { irq = storm_irq; count = 5 } };
+           { at_tick = 10; kind = Task_hang { name = "worker-b" } };
+           { at_tick = 20; kind = Task_kill { name = "worker-a" } };
+         ]
+      @ Fault_plan.random_bit_flips rng ~count:3 ~base:tcb_b.Tcb.code_base
+          ~size:tcb_b.Tcb.code_size ~first_tick:11 ~last_tick:12)
+  in
+  let injector = Injector.create p ~plan in
+  (* The whole campaign runs under co-simulation with a hostile link. *)
+  let link =
+    Link.create ~seed:(seed + 7) ~loss_percent:20 ~corrupt_percent:10
+      ~duplicate_percent:10 ~reorder_percent:5 ()
+  in
+  let cosim =
+    Cosim.create p ~link ~advance:(fun ~cycles -> Injector.advance injector ~cycles) ()
+  in
+  (* Phase 1: the fault window. *)
+  Cosim.run cosim ~slices:ticks;
+  (* Phase 2: challenge the restarted worker's identity end to end. *)
+  let ka =
+    Attestation.derive_ka ~platform_key:(Platform.config p).Platform.platform_key
+  in
+  (* A corrupting link can flip the challenge's identity bytes, turning
+     an honest device's answer into a refusal — demand several consistent
+     refusals before believing one. *)
+  let verifier =
+    Verifier.create ~ka
+      ~expected:(Rtm.identity_of_telf telf_a)
+      ~backoff:Verifier.default_backoff ~max_attempts:20 ~refusals_to_settle:3
+      ()
+  in
+  Cosim.attach_verifier cosim verifier;
+  ignore (Cosim.run_until_settled cosim ~max_slices:200);
+  let reattested = Verifier.outcome verifier = Verifier.Attested in
+  let kernel = Platform.kernel p in
+  let state name = Supervisor.state_of sup ~name in
+  let survived =
+    state "worker-a" = Some Supervisor.Running
+    && state "worker-b" = Some Supervisor.Quarantined
+    && reattested
+  in
+  {
+    seed;
+    ticks;
+    injected = Injector.injected injector;
+    link_counters =
+      [
+        ("sent", Link.sent_count link);
+        ("dropped", Link.dropped_count link);
+        ("delivered", Link.delivered_count link);
+        ("corrupted", Link.corrupted_count link);
+        ("duplicated", Link.duplicated_count link);
+        ("reordered", Link.reordered_count link);
+      ];
+    supervised = Supervisor.report sup;
+    restarts = Supervisor.restarts sup;
+    quarantined = Supervisor.quarantined sup;
+    gave_up = Supervisor.gave_up sup;
+    bites = Supervisor.bites sup;
+    reattested;
+    verifier_attempts = Verifier.attempts verifier;
+    kernel_faults = Kernel.faults kernel;
+    context_switches = Kernel.context_switches kernel;
+    trace_events = List.length (Trace.events (Platform.trace p));
+    trace_digest = trace_digest (Platform.trace p);
+    survived;
+  }
+
+let state_name = function
+  | Supervisor.Running -> "running"
+  | Supervisor.Waiting_restart -> "waiting-restart"
+  | Supervisor.Restarting -> "restarting"
+  | Supervisor.Quarantined -> "quarantined"
+  | Supervisor.Gave_up -> "gave-up"
+
+let to_string r =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "chaos campaign: seed %d, %d-tick fault window\n" r.seed r.ticks;
+  add "  injected faults:\n";
+  List.iter (fun (k, n) -> add "    %-14s %d\n" k n) r.injected;
+  add "  link:\n";
+  List.iter (fun (k, n) -> add "    %-14s %d\n" k n) r.link_counters;
+  add "  supervision:\n";
+  List.iter
+    (fun (name, st, restarts) ->
+      add "    %-10s %-16s (%d restarts)\n" name (state_name st) restarts)
+    r.supervised;
+  add "    restarts %d, quarantined %d, gave up %d, watchdog bites %d\n"
+    r.restarts r.quarantined r.gave_up r.bites;
+  add "  re-attestation over the hostile link: %s (%d attempts)\n"
+    (if r.reattested then "attested" else "FAILED")
+    r.verifier_attempts;
+  add "  kernel: %d faults contained, %d context switches\n" r.kernel_faults
+    r.context_switches;
+  add "  trace: %d events, digest %s\n" r.trace_events r.trace_digest;
+  add "  survival: %s\n" (if r.survived then "SURVIVED" else "DID NOT SURVIVE");
+  Buffer.contents b

@@ -1,0 +1,59 @@
+(** The bundled chaos campaign: one seeded fault plan against a full
+    TyTAN device, with a survival report.
+
+    The scenario loads three tasks — two supervised, watchdog-guarded
+    workers and an unsupervised sensor poller — then injects, over the
+    run:
+
+    - glitched RAM writes and garbage MMIO sensor reads (machine layer);
+    - a spurious interrupt storm on an unbound line;
+    - a {e hang} of worker-b followed by bit flips in its code, so its
+      watchdog bites and re-measurement exposes the corruption —
+      worker-b must be quarantined, never restarted;
+    - a {e kill} of worker-a, whose image re-measures clean — the
+      supervisor must restart it after backoff and re-attest it;
+
+    while the whole run is co-simulated with a remote verifier across a
+    lossy, corrupting, duplicating, reordering link.  After the fault
+    window, the verifier challenges worker-a's identity end to end.
+
+    The entire campaign derives from one seed: the same seed produces the
+    same trace (the report carries a digest of it) and the same report. *)
+
+open Tytan_core
+
+type report = {
+  seed : int;
+  ticks : int;
+  injected : (string * int) list;  (** applied faults per kind *)
+  link_counters : (string * int) list;
+  supervised : (string * Supervisor.task_state * int) list;
+      (** task, final state, restarts used *)
+  restarts : int;
+  quarantined : int;
+  gave_up : int;
+  bites : int;
+  reattested : bool;  (** the restarted worker attested over the link *)
+  verifier_attempts : int;
+  kernel_faults : int;
+  context_switches : int;
+  trace_events : int;
+  trace_digest : string;
+      (** SHA-1 over the full trace event sequence — equal digests mean
+          bit-for-bit identical runs *)
+  survived : bool;
+      (** worker-a running and re-attested, worker-b quarantined *)
+}
+
+val steady_worker : ?stack_size:int -> unit -> Tytan_telf.Telf.t
+(** A secure task that counts in a register and sleeps a tick per
+    iteration.  Its image never changes at run time, so post-mortem
+    re-measurement matches the reference — the well-behaved supervised
+    workload.  Distinct [stack_size]s give distinct identities. *)
+
+val run : ?seed:int -> ?ticks:int -> unit -> report
+(** Run the campaign ([seed] defaults to 1, [ticks] — the fault window —
+    to 40; the attestation phase runs afterwards). *)
+
+val to_string : report -> string
+(** The survival report, ready to print. *)

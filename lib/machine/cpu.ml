@@ -209,7 +209,16 @@ let step t =
          | Some _ | None ->
              t.check ~eip:t.last_eip ~addr:pc ~size:Isa.width
                ~kind:Access.Execute);
-         let instr = Isa.decode (Memory.read_bytes t.mem pc Isa.width) in
+         (* An undecodable word (e.g. a bit-flipped instruction) is an
+            illegal-opcode fault, not a simulator crash: deliver it through
+            the same path as a protection violation so the OS can contain
+            the faulting task. *)
+         let instr =
+           try Isa.decode (Memory.read_bytes t.mem pc Isa.width)
+           with Invalid_argument _ ->
+             Access.violation ~eip:pc ~addr:pc ~size:Isa.width
+               ~kind:Access.Execute "illegal opcode"
+         in
          Cycles.charge t.clock (Isa.cost instr);
          t.last_eip <- pc;
          execute t pc instr

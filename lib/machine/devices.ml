@@ -122,6 +122,82 @@ module Rx_fifo = struct
   let irq t = t.irq
 end
 
+module Watchdog = struct
+  type t = {
+    engine : Exception_engine.t;
+    clock : Cycles.t;
+    name : string;
+    base : Word.t;
+    irq : int;
+    mutable timeout : int;
+    mutable deadline : int;
+    mutable enabled : bool;
+    mutable fired : int;
+  }
+
+  let create engine clock ~name ~base ~irq ~timeout =
+    if timeout <= 0 then invalid_arg "Watchdog.create: timeout must be positive";
+    {
+      engine;
+      clock;
+      name;
+      base;
+      irq;
+      timeout;
+      deadline = Cycles.now clock + timeout;
+      enabled = true;
+      fired = 0;
+    }
+
+  let kick t = t.deadline <- Cycles.now t.clock + t.timeout
+
+  let set_timeout t timeout =
+    if timeout <= 0 then invalid_arg "Watchdog.set_timeout: timeout must be positive";
+    t.timeout <- timeout;
+    kick t
+
+  let enable t =
+    t.enabled <- true;
+    kick t
+
+  let disable t = t.enabled <- false
+
+  let remaining t =
+    if not t.enabled then 0 else max 0 (t.deadline - Cycles.now t.clock)
+
+  let poll t =
+    if t.enabled && Cycles.now t.clock >= t.deadline then begin
+      Exception_engine.raise_irq t.engine t.irq;
+      t.fired <- t.fired + 1;
+      (* Re-arm one whole interval from now: a late-served bite still
+         latches exactly one IRQ. *)
+      t.deadline <- Cycles.now t.clock + t.timeout
+    end
+
+  let device t =
+    {
+      Memory.name = t.name;
+      base = t.base;
+      size = 12;
+      read32 =
+        (fun ~offset ->
+          match offset with
+          | 0 -> remaining t
+          | 4 -> t.timeout
+          | _ -> t.fired);
+      write32 =
+        (fun ~offset v ->
+          match offset with
+          | 0 -> kick t
+          | 4 -> if v > 0 then set_timeout t v
+          | _ -> if v land 1 = 1 then enable t else disable t);
+    }
+
+  let timeout t = t.timeout
+  let fired t = t.fired
+  let irq t = t.irq
+end
+
 module Console = struct
   type t = { base : Word.t; buffer : Buffer.t }
 

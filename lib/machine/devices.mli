@@ -76,6 +76,52 @@ module Rx_fifo : sig
   (** The line this device asserts. *)
 end
 
+module Watchdog : sig
+  (** A memory-mapped watchdog timer, the hardware half of task
+      supervision: software must {e kick} it before the countdown expires;
+      a missed deadline raises the watchdog's IRQ line (the {e bite}) and
+      the countdown re-arms for the next interval.
+
+      MMIO register map (word registers at [base]):
+      {v
+        +0  KICK    write (any value): reset the countdown
+                    read: cycles remaining until the bite
+        +4  TIMEOUT read/write: countdown period in cycles
+                    (writing also resets the countdown)
+        +8  CTRL    write: 1 = enable, 0 = disable (both reset the countdown)
+                    read: number of bites so far
+      v}
+
+      Like {!Timer}, the device is polled between instructions and latches
+      a single IRQ per missed deadline however late it is served. *)
+
+  type t
+
+  val create :
+    Exception_engine.t -> Cycles.t -> name:string -> base:Word.t ->
+    irq:int -> timeout:int -> t
+  (** Starts enabled with a full countdown of [timeout] cycles. *)
+
+  val device : t -> Memory.device
+  val poll : t -> unit
+
+  val kick : t -> unit
+  (** Host-side kick (equivalent to an MMIO write to [+0]) — used by
+      firmware components supervising a task on its behalf. *)
+
+  val enable : t -> unit
+  val disable : t -> unit
+  val set_timeout : t -> int -> unit
+  val timeout : t -> int
+  val remaining : t -> int
+  (** Cycles until the next bite (0 when disabled). *)
+
+  val fired : t -> int
+  (** Bites so far. *)
+
+  val irq : t -> int
+end
+
 module Console : sig
   type t
 

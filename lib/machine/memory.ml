@@ -9,10 +9,30 @@ type device = {
 type t = {
   ram : Bytes.t;
   mutable devices : device list;
+  mutable write_fault : (addr:Word.t -> value:Word.t -> Word.t) option;
+  mutable mmio_read_fault : (device:string -> addr:Word.t -> Word.t option) option;
 }
 
-let create ~size = { ram = Bytes.make size '\000'; devices = [] }
+let create ~size =
+  { ram = Bytes.make size '\000'; devices = []; write_fault = None;
+    mmio_read_fault = None }
+
 let size t = Bytes.length t.ram
+let set_write_fault t hook = t.write_fault <- hook
+let set_mmio_read_fault t hook = t.mmio_read_fault <- hook
+
+let faulted_write t ~addr ~value =
+  match t.write_fault with
+  | None -> value
+  | Some hook -> hook ~addr ~value
+
+let faulted_mmio_read t (d : device) ~addr ~offset =
+  match t.mmio_read_fault with
+  | None -> d.read32 ~offset
+  | Some hook -> (
+      match hook ~device:d.name ~addr with
+      | Some garbage -> garbage
+      | None -> d.read32 ~offset)
 
 let overlaps a b =
   a.base < b.base + b.size && b.base < a.base + a.size
@@ -40,7 +60,7 @@ let read8 t addr =
   match device_at t addr with
   | Some d ->
       let offset = (addr - d.base) land lnot 3 in
-      let word = d.read32 ~offset in
+      let word = faulted_mmio_read t d ~addr ~offset in
       (word lsr (8 * (addr land 3))) land 0xFF
   | None ->
       if not (in_ram t addr 1) then bounds_fail "read8" addr;
@@ -56,6 +76,7 @@ let write8 t addr v =
       d.write32 ~offset (Word.of_int updated)
   | None ->
       if not (in_ram t addr 1) then bounds_fail "write8" addr;
+      let v = faulted_write t ~addr ~value:(v land 0xFF) in
       Bytes.set t.ram addr (Char.chr (v land 0xFF))
 
 let read32 t addr =
@@ -63,7 +84,7 @@ let read32 t addr =
   | Some d ->
       if addr land 3 <> 0 then
         invalid_arg "Memory.read32: unaligned MMIO access";
-      d.read32 ~offset:(addr - d.base)
+      faulted_mmio_read t d ~addr ~offset:(addr - d.base)
   | None ->
       if not (in_ram t addr 4) then bounds_fail "read32" addr;
       Int32.to_int (Bytes.get_int32_le t.ram addr) land Word.max_value
@@ -76,6 +97,7 @@ let write32 t addr v =
       d.write32 ~offset:(addr - d.base) v
   | None ->
       if not (in_ram t addr 4) then bounds_fail "write32" addr;
+      let v = faulted_write t ~addr ~value:v in
       Bytes.set_int32_le t.ram addr (Int32.of_int v)
 
 let blit_bytes t addr b =

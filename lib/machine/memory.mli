@@ -23,6 +23,24 @@ type device = {
 val create : size:int -> t
 (** [create ~size] allocates [size] bytes of zeroed RAM. *)
 
+(** {2 Fault-injection hooks}
+
+    The fault subsystem ({!Tytan_fault}) models hardware-level faults by
+    intercepting accesses at the memory controller.  Both hooks are [None]
+    by default and cost nothing when unset. *)
+
+val set_write_fault : t -> (addr:Word.t -> value:Word.t -> Word.t) option -> unit
+(** Corruption hook applied to every RAM store: the value actually written
+    is the hook's return (faulty cells, disturbed writes).  Byte stores see
+    the byte in the low 8 bits; word stores see the whole word.  MMIO
+    writes are not affected. *)
+
+val set_mmio_read_fault :
+  t -> (device:string -> addr:Word.t -> Word.t option) option -> unit
+(** Transient-MMIO-failure hook consulted on every device read; [Some v]
+    supplants the device's answer with garbage [v] (a glitched bus cycle),
+    [None] lets the read through. *)
+
 val size : t -> int
 
 val map_device : t -> device -> unit

@@ -4,18 +4,24 @@ type t = {
   platform : Platform.t;
   link : Link.t;
   slice_cycles : int;
+  advance : cycles:int -> unit;
   mutable verifiers : Verifier.t list;
   mutable slice : int;
   mutable served : int;
 }
 
-let create platform ~link ?slice_cycles () =
+let create platform ~link ?slice_cycles ?advance () =
   let slice_cycles =
     match slice_cycles with
     | Some c -> c
     | None -> (Platform.config platform).Platform.tick_period
   in
-  { platform; link; slice_cycles; verifiers = []; slice = 0; served = 0 }
+  let advance =
+    match advance with
+    | Some f -> f
+    | None -> fun ~cycles -> ignore (Platform.run platform ~cycles)
+  in
+  { platform; link; slice_cycles; advance; verifiers = []; slice = 0; served = 0 }
 
 let attach_verifier t v = t.verifiers <- v :: t.verifiers
 
@@ -39,7 +45,7 @@ let device_agent t frame =
 
 let step t =
   (* 1. The device computes for one slice. *)
-  ignore (Platform.run t.platform ~cycles:t.slice_cycles);
+  t.advance ~cycles:t.slice_cycles;
   (* 2. Device-bound frames arrive and are served. *)
   List.iter (device_agent t) (Link.deliver t.link ~to_:Link.Device ~at:t.slice);
   (* 3. Remote-bound frames reach the verifiers. *)

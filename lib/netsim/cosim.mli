@@ -15,9 +15,13 @@ val create :
   Platform.t ->
   link:Link.t ->
   ?slice_cycles:int ->
+  ?advance:(cycles:int -> unit) ->
   unit ->
   t
-(** [slice_cycles] defaults to one tick period. *)
+(** [slice_cycles] defaults to one tick period.  [advance] replaces the
+    default device-advance function ([Platform.run]); the fault injector
+    passes its own so scheduled faults keep firing while a co-simulation
+    drives the device. *)
 
 val attach_verifier : t -> Verifier.t -> unit
 (** Multiple concurrent verifier sessions are supported. *)

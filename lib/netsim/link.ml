@@ -13,30 +13,94 @@ type t = {
   mutable rng : int;
   loss_percent : int;
   delay : int;
+  corrupt_percent : int;
+  duplicate_percent : int;
+  reorder_percent : int;
   mutable sent : int;
   mutable dropped : int;
+  mutable delivered : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
 }
 
-let create ?(seed = 0x5EED) ?(loss_percent = 0) ?(delay = 1) () =
-  if loss_percent < 0 || loss_percent > 100 then
-    invalid_arg "Link.create: loss_percent out of range";
+let check_percent name p =
+  if p < 0 || p > 100 then
+    invalid_arg (Printf.sprintf "Link.create: %s out of range" name)
+
+let create ?(seed = 0x5EED) ?(loss_percent = 0) ?(delay = 1)
+    ?(corrupt_percent = 0) ?(duplicate_percent = 0) ?(reorder_percent = 0) () =
+  check_percent "loss_percent" loss_percent;
+  check_percent "corrupt_percent" corrupt_percent;
+  check_percent "duplicate_percent" duplicate_percent;
+  check_percent "reorder_percent" reorder_percent;
   if delay < 0 then invalid_arg "Link.create: negative delay";
-  { in_flight = []; rng = seed; loss_percent; delay; sent = 0; dropped = 0 }
+  {
+    in_flight = [];
+    rng = seed;
+    loss_percent;
+    delay;
+    corrupt_percent;
+    duplicate_percent;
+    reorder_percent;
+    sent = 0;
+    dropped = 0;
+    delivered = 0;
+    corrupted = 0;
+    duplicated = 0;
+    reordered = 0;
+  }
 
 (* Deterministic LCG (Numerical Recipes constants). *)
 let next_rand t =
   t.rng <- (t.rng * 1664525) + 1013904223 land 0x3FFF_FFFF;
   t.rng land 0x3FFF_FFFF
 
+let lottery t percent = percent > 0 && next_rand t mod 100 < percent
 let other = function Device -> Remote | Remote -> Device
+
+let enqueue t frame =
+  let earlier, later = List.partition (fun f -> f.due <= frame.due) t.in_flight in
+  t.in_flight <- earlier @ (frame :: later)
+
+(* One byte XORed with a non-zero mask — the smallest corruption a
+   checksumless codec must still survive decoding. *)
+let corrupt_payload t payload =
+  let payload = Bytes.copy payload in
+  if Bytes.length payload > 0 then begin
+    let pos = next_rand t mod Bytes.length payload in
+    let mask = 1 + (next_rand t mod 255) in
+    Bytes.set payload pos
+      (Char.chr (Char.code (Bytes.get payload pos) lxor mask))
+  end;
+  payload
 
 let send t ~from ~at payload =
   t.sent <- t.sent + 1;
-  if next_rand t mod 100 < t.loss_percent then t.dropped <- t.dropped + 1
+  if lottery t t.loss_percent then t.dropped <- t.dropped + 1
   else begin
-    let frame = { dest = other from; due = at + t.delay; payload } in
-    let earlier, later = List.partition (fun f -> f.due <= frame.due) t.in_flight in
-    t.in_flight <- earlier @ (frame :: later)
+    let payload =
+      if lottery t t.corrupt_percent then begin
+        t.corrupted <- t.corrupted + 1;
+        corrupt_payload t payload
+      end
+      else payload
+    in
+    let extra =
+      if lottery t t.reorder_percent then begin
+        t.reordered <- t.reordered + 1;
+        1 + (next_rand t mod 3)
+      end
+      else 0
+    in
+    let dest = other from in
+    enqueue t { dest; due = at + t.delay + extra; payload };
+    if lottery t t.duplicate_percent then begin
+      t.duplicated <- t.duplicated + 1;
+      enqueue t
+        { dest; due = at + t.delay + extra + (next_rand t mod 2);
+          payload = Bytes.copy payload }
+    end
   end
 
 let deliver t ~to_ ~at =
@@ -44,7 +108,12 @@ let deliver t ~to_ ~at =
     List.partition (fun f -> f.dest = to_ && f.due <= at) t.in_flight
   in
   t.in_flight <- remaining;
+  t.delivered <- t.delivered + List.length due;
   List.map (fun f -> f.payload) due
 
 let sent_count t = t.sent
 let dropped_count t = t.dropped
+let delivered_count t = t.delivered
+let corrupted_count t = t.corrupted
+let duplicated_count t = t.duplicated
+let reordered_count t = t.reordered

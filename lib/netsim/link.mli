@@ -1,13 +1,19 @@
-(** A lossy, delayed duplex link between a device and a remote peer.
+(** A faulty duplex link between a device and a remote peer.
 
     Remote attestation only means something over an unreliable network:
-    challenges and reports can be dropped or delayed, and the verifier
-    must drive retries.  The link is deterministic (seeded PRNG), so
-    protocol tests reproduce exactly.
+    frames can be dropped, delayed, corrupted, duplicated or reordered,
+    and the verifier must drive retries.  The link is deterministic
+    (seeded PRNG), so protocol tests reproduce exactly.
 
     Time is measured in {e slices} — the co-simulation quantum
     ({!Cosim}).  A frame sent at slice [s] becomes deliverable at
-    [s + delay] unless the loss lottery drops it. *)
+    [s + delay] unless the loss lottery drops it; a reordered frame is
+    additionally held back a few slices so later traffic overtakes it.
+
+    Counter reconciliation: once both directions are fully drained,
+    [delivered_count = sent_count - dropped_count + duplicated_count]
+    (each duplication injects one extra copy; corruption and reordering
+    alter frames but never add or remove them). *)
 
 type side =
   | Device
@@ -15,9 +21,21 @@ type side =
 
 type t
 
-val create : ?seed:int -> ?loss_percent:int -> ?delay:int -> unit -> t
-(** [loss_percent] (default 0) of frames are silently dropped;
-    survivors arrive [delay] (default 1) slices after sending. *)
+val create :
+  ?seed:int ->
+  ?loss_percent:int ->
+  ?delay:int ->
+  ?corrupt_percent:int ->
+  ?duplicate_percent:int ->
+  ?reorder_percent:int ->
+  unit ->
+  t
+(** [loss_percent] (default 0) of frames are silently dropped; survivors
+    arrive [delay] (default 1) slices after sending.  Of the survivors,
+    [corrupt_percent] have one byte XORed with a random non-zero mask,
+    [duplicate_percent] arrive twice, and [reorder_percent] are held back
+    1–3 extra slices (all default 0, preserving the historical loss/delay
+    behaviour). *)
 
 val send : t -> from:side -> at:int -> bytes -> unit
 (** Queue a frame sent at slice [at]. *)
@@ -27,3 +45,7 @@ val deliver : t -> to_:side -> at:int -> bytes list
 
 val sent_count : t -> int
 val dropped_count : t -> int
+val delivered_count : t -> int
+val corrupted_count : t -> int
+val duplicated_count : t -> int
+val reordered_count : t -> int

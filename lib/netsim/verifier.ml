@@ -6,37 +6,79 @@ type outcome =
   | Refused
   | Gave_up
 
+type backoff = {
+  base_slices : int;
+  cap_slices : int;
+  jitter_slices : int;
+}
+
+let default_backoff = { base_slices = 4; cap_slices = 64; jitter_slices = 3 }
+
 type t = {
   ka : bytes;
   expected : Task_id.t;
   timeout_slices : int;
+  backoff : backoff option;
   max_attempts : int;
+  refusals_to_settle : int;
   nonce : bytes;
   seq : int;
   mutable outcome : outcome;
   mutable attempts : int;
   mutable next_send : int;
   mutable rejected : int;
+  mutable refusals : int;
+  mutable jitter_rng : int;
 }
 
 (* One verifier instance = one challenge (nonce, seq); retransmissions
    reuse both so duplicated responses stay valid exactly once each. *)
 let counter = ref 0
 
-let create ~ka ~expected ?(timeout_slices = 8) ?(max_attempts = 10) () =
+let create ~ka ~expected ?(timeout_slices = 8) ?backoff ?(max_attempts = 10)
+    ?(refusals_to_settle = 1) () =
   incr counter;
+  (match backoff with
+  | Some b ->
+      if b.base_slices <= 0 || b.cap_slices < b.base_slices || b.jitter_slices < 0
+      then invalid_arg "Verifier.create: malformed backoff"
+  | None -> ());
+  if refusals_to_settle <= 0 then
+    invalid_arg "Verifier.create: refusals_to_settle must be positive";
   {
     ka;
     expected;
     timeout_slices;
+    backoff;
     max_attempts;
+    refusals_to_settle;
     nonce = Bytes.of_string (Printf.sprintf "vnonce-%06d" !counter);
     seq = !counter;
     outcome = Pending;
     attempts = 0;
     next_send = 0;
     rejected = 0;
+    refusals = 0;
+    (* Seeded from the session's stable parameters (not the global
+       counter), so identical sessions replay identical schedules. *)
+    jitter_rng =
+      0x2A2A lxor Hashtbl.hash (Task_id.to_hex expected, timeout_slices);
   }
+
+let next_jitter t bound =
+  if bound <= 0 then 0
+  else begin
+    t.jitter_rng <- (t.jitter_rng * 1664525) + 1013904223 land 0x3FFF_FFFF;
+    t.jitter_rng land 0x3FFF_FFFF mod (bound + 1)
+  end
+
+(* Wait after the [n]th transmission (n = 1 for the initial send). *)
+let wait_slices t ~attempt =
+  match t.backoff with
+  | None -> t.timeout_slices
+  | Some b ->
+      let doubled = b.base_slices lsl min 20 (attempt - 1) in
+      min b.cap_slices doubled + next_jitter t b.jitter_slices
 
 let poll t ~at =
   if t.outcome <> Pending || at < t.next_send then None
@@ -46,7 +88,7 @@ let poll t ~at =
   end
   else begin
     t.attempts <- t.attempts + 1;
-    t.next_send <- at + t.timeout_slices;
+    t.next_send <- at + wait_slices t ~attempt:t.attempts;
     Some
       (Protocol.encode
          (Protocol.Challenge { seq = t.seq; id = t.expected; nonce = t.nonce }))
@@ -58,7 +100,11 @@ let on_frame t frame =
     | Error _ -> t.rejected <- t.rejected + 1
     | Ok (Protocol.Challenge _) -> t.rejected <- t.rejected + 1
     | Ok (Protocol.Refusal { seq }) ->
-        if seq = t.seq then t.outcome <- Refused else t.rejected <- t.rejected + 1
+        if seq = t.seq then begin
+          t.refusals <- t.refusals + 1;
+          if t.refusals >= t.refusals_to_settle then t.outcome <- Refused
+        end
+        else t.rejected <- t.rejected + 1
     | Ok (Protocol.Response { seq; report }) ->
         if
           seq = t.seq

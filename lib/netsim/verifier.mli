@@ -1,12 +1,18 @@
 (** The remote verifier's retry state machine.
 
     Provisioned with the attestation key and the reference binary's
-    identity, the verifier sends a fresh challenge, waits
-    [timeout_slices], and retransmits (with the {e same} nonce and
-    sequence — retransmissions are idempotent) up to [max_attempts]
-    times.  A response only counts if its sequence matches an
-    outstanding challenge, the nonce is the one we sent, the identity is
-    the expected one and the MAC verifies. *)
+    identity, the verifier sends a fresh challenge, waits for the retry
+    timeout, and retransmits (with the {e same} nonce and sequence —
+    retransmissions are idempotent) up to [max_attempts] times.  A
+    response only counts if its sequence matches an outstanding
+    challenge, the nonce is the one we sent, the identity is the expected
+    one and the MAC verifies.
+
+    By default the retry timeout is the fixed [timeout_slices].  With
+    [~backoff] the wait grows exponentially (base, 2·base, 4·base, …,
+    capped at [cap_slices]) plus a deterministic per-attempt jitter in
+    [0, jitter_slices] drawn from a PRNG seeded by the session — the
+    classic congestion-friendly retry schedule for flaky links. *)
 
 open Tytan_core
 
@@ -16,16 +22,34 @@ type outcome =
   | Refused  (** the device says the task is not loaded *)
   | Gave_up  (** retries exhausted *)
 
+type backoff = {
+  base_slices : int;  (** wait before the first retry *)
+  cap_slices : int;  (** upper bound on the exponential wait *)
+  jitter_slices : int;  (** deterministic jitter drawn from [0, jitter] *)
+}
+
+val default_backoff : backoff
+(** base 4, cap 64, jitter 3. *)
+
 type t
 
 val create :
   ka:bytes ->
   expected:Task_id.t ->
   ?timeout_slices:int ->
+  ?backoff:backoff ->
   ?max_attempts:int ->
+  ?refusals_to_settle:int ->
   unit ->
   t
-(** Defaults: 8-slice timeout, 10 attempts. *)
+(** Defaults: 8-slice fixed timeout (no backoff), 10 attempts, settle on
+    the first refusal.
+
+    Refusals are not authenticated, and on a corrupting link a flipped
+    byte in the {e challenge}'s identity makes an honest device refuse —
+    so a verifier facing a hostile link should demand
+    [refusals_to_settle] consistent refusals (across retransmissions)
+    before concluding [Refused]. *)
 
 val poll : t -> at:int -> bytes option
 (** Called every slice; [Some frame] when a (re)transmission is due. *)
