@@ -1,0 +1,88 @@
+open Tytan_machine
+
+type t =
+  | Bot
+  | Abs of int * int
+  | Rel of int * int
+  | Top
+
+let top = Top
+let const w = Abs (w, w)
+let rel_const off = Rel (off, off)
+
+(* Relative offsets stay within ±2^31 so interval arithmetic cannot be
+   confused by wrap-around; absolutes stay within the word range. *)
+let rel_limit = 1 lsl 31
+
+let norm_abs lo hi =
+  if lo < 0 || hi > Word.max_value || lo > hi then Top else Abs (lo, hi)
+
+let norm_rel lo hi =
+  if lo < -rel_limit || hi > rel_limit || lo > hi then Top else Rel (lo, hi)
+
+let equal a b = a = b
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Abs (a1, b1), Abs (a2, b2) -> norm_abs (min a1 a2) (max b1 b2)
+  | Rel (a1, b1), Rel (a2, b2) -> norm_rel (min a1 a2) (max b1 b2)
+  | Abs _, Rel _ | Rel _, Abs _ -> Top
+
+let widen previous next =
+  let joined = join previous next in
+  if equal joined previous then previous
+  else
+    match (previous, joined) with
+    | Bot, x -> x
+    | _ -> Top
+
+(* Signed reading of an absolute interval, when every point keeps its
+   sign interpretation unambiguous (either all "small" or a singleton). *)
+let signed_abs = function
+  | Abs (lo, hi) when hi < rel_limit -> Some (lo, hi)
+  | Abs (lo, hi) when lo = hi -> Some (Word.to_signed lo, Word.to_signed hi)
+  | _ -> None
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, _ | _, Top -> Top
+  | Abs (a1, b1), Abs (a2, b2) ->
+      if a1 = b1 && a2 = b2 then const (Word.add a1 a2)
+      else norm_abs (a1 + a2) (b1 + b2)
+  | (Rel (r1, r2), (Abs _ as w)) | ((Abs _ as w), Rel (r1, r2)) -> (
+      match signed_abs w with
+      | Some (lo, hi) -> norm_rel (r1 + lo) (r2 + hi)
+      | None -> Top)
+  | Rel _, Rel _ -> Top
+
+let sub a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, _ | _, Top -> Top
+  | Abs (a1, b1), Abs (a2, b2) ->
+      if a1 = b1 && a2 = b2 then const (Word.sub a1 a2)
+      else norm_abs (a1 - b2) (b1 - a2)
+  | Rel (r1, r2), (Abs _ as w) -> (
+      match signed_abs w with
+      | Some (lo, hi) -> norm_rel (r1 - hi) (r2 - lo)
+      | None -> Top)
+  | Abs _, Rel _ | Rel _, Rel _ -> Top
+
+let add_word v imm = add v (const imm)
+
+let binop f a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Abs (a1, b1), Abs (a2, b2) when a1 = b1 && a2 = b2 -> const (f a1 a2)
+  | _ -> Top
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "⊥"
+  | Top -> Format.pp_print_string ppf "⊤"
+  | Abs (lo, hi) when lo = hi -> Format.fprintf ppf "0x%X" lo
+  | Abs (lo, hi) -> Format.fprintf ppf "[0x%X, 0x%X]" lo hi
+  | Rel (lo, hi) when lo = hi -> Format.fprintf ppf "base+%d" lo
+  | Rel (lo, hi) -> Format.fprintf ppf "base+[%d, %d]" lo hi

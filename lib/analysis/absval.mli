@@ -1,0 +1,51 @@
+(** The abstract value domain of the tycheck interpreter.
+
+    The analysis runs over the binary {e as shipped} — linked at base 0,
+    before the loader adds the (unknown) load base.  That makes two
+    families of values meaningful:
+
+    - [Abs] — an absolute machine word the code constructs itself
+      (an MMIO register address, a counter, a constant).  After loading,
+      the value is the same number regardless of base.
+    - [Rel] — a load-base-relative address: the value of a relocated
+      immediate, or arithmetic on one.  At runtime it is [base + offset],
+      so containment in the task's own [image ++ bss ++ inbox ++ stack]
+      footprint can be decided from the offset interval alone.
+
+    Both carry closed intervals.  Mixing the two families (adding two
+    pointers, multiplying a pointer) loses the base tracking and widens
+    to [Top].  The domain has no wrap-around modelling: interval
+    arithmetic that could wrap 2^32 (or drive a relative offset past
+    ±2^31) widens to [Top] rather than producing an unsound range. *)
+
+open Tytan_machine
+
+type t =
+  | Bot  (** unreachable *)
+  | Abs of int * int  (** absolute value in [lo, hi], 0 ≤ lo ≤ hi < 2^32 *)
+  | Rel of int * int  (** load base + offset, offset in [lo, hi] (signed) *)
+  | Top  (** any word *)
+
+val top : t
+val const : Word.t -> t
+val rel_const : int -> t
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+
+val widen : t -> t -> t
+(** [widen previous next]: [next] if the interval did not grow, [Top]
+    otherwise — guarantees the fixpoint terminates on loops. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val add_word : t -> Word.t -> t
+(** Add an immediate, interpreted two's-complement (a displacement of
+    [0xFFFFFFFF] moves a relative pointer {e down} by one). *)
+
+val binop : (Word.t -> Word.t -> Word.t) -> t -> t -> t
+(** Constant-fold an arbitrary word operation on singleton absolutes;
+    anything else is [Top]. *)
+
+val pp : Format.formatter -> t -> unit

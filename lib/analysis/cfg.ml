@@ -1,0 +1,85 @@
+open Tytan_machine
+open Tytan_telf
+
+type t = {
+  instrs : Isa.t option array;
+  entry : int;
+  text_size : int;
+  truncated_bytes : int;
+}
+
+let of_telf (telf : Telf.t) =
+  if telf.entry mod Isa.width <> 0 then
+    Error
+      (Printf.sprintf "entry offset %d is not on an instruction boundary"
+         telf.entry)
+  else
+    let slots = telf.text_size / Isa.width in
+    let instrs =
+      Array.init slots (fun i ->
+          let raw = Bytes.sub telf.image (i * Isa.width) Isa.width in
+          try Some (Isa.decode raw) with Invalid_argument _ -> None)
+    in
+    Ok
+      {
+        instrs;
+        entry = telf.entry / Isa.width;
+        text_size = telf.text_size;
+        truncated_bytes = telf.text_size mod Isa.width;
+      }
+
+let instr_count t = Array.length t.instrs
+let offset i = i * Isa.width
+
+let index_of_offset t off =
+  if off >= 0 && off mod Isa.width = 0 && off / Isa.width < instr_count t then
+    Some (off / Isa.width)
+  else None
+
+type transfer =
+  | Fall
+  | Jump of int option
+  | Branch of int option
+  | Indirect_jump of Isa.reg
+  | Call of int option
+  | Indirect_call of Isa.reg
+  | Return
+  | Yield_swi
+  | Other_swi
+  | Stop
+  | Undecodable
+
+let target t i disp =
+  index_of_offset t (offset i + Isa.width + Word.to_signed disp)
+
+let classify t i =
+  match t.instrs.(i) with
+  | None -> Undecodable
+  | Some instr -> (
+      match instr with
+      | Isa.Jmp d -> Jump (target t i d)
+      | Isa.Jz d | Isa.Jnz d | Isa.Jlt d | Isa.Jge d -> Branch (target t i d)
+      | Isa.Jmpr r -> Indirect_jump r
+      | Isa.Call d -> Call (target t i d)
+      | Isa.Callr r -> Indirect_call r
+      | Isa.Ret -> Return
+      (* Kernel syscall map: 0 = yield, 2 = delay — both deschedule and
+         later resume at the next instruction.  1 = exit and 4 = IPC
+         message-done never return to the caller. *)
+      | Isa.Swi (0 | 2) -> Yield_swi
+      | Isa.Swi (1 | 4) -> Stop
+      | Isa.Swi _ -> Other_swi
+      | Isa.Halt | Isa.Iret -> Stop
+      | _ -> Fall)
+
+let indirect_code_targets (telf : Telf.t) =
+  let slots = telf.text_size / Isa.width in
+  Array.to_list telf.relocations
+  |> List.filter_map (fun off ->
+         if off + 4 > Bytes.length telf.image then None
+         else
+           let v = Int32.to_int (Bytes.get_int32_le telf.image off) land Word.max_value in
+           if v mod Isa.width = 0 && v / Isa.width < slots then
+             Some (v / Isa.width)
+           else None)
+  |> List.sort_uniq compare

@@ -1,0 +1,67 @@
+(** Control-flow graph recovery over a TELF text section.
+
+    The ISA is fixed-width, so instruction boundaries are simply every
+    {!Tytan_machine.Isa.width} bytes of the text prefix — recovery means
+    decoding each slot and classifying its control transfer.  Branches
+    are PC-relative (target = offset of the {e following} instruction
+    plus the signed displacement), so every direct edge is statically
+    resolvable; only [Jmpr]/[Callr] need the abstract interpreter.
+
+    The graph is kept at instruction granularity: task binaries are a
+    few hundred instructions, so basic-block compression buys nothing
+    and per-instruction states keep the verdicts precise. *)
+
+open Tytan_machine
+open Tytan_telf
+
+type t = {
+  instrs : Isa.t option array;
+      (** one entry per text slot; [None] = undecodable bytes *)
+  entry : int;  (** entry instruction index *)
+  text_size : int;  (** declared text size in bytes *)
+  truncated_bytes : int;  (** trailing text bytes that form no full slot *)
+}
+
+val of_telf : Telf.t -> (t, string) result
+(** Decode the text prefix.  [Error] when the entry point is not on an
+    instruction boundary (no analysis is possible: the instruction
+    stream the CPU would execute is unknown). *)
+
+val instr_count : t -> int
+
+val offset : int -> int
+(** Byte offset of instruction index [i] ([i * Isa.width]). *)
+
+val index_of_offset : t -> int -> int option
+(** [Some] index when the byte offset is slot-aligned and inside the
+    decoded text. *)
+
+(** How an instruction transfers control.  Direct targets are resolved
+    to instruction indices; [None] means the encoded displacement lands
+    outside the text or off an instruction boundary (a CFI violation). *)
+type transfer =
+  | Fall  (** straight-line instruction *)
+  | Jump of int option
+  | Branch of int option  (** conditional: may fall through or jump *)
+  | Indirect_jump of Isa.reg
+  | Call of int option
+  | Indirect_call of Isa.reg
+  | Return  (** [Ret]: returns through the link register *)
+  | Yield_swi
+      (** SWI 0 (yield) or 2 (delay): the task gives the CPU back and
+          later resumes at the next instruction — a WCET measurement
+          boundary *)
+  | Other_swi  (** any other software interrupt; control returns here *)
+  | Stop
+      (** [Halt], [Iret], SWI 1 (exit) and SWI 4 (IPC message-done):
+          control never reaches the next instruction *)
+  | Undecodable
+
+val classify : t -> int -> transfer
+
+val indirect_code_targets : Telf.t -> int list
+(** Instruction indices a relocation-table entry can name: the value of
+    every relocated word that is slot-aligned and inside the text.
+    These are the only legitimate sources of absolute code addresses in
+    a position-independent binary, so they bound where an indirect jump
+    with an unresolved register may go. *)

@@ -1,0 +1,64 @@
+let check ~fallback (df : Dataflow.t) =
+  let cfg = df.Dataflow.cfg in
+  let n = Cfg.instr_count cfg in
+  let findings = ref [] in
+  let add i sev msg =
+    findings := Finding.v ~offset:(Cfg.offset i) Finding.Cfi sev msg :: !findings
+  in
+  let indirect i what v =
+    match Dataflow.resolve_indirect cfg v with
+    | `Exact _ -> ()
+    | `Range _ ->
+        add i Finding.Unknown
+          (Printf.sprintf "%s resolved only to a range of text offsets" what)
+    | `Outside ->
+        add i Finding.Violation
+          (Printf.sprintf
+             "%s target is not a relocation-derived text address" what)
+    | `Unknown ->
+        if fallback = [] then
+          add i Finding.Violation
+            (Printf.sprintf
+               "%s is unresolved and the binary exposes no code-address \
+                relocations"
+               what)
+        else
+          add i Finding.Unknown
+            (Printf.sprintf
+               "%s is unresolved; assuming the %d relocation-reachable \
+                targets"
+               what (List.length fallback))
+    | `Unreachable -> ()
+  in
+  for i = 0 to n - 1 do
+    if Dataflow.reachable df i then
+      match Cfg.classify cfg i with
+      | Cfg.Undecodable ->
+          add i Finding.Violation "reachable bytes decode to no instruction"
+      | Cfg.Jump None | Cfg.Call None ->
+          add i Finding.Violation
+            "direct target is outside the text or off an instruction boundary"
+      | Cfg.Branch None ->
+          add i Finding.Violation
+            "branch target is outside the text or off an instruction boundary";
+          if i + 1 >= n then
+            add i Finding.Violation "execution can run off the end of the text"
+      | Cfg.Fall | Cfg.Other_swi | Cfg.Yield_swi ->
+          if i + 1 >= n then
+            add i Finding.Violation "execution can run off the end of the text"
+      | Cfg.Branch (Some _) | Cfg.Call (Some _) ->
+          if i + 1 >= n then
+            add i Finding.Violation "execution can run off the end of the text"
+      | Cfg.Indirect_jump r -> (
+          match df.Dataflow.states.(i) with
+          | None -> ()
+          | Some st -> indirect i "indirect jump" st.(r))
+      | Cfg.Indirect_call r -> (
+          (match df.Dataflow.states.(i) with
+          | None -> ()
+          | Some st -> indirect i "indirect call" st.(r));
+          if i + 1 >= n then
+            add i Finding.Violation "execution can run off the end of the text")
+      | Cfg.Jump (Some _) | Cfg.Return | Cfg.Stop -> ()
+  done;
+  List.rev !findings

@@ -1,0 +1,17 @@
+(** Control-flow integrity verification.
+
+    Every reachable transfer must land on a decoded instruction boundary
+    inside the text section:
+
+    - direct branches and calls carry their displacement in the
+      instruction, so a bad target is a definite [Violation];
+    - indirect transfers are judged from the abstract register value —
+      only relocation-derived (base-relative) values may name code, and
+      an unresolved register is restricted to the relocation-reachable
+      target set (a [Violation] when that set is empty);
+    - reachable undecodable slots and paths that run off the end of the
+      text are rejected outright. *)
+
+val check : fallback:int list -> Dataflow.t -> Finding.t list
+(** [fallback] is {!Cfg.indirect_code_targets} — the only instruction
+    indices an unresolved indirect transfer could legitimately reach. *)

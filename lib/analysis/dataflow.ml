@@ -1,0 +1,245 @@
+open Tytan_machine
+
+let reg_count = 16
+
+(* The compiler's lowering spills operands with strict LIFO push/pop, so
+   alongside the registers we model the top of the operand stack as a
+   short list of abstract values.  The model is dropped to "unknown"
+   (the empty list, with pops yielding Top) whenever it could be wrong:
+   join of different heights, the havoc after a call, or a store that
+   might alias the stack region. *)
+let opstack_cap = 32
+
+type state = { regs : Absval.t array; opstack : Absval.t list }
+
+type t = {
+  cfg : Cfg.t;
+  states : Absval.t array option array;
+  succs : int list array;
+}
+
+let resolve_indirect (cfg : Cfg.t) v =
+  match v with
+  | Absval.Bot -> `Unreachable
+  | Absval.Top -> `Unknown
+  | Absval.Abs _ -> `Outside
+  | Absval.Rel (lo, hi) -> (
+      if lo = hi then
+        match Cfg.index_of_offset cfg lo with
+        | Some i -> `Exact i
+        | None -> `Outside
+      else
+        (* Every aligned slot the interval can reach. *)
+        let first = max 0 ((lo + Isa.width - 1) / Isa.width) in
+        let last = min (Cfg.instr_count cfg - 1) (hi / Isa.width) in
+        let rec slots i acc =
+          if i < first then acc else slots (i - 1) (i :: acc)
+        in
+        if last < first then `Outside else `Range (slots last []))
+
+let havoc st regs =
+  let r = Array.copy st.regs in
+  List.iter (fun k -> r.(k) <- Absval.top) regs;
+  { st with regs = r }
+
+let set st k v =
+  let r = Array.copy st.regs in
+  r.(k) <- v;
+  { st with regs = r }
+
+(* A store whose address provably misses the task's stack region cannot
+   clobber spilled operands; anything less certain kills the model. *)
+let store_invalidates ~stack_region:(lo, hi) addr =
+  match addr with
+  | Absval.Bot -> false
+  | Absval.Abs _ -> false (* absolute windows are outside task RAM *)
+  | Absval.Rel (a, b) -> b >= lo && a < hi
+  | Absval.Top -> true
+
+let transfer ~relocated ~stack_region i (st : state) (instr : Isa.t) =
+  let g r = st.regs.(r) in
+  match instr with
+  | Isa.Nop | Isa.Cmp _ | Isa.Cmpi _ -> st
+  | Isa.Movi (rd, imm) ->
+      set st rd
+        (if relocated i then Absval.rel_const (Word.to_signed imm)
+         else Absval.const imm)
+  | Isa.Mov (rd, rs) -> set st rd (g rs)
+  | Isa.Add (rd, a, b) -> set st rd (Absval.add (g a) (g b))
+  | Isa.Addi (rd, rs, imm) -> set st rd (Absval.add_word (g rs) imm)
+  | Isa.Sub (rd, a, b) -> set st rd (Absval.sub (g a) (g b))
+  | Isa.Mul (rd, a, b) -> set st rd (Absval.binop Word.mul (g a) (g b))
+  | Isa.And (rd, a, b) -> set st rd (Absval.binop Word.logand (g a) (g b))
+  | Isa.Or (rd, a, b) -> set st rd (Absval.binop Word.logor (g a) (g b))
+  | Isa.Xor (rd, a, b) -> set st rd (Absval.binop Word.logxor (g a) (g b))
+  | Isa.Shl (rd, rs, n) ->
+      set st rd
+        (Absval.binop (fun v _ -> Word.shift_left v n) (g rs) (Absval.const 0))
+  | Isa.Shr (rd, rs, n) ->
+      set st rd
+        (Absval.binop
+           (fun v _ -> Word.shift_right_logical v n)
+           (g rs) (Absval.const 0))
+  | Isa.Ldw (rd, _, _) | Isa.Ldb (rd, _, _) -> set st rd Absval.top
+  | Isa.Stw (rs, imm, _) | Isa.Stb (rs, imm, _) ->
+      if store_invalidates ~stack_region (Absval.add_word (g rs) imm) then
+        { st with opstack = [] }
+      else st
+  | Isa.Push r ->
+      let st = set st 15 (Absval.add_word (g 15) (Word.of_signed (-4))) in
+      let pushed = st.regs.(r) in
+      let opstack =
+        if List.length st.opstack >= opstack_cap then st.opstack
+        else pushed :: st.opstack
+      in
+      { st with opstack }
+  | Isa.Pop rd ->
+      let value, opstack =
+        match st.opstack with
+        | v :: rest -> (v, rest)
+        | [] -> (Absval.top, [])
+      in
+      let st = set st rd value in
+      let st = set st 15 (Absval.add_word st.regs.(15) (Word.of_signed 4)) in
+      { st with opstack }
+  | Isa.Swi _ ->
+      (* The kernel preserves the task stack and all registers except
+         the syscall results. *)
+      havoc st [ 0; 1 ]
+  | Isa.Jmp _ | Isa.Jz _ | Isa.Jnz _ | Isa.Jlt _ | Isa.Jge _ | Isa.Jmpr _
+  | Isa.Call _ | Isa.Callr _ | Isa.Ret | Isa.Iret | Isa.Halt ->
+      st
+
+let indirect_succs cfg ~fallback v =
+  match resolve_indirect cfg v with
+  | `Exact i -> [ i ]
+  | `Range is -> is
+  | `Outside -> []
+  | `Unknown -> fallback
+  | `Unreachable -> []
+
+let widen_state (old : state) (next : state) =
+  let regs =
+    Array.init reg_count (fun k ->
+        Absval.widen old.regs.(k) (Absval.join old.regs.(k) next.regs.(k)))
+  in
+  let opstack =
+    if List.length old.opstack = List.length next.opstack then
+      List.map2 (fun a b -> Absval.widen a (Absval.join a b)) old.opstack
+        next.opstack
+    else []
+  in
+  { regs; opstack }
+
+let equal_state (a : state) (b : state) =
+  Array.for_all2 Absval.equal a.regs b.regs
+  && List.length a.opstack = List.length b.opstack
+  && List.for_all2 Absval.equal a.opstack b.opstack
+
+let run ~init ~relocated ~fallback ~stack_region (cfg : Cfg.t) =
+  let n = Cfg.instr_count cfg in
+  let states : state option array = Array.make n None in
+  let succs = Array.make n [] in
+  let queued = Array.make n false in
+  let worklist = Queue.create () in
+  let push i =
+    if not queued.(i) then (
+      queued.(i) <- true;
+      Queue.push i worklist)
+  in
+  let merge j st =
+    if j >= 0 && j < n then
+      let changed =
+        match states.(j) with
+        | None ->
+            states.(j) <- Some { st with regs = Array.copy st.regs };
+            true
+        | Some old ->
+            let widened = widen_state old st in
+            if equal_state widened old then false
+            else (
+              states.(j) <- Some widened;
+              true)
+      in
+      if changed then push j
+  in
+  let top_state = { regs = Array.make reg_count Absval.top; opstack = [] } in
+  if n > 0 && cfg.Cfg.entry < n then (
+    merge cfg.Cfg.entry { regs = init; opstack = [] };
+    while not (Queue.is_empty worklist) do
+      let i = Queue.pop worklist in
+      queued.(i) <- false;
+      match states.(i) with
+      | None -> ()
+      | Some st ->
+          let out () =
+            match cfg.Cfg.instrs.(i) with
+            | Some instr -> transfer ~relocated ~stack_region i st instr
+            | None -> st
+          in
+          let edges =
+            match Cfg.classify cfg i with
+            | Cfg.Fall | Cfg.Other_swi | Cfg.Yield_swi ->
+                if i + 1 < n then [ (i + 1, out ()) ] else []
+            | Cfg.Jump (Some t) -> [ (t, st) ]
+            | Cfg.Jump None -> []
+            | Cfg.Branch (Some t) ->
+                if i + 1 < n then [ (t, st); (i + 1, st) ] else [ (t, st) ]
+            | Cfg.Branch None -> if i + 1 < n then [ (i + 1, st) ] else []
+            | Cfg.Indirect_jump r ->
+                List.map
+                  (fun t -> (t, st))
+                  (indirect_succs cfg ~fallback st.regs.(r))
+            | Cfg.Call t ->
+                let with_lr =
+                  set st 14 (Absval.rel_const (Cfg.offset (i + 1)))
+                in
+                let callee =
+                  match t with Some t -> [ (t, with_lr) ] | None -> []
+                in
+                let return_site =
+                  if i + 1 < n then [ (i + 1, top_state) ] else []
+                in
+                callee @ return_site
+            | Cfg.Indirect_call r ->
+                let with_lr =
+                  set st 14 (Absval.rel_const (Cfg.offset (i + 1)))
+                in
+                let callees =
+                  List.map
+                    (fun t -> (t, with_lr))
+                    (indirect_succs cfg ~fallback st.regs.(r))
+                in
+                let return_site =
+                  if i + 1 < n then [ (i + 1, top_state) ] else []
+                in
+                callees @ return_site
+            | Cfg.Return | Cfg.Stop | Cfg.Undecodable -> []
+          in
+          succs.(i) <- List.sort_uniq compare (List.map fst edges);
+          List.iter (fun (j, st) -> merge j st) edges
+    done);
+  (* Return edges: a [Ret] may resume any reachable return site.  State
+     is not propagated along these edges (return sites already received
+     an all-Top state from their call), but the bound computations need
+     the structural path through the callee back to the caller. *)
+  let return_sites = ref [] in
+  for i = n - 1 downto 0 do
+    if states.(i) <> None && i + 1 < n then
+      match Cfg.classify cfg i with
+      | Cfg.Call _ | Cfg.Indirect_call _ ->
+          return_sites := (i + 1) :: !return_sites
+      | _ -> ()
+  done;
+  if !return_sites <> [] then
+    for i = 0 to n - 1 do
+      if states.(i) <> None && Cfg.classify cfg i = Cfg.Return then
+        succs.(i) <- !return_sites
+    done;
+  {
+    cfg;
+    states = Array.map (Option.map (fun s -> s.regs)) states;
+    succs;
+  }
+
+let reachable t i = i >= 0 && i < Array.length t.states && t.states.(i) <> None

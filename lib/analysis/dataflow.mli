@@ -1,0 +1,63 @@
+(** Worklist abstract interpretation over a recovered CFG.
+
+    Propagates a 16-register {!Absval} state through every reachable
+    instruction, recording (a) the in-state of each instruction and
+    (b) the flow-sensitive successor sets — indirect jumps and calls are
+    resolved from the abstract register value at the transfer site, so
+    later passes (memory, CFI, stack, WCET) all agree on one graph.
+
+    Interprocedural modelling is deliberately blunt: a [Call] edge
+    carries the caller state (with the link register set) into the
+    callee, the fall-through edge after the call receives an all-[Top]
+    state, and every [Ret] is given the set of {e all} return sites as
+    successors.  This over-approximates which call a return matches,
+    which is sound for the downstream bound computations.
+
+    Because the compiler spills every intermediate to the stack, the
+    state also carries a LIFO model of recently pushed values, so a
+    [Push r0; ...; Pop r0] pair restores the operand's abstract value
+    instead of degrading it to [Top].  The model is discarded whenever
+    it could be wrong: joins of different stack heights, call
+    boundaries, and any store whose address could alias the stack
+    region. *)
+
+val reg_count : int
+(** Registers tracked per state (16). *)
+
+type t = {
+  cfg : Cfg.t;
+  states : Absval.t array option array;
+      (** in-state per instruction; [None] = proven unreachable *)
+  succs : int list array;
+      (** flow-sensitive successor indices, return edges included *)
+}
+
+val run :
+  init:Absval.t array ->
+  relocated:(int -> bool) ->
+  fallback:int list ->
+  stack_region:int * int ->
+  Cfg.t ->
+  t
+(** [run ~init ~relocated ~fallback ~stack_region cfg] — [init] is the
+    register state at the entry point, [relocated i] says whether
+    instruction [i]'s immediate field is patched by the loader (a [Movi]
+    there produces a base-relative value), [fallback] is the target set
+    assumed for an indirect jump whose register could not be resolved
+    (normally {!Cfg.indirect_code_targets}), and [stack_region] is the
+    task stack's base-relative [(lo, hi)] byte range — stores that might
+    land there invalidate the operand-stack model. *)
+
+val reachable : t -> int -> bool
+
+val resolve_indirect :
+  Cfg.t ->
+  Absval.t ->
+  [ `Exact of int  (** provably one in-text instruction *)
+  | `Range of int list  (** somewhere among these in-text instructions *)
+  | `Outside  (** provably not an in-text instruction boundary *)
+  | `Unknown  (** no information *)
+  | `Unreachable ]
+(** Classify an indirect transfer's register value against the text
+    section.  Only base-relative values can legitimately name code in a
+    position-independent binary, so any absolute value is [`Outside]. *)

@@ -1,0 +1,48 @@
+type check =
+  | Format
+  | Memory
+  | Cfi
+  | Stack
+  | Wcet
+
+type severity = Violation | Unknown | Info
+
+type t = {
+  check : check;
+  severity : severity;
+  offset : int option;
+  message : string;
+}
+
+let v ?offset check severity message = { check; severity; offset; message }
+
+let check_name = function
+  | Format -> "format"
+  | Memory -> "memory"
+  | Cfi -> "cfi"
+  | Stack -> "stack"
+  | Wcet -> "wcet"
+
+let severity_name = function
+  | Violation -> "VIOLATION"
+  | Unknown -> "unknown"
+  | Info -> "info"
+
+let severity_rank = function Violation -> 0 | Unknown -> 1 | Info -> 2
+
+let compare a b =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 ->
+      Stdlib.compare
+        (Option.value a.offset ~default:max_int)
+        (Option.value b.offset ~default:max_int)
+  | n -> n
+
+let pp ppf t =
+  let where =
+    match t.offset with
+    | Some off -> Printf.sprintf "+0x%04X" off
+    | None -> "       "
+  in
+  Format.fprintf ppf "%-7s %-9s %s  %s" (check_name t.check)
+    (severity_name t.severity) where t.message

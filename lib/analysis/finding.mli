@@ -1,0 +1,42 @@
+(** Diagnostics produced by the tycheck static analyses.
+
+    A finding names the check that produced it, how certain the analyzer
+    is, and (when meaningful) the text offset of the offending
+    instruction.  The severity scale encodes the soundness story:
+
+    - [Violation] — the analyzer {e proved} the property is broken on
+      some path (a store that escapes the task region, a branch to a
+      non-instruction, a stack bound exceeded).  Vetting loaders and
+      [--strict] CI both refuse on violations.
+    - [Unknown] — the analyzer could not decide (an address computed
+      from runtime data, a loop with no bound annotation).  The runtime
+      EA-MPU still covers these; [--strict] treats them as failures.
+    - [Info] — observations that break no property (unreachable slots,
+      image statistics). *)
+
+type check =
+  | Format  (** TELF well-formedness beyond the parser's checks *)
+  | Memory  (** load/store region containment *)
+  | Cfi  (** control-flow integrity *)
+  | Stack  (** worst-case stack depth *)
+  | Wcet  (** worst-case execution time between yields *)
+
+type severity = Violation | Unknown | Info
+
+type t = {
+  check : check;
+  severity : severity;
+  offset : int option;  (** byte offset into the text section *)
+  message : string;
+}
+
+val v : ?offset:int -> check -> severity -> string -> t
+
+val check_name : check -> string
+val severity_name : severity -> string
+
+val compare : t -> t -> int
+(** Violations first, then unknowns, then infos; ties by offset. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["memory    VIOLATION  +0x0040  store escapes the task region ..."]. *)

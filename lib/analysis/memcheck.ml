@@ -1,0 +1,86 @@
+open Tytan_machine
+
+type verdict = Ok_access | Outside | Straddles
+
+let against_interval ~lo_bound ~hi_bound lo hi =
+  if lo >= lo_bound && hi < hi_bound then Ok_access
+  else if hi < lo_bound || lo >= hi_bound then Outside
+  else Straddles
+
+let against_windows windows lo hi =
+  let verdicts =
+    List.map
+      (fun (base, size) ->
+        against_interval ~lo_bound:base ~hi_bound:(base + size) lo hi)
+      windows
+  in
+  if List.mem Ok_access verdicts then Ok_access
+  else if List.exists (fun v -> v = Straddles) verdicts then Straddles
+  else Outside
+
+let check ~footprint ~text_size ~windows (df : Dataflow.t) =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let access i ~write ~bytes base imm =
+    let offset = Cfg.offset i in
+    let kind = if write then "store" else "load" in
+    match Absval.add_word base imm with
+    | Absval.Bot -> ()
+    | Absval.Top ->
+        add
+          (Finding.v ~offset Finding.Memory Finding.Unknown
+             (Printf.sprintf "%s address could not be resolved" kind))
+    | Absval.Rel (lo, hi) -> (
+        let hi = hi + bytes - 1 in
+        (* Own footprint; stores must additionally stay off the text. *)
+        let lo_bound = if write then text_size else 0 in
+        match against_interval ~lo_bound ~hi_bound:footprint lo hi with
+        | Ok_access -> ()
+        | Outside ->
+            add
+              (Finding.v ~offset Finding.Memory Finding.Violation
+                 (Printf.sprintf
+                    "%s at base+[%d, %d] escapes the task footprint (%d \
+                     bytes%s)"
+                    kind lo hi footprint
+                    (if write then ", text read-only" else "")))
+        | Straddles ->
+            add
+              (Finding.v ~offset Finding.Memory Finding.Unknown
+                 (Printf.sprintf
+                    "%s at base+[%d, %d] may escape the task footprint" kind
+                    lo hi)))
+    | Absval.Abs (lo, hi) -> (
+        let hi = hi + bytes - 1 in
+        match against_windows windows lo hi with
+        | Ok_access -> ()
+        | Outside ->
+            add
+              (Finding.v ~offset Finding.Memory Finding.Violation
+                 (Printf.sprintf
+                    "%s at absolute [0x%08X, 0x%08X] hits no declared window"
+                    kind lo hi))
+        | Straddles ->
+            add
+              (Finding.v ~offset Finding.Memory Finding.Unknown
+                 (Printf.sprintf
+                    "%s at absolute [0x%08X, 0x%08X] straddles a window edge"
+                    kind lo hi)))
+  in
+  Array.iteri
+    (fun i state ->
+      match state with
+      | None -> ()
+      | Some st -> (
+          match df.Dataflow.cfg.Cfg.instrs.(i) with
+          | Some (Isa.Ldw (_, rs, imm)) ->
+              access i ~write:false ~bytes:4 st.(rs) imm
+          | Some (Isa.Ldb (_, rs, imm)) ->
+              access i ~write:false ~bytes:1 st.(rs) imm
+          | Some (Isa.Stw (rs, imm, _)) ->
+              access i ~write:true ~bytes:4 st.(rs) imm
+          | Some (Isa.Stb (rs, imm, _)) ->
+              access i ~write:true ~bytes:1 st.(rs) imm
+          | _ -> ()))
+    df.Dataflow.states;
+  List.rev !findings

@@ -1,0 +1,22 @@
+(** Memory-safety verification.
+
+    Every reachable load/store must land either in the task's own
+    footprint (base-relative: image, bss, inbox, stack — the region the
+    EA-MPU will grant it) or in a declared absolute window (MMIO or a
+    platform IPC region).  Writes into the text prefix of the image are
+    rejected as self-modification.
+
+    Verdicts follow the interval evidence: an access provably outside
+    every permitted region is a [Violation]; an access the domain cannot
+    pin down (an unresolved register, an interval straddling a boundary)
+    is [Unknown] — the distinction {e strict} linting cares about. *)
+
+val check :
+  footprint:int ->
+  text_size:int ->
+  windows:(int * int) list ->
+  Dataflow.t ->
+  Finding.t list
+(** [footprint] is the byte size of the task's base-relative allocation
+    (image ++ bss ++ inbox ++ stack); [windows] are absolute
+    [(base, size)] regions the platform exposes to tasks. *)

@@ -1,0 +1,60 @@
+open Tytan_machine
+
+let delta (instr : Isa.t option) =
+  match instr with Some (Isa.Push _) -> 4 | Some (Isa.Pop _) -> -4 | _ -> 0
+
+let check ~stack_size ~context_frame_bytes (df : Dataflow.t) =
+  let cfg = df.Dataflow.cfg in
+  let n = Cfg.instr_count cfg in
+  let unreached = min_int in
+  let depth = Array.make (max n 1) unreached in
+  if n > 0 && cfg.Cfg.entry < n then depth.(cfg.Cfg.entry) <- 0;
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps <= n + 2 do
+    changed := false;
+    incr sweeps;
+    for i = 0 to n - 1 do
+      if depth.(i) <> unreached then
+        let after = depth.(i) + delta cfg.Cfg.instrs.(i) in
+        List.iter
+          (fun j ->
+            if after > depth.(j) then (
+              depth.(j) <- after;
+              changed := true))
+          df.Dataflow.succs.(i)
+    done
+  done;
+  if !changed then
+    ( [
+        Finding.v Finding.Stack Finding.Violation
+          "stack depth is unbounded (recursion or a net-push cycle)";
+      ],
+      `Unbounded )
+  else begin
+    let peak = ref 0 in
+    for i = 0 to n - 1 do
+      if depth.(i) <> unreached then
+        let d = depth.(i) + max 0 (delta cfg.Cfg.instrs.(i)) in
+        if d > !peak then peak := d
+    done;
+    let required = !peak + context_frame_bytes in
+    let findings =
+      if required > stack_size then
+        [
+          Finding.v Finding.Stack Finding.Violation
+            (Printf.sprintf
+               "worst-case stack %d bytes (%d used + %d context frame) \
+                exceeds the declared stack_size of %d"
+               required !peak context_frame_bytes stack_size);
+        ]
+      else
+        [
+          Finding.v Finding.Stack Finding.Info
+            (Printf.sprintf
+               "worst-case stack %d bytes of %d (%d used + %d context frame)"
+               required stack_size !peak context_frame_bytes);
+        ]
+    in
+    (findings, `Bytes required)
+  end

@@ -1,0 +1,19 @@
+(** Worst-case stack depth.
+
+    Longest-path relaxation of push/pop deltas over the flow-sensitive
+    CFG: if the relaxation has not converged after a full pass per
+    instruction, some cycle grows the stack (recursion, or a loop whose
+    pushes outnumber its pops) and the depth is unbounded.  Negative
+    depths are legal — the secure-task resume path pops a kernel-built
+    context frame that sits {e above} the entry stack pointer.
+
+    The verified requirement is [peak + context_frame_bytes], because an
+    interrupt can push a full context frame at the deepest point. *)
+
+val check :
+  stack_size:int ->
+  context_frame_bytes:int ->
+  Dataflow.t ->
+  Finding.t list * [ `Bytes of int | `Unbounded ]
+(** Returns the findings plus the worst-case requirement in bytes
+    (context frame included). *)

@@ -1,0 +1,151 @@
+open Tytan_machine
+
+exception Unbounded of int
+(** Representative instruction index of the offending cycle. *)
+
+(* Tarjan over the node subset [in_set] of [0, n).  Returns the SCC id
+   of every node (-1 outside the subset) and the member list per id. *)
+let tarjan ~n ~in_set ~succ =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_id = Array.make n (-1) in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let groups = ref [] in
+  let group_count = ref 0 in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if in_set w then
+          if index.(w) < 0 then (
+            strong w;
+            low.(v) <- min low.(v) low.(w))
+          else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (succ v);
+    if low.(v) = index.(v) then (
+      let id = !group_count in
+      incr group_count;
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            scc_id.(w) <- id;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      groups := pop [] :: !groups)
+  in
+  for v = 0 to n - 1 do
+    if in_set v && index.(v) < 0 then strong v
+  done;
+  let members = Array.make (max !group_count 1) [] in
+  List.iteri (fun i g -> members.(i) <- g) (List.rev !groups);
+  (scc_id, members)
+
+(* Cost of traversing one SCC of the (possibly restricted) graph.  A
+   cyclic SCC is charged bound × longest internal path from an annotated
+   header whose incoming edges are cut; inner loops recurse. *)
+let rec scc_cost ~n ~cost ~bound_of members succ =
+  match members with
+  | [ i ] when not (List.mem i (succ i)) -> cost i
+  | _ -> (
+      let in_s = Array.make n false in
+      List.iter (fun i -> in_s.(i) <- true) members;
+      let inner v = List.filter (fun w -> in_s.(w)) (succ v) in
+      let headers =
+        List.filter (fun i -> bound_of i <> None) (List.sort compare members)
+      in
+      let total = List.length members in
+      let rec attempt = function
+        | [] -> raise (Unbounded (List.fold_left min max_int members))
+        | h :: rest -> (
+            let bound = Option.get (bound_of h) in
+            let succ' v = List.filter (fun w -> w <> h) (inner v) in
+            let scc_id, groups =
+              tarjan ~n ~in_set:(fun v -> in_s.(v)) ~succ:succ'
+            in
+            if List.length groups.(scc_id.(h)) = total then attempt rest
+            else
+              let lp =
+                longest ~n ~cost ~bound_of ~scc_id ~groups ~succ:succ'
+              in
+              bound * lp scc_id.(h))
+      in
+      attempt headers)
+
+(* Longest path over a condensation, memoized by SCC id. *)
+and longest ~n ~cost ~bound_of ~scc_id ~groups ~succ =
+  let memo = Array.make (Array.length groups) None in
+  let rec lp sid =
+    match memo.(sid) with
+    | Some v -> v
+    | None ->
+        let own = scc_cost ~n ~cost ~bound_of groups.(sid) succ in
+        let next =
+          List.concat_map succ groups.(sid)
+          |> List.filter_map (fun w ->
+                 if scc_id.(w) >= 0 && scc_id.(w) <> sid then Some scc_id.(w)
+                 else None)
+          |> List.sort_uniq compare
+        in
+        let v = own + List.fold_left (fun acc t -> max acc (lp t)) 0 next in
+        memo.(sid) <- Some v;
+        v
+  in
+  lp
+
+let check ~loop_bounds (df : Dataflow.t) =
+  let cfg = df.Dataflow.cfg in
+  let n = Cfg.instr_count cfg in
+  let cost i =
+    match cfg.Cfg.instrs.(i) with Some ins -> Isa.cost ins | None -> 1
+  in
+  let bound_of i = List.assoc_opt (Cfg.offset i) loop_bounds in
+  (* Cut yield out-edges: a yielding SWI ends the measured segment. *)
+  let succ i =
+    match Cfg.classify cfg i with
+    | Cfg.Yield_swi -> []
+    | _ -> df.Dataflow.succs.(i)
+  in
+  let in_set i = Dataflow.reachable df i in
+  let resume_points =
+    let yields = ref [] in
+    for i = n - 1 downto 0 do
+      if in_set i && Cfg.classify cfg i = Cfg.Yield_swi && in_set (i + 1) then
+        yields := (i + 1) :: !yields
+    done;
+    if n > 0 && in_set cfg.Cfg.entry then cfg.Cfg.entry :: !yields
+    else !yields
+  in
+  if resume_points = [] then
+    ( [ Finding.v Finding.Wcet Finding.Info "no reachable code to bound" ],
+      `Cycles 0 )
+  else
+    match
+      let scc_id, groups = tarjan ~n ~in_set ~succ in
+      let lp = longest ~n ~cost ~bound_of ~scc_id ~groups ~succ in
+      List.fold_left (fun acc r -> max acc (lp scc_id.(r))) 0 resume_points
+    with
+    | worst ->
+        ( [
+            Finding.v Finding.Wcet Finding.Info
+              (Printf.sprintf
+                 "worst case %d cycles between yield points (%d resume \
+                  points)"
+                 worst
+                 (List.length resume_points));
+          ],
+          `Cycles worst )
+    | exception Unbounded i ->
+        ( [
+            Finding.v ~offset:(Cfg.offset i) Finding.Wcet Finding.Unknown
+              "cycle has no iteration-bound annotation; WCET is unbounded";
+          ],
+          `Unbounded )

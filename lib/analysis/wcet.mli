@@ -1,0 +1,23 @@
+(** Worst-case execution time between yield points, in cycles.
+
+    TyTAN schedules cooperatively: a task that holds the CPU too long
+    between yields starves its peers, so the bound that matters is the
+    longest burst of cycles from any {e resume point} (the entry, or the
+    instruction after a yielding SWI) to the next yield / halt.
+
+    The computation condenses the flow-sensitive CFG (with yield
+    out-edges cut) into SCCs.  A trivial SCC costs its instruction's
+    cycle count; a cyclic SCC needs a compiler-provided iteration bound
+    on one of its headers — the loop is then charged
+    [bound × longest internal path], recursing into inner loops.  A
+    reachable cycle with no usable bound annotation makes the WCET
+    unbounded, reported as an [Unknown] (the loop may well terminate;
+    the analysis just cannot prove a bound). *)
+
+val check :
+  loop_bounds:(int * int) list ->
+  Dataflow.t ->
+  Finding.t list * [ `Cycles of int | `Unbounded ]
+(** [loop_bounds] maps a loop-header byte offset to the maximum number
+    of times the header can execute per entry to the loop (emitted by
+    [Lang.Compile] for [repeat] and literal-shift loops). *)

@@ -22,6 +22,8 @@ let loader_copy_per_byte = 50
 let loader_stack_prep = 400
 let loader_register = 300
 let loader_copy_chunk = 512
+let vet_base = 900
+let vet_per_instruction = 120
 let ipc_origin_lookup = 76
 let ipc_sender_lookup = 214
 let ipc_receiver_lookup = 214

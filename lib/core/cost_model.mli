@@ -100,6 +100,13 @@ val loader_register : int
 val loader_copy_chunk : int
 (** Bytes copied per interruptible loader step (512). *)
 
+val vet_base : int
+val vet_per_instruction : int
+(** Static verification (tycheck) of a submitted binary during the parse
+    phase, charged per text instruction.  This is an extension beyond the
+    paper — TyTAN itself trusts the tool chain — so the constants are
+    plausible-effort, not Table-4 calibrated. *)
+
 (** {2 Secure IPC (§6)} *)
 
 val ipc_origin_lookup : int

@@ -47,6 +47,7 @@ type t = {
   heap : Heap.t;
   code_eip : Word.t;
   regions : trusted_regions;
+  vet : Tytan_analysis.Tycheck.config option;
   mutable queue : job list;
   mutable on_loaded : Tcb.t -> unit;
   mutable loads_completed : int;
@@ -55,7 +56,7 @@ type t = {
   mutable max_step_cycles : int;
 }
 
-let create ~kernel ~rtm ~mpu ~heap ~code_eip ~regions =
+let create ?vet ~kernel ~rtm ~mpu ~heap ~code_eip ~regions () =
   {
     kernel;
     rtm;
@@ -63,6 +64,7 @@ let create ~kernel ~rtm ~mpu ~heap ~code_eip ~regions =
     heap;
     code_eip;
     regions;
+    vet;
     queue = [];
     on_loaded = (fun _ -> ());
     loads_completed = 0;
@@ -179,14 +181,37 @@ let phase_label = function
 let step_job_inner t job =
   let telf = job.request.telf in
   match job.phase with
-  | Parse ->
+  | Parse -> (
       charge t Cost_model.loader_parse_header;
       if job.request.secure && t.mpu = None then
         fail t job "secure tasks are not supported without an EA-MPU"
-      else begin
-        job.phase <- Alloc;
-        `Working
-      end
+      else
+        match t.vet with
+        | None ->
+            job.phase <- Alloc;
+            `Working
+        | Some base_config ->
+            (* Static verification before any memory is committed: a
+               binary tycheck cannot prove isolated never reaches the
+               measured-and-registered state. *)
+            let open Tytan_analysis in
+            charge t
+              (Cost_model.vet_base
+              + Cost_model.vet_per_instruction * (telf.text_size / Isa.width));
+            let config =
+              { base_config with Tycheck.r12_inbox = job.request.secure }
+            in
+            let report = Tycheck.check ~config telf in
+            if Tycheck.ok report then begin
+              job.phase <- Alloc;
+              `Working
+            end
+            else
+              fail t job
+                ("vet rejected: "
+                ^ Option.value
+                    (Tycheck.first_violation report)
+                    ~default:"violation"))
   | Alloc -> (
       charge t Cost_model.loader_alloc;
       match Heap.alloc t.heap ~size:(footprint telf) with

@@ -43,15 +43,24 @@ type request = {
 type t
 
 val create :
+  ?vet:Tytan_analysis.Tycheck.config ->
   kernel:Kernel.t ->
   rtm:Rtm.t ->
   mpu:Mpu_driver.t option ->
   heap:Heap.t ->
   code_eip:Word.t ->
   regions:trusted_regions ->
+  unit ->
   t
 (** [mpu = None] on the baseline platform: no protection is configured
-    (and secure-task requests are rejected). *)
+    (and secure-task requests are rejected).
+
+    [vet] enables load-time static verification: every submitted binary
+    is run through {!Tytan_analysis.Tycheck.check} during the parse
+    phase (with [r12_inbox] following the request's [secure] flag) and
+    refused — before any memory is allocated — if the report carries a
+    violation.  The verification cost is charged to the loading cycle
+    budget ({!Cost_model.vet_base} + per-instruction). *)
 
 val code_eip : t -> Word.t
 

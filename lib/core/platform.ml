@@ -14,6 +14,7 @@ type config = {
   platform_key : bytes;
   tamper_component : string option;
   allow_dynamic_loading : bool;
+  vet_tasks : bool;
   mutable boot_finished : bool;
 }
 
@@ -27,6 +28,7 @@ let default_config =
     platform_key = Bytes.of_string "tytan-platform-key--";
     tamper_component = None;
     allow_dynamic_loading = true;
+    vet_tasks = false;
     boot_finished = false;
   }
 
@@ -291,8 +293,13 @@ let create ?(config = default_config) () =
           let loaded = Attestation.local_attest attestation queried in
           Some [| (if loaded then 0 else 1); message.(0); message.(1); 0; 0; 0; 0; 0 |]);
       let loader =
-        Loader.create ~kernel ~rtm ~mpu:(Some mpu) ~heap
-          ~code_eip:(Region.base elf_loader) ~regions:trusted_regions
+        Loader.create
+          ?vet:
+            (if config.vet_tasks then
+               Some Tytan_analysis.Tycheck.default_config
+             else None)
+          ~kernel ~rtm ~mpu:(Some mpu) ~heap
+          ~code_eip:(Region.base elf_loader) ~regions:trusted_regions ()
       in
       (* Static protection rules. *)
       let static_rules =
@@ -377,8 +384,13 @@ let create ?(config = default_config) () =
          loader's (uncharged) identity directory for IPC-free loads. *)
       let rtm = Rtm.create cpu ~code_eip:(Region.base (region map "rtm")) in
       let loader =
-        Loader.create ~kernel ~rtm ~mpu:None ~heap
-          ~code_eip:(Region.base elf_loader) ~regions:trusted_regions
+        Loader.create
+          ?vet:
+            (if config.vet_tasks then
+               Some Tytan_analysis.Tycheck.default_config
+             else None)
+          ~kernel ~rtm ~mpu:None ~heap
+          ~code_eip:(Region.base elf_loader) ~regions:trusted_regions ()
       in
       Kernel.install_vectors kernel;
       Kernel.set_swi_hook kernel (fun ~swi ~gprs ->

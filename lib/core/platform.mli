@@ -50,6 +50,10 @@ type config = {
   (** TyTAN's headline flexibility.  With [false] the platform behaves
       like TrustLite: the task set is fixed once {!finish_boot} seals the
       configuration (the related-work comparison mode). *)
+  vet_tasks : bool;
+  (** Run tycheck static verification over every submitted binary and
+      refuse unverifiable ones before measurement (default [false];
+      an extension beyond the paper's trusted-tool-chain assumption). *)
   mutable boot_finished : bool;
 }
 

@@ -25,6 +25,7 @@ type stmt =
   | Store of expr * expr
   | If of expr * stmt list * stmt list
   | While of expr * stmt list
+  | Repeat of int * stmt list
   | Delay of expr
   | Yield
   | Exit
@@ -79,6 +80,9 @@ let rec check_stmt ~globals = function
       match check_expr ~globals c with
       | Ok () -> check_block ~globals body
       | Error _ as err -> err)
+  | Repeat (n, body) ->
+      if n < 0 then Error (Printf.sprintf "repeat count %d is negative" n)
+      else check_block ~globals body
   | Delay e -> check_expr ~globals e
   | Yield | Exit | Clear_inbox -> Ok ()
   | Queue_send { value; _ } -> check_expr ~globals value
@@ -128,6 +132,8 @@ let rec pp_stmt ppf = function
         pp_expr c pp_block t pp_block e
   | While (c, body) ->
       Format.fprintf ppf "@[<v 2>while %a {@ %a@]@ }" pp_expr c pp_block body
+  | Repeat (n, body) ->
+      Format.fprintf ppf "@[<v 2>repeat %d {@ %a@]@ }" n pp_block body
   | Delay e -> Format.fprintf ppf "delay %a" pp_expr e
   | Yield -> Format.pp_print_string ppf "yield"
   | Exit -> Format.pp_print_string ppf "exit"

@@ -49,6 +49,10 @@ type stmt =
   | Store of expr * expr  (** [Store (addr, value)]: volatile 32-bit store *)
   | If of expr * stmt list * stmt list  (** condition is "non-zero" *)
   | While of expr * stmt list
+  | Repeat of int * stmt list
+      (** run the body a fixed number of times; unlike [While], the
+          compiler emits an iteration-bound annotation, so tycheck can
+          bound the loop's WCET *)
   | Delay of expr  (** sleep n ticks *)
   | Yield
   | Exit

@@ -10,6 +10,9 @@ let var_label name = "g_" ^ name
 type ctx = {
   asm : Assembler.t;
   mutable next_label : int;
+  bounds : (int * int) list ref;
+      (* loop-header byte offset → max header executions; shared between
+         the main and on_message contexts and handed to tycheck *)
 }
 
 let fresh ctx prefix =
@@ -18,6 +21,9 @@ let fresh ctx prefix =
   Printf.sprintf "__%s_%d" prefix n
 
 let emit ctx i = Assembler.instr ctx.asm i
+
+let annotate_loop ctx bound =
+  ctx.bounds := (Assembler.here ctx.asm, bound) :: !(ctx.bounds)
 
 let rec compile_expr ctx (e : Ast.expr) =
   match e with
@@ -45,19 +51,22 @@ let rec compile_expr ctx (e : Ast.expr) =
       | Ast.Xor -> emit ctx (Isa.Xor (0, 0, 1))
       | Ast.Shl ->
           (* dynamic shifts are lowered as repeated doubling *)
-          compile_shift ctx ~left:true
-      | Ast.Shr -> compile_shift ctx ~left:false
+          compile_shift ctx ~left:true ~amount:b
+      | Ast.Shr -> compile_shift ctx ~left:false ~amount:b
       | Ast.Eq -> compile_compare ctx (fun l -> Assembler.jz_label ctx.asm l)
       | Ast.Ne -> compile_compare ctx (fun l -> Assembler.jnz_label ctx.asm l)
       | Ast.Lt -> compile_compare ctx (fun l -> Assembler.jlt_label ctx.asm l)
       | Ast.Ge -> compile_compare ctx (fun l -> Assembler.jge_label ctx.asm l))
 
 (* r0 := r0 <shifted by> r1, as a loop (the ISA only has immediate
-   shifts). *)
-and compile_shift ctx ~left =
+   shifts).  A literal shift amount yields a loop bound for tycheck. *)
+and compile_shift ctx ~left ~amount =
   let loop = fresh ctx "shift" in
   let done_ = fresh ctx "shift_done" in
   Assembler.label ctx.asm loop;
+  (match amount with
+  | Ast.Int n when n >= 0 && n <= 0xFFFF -> annotate_loop ctx (n + 1)
+  | _ -> ());
   emit ctx (Isa.Cmpi (1, 0));
   Assembler.jz_label ctx.asm done_;
   emit ctx (if left then Isa.Shl (0, 0, 1) else Isa.Shr (0, 0, 1));
@@ -110,6 +119,21 @@ let rec compile_stmt ctx (s : Ast.stmt) =
       compile_block ctx body;
       Assembler.jmp_label ctx.asm loop;
       Assembler.label ctx.asm end_label
+  | Ast.Repeat (count, body) ->
+      (* r11 counts down; saved around the loop so repeats nest. *)
+      let loop = fresh ctx "repeat" in
+      let done_ = fresh ctx "repeat_done" in
+      emit ctx (Isa.Push 11);
+      emit ctx (Isa.Movi (11, Word.of_int count));
+      Assembler.label ctx.asm loop;
+      annotate_loop ctx (count + 1);
+      emit ctx (Isa.Cmpi (11, 0));
+      Assembler.jz_label ctx.asm done_;
+      compile_block ctx body;
+      emit ctx (Isa.Addi (11, 11, Word.of_signed (-1)));
+      Assembler.jmp_label ctx.asm loop;
+      Assembler.label ctx.asm done_;
+      emit ctx (Isa.Pop 11)
   | Ast.Delay e ->
       compile_expr ctx e;
       emit ctx (Isa.Swi 2)
@@ -155,8 +179,8 @@ let rec compile_stmt ctx (s : Ast.stmt) =
 
 and compile_block ctx stmts = List.iter (compile_stmt ctx) stmts
 
-let compile_body (t : Ast.program) asm =
-  let ctx = { asm; next_label = 0 } in
+let compile_body ~bounds (t : Ast.program) asm =
+  let ctx = { asm; next_label = 0; bounds } in
   Assembler.label asm "main";
   compile_block ctx t.body;
   (* Falling off the end parks the task politely. *)
@@ -175,30 +199,63 @@ let emit_globals asm (t : Ast.program) =
       Assembler.word asm (Word.of_int init))
     t.globals
 
-let to_program ~secure (t : Ast.program) =
+let build ~secure (t : Ast.program) =
   (match Ast.validate t with
   | Ok () -> ()
   | Error e -> invalid_arg ("Tasklang: " ^ e));
-  if secure then
-    let on_message = Option.map (fun handler p ->
-        let ctx = { asm = p; next_label = 10_000 } in
-        Assembler.label p "on_message";
-        compile_block ctx handler;
-        Assembler.instr p Isa.Ret)
-        t.on_message
-    in
-    Toolchain.secure_program
-      ~main:(fun p ->
-        let _ctx = compile_body t p in
-        emit_globals p t)
-      ?on_message ()
-  else begin
-    if t.on_message <> None then
-      invalid_arg "Tasklang: normal tasks cannot have a message handler";
-    Toolchain.normal_program ~main:(fun p ->
-        let _ctx = compile_body t p in
-        emit_globals p t)
-  end
+  let bounds = ref [] in
+  let program =
+    if secure then
+      let on_message =
+        Option.map
+          (fun handler p ->
+            let ctx = { asm = p; next_label = 10_000; bounds } in
+            Assembler.label p "on_message";
+            compile_block ctx handler;
+            Assembler.instr p Isa.Ret)
+          t.on_message
+      in
+      Toolchain.secure_program
+        ~main:(fun p ->
+          let _ctx = compile_body ~bounds t p in
+          emit_globals p t)
+        ?on_message ()
+    else begin
+      if t.on_message <> None then
+        invalid_arg "Tasklang: normal tasks cannot have a message handler";
+      Toolchain.normal_program ~main:(fun p ->
+          let _ctx = compile_body ~bounds t p in
+          emit_globals p t)
+    end
+  in
+  (program, List.rev !bounds)
 
-let to_telf ?(secure = true) ?(stack_size = 512) t =
-  Tytan_telf.Builder.of_program ~stack_size (to_program ~secure t)
+let to_program ~secure t = fst (build ~secure t)
+
+type compiled = {
+  telf : Tytan_telf.Telf.t;
+  loop_bounds : (int * int) list;
+}
+
+let compile ?(secure = true) ?(stack_size = 512) t =
+  let program, loop_bounds = build ~secure t in
+  {
+    telf = Tytan_telf.Builder.of_program ~stack_size program;
+    loop_bounds;
+  }
+
+let to_telf ?secure ?stack_size t = (compile ?secure ?stack_size t).telf
+
+let check ?secure ?stack_size ?config t =
+  let secure_flag = Option.value secure ~default:true in
+  let { telf; loop_bounds } = compile ?secure ?stack_size t in
+  let base = Option.value config ~default:Tytan_analysis.Tycheck.default_config in
+  let config =
+    {
+      base with
+      Tytan_analysis.Tycheck.loop_bounds =
+        loop_bounds @ base.Tytan_analysis.Tycheck.loop_bounds;
+      r12_inbox = secure_flag;
+    }
+  in
+  Tytan_analysis.Tycheck.check ~config telf

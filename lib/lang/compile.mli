@@ -16,3 +16,28 @@ val to_program : secure:bool -> Ast.program -> Tytan_machine.Assembler.program
 val to_telf : ?secure:bool -> ?stack_size:int -> Ast.program -> Telf.t
 (** Convenience: lower and package ([secure] defaults to true,
     [stack_size] to 512). *)
+
+type compiled = {
+  telf : Telf.t;
+  loop_bounds : (int * int) list;
+      (** loop-header byte offset → max executions of the header per
+          entry to the loop; emitted for [Repeat] and for shift loops
+          with a literal amount.  This is the side-channel from the
+          compiler to the tycheck verifier — without it, any cyclic
+          code has unbounded WCET. *)
+}
+
+val compile : ?secure:bool -> ?stack_size:int -> Ast.program -> compiled
+(** Like {!to_telf}, but keeps the loop-bound annotations. *)
+
+val check :
+  ?secure:bool ->
+  ?stack_size:int ->
+  ?config:Tytan_analysis.Tycheck.config ->
+  Ast.program ->
+  Tytan_analysis.Tycheck.report
+(** Compile and statically verify in one step: the program's own loop
+    bounds are merged into [config] (default {!Tytan_analysis.Tycheck.default_config})
+    and the r12-inbox convention follows [secure].  Surfaces the
+    verifier's diagnostics for code this compiler just produced —
+    the compile-then-vet path a deployment pipeline would use. *)

@@ -65,6 +65,11 @@ let run ?(fuel = 100_000) ?(load = fun _ -> 0) ?(store = fun _ _ -> ())
               burn ();
               exec_block body
             done
+        | Ast.Repeat (n, body) ->
+            for _ = 1 to n do
+              burn ();
+              exec_block body
+            done
         | Ast.Delay e ->
             ignore (eval_expr st ~load e) (* time is not modelled *)
         | Ast.Yield -> ()

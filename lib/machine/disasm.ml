@@ -5,11 +5,28 @@ type line = {
 }
 
 let of_bytes ?(base = 0) b =
-  let slots = Bytes.length b / Isa.width in
-  List.init slots (fun i ->
-      let raw = Bytes.sub b (i * Isa.width) Isa.width in
-      let instr = try Some (Isa.decode raw) with Invalid_argument _ -> None in
-      { addr = base + (i * Isa.width); instr; raw })
+  let len = Bytes.length b in
+  let slots = len / Isa.width in
+  let full =
+    List.init slots (fun i ->
+        let raw = Bytes.sub b (i * Isa.width) Isa.width in
+        let instr =
+          try Some (Isa.decode raw) with Invalid_argument _ -> None
+        in
+        { addr = base + (i * Isa.width); instr; raw })
+  in
+  (* A trailing partial slot is still shown: silently dropping it would
+     hide exactly the malformed images a linter needs to see. *)
+  if len mod Isa.width = 0 then full
+  else
+    full
+    @ [
+        {
+          addr = base + (slots * Isa.width);
+          instr = None;
+          raw = Bytes.sub b (slots * Isa.width) (len mod Isa.width);
+        };
+      ]
 
 let of_memory mem ~base ~len = of_bytes ~base (Memory.read_bytes mem base len)
 

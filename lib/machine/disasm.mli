@@ -11,8 +11,9 @@ type line = {
 }
 
 val of_bytes : ?base:Word.t -> bytes -> line list
-(** Decode consecutive {!Isa.width}-byte slots; a trailing partial slot is
-    ignored. *)
+(** Decode consecutive {!Isa.width}-byte slots.  Bytes left over after
+    the last full slot are reported as a final line with [instr = None]
+    and the remainder in [raw] — never silently dropped. *)
 
 val of_memory : Memory.t -> base:Word.t -> len:int -> line list
 

@@ -20,16 +20,31 @@ let validate ~entry ~image ~text_size ~relocations ~bss_size ~stack_size =
   else if bss_size < 0 then Error "negative bss size"
   else if stack_size < 0 then Error "negative stack size"
   else
-    let bad_reloc =
-      Array.fold_left
-        (fun acc off ->
-          match acc with
-          | Some _ -> acc
-          | None -> if off < 0 || off + 4 > image_size then Some off else None)
-        None relocations
-    in
-    match bad_reloc with
-    | Some off -> Error (Printf.sprintf "relocation offset %d outside image" off)
+    (* Relocations name whole 32-bit fields: each must be word-aligned,
+       inside the image, distinct and non-overlapping, and a relocation
+       into the text may only patch an immediate field — anything else
+       would let the loader rewrite opcodes. *)
+    let sorted = Array.copy relocations in
+    Array.sort compare sorted;
+    let bad = ref None in
+    let fail off msg = if !bad = None then bad := Some (off, msg) in
+    Array.iteri
+      (fun i off ->
+        if off < 0 || off + 4 > image_size then fail off "outside image"
+        else if off mod 4 <> 0 then fail off "not word-aligned"
+        else if i > 0 && off - sorted.(i - 1) < 4 then
+          fail off
+            (if off = sorted.(i - 1) then "duplicate"
+             else "overlaps the previous relocation")
+        else if
+          off < text_size
+          && off mod Tytan_machine.Isa.width
+             <> Tytan_machine.Isa.imm_field_offset
+        then fail off "patches a text field that is not an immediate")
+      sorted;
+    match !bad with
+    | Some (off, msg) ->
+        Error (Printf.sprintf "relocation offset %d %s" off msg)
     | None -> Ok ()
 
 let make ~entry ~image ~text_size ~relocations ~bss_size ~stack_size =
@@ -85,6 +100,7 @@ let decode b =
         with
         | Error msg -> Error msg
         | Ok () ->
+            Array.sort compare relocations;
             Ok { entry; image; text_size; relocations; bss_size; stack_size }
 
 let pp ppf t =

@@ -47,8 +47,11 @@ val make :
   bss_size:int ->
   stack_size:int ->
   t
-(** Validates: entry within the text, relocation offsets word-sized and
-    inside the image, sizes non-negative.  @raise Invalid_argument *)
+(** Validates: entry within the text; sizes non-negative; relocation
+    offsets word-aligned, inside the image, pairwise non-overlapping,
+    and — when they fall in the text — naming an instruction's
+    immediate field (the only text bytes the loader may rewrite).
+    @raise Invalid_argument *)
 
 val memory_footprint : t -> int
 (** Bytes of RAM the loaded task occupies: image + bss + stack. *)
@@ -56,7 +59,10 @@ val memory_footprint : t -> int
 val encode : t -> bytes
 
 val decode : bytes -> (t, string) result
-(** Parse and validate an encoded binary. *)
+(** Parse and validate an encoded binary, applying the same relocation
+    checks as {!make}.  The relocation table is sorted on the way in, so
+    downstream code may rely on the field invariant regardless of how
+    the [t] was obtained. *)
 
 val reloc_count : t -> int
 

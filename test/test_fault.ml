@@ -496,6 +496,78 @@ let chaos_tests =
           (c.Chaos.trace_digest <> a.Chaos.trace_digest));
   ]
 
+(* --- Static-verifier fuzzing ------------------------------------------------- *)
+
+(* Tycheck.check is the loader's vet gate: whatever bytes survive
+   Telf.decode, the analysis must terminate with a report — degenerate
+   inputs become Format violations, never exceptions. *)
+let tycheck_fuzz_tests =
+  let module Telf = Tytan_telf.Telf in
+  let module Tycheck = Tytan_analysis.Tycheck in
+  [
+    Alcotest.test_case "tycheck never raises on random images" `Quick
+      (fun () ->
+        let rng = Fault_plan.Prng.create 0x7C4E in
+        for _ = 1 to 500 do
+          let n = 32 + Fault_plan.Prng.int rng 480 in
+          let b =
+            Bytes.init n (fun _ -> Char.chr (Fault_plan.Prng.int rng 256))
+          in
+          (* Most random buffers fail header validation; graft the real
+             magic onto half of them so more reach the analysis. *)
+          if Fault_plan.Prng.int rng 2 = 0 then
+            Bytes.blit_string Telf.magic 0 b 0 (String.length Telf.magic);
+          match Telf.decode b with
+          | Error _ -> ()
+          | Ok telf -> (
+              match Tycheck.check telf with
+              | report -> ignore (Tycheck.ok report)
+              | exception e ->
+                  Alcotest.failf "tycheck raised %s" (Printexc.to_string e))
+        done);
+    Alcotest.test_case "tycheck never raises on mutated binaries" `Quick
+      (fun () ->
+        let rng = Fault_plan.Prng.create 0x51A7 in
+        let original = Telf.encode (Tytan_tasks.Task_lib.counter ()) in
+        let decoded = ref 0 in
+        for _ = 1 to 1000 do
+          let b = Bytes.copy original in
+          let n = Bytes.length b in
+          (match Fault_plan.Prng.int rng 3 with
+          | 0 ->
+              (* flip bits somewhere, header included *)
+              let pos = Fault_plan.Prng.int rng n in
+              Bytes.set b pos
+                (Char.chr
+                   (Char.code (Bytes.get b pos)
+                   lxor (1 + Fault_plan.Prng.int rng 255)))
+          | 1 ->
+              (* clobber a whole instruction slot with garbage *)
+              let slot = Fault_plan.Prng.int rng (n / 8) in
+              for k = 0 to 7 do
+                if (slot * 8) + k < n then
+                  Bytes.set b ((slot * 8) + k)
+                    (Char.chr (Fault_plan.Prng.int rng 256))
+              done
+          | _ ->
+              (* corrupt a header field *)
+              let pos = Fault_plan.Prng.int rng (min n Telf.header_size) in
+              Bytes.set b pos (Char.chr (Fault_plan.Prng.int rng 256)));
+          match Telf.decode b with
+          | Error _ -> ()
+          | Ok telf -> (
+              incr decoded;
+              match Tycheck.check telf with
+              | report ->
+                  (* a mutated image may or may not verify, but the
+                     report must always be well-formed *)
+                  ignore (Tycheck.violations report)
+              | exception e ->
+                  Alcotest.failf "tycheck raised %s" (Printexc.to_string e))
+        done;
+        check_bool "some mutants reached the analysis" true (!decoded > 0));
+  ]
+
 let () =
   Alcotest.run "fault"
     [
@@ -504,6 +576,7 @@ let () =
       ("watchdog", watchdog_tests);
       ("link-faults", link_tests);
       ("protocol-fuzz", fuzz_tests);
+      ("tycheck-fuzz", tycheck_fuzz_tests);
       ("verifier-backoff", backoff_tests);
       ("supervisor", supervisor_tests);
       ("chaos", chaos_tests);

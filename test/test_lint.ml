@@ -1,0 +1,277 @@
+(* tycheck: load-time static verification of task binaries.
+
+   The benign task library must verify cleanly; the malicious tasks and
+   a set of hand-crafted escapes (out-of-region store, indirect jump to
+   a non-code address, undersized stack, net-push cycle) must each be
+   rejected with the right kind of finding; Tasklang programs carrying
+   loop-bound annotations must get a finite WCET; and a vetting loader
+   must refuse bad binaries before any memory is allocated. *)
+
+open Tytan_machine
+open Tytan_telf
+open Tytan_core
+open Tytan_analysis
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+
+let has ~check ~severity report =
+  List.exists
+    (fun f -> f.Finding.check = check && f.Finding.severity = severity)
+    report.Tycheck.findings
+
+let violation ~check report = has ~check ~severity:Finding.Violation report
+
+(* --- The task library under the verifier ------------------------------- *)
+
+let library_tests =
+  [
+    Alcotest.test_case "benign binaries verify" `Quick (fun () ->
+        List.iter
+          (fun (name, telf) ->
+            let report = Tycheck.check telf in
+            check_bool (name ^ " has no violations") true (Tycheck.ok report);
+            check_bool
+              (name ^ " verifies even in strict mode")
+              true
+              (Tycheck.strict_ok report))
+          [
+            ("counter", Tasks.counter ());
+            ("counter (normal)", Tasks.counter ~secure:false ());
+            ("sensor-poller", Tasks.sensor_poller ~sensor_addr:0xF400_0000 ());
+            ("ipc-receiver", Tasks.ipc_receiver ());
+            ("yielder", Tasks.yielder ());
+            ( "cruise-controller",
+              Tasks.cruise_controller ~actuator_addr:0xF400_0100 );
+          ]);
+    Alcotest.test_case "spy's cross-task load is a memory violation" `Quick
+      (fun () ->
+        let report = Tycheck.check (Tasks.spy ~victim_addr:0x0000_4000) in
+        check_bool "rejected" false (Tycheck.ok report);
+        check_bool "memory finding" true (violation ~check:Finding.Memory report));
+    Alcotest.test_case "entry_bypass's indirect jump is a CFI violation" `Quick
+      (fun () ->
+        let report =
+          Tycheck.check (Tasks.entry_bypass ~victim_entry:0x5000 ~offset:16)
+        in
+        check_bool "rejected" false (Tycheck.ok report);
+        check_bool "cfi finding" true (violation ~check:Finding.Cfi report));
+    Alcotest.test_case "idt_attacker's store is a memory violation" `Quick
+      (fun () ->
+        let report = Tycheck.check (Tasks.idt_attacker ~idt_addr:0x100) in
+        check_bool "rejected" false (Tycheck.ok report);
+        check_bool "memory finding" true (violation ~check:Finding.Memory report));
+    Alcotest.test_case "busy_loop fails only strict verification" `Quick
+      (fun () ->
+        let report = Tycheck.check (Tasks.busy_loop ()) in
+        check_bool "isolated, so no violation" true (Tycheck.ok report);
+        check_bool "but its WCET is unbounded" false (Tycheck.strict_ok report);
+        check_bool "unbounded" true (report.Tycheck.wcet = `Unbounded));
+  ]
+
+(* --- Hand-crafted escapes ---------------------------------------------- *)
+
+let craft ?(stack_size = 256) body =
+  let p = Assembler.create () in
+  body p;
+  let prog = Assembler.assemble p in
+  Telf.make ~entry:prog.Assembler.entry ~image:prog.Assembler.image
+    ~text_size:prog.Assembler.text_size
+    ~relocations:prog.Assembler.relocations ~bss_size:0 ~stack_size
+
+let crafted_tests =
+  [
+    Alcotest.test_case "store past the footprint is rejected" `Quick (fun () ->
+        (* A relocated base + large offset: provably outside the task's
+           own image/bss/inbox/stack range. *)
+        let telf =
+          craft (fun p ->
+              Assembler.movi_label p ~rd:4 "cell";
+              Assembler.instr p (Isa.Addi (4, 4, 0x10000));
+              Assembler.instr p (Isa.Stw (4, 0, 4));
+              Assembler.instr p (Isa.Swi 1);
+              Assembler.begin_data p;
+              Assembler.label p "cell";
+              Assembler.word p 0)
+        in
+        let report = Tycheck.check telf in
+        check_bool "rejected" true (violation ~check:Finding.Memory report));
+    Alcotest.test_case "store into own text is rejected" `Quick (fun () ->
+        (* Self-modifying code: the address is inside the footprint but
+           below the writable boundary. *)
+        let telf =
+          craft (fun p ->
+              Assembler.movi_label p ~rd:4 "main";
+              Assembler.label p "main";
+              Assembler.instr p (Isa.Stw (4, 0, 4));
+              Assembler.instr p (Isa.Swi 1);
+              Assembler.begin_data p;
+              Assembler.word p 0)
+        in
+        let report = Tycheck.check telf in
+        check_bool "rejected" true (violation ~check:Finding.Memory report));
+    Alcotest.test_case "indirect jump escaping the relocation table" `Quick
+      (fun () ->
+        (* The only relocation names a data word, so the jump register
+           provably holds a non-code address. *)
+        let telf =
+          craft (fun p ->
+              Assembler.movi_label p ~rd:6 "cell";
+              Assembler.instr p (Isa.Jmpr 6);
+              Assembler.begin_data p;
+              Assembler.label p "cell";
+              Assembler.word p 0)
+        in
+        let report = Tycheck.check telf in
+        check_bool "rejected" true (violation ~check:Finding.Cfi report));
+    Alcotest.test_case "branch outside the text is rejected" `Quick (fun () ->
+        let telf =
+          craft (fun p ->
+              Assembler.instr p (Isa.Jmp (Word.of_signed 0x400));
+              Assembler.begin_data p;
+              Assembler.word p 0)
+        in
+        let report = Tycheck.check telf in
+        check_bool "rejected" true (violation ~check:Finding.Cfi report));
+    Alcotest.test_case "running off the end of text is rejected" `Quick
+      (fun () ->
+        let telf =
+          craft (fun p ->
+              Assembler.instr p (Isa.Nop);
+              Assembler.instr p (Isa.Nop))
+        in
+        let report = Tycheck.check telf in
+        check_bool "rejected" true (violation ~check:Finding.Cfi report));
+    Alcotest.test_case "undersized stack is rejected" `Quick (fun () ->
+        (* 16 bytes cannot even hold the 68-byte interrupt context
+           frame. *)
+        let report = Tycheck.check (Tasks.counter ~stack_size:16 ()) in
+        check_bool "rejected" true (violation ~check:Finding.Stack report));
+    Alcotest.test_case "net-push cycle is an unbounded stack" `Quick (fun () ->
+        let telf =
+          craft (fun p ->
+              Assembler.label p "loop";
+              Assembler.instr p (Isa.Push 0);
+              Assembler.jmp_label p "loop";
+              Assembler.begin_data p;
+              Assembler.word p 0)
+        in
+        let report = Tycheck.check telf in
+        check_bool "rejected" true (violation ~check:Finding.Stack report);
+        check_bool "unbounded" true (report.Tycheck.stack = `Unbounded));
+    Alcotest.test_case "text not ending on an instruction boundary" `Quick
+      (fun () ->
+        let image = Bytes.make 20 '\x00' in
+        Bytes.blit (Isa.encode (Isa.Swi 1)) 0 image 0 8;
+        let telf =
+          Telf.make ~entry:0 ~image ~text_size:12 ~relocations:[||] ~bss_size:0
+            ~stack_size:256
+        in
+        let report = Tycheck.check telf in
+        check_bool "rejected" true (violation ~check:Finding.Format report));
+  ]
+
+(* --- Tasklang: compile-then-vet ---------------------------------------- *)
+
+let lang_tests =
+  let open Tytan_lang in
+  let bounded =
+    Ast.program
+      ~globals:[ ("acc", 0) ]
+      [
+        Ast.While
+          ( Ast.Int 1,
+            [
+              Ast.Repeat
+                (10, [ Ast.Assign ("acc", Ast.Binop (Ast.Add, Ast.Var "acc", Ast.Int 3)) ]);
+              Ast.Delay (Ast.Int 1);
+            ] );
+      ]
+  in
+  let unannotated =
+    Ast.program
+      ~globals:[ ("n", 0) ]
+      [
+        Ast.While
+          (Ast.Int 1, [ Ast.Assign ("n", Ast.Binop (Ast.Add, Ast.Var "n", Ast.Int 1)) ]);
+      ]
+  in
+  [
+    Alcotest.test_case "bounded program gets a finite WCET" `Quick (fun () ->
+        let report = Compile.check bounded in
+        check_bool "strict-verifies" true (Tycheck.strict_ok report);
+        match report.Tycheck.wcet with
+        | `Cycles n -> check_bool "positive bound" true (n > 0)
+        | `Unbounded -> Alcotest.fail "expected a finite WCET");
+    Alcotest.test_case "compiler emits the Repeat loop bound" `Quick (fun () ->
+        let compiled = Compile.compile bounded in
+        check_bool "at least one annotation" true
+          (compiled.Compile.loop_bounds <> []));
+    Alcotest.test_case "never-yielding loop has unbounded WCET" `Quick
+      (fun () ->
+        let report = Compile.check unannotated in
+        check_bool "no violation (it is isolated)" true (Tycheck.ok report);
+        check_bool "unbounded" true (report.Tycheck.wcet = `Unbounded));
+    Alcotest.test_case "interpreter agrees with Repeat semantics" `Quick
+      (fun () ->
+        let once =
+          Ast.program
+            ~globals:[ ("acc", 0) ]
+            [
+              Ast.Repeat
+                ( 10,
+                  [ Ast.Assign ("acc", Ast.Binop (Ast.Add, Ast.Var "acc", Ast.Int 3)) ]
+                );
+            ]
+        in
+        match Interp.run once with
+        | Ok st -> Alcotest.(check int) "acc" 30 (Interp.global st "acc")
+        | Error e -> Alcotest.failf "interpreter failed: %s" e);
+  ]
+
+(* --- The vetting loader ------------------------------------------------ *)
+
+let loader_tests =
+  [
+    Alcotest.test_case "vetting platform loads good, refuses bad" `Quick
+      (fun () ->
+        let config = { Platform.default_config with vet_tasks = true } in
+        let p = Platform.create ~config () in
+        (match Platform.load_blocking p ~name:"good" (Tasks.counter ()) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "benign task refused: %s" e);
+        (match
+           Platform.load_blocking p ~name:"spy" ~secure:false
+             (Tasks.spy ~victim_addr:0x4000)
+         with
+        | Ok _ -> Alcotest.fail "spy should have been refused"
+        | Error e ->
+            check_bool "refusal names the vet" true
+              (String.length e >= 12 && String.sub e 0 12 = "vet rejected"));
+        match
+          Platform.load_blocking p ~name:"bypass" ~secure:false
+            (Tasks.entry_bypass ~victim_entry:0x5000 ~offset:16)
+        with
+        | Ok _ -> Alcotest.fail "entry_bypass should have been refused"
+        | Error _ -> ());
+    Alcotest.test_case "non-vetting platform still loads the spy" `Quick
+      (fun () ->
+        (* Without ~vet the loader keeps the paper's behaviour: load
+           anything well-formed and let the EA-MPU fault it at run time. *)
+        let p = Platform.create () in
+        match
+          Platform.load_blocking p ~name:"spy" ~secure:false
+            (Tasks.spy ~victim_addr:0x4000)
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "unexpected refusal: %s" e);
+  ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ("task-library", library_tests);
+      ("crafted-escapes", crafted_tests);
+      ("tasklang", lang_tests);
+      ("vetting-loader", loader_tests);
+    ]

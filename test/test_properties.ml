@@ -82,9 +82,12 @@ let crypto_props =
 
 let reg_gen = QCheck.Gen.int_bound 15
 
+(* Every constructor of the ISA, so the round-trip properties cover the
+   whole opcode space. *)
 let instr_gen =
   let open QCheck.Gen in
   let open Isa in
+  let shift_gen = int_bound 31 in
   oneof
     [
       return Nop;
@@ -93,10 +96,27 @@ let instr_gen =
       map3 (fun a b c -> Add (a, b, c)) reg_gen reg_gen reg_gen;
       map3 (fun a b w -> Addi (a, b, w)) reg_gen reg_gen word_gen;
       map3 (fun a b c -> Sub (a, b, c)) reg_gen reg_gen reg_gen;
+      map3 (fun a b c -> Mul (a, b, c)) reg_gen reg_gen reg_gen;
+      map3 (fun a b c -> And (a, b, c)) reg_gen reg_gen reg_gen;
+      map3 (fun a b c -> Or (a, b, c)) reg_gen reg_gen reg_gen;
+      map3 (fun a b c -> Xor (a, b, c)) reg_gen reg_gen reg_gen;
+      map3 (fun a b n -> Shl (a, b, n)) reg_gen reg_gen shift_gen;
+      map3 (fun a b n -> Shr (a, b, n)) reg_gen reg_gen shift_gen;
+      map2 (fun a b -> Cmp (a, b)) reg_gen reg_gen;
+      map2 (fun r w -> Cmpi (r, w)) reg_gen word_gen;
       map3 (fun a b w -> Ldw (a, b, w)) reg_gen reg_gen word_gen;
       map3 (fun a w b -> Stw (a, w, b)) reg_gen word_gen reg_gen;
+      map3 (fun a b w -> Ldb (a, b, w)) reg_gen reg_gen word_gen;
+      map3 (fun a w b -> Stb (a, w, b)) reg_gen word_gen reg_gen;
       map (fun w -> Jmp w) word_gen;
+      map (fun w -> Jz w) word_gen;
+      map (fun w -> Jnz w) word_gen;
+      map (fun w -> Jlt w) word_gen;
+      map (fun w -> Jge w) word_gen;
+      map (fun r -> Jmpr r) reg_gen;
       map (fun w -> Call w) word_gen;
+      map (fun r -> Callr r) reg_gen;
+      return Ret;
       map (fun r -> Push r) reg_gen;
       map (fun r -> Pop r) reg_gen;
       map (fun n -> Swi (n land 0xF)) (int_bound 15);
@@ -106,12 +126,51 @@ let instr_gen =
 
 let instr_arb = QCheck.make ~print:(Format.asprintf "%a" Isa.pp) instr_gen
 
+let instr_list_arb =
+  QCheck.make
+    ~print:(fun is ->
+      String.concat "; " (List.map (Format.asprintf "%a" Isa.pp) is))
+    QCheck.Gen.(list_size (int_range 1 30) instr_gen)
+
 let isa_props =
   [
     QCheck.Test.make ~name:"encode/decode round trip" ~count:500 instr_arb
       (fun i -> Isa.decode (Isa.encode i) = i);
     QCheck.Test.make ~name:"encoding is fixed width" ~count:200 instr_arb
       (fun i -> Bytes.length (Isa.encode i) = Isa.width);
+    QCheck.Test.make
+      ~name:"assemble / disassemble / re-assemble is a fixpoint" ~count:300
+      instr_list_arb
+      (fun instrs ->
+        let assemble is =
+          let p = Assembler.create () in
+          Assembler.instrs p is;
+          (Assembler.assemble p).Assembler.image
+        in
+        let image = assemble instrs in
+        let lines = Disasm.of_bytes image in
+        List.length lines = List.length instrs
+        && List.for_all2
+             (fun (l : Disasm.line) i -> l.Disasm.instr = Some i)
+             lines instrs
+        && assemble
+             (List.filter_map (fun (l : Disasm.line) -> l.Disasm.instr) lines)
+           = image);
+    QCheck.Test.make ~name:"disassembler reports trailing partial slots"
+      ~count:200
+      (QCheck.pair instr_list_arb (QCheck.make (QCheck.Gen.int_range 1 7)))
+      (fun (instrs, extra) ->
+        let p = Assembler.create () in
+        Assembler.instrs p instrs;
+        let image = (Assembler.assemble p).Assembler.image in
+        let ragged = Bytes.cat image (Bytes.make extra '\xEE') in
+        let lines = Disasm.of_bytes ragged in
+        List.length lines = List.length instrs + 1
+        &&
+        match List.rev lines with
+        | (last : Disasm.line) :: _ ->
+            last.Disasm.instr = None && Bytes.length last.Disasm.raw = extra
+        | [] -> false);
   ]
 
 (* --- TELF and relocation ---------------------------------------------------- *)
