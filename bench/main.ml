@@ -22,6 +22,40 @@ let hr title =
 
 let row fmt = Printf.printf fmt
 
+(* --smoke trims the long sweeps so `dune build @bench-smoke` stays
+   fast; --json FILE dumps every headline number as a flat row list for
+   machine comparison across commits (see BENCH_seed.json). *)
+let smoke = ref false
+let json_rows : (string * string * int) list ref = ref []
+let record ~table ~label value = json_rows := (table, label, value) :: !json_rows
+
+let write_json path =
+  let esc s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04X" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let rows = List.rev !json_rows in
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (table, label, cycles) ->
+      Printf.fprintf oc "  {\"table\": \"%s\", \"label\": \"%s\", \"cycles\": %d}%s\n"
+        (esc table) (esc label) cycles
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length rows) path
+
 let khz ~events ~cycles =
   if cycles = 0 then 0.0
   else float_of_int events /. (float_of_int cycles /. float_of_int Cycles.clock_hz) /. 1000.0
@@ -95,9 +129,10 @@ let table1 ~interruptible () =
       khz ~events:(e0 - s0) ~cycles:dc )
   in
   ignore rate_of;
+  let phase_ticks = if !smoke then 12 else 60 in
   (* Phase 1: before loading t2. *)
   Platform.run_ticks p 5 (* warm-up *);
-  let before_t1, before_t0 = phase 60 in
+  let before_t1, before_t0 = phase phase_ticks in
   (* Phase 2: while loading t2. *)
   let load_start = Cycles.now clock in
   let s1, s0 = snapshot () in
@@ -125,7 +160,7 @@ let table1 ~interruptible () =
   let s2 = data_word p t2 t2_telf 0 in
   let s1, s0 = snapshot () in
   let c = Cycles.now clock in
-  Platform.run_ticks p 60;
+  Platform.run_ticks p phase_ticks;
   let dc = Cycles.now clock - c in
   let after_t1 = khz ~events:(data_word p t1 t1_telf 0 - s1) ~cycles:dc in
   let after_t0 = khz ~events:(data_word p t0 t0_telf 0 - s0) ~cycles:dc in
@@ -142,6 +177,7 @@ let run_table1 () =
   row "After loading t2     %.1f kHz  %.1f kHz  %.1f kHz\n" a1 a2 a0;
   row "(loading t2 took %.1f ms = %d cycles; paper: 27.8 ms)\n"
     (Cycles.to_ms load_cycles) load_cycles;
+  record ~table:"table1" ~label:"load-t2" load_cycles;
   hr "Table 1 ablation — non-interruptible loader";
   let _, _, w1', w0', _, _, _, load_cycles' = table1 ~interruptible:false () in
   row "While loading t2     %.1f kHz  —        %.1f kHz   (deadlines MISSED)\n" w1' w0';
@@ -215,6 +251,8 @@ let run_tables_2_3 () =
     (sec_save - base_save);
   row "(unmodified FreeRTOS save: %d cycles; paper: 38/16/41 = 95, overhead 57)\n"
     base_save;
+  record ~table:"table2" ~label:"secure-save" sec_save;
+  record ~table:"table2" ~label:"save-overhead" (sec_save - base_save);
   hr "Table 3 — restoring the context of a secure task (clock cycles)";
   let restore_part = sec_host_restore - Cost_model.int_mux_restore_branch + sec_guest in
   row "Branch   Restore   Overall   Overhead\n";
@@ -222,7 +260,10 @@ let run_tables_2_3 () =
     (sec_host_restore + sec_guest)
     (sec_host_restore + sec_guest - base_restore);
   row "(unmodified FreeRTOS restore: %d cycles; paper: 106/254 = 384, overhead 130)\n"
-    base_restore
+    base_restore;
+  record ~table:"table3" ~label:"secure-restore" (sec_host_restore + sec_guest);
+  record ~table:"table3" ~label:"restore-overhead"
+    (sec_host_restore + sec_guest - base_restore)
 
 (* ------------------------------------------------------------------ *)
 (* Table 4: creating a task                                            *)
@@ -252,6 +293,9 @@ let run_table4 () =
   row "Normal      %-12d %-8d %-9d %-9d %d\n" (part norm_phases "relocation")
     (part norm_phases "ea-mpu") (part norm_phases "rtm") norm_total
     (norm_total - base_total);
+  record ~table:"table4" ~label:"create-secure" sec_total;
+  record ~table:"table4" ~label:"create-normal" norm_total;
+  record ~table:"table4" ~label:"create-baseline" base_total;
   row "(unmodified FreeRTOS creation: %d cycles;\n" base_total;
   row " paper: secure 3 692/225/433 433 = 642 241 overhead 437 380;\n";
   row "        normal 3 692/225/0 = 208 808 overhead 3 917)\n"
@@ -280,6 +324,7 @@ let run_table5 () =
       in
       let minimum = List.fold_left min max_int runs in
       let avg = List.fold_left ( + ) 0 runs / List.length runs in
+      record ~table:"table5" ~label:(Printf.sprintf "relocs-%d-avg" n) avg;
       row "%-16d %-15d %d\n" n minimum avg)
     [ 0; 1; 2; 4 ];
   row "(paper: 0→37/37, 1→673/703, 2→1 346/1 372, 4→2 634/2 711)\n"
@@ -316,6 +361,8 @@ let run_table6 () =
         Cost_model.eampu_find_slot_base
         + ((position - 1) * Cost_model.eampu_find_slot_step)
       in
+      record ~table:"table6" ~label:(Printf.sprintf "free-slot-%d" position)
+        overall;
       row "%-11d %-19d %-14d %-14d %d\n" position find
         Cost_model.eampu_policy_check Cost_model.eampu_write_rule overall)
     [ 1; 2; 18 ];
@@ -355,6 +402,8 @@ let run_table7 () =
       let with_addrs = measured_cost ~blocks:4 ~relocs:addrs in
       let without = measured_cost ~blocks:4 ~relocs:0 in
       let revert_runtime = Cost_model.rtm_revert_base + (with_addrs - without) in
+      record ~table:"table7" ~label:(Printf.sprintf "measure-%d-blocks" blocks)
+        by_blocks;
       row "%d block(s)    %-14d %-16d %d\n" blocks by_blocks addrs revert_runtime)
     sizes addresses;
   row "(paper: blocks 1/2/4/8 → 8 261/12 200/20 078/35 790;\n";
@@ -420,6 +469,8 @@ let run_table8 () =
   let t = Platform.os_memory_bytes tytan in
   row "FreeRTOS      TyTAN         Overhead\n";
   row "%-13d %-13d %.2f %%\n" f t (100.0 *. float_of_int (t - f) /. float_of_int f);
+  record ~table:"table8" ~label:"os-bytes-freertos" f;
+  record ~table:"table8" ~label:"os-bytes-tytan" t;
   row "(paper: 215 617 / 249 943 / 15.92 %%)\n";
   row "\nTyTAN component breakdown:\n";
   List.iter
@@ -467,6 +518,8 @@ let run_ipc_bench () =
     Cost_model.ipc_finish;
   row "Receiver entry routine+handler  %d cycles (measured)\n" (done_cycle - handoff);
   row "Overall                         %d cycles\n"
+    (Cost_model.ipc_proxy_total + done_cycle - handoff);
+  record ~table:"ipc" ~label:"overall"
     (Cost_model.ipc_proxy_total + done_cycle - handoff);
   row "(paper: proxy 1 208 + entry routine 116 = 1 324)\n"
 
@@ -664,6 +717,7 @@ let run_realtime_compliance () =
         (if cycles < tick then "yes" else "NO — BOUND VIOLATED"))
     atoms;
   let worst = List.fold_left (fun m (_, c) -> max m c) 0 atoms in
+  record ~table:"realtime" ~label:"worst-atom" worst;
   row "worst atom = %d cycles = %.1f %% of the tick period\n" worst
     (100.0 *. float_of_int worst /. float_of_int tick)
 
@@ -717,7 +771,8 @@ let run_jitter () =
   let samples = ref [] in
   let last_activations = ref subject.Tcb.activations in
   let last_instant = ref (Cycles.now clock) in
-  let deadline = Cycles.now clock + (400 * tick) in
+  let window_ticks = if !smoke then 60 else 400 in
+  let deadline = Cycles.now clock + (window_ticks * tick) in
   while Cycles.now clock < deadline do
     ignore (Platform.run p ~cycles:200);
     if subject.Tcb.activations > !last_activations then begin
@@ -764,7 +819,7 @@ let run_slot_capacity () =
         | Error _ -> n
       in
       row "%-7d %-12d %d\n" slots boot_rules (load 0))
-    [ 12; 18; 24; 32; 64 ];
+    (if !smoke then [ 12; 18; 32 ] else [ 12; 18; 24; 32; 64 ]);
   row "(the paper's 18-slot unit fits its 3-task use case; richer task\n";
   row " mixes need a larger unit — a hardware sizing guide)\n"
 
@@ -835,10 +890,83 @@ let run_update_bench () =
   row "(the old version keeps meeting deadlines during live staging)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Control-flow attestation: logging overhead and log growth (lib/cfa) *)
+(* ------------------------------------------------------------------ *)
+
+module Monitor = Tytan_cfa.Monitor
+
+(* Cycles for a secure yielder to complete [count] iterations and exit,
+   with and without the CFA monitor watching it.  Yield re-queues the
+   task immediately, so the subject never idles — the logging cycles
+   cannot hide in idle time, and the cycle delta between the two runs
+   IS the logging overhead. *)
+let cfa_run ~watched ~count =
+  let p = Platform.create () in
+  let telf = Tasks.yielder ~count () in
+  let tcb = load_exn p "subject" telf in
+  let mon =
+    if watched then begin
+      let m = Monitor.create p in
+      (match Monitor.watch m ~tcb () with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      Some m
+    end
+    else None
+  in
+  let clock = Platform.clock p in
+  let start = Cycles.now clock in
+  let guard = ref 500_000 in
+  while tcb.Tcb.state <> Tcb.Terminated && !guard > 0 do
+    ignore (Platform.run p ~cycles:200);
+    decr guard
+  done;
+  if tcb.Tcb.state <> Tcb.Terminated then failwith "yielder never finished";
+  (Cycles.now clock - start, Option.fold ~none:0 ~some:Monitor.events_logged mon)
+
+let run_cfa_bench () =
+  hr "Control-flow attestation — per-branch logging cost (lib/cfa)";
+  let count = if !smoke then 12 else 48 in
+  let plain, _ = cfa_run ~watched:false ~count in
+  let logged, events = cfa_run ~watched:true ~count in
+  let delta = logged - plain in
+  let per_event =
+    if events = 0 then 0.0 else float_of_int delta /. float_of_int events
+  in
+  row "yielder, %d iterations: %d cycles unwatched, %d watched\n" count plain
+    logged;
+  row "%d control-flow events logged; overhead %d cycles = %.1f cycles/event\n"
+    events delta per_event;
+  row "(cost model charges a flat %d cycles per logged event)\n"
+    Cost_model.cfa_log_event;
+  record ~table:"cfa" ~label:"per-event-overhead"
+    (int_of_float (Float.round per_event));
+  record ~table:"cfa" ~label:"cost-model-cfa-log-event" Cost_model.cfa_log_event;
+  row "log growth vs path length (the log is linear in branches taken):\n";
+  row "iterations   events   events/iteration\n";
+  List.iter
+    (fun n ->
+      let _, ev = cfa_run ~watched:true ~count:n in
+      row "%-12d %-8d %.2f\n" n ev (float_of_int ev /. float_of_int n);
+      record ~table:"cfa" ~label:(Printf.sprintf "events-%d-iterations" n) ev)
+    (if !smoke then [ 5; 10 ] else [ 10; 20; 40 ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let wall = Array.exists (fun a -> a = "--wall") Sys.argv in
-  Printf.printf "TyTAN evaluation reproduction — simulated Siskiyou Peak @48 MHz\n";
+  smoke := Array.exists (fun a -> a = "--smoke") Sys.argv;
+  let json_file =
+    let r = ref None in
+    Array.iteri
+      (fun i a ->
+        if a = "--json" && i + 1 < Array.length Sys.argv then
+          r := Some Sys.argv.(i + 1))
+      Sys.argv;
+    !r
+  in
+  Printf.printf "TyTAN evaluation reproduction — simulated Siskiyou Peak @48 MHz%s\n"
+    (if !smoke then " (smoke mode)" else "");
   run_table1 ();
   run_tables_2_3 ();
   run_table4 ();
@@ -848,6 +976,7 @@ let () =
   run_table7_interruptions ();
   run_table8 ();
   run_ipc_bench ();
+  run_cfa_bench ();
   run_realtime_compliance ();
   run_jitter ();
   run_ablations ();
@@ -856,4 +985,5 @@ let () =
   run_related_work ();
   run_update_bench ();
   if wall then run_bechamel ();
+  Option.iter write_json json_file;
   Printf.printf "\nDone.\n"

@@ -5,6 +5,7 @@
                                      boot, load K secure tasks, run, report
      tytan attest                    run a remote-attestation exchange
      tytan inspect                   dump the EA-MPU rule set after boot
+     tytan cfa [--local] [--loss N]  control-flow attestation demonstration
 
    See also: dune exec bench/main.exe (tables) and examples/. *)
 
@@ -411,6 +412,167 @@ let chaos_cmd =
           print the survival report")
     Term.(const chaos $ seed $ ticks $ verify)
 
+(* --- cfa ------------------------------------------------------------------- *)
+
+module Monitor = Tytan_cfa.Monitor
+module Replay = Tytan_cfa.Replay
+
+(* The control-flow attestation demonstration: an honest run of the
+   dispatcher verifies, then a data-only exploit (function-pointer
+   corruption) that static attestation cannot see is caught by replaying
+   the device's control-flow log against the reference CFG. *)
+let cfa honest_ticks attack_ticks loss local capacity =
+  let open Tytan_netsim in
+  let p = Platform.create () in
+  let d = Tasks.gadget_dispatcher () in
+  let tcb =
+    match Platform.load_blocking p ~name:"dispatcher" d.Tasks.telf with
+    | Ok tcb -> tcb
+    | Error e ->
+        Printf.eprintf "tytan: cannot load the dispatcher: %s\n" e;
+        exit 2
+  in
+  let rtm = Option.get (Platform.rtm p) in
+  let entry = Option.get (Rtm.find_by_tcb rtm tcb) in
+  let monitor = Monitor.create p in
+  let session =
+    match Monitor.watch monitor ~tcb ~capacity () with
+    | Ok s -> s
+    | Error e ->
+        Printf.eprintf "tytan: cannot watch the dispatcher: %s\n" e;
+        exit 2
+  in
+  let oracle =
+    match Replay.oracle_of_telf d.Tasks.telf with
+    | Ok o -> o
+    | Error e ->
+        Printf.eprintf "tytan: cannot build the CFG oracle: %s\n" e;
+        exit 2
+  in
+  let ka =
+    Attestation.derive_ka
+      ~platform_key:(Platform.config p).Platform.platform_key
+  in
+  let failures = ref 0 in
+  let expect label ok =
+    Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") label;
+    if not ok then incr failures
+  in
+  (* Local mode: ask the monitor directly.  Link mode: a full verifier
+     session (CfaChallenge/CfaResponse with retries) over a lossy link. *)
+  let nonce_counter = ref 0 in
+  let cfa_verdict () =
+    if local then begin
+      incr nonce_counter;
+      let nonce = Bytes.of_string (Printf.sprintf "cli-nonce-%d" !nonce_counter) in
+      match Monitor.attest monitor session ~nonce with
+      | None -> Error "device produced no report"
+      | Some r ->
+          if not (Attestation.verify_cfa ~ka r ~expected:entry.Rtm.id ~nonce)
+          then Error "report failed authentication"
+          else Result.map (fun _ -> ()) (Replay.verify oracle r)
+    end
+    else begin
+      let link = Link.create ~seed:7 ~loss_percent:loss () in
+      let cosim = Cosim.create p ~link () in
+      Cosim.set_cfa_responder cosim (Monitor.responder monitor);
+      let v =
+        Verifier.create ~ka ~expected:entry.Rtm.id ~max_attempts:30
+          ~cfa:(Replay.checker oracle) ()
+      in
+      Cosim.attach_verifier cosim v;
+      ignore (Cosim.run_until_settled cosim ~max_slices:1000);
+      match Verifier.outcome v with
+      | Verifier.Attested -> Ok ()
+      | Verifier.Cfa_rejected ->
+          Error (Option.value ~default:"path rejected" (Verifier.cfa_failure v))
+      | outcome ->
+          Error
+            (match outcome with
+            | Verifier.Refused -> "device refused"
+            | Verifier.Gave_up -> "network: retries exhausted"
+            | _ -> "session did not settle")
+    end
+  in
+  let static_attests () =
+    incr nonce_counter;
+    let nonce = Bytes.of_string (Printf.sprintf "static-%d" !nonce_counter) in
+    match
+      Attestation.remote_attest
+        (Option.get (Platform.attestation p))
+        ~id:entry.Rtm.id ~nonce
+    with
+    | None -> false
+    | Some r -> Attestation.verify ~ka r ~expected:entry.Rtm.id ~nonce
+  in
+  let handled () =
+    Cpu.with_firmware (Platform.cpu p) ~eip:(Rtm.code_eip rtm) (fun () ->
+        Cpu.load32 (Platform.cpu p) (entry.Rtm.base + d.Tasks.handler_cell + 8))
+  in
+  Printf.printf "dispatcher loaded; logging control flow (%s verification)\n"
+    (if local then "local" else Printf.sprintf "%d%%-loss link" loss);
+  Platform.run_ticks p honest_ticks;
+  Printf.printf "honest phase: %d ticks, %d control-flow events, %d dispatches\n"
+    honest_ticks
+    (Monitor.events_logged monitor)
+    (handled ());
+  expect "honest run passes static attestation" (static_attests ());
+  expect "honest run passes control-flow attestation" (cfa_verdict () = Ok ());
+  print_endline
+    "exploit: corrupting the dispatcher's function pointer (data-only write)";
+  Memory.write32 (Platform.memory p)
+    (entry.Rtm.base + d.Tasks.handler_cell)
+    (entry.Rtm.base + d.Tasks.gadget);
+  let handled_before = handled () in
+  Platform.run_ticks p attack_ticks;
+  expect "task keeps running, no EA-MPU fault" (tcb.Tcb.state <> Tcb.Terminated);
+  expect "real handler no longer reached" (handled () = handled_before);
+  expect "static attestation STILL passes (exploit invisible)"
+    (static_attests ());
+  (match cfa_verdict () with
+  | Ok () -> expect "control-flow attestation rejects the run" false
+  | Error why ->
+      expect "control-flow attestation rejects the run" true;
+      Printf.printf "    replay verdict: %s\n" why);
+  if !failures > 0 then begin
+    Printf.printf "%d check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "all checks passed: runtime compromise caught by CFA alone"
+
+let cfa_cmd =
+  let honest_ticks =
+    Arg.(value & opt int 8 & info [ "honest-ticks" ] ~doc:"Honest warm-up ticks.")
+  in
+  let attack_ticks =
+    Arg.(
+      value & opt int 8
+      & info [ "attack-ticks" ] ~doc:"Ticks to run after the exploit.")
+  in
+  let loss =
+    Arg.(
+      value & opt int 30
+      & info [ "loss" ] ~doc:"Frame loss on the verification link, percent.")
+  in
+  let local =
+    Arg.(
+      value & flag
+      & info [ "local" ]
+          ~doc:"Verify on the device directly instead of over the network.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "capacity" ] ~doc:"Log ring capacity, edges.")
+  in
+  Cmd.v
+    (Cmd.info "cfa"
+       ~doc:
+         "Demonstrate runtime control-flow attestation: a data-only exploit \
+          that static measurement cannot see is caught by replaying the \
+          device's control-flow log against the reference CFG")
+    Term.(const cfa $ honest_ticks $ attack_ticks $ loss $ local $ capacity)
+
 let () =
   let info =
     Cmd.info "tytan" ~version:"1.0.0"
@@ -421,5 +583,5 @@ let () =
        (Cmd.group info
           [
             boot_cmd; run_cmd; attest_cmd; inspect_cmd; disasm_cmd; trace_cmd;
-            lint_cmd; fleet_cmd; chaos_cmd;
+            lint_cmd; fleet_cmd; chaos_cmd; cfa_cmd;
           ]))

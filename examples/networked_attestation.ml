@@ -18,6 +18,7 @@ let outcome_name = function
   | Verifier.Attested -> "ATTESTED"
   | Verifier.Refused -> "refused (not loaded)"
   | Verifier.Gave_up -> "gave up (network)"
+  | Verifier.Cfa_rejected -> "CFA REJECTED (runtime compromise)"
 
 let audit cosim ~ka ~expected ~label =
   let v = Verifier.create ~ka ~expected ~max_attempts:25 () in
@@ -77,4 +78,5 @@ let () =
         "the device cannot produce a report for the reference identity:\n\
          the backdoored build has a different measurement — detected."
   | Verifier.Attested -> print_endline "BUG: backdoored build attested"
+  | Verifier.Cfa_rejected -> print_endline "BUG: static audit reported a CFA verdict"
   | Verifier.Pending | Verifier.Gave_up -> print_endline "(network trouble)")

@@ -1,0 +1,36 @@
+open Tytan_core
+
+type t = {
+  id : Task_id.t;
+  capacity : int;
+  ring : Attestation.cf_edge Queue.t;
+  mutable count : int;
+  mutable head : bytes;
+  mutable base : bytes;
+}
+
+let create ~id ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Cfa.Log.create: capacity must be positive";
+  let genesis = Attestation.cf_genesis ~id in
+  { id; capacity; ring = Queue.create (); count = 0; head = genesis; base = genesis }
+
+let append t edge =
+  (* Same capacity discipline as Trace: evict the oldest — but an evicted
+     edge is not forgotten, it is folded into the base digest so the
+     retained window still replays base → head. *)
+  if Queue.length t.ring >= t.capacity then begin
+    let evicted = Queue.pop t.ring in
+    t.base <- Attestation.cf_extend t.base evicted
+  end;
+  Queue.push edge t.ring;
+  t.head <- Attestation.cf_extend t.head edge;
+  t.count <- t.count + 1
+
+let id t = t.id
+let capacity t = t.capacity
+let count t = t.count
+let retained t = Queue.length t.ring
+let head_digest t = Bytes.copy t.head
+let base_digest t = Bytes.copy t.base
+let edges t = Array.of_seq (Queue.to_seq t.ring)
+let full_history t = t.count <= t.capacity

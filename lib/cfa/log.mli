@@ -1,0 +1,43 @@
+(** The per-task hash-chained control-flow log.
+
+    Two parts, mirroring {!Tytan_machine.Trace}'s capacity discipline:
+
+    - a running SHA-1 digest (the {e chain head}) extended by every
+      logged edge, starting from [SHA1(id_t)] — a commitment to the
+      whole history that can never be rewound;
+    - a bounded ring of the most recent edges, so the verifier can
+      actually replay a window of the path.
+
+    When the ring is full the oldest edge is folded into a {e base}
+    digest before eviction; the invariant the verifier checks is that
+    extending [base_digest] by the retained edges reaches
+    [head_digest].  While nothing has been evicted the base is still
+    the genesis digest and the replay covers the complete execution. *)
+
+open Tytan_core
+
+type t
+
+val create : id:Task_id.t -> ?capacity:int -> unit -> t
+(** Default capacity 1024 edges.
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val append : t -> Attestation.cf_edge -> unit
+
+val id : t -> Task_id.t
+val capacity : t -> int
+
+val count : t -> int
+(** Edges logged over the task's lifetime (monotonic). *)
+
+val retained : t -> int
+(** Edges currently in the ring, [min count capacity]. *)
+
+val head_digest : t -> bytes
+val base_digest : t -> bytes
+
+val edges : t -> Attestation.cf_edge array
+(** The retained window, oldest first. *)
+
+val full_history : t -> bool
+(** No edge has been evicted yet: the window is the whole execution. *)

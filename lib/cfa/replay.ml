@@ -1,0 +1,181 @@
+open Tytan_machine
+open Tytan_analysis
+open Tytan_core
+
+type oracle = {
+  cfg : Cfg.t;
+  indirect_targets : int list;
+  call_successors : int list;
+}
+
+type verdict =
+  | Full_history
+  | Window of int
+
+let oracle_of_telf telf =
+  match Cfg.of_telf telf with
+  | Error e -> Error e
+  | Ok cfg ->
+      let call_successors = ref [] in
+      for i = Cfg.instr_count cfg - 1 downto 0 do
+        match Cfg.classify cfg i with
+        | Cfg.Call _ | Cfg.Indirect_call _ ->
+            call_successors := (i + 1) :: !call_successors
+        | _ -> ()
+      done;
+      Ok
+        {
+          cfg;
+          indirect_targets = Cfg.indirect_code_targets telf;
+          call_successors = !call_successors;
+        }
+
+exception Reject of string
+
+let rejectf fmt = Format.kasprintf (fun s -> raise (Reject s)) fmt
+
+let verify oracle (r : Attestation.cfa_report) =
+  let cfg = oracle.cfg in
+  let retained = Array.length r.Attestation.edges in
+  let entry_off = Cfg.offset cfg.Cfg.entry in
+  try
+    if r.Attestation.edge_count < retained then
+      rejectf "edge count %d below the %d retained edges"
+        r.Attestation.edge_count retained;
+    let full = r.Attestation.edge_count = retained in
+    (* 1. The chain: extending the base digest by the reported window
+       must reach the MACed head — a tampered, reordered or elided edge
+       list cannot survive this. *)
+    let replayed =
+      Array.fold_left Attestation.cf_extend r.Attestation.base_digest
+        r.Attestation.edges
+    in
+    if not (Tytan_crypto.Constant_time.equal replayed r.Attestation.cf_digest)
+    then rejectf "cf digest mismatch: reported edges do not replay the chain";
+    if
+      full
+      && not
+           (Tytan_crypto.Constant_time.equal r.Attestation.base_digest
+              (Attestation.cf_genesis ~id:r.Attestation.id))
+    then rejectf "full-history report whose base digest is not the genesis";
+    (* 2. The path: every edge must be a CFG successor. *)
+    let stack = ref [] in
+    Array.iteri
+      (fun n (e : Attestation.cf_edge) ->
+        let direct_target what j =
+          match j with
+          | Some j when Cfg.offset j = e.Attestation.dst -> ()
+          | _ ->
+              rejectf "edge %d: %s from +0x%X to +0x%X is not the CFG successor"
+                n what e.Attestation.src e.Attestation.dst
+        in
+        let indirect_target what =
+          match Cfg.index_of_offset cfg e.Attestation.dst with
+          | Some k when List.mem k oracle.indirect_targets -> k
+          | Some _ ->
+              rejectf
+                "edge %d: %s to +0x%X, not a relocation-published code \
+                 address (code-reuse gadget)"
+                n what e.Attestation.dst
+          | None ->
+              rejectf "edge %d: %s to +0x%X, outside the text" n what
+                e.Attestation.dst
+        in
+        match Cfg.index_of_offset cfg e.Attestation.src with
+        | None ->
+            (* The source is not this task's code: someone branched in
+               from outside.  Only the secure entry point is a legal
+               landing site. *)
+            if not (Word.equal e.Attestation.dst entry_off) then
+              rejectf
+                "edge %d: foreign code entered at +0x%X, bypassing the \
+                 secure entry point"
+                n e.Attestation.dst
+        | Some i -> (
+            match e.Attestation.kind with
+            | Cpu.Direct_jump -> (
+                match Cfg.classify cfg i with
+                | Cfg.Jump j -> direct_target "jump" j
+                | _ -> rejectf "edge %d: +0x%X is not a jump" n e.Attestation.src)
+            | Cpu.Cond_taken -> (
+                match Cfg.classify cfg i with
+                | Cfg.Branch j -> direct_target "taken branch" j
+                | _ ->
+                    rejectf "edge %d: +0x%X is not a conditional branch" n
+                      e.Attestation.src)
+            | Cpu.Direct_call -> (
+                match Cfg.classify cfg i with
+                | Cfg.Call j ->
+                    direct_target "call" j;
+                    stack := (i + 1) :: !stack
+                | _ -> rejectf "edge %d: +0x%X is not a call" n e.Attestation.src)
+            | Cpu.Indirect_jump -> (
+                match Cfg.classify cfg i with
+                | Cfg.Indirect_jump _ ->
+                    ignore (indirect_target "indirect jump")
+                | _ ->
+                    rejectf "edge %d: +0x%X is not an indirect jump" n
+                      e.Attestation.src)
+            | Cpu.Indirect_call -> (
+                match Cfg.classify cfg i with
+                | Cfg.Indirect_call _ ->
+                    ignore (indirect_target "indirect call");
+                    stack := (i + 1) :: !stack
+                | _ ->
+                    rejectf "edge %d: +0x%X is not an indirect call" n
+                      e.Attestation.src)
+            | Cpu.Return -> (
+                match Cfg.classify cfg i with
+                | Cfg.Return -> (
+                    let k =
+                      match Cfg.index_of_offset cfg e.Attestation.dst with
+                      | Some k -> k
+                      | None ->
+                          rejectf "edge %d: return to +0x%X, outside the text"
+                            n e.Attestation.dst
+                    in
+                    match !stack with
+                    | top :: rest ->
+                        if k = top then stack := rest
+                        else
+                          rejectf
+                            "edge %d: return to +0x%X does not match the \
+                             call site (expected +0x%X)"
+                            n e.Attestation.dst (Cfg.offset top)
+                    | [] ->
+                        (* In a truncated window the matching call may
+                           have been evicted: accept a return to any
+                           call-successor site, reject everything else. *)
+                        if full then
+                          rejectf "edge %d: return with no outstanding call" n
+                        else if not (List.mem k oracle.call_successors) then
+                          rejectf
+                            "edge %d: return to +0x%X, not a call-return \
+                             site"
+                            n e.Attestation.dst)
+                | _ -> rejectf "edge %d: +0x%X is not a return" n e.Attestation.src)
+            | Cpu.Swi_entry -> (
+                match cfg.Cfg.instrs.(i) with
+                | Some (Isa.Swi s) when s = e.Attestation.dst -> ()
+                | _ ->
+                    rejectf "edge %d: +0x%X is not SWI %d" n e.Attestation.src
+                      e.Attestation.dst)
+            | Cpu.Iret_return -> (
+                match cfg.Cfg.instrs.(i) with
+                | Some Isa.Iret ->
+                    (* The resume address was pushed by the hardware at
+                       interrupt entry; any instruction boundary is a
+                       legal resumption point. *)
+                    if Cfg.index_of_offset cfg e.Attestation.dst = None then
+                      rejectf "edge %d: interrupt return to +0x%X, outside \
+                               the text"
+                        n e.Attestation.dst
+                | _ ->
+                    rejectf "edge %d: +0x%X is not an interrupt return" n
+                      e.Attestation.src)))
+      r.Attestation.edges;
+    if full then Ok Full_history
+    else Ok (Window (r.Attestation.edge_count - retained))
+  with Reject msg -> Error msg
+
+let checker oracle r = Result.map (fun _ -> ()) (verify oracle r)

@@ -1,0 +1,45 @@
+(** Verifier-side replay of a control-flow report.
+
+    The verifier holds the {e reference binary}, so it can recover the
+    task's CFG statically ({!Tytan_analysis.Cfg}) and decide, edge by
+    edge, whether the reported path could have been produced by the
+    unmodified program:
+
+    - direct jumps, taken branches and calls must land on the statically
+      encoded target;
+    - indirect jumps and calls must land on a relocation-published code
+      address ({!Tytan_analysis.Cfg.indirect_code_targets}) — the only
+      legitimate sources of absolute code addresses in a
+      position-independent binary, which is precisely what a ROP/JOP
+      gadget dispatch violates;
+    - returns must match a shadow stack built from the logged calls
+      (relaxed to "any call-return site" only for edges whose matching
+      call was evicted from a truncated window);
+    - edges whose source is outside the task's text are foreign
+      entries and must target the secure entry point;
+    - and the edge list must extend the report's base digest to its
+      MACed head digest — the hash chain pins the path. *)
+
+open Tytan_core
+open Tytan_telf
+open Tytan_analysis
+
+type oracle = {
+  cfg : Cfg.t;
+  indirect_targets : int list;
+  call_successors : int list;
+}
+
+type verdict =
+  | Full_history  (** the window covered the whole execution *)
+  | Window of int  (** legal window; this many older edges were evicted *)
+
+val oracle_of_telf : Telf.t -> (oracle, string) result
+
+val verify : oracle -> Attestation.cfa_report -> (verdict, string) result
+(** Assumes authenticity was already established
+    ({!Tytan_core.Attestation.verify_cfa}); judges only the path. *)
+
+val checker : oracle -> Attestation.cfa_report -> (unit, string) result
+(** {!verify} with the verdict erased — the shape
+    [Tytan_netsim.Verifier.create ~cfa] expects. *)

@@ -7,6 +7,48 @@ type report = {
   mac : bytes;
 }
 
+type cf_edge = {
+  src : Word.t;
+  dst : Word.t;
+  kind : Cpu.branch_kind;
+}
+
+let cf_edge_size = 9
+
+let cf_edge_to_bytes e =
+  let b = Bytes.create cf_edge_size in
+  Bytes.set_int32_le b 0 (Int32.of_int e.src);
+  Bytes.set_int32_le b 4 (Int32.of_int e.dst);
+  Bytes.set b 8 (Char.chr (Cpu.branch_kind_code e.kind));
+  b
+
+let cf_edge_of_bytes b ~pos =
+  if pos < 0 || pos + cf_edge_size > Bytes.length b then None
+  else
+    match Cpu.branch_kind_of_code (Char.code (Bytes.get b (pos + 8))) with
+    | None -> None
+    | Some kind ->
+        let word off =
+          Int32.to_int (Bytes.get_int32_le b (pos + off)) land Word.max_value
+        in
+        Some { src = word 0; dst = word 4; kind }
+
+(* The hash chain: the genesis digest binds the log to the task identity,
+   and every appended edge extends it.  29 bytes per step — exactly one
+   SHA-1 compression, which is what Cost_model.cfa_log_event amortises. *)
+let cf_genesis ~id = Crypto.Sha1.digest (Task_id.to_bytes id)
+let cf_extend digest edge = Crypto.Sha1.digest (Bytes.cat digest (cf_edge_to_bytes edge))
+
+type cfa_report = {
+  id : Task_id.t;
+  nonce : bytes;
+  cf_digest : bytes;
+  base_digest : bytes;
+  edge_count : int;
+  edges : cf_edge array;
+  mac : bytes;
+}
+
 type t = {
   cpu : Cpu.t;
   code_eip : Word.t;
@@ -63,7 +105,37 @@ let remote_attest_for_provider t ~provider ~id ~nonce =
   in
   attest_with_key t ~key ~id ~nonce
 
-let verify ~ka report ~expected ~nonce =
+(* nonce | id_t | cf_digest | edge_count | base_digest: everything the
+   verifier's replay depends on is under the MAC, so a tampered edge list
+   either breaks the chain (digest mismatch) or breaks the MAC. *)
+let cfa_payload ~id ~nonce ~cf_digest ~base_digest ~edge_count =
+  let count = Bytes.create 4 in
+  Bytes.set_int32_be count 0 (Int32.of_int edge_count);
+  Bytes.concat Bytes.empty
+    [ nonce; Task_id.to_bytes id; cf_digest; count; base_digest ]
+
+let cfa_attest t ~id ~nonce ~cf_digest ~base_digest ~edge_count ~edges =
+  match Rtm.find t.rtm id with
+  | None -> None
+  | Some _ ->
+      let key = charged t (fun () -> derive_ka ~platform_key:(read_platform_key t)) in
+      let mac =
+        charged t (fun () ->
+            Crypto.Hmac.mac ~key
+              (cfa_payload ~id ~nonce ~cf_digest ~base_digest ~edge_count))
+      in
+      t.reports <- t.reports + 1;
+      Some { id; nonce; cf_digest; base_digest; edge_count; edges; mac }
+
+let verify_cfa ~ka (r : cfa_report) ~expected ~nonce =
+  Task_id.equal r.id expected
+  && Crypto.Constant_time.equal r.nonce nonce
+  && Crypto.Hmac.verify ~key:ka
+       (cfa_payload ~id:r.id ~nonce:r.nonce ~cf_digest:r.cf_digest
+          ~base_digest:r.base_digest ~edge_count:r.edge_count)
+       ~tag:r.mac
+
+let verify ~ka (report : report) ~expected ~nonce =
   Task_id.equal report.id expected
   && Crypto.Constant_time.equal report.nonce nonce
   && Crypto.Hmac.verify ~key:ka

@@ -21,6 +21,50 @@ type report = {
   mac : bytes;  (** HMAC-SHA1 over nonce | id under Ka (or a provider key) *)
 }
 
+(** {2 Control-flow attestation (lib/cfa)}
+
+    A runtime-compromised task — ROP over valid code — attests clean
+    under {!remote_attest}: the binary is unchanged.  Control-flow
+    attestation closes the gap: the CFA component keeps a hash-chained
+    log of the task's control-flow transfers, and [cfa_attest] MACs the
+    chain head so the verifier can replay the reported edges against the
+    statically recovered CFG. *)
+
+type cf_edge = {
+  src : Word.t;  (** code offset of the transferring instruction *)
+  dst : Word.t;  (** code offset of the target (SWI number for [Swi_entry]) *)
+  kind : Cpu.branch_kind;
+}
+
+val cf_edge_size : int
+(** Wire size of one edge (9 bytes: src, dst, kind). *)
+
+val cf_edge_to_bytes : cf_edge -> bytes
+val cf_edge_of_bytes : bytes -> pos:int -> cf_edge option
+
+val cf_genesis : id:Task_id.t -> bytes
+(** The chain's genesis digest, [SHA1(id_t)]: an empty log is already
+    bound to the identity it will vouch for. *)
+
+val cf_extend : bytes -> cf_edge -> bytes
+(** One chain step: [SHA1(digest | edge)]. *)
+
+type cfa_report = {
+  id : Task_id.t;
+  nonce : bytes;
+  cf_digest : bytes;  (** chain head after the last logged edge *)
+  base_digest : bytes;
+      (** chain value {e before} the oldest retained edge: the genesis
+          digest until the bounded ring evicts, then the fold of every
+          evicted edge.  Replaying the retained edges from [base_digest]
+          must reach [cf_digest]. *)
+  edge_count : int;  (** edges logged over the task's lifetime *)
+  edges : cf_edge array;  (** the retained window, oldest first *)
+  mac : bytes;
+      (** HMAC-SHA1 over nonce | id | cf_digest | edge_count |
+          base_digest under Ka *)
+}
+
 type t
 
 val create : Cpu.t -> code_eip:Word.t -> kp_addr:Word.t -> rtm:Rtm.t -> t
@@ -46,6 +90,24 @@ val remote_attest_for_provider :
 val verify : ka:bytes -> report -> expected:Task_id.t -> nonce:bytes -> bool
 (** Verifier side: check the MAC, the identity and the nonce (constant
     time; stale nonces are rejected by the caller tracking freshness). *)
+
+val cfa_attest :
+  t ->
+  id:Task_id.t ->
+  nonce:bytes ->
+  cf_digest:bytes ->
+  base_digest:bytes ->
+  edge_count:int ->
+  edges:cf_edge array ->
+  cfa_report option
+(** Produce a control-flow report for a loaded task from the CFA log's
+    current state; [None] if no such task is loaded.  Charges cycles for
+    the key derivation and MAC like {!remote_attest}. *)
+
+val verify_cfa :
+  ka:bytes -> cfa_report -> expected:Task_id.t -> nonce:bytes -> bool
+(** Authenticity only (MAC, identity, nonce).  Whether the {e path} is
+    legal is the replay's job — [Tytan_cfa.Replay.verify]. *)
 
 val derive_ka : platform_key:bytes -> bytes
 (** How a provisioned verifier derives [Ka] from the shared [Kp]. *)

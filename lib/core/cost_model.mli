@@ -107,6 +107,16 @@ val vet_per_instruction : int
     paper — TyTAN itself trusts the tool chain — so the constants are
     plausible-effort, not Table-4 calibrated. *)
 
+val cfa_log_event : int
+(** Control-flow attestation: appending one edge to the hash-chained
+    branch log (three word stores to the protected ring, a counter
+    update, and the amortised share of the running-digest extension).
+    Like the vet costs this extends the paper (Tiny-CFA-style logging),
+    so the constant is plausible-effort: 48 cycles, the same order as
+    the Int Mux's per-interrupt bookkeeping.  Charged once per logged
+    event — total logging overhead is exactly linear in the number of
+    control-flow events. *)
+
 (** {2 Secure IPC (§6)} *)
 
 val ipc_origin_lookup : int

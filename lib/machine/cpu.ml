@@ -5,6 +5,51 @@ type status =
 type check =
   eip:Word.t -> addr:Word.t -> size:int -> kind:Access.kind -> unit
 
+type branch_kind =
+  | Direct_jump
+  | Cond_taken
+  | Indirect_jump
+  | Direct_call
+  | Indirect_call
+  | Return
+  | Swi_entry
+  | Iret_return
+
+let branch_kind_code = function
+  | Direct_jump -> 0
+  | Cond_taken -> 1
+  | Indirect_jump -> 2
+  | Direct_call -> 3
+  | Indirect_call -> 4
+  | Return -> 5
+  | Swi_entry -> 6
+  | Iret_return -> 7
+
+let branch_kind_of_code = function
+  | 0 -> Some Direct_jump
+  | 1 -> Some Cond_taken
+  | 2 -> Some Indirect_jump
+  | 3 -> Some Direct_call
+  | 4 -> Some Indirect_call
+  | 5 -> Some Return
+  | 6 -> Some Swi_entry
+  | 7 -> Some Iret_return
+  | _ -> None
+
+let pp_branch_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+    | Direct_jump -> "jmp"
+    | Cond_taken -> "b.taken"
+    | Indirect_jump -> "jmpr"
+    | Direct_call -> "call"
+    | Indirect_call -> "callr"
+    | Return -> "ret"
+    | Swi_entry -> "swi"
+    | Iret_return -> "iret")
+
+type branch_hook = src:Word.t -> dst:Word.t -> kind:branch_kind -> unit
+
 type t = {
   mem : Memory.t;
   regs : Regfile.t;
@@ -16,6 +61,7 @@ type t = {
   mutable firmware_eip : Word.t option;
   mutable last_eip : Word.t;
   mutable resume_grant : Word.t option;
+  mutable on_branch : branch_hook option;
 }
 
 let allow_all ~eip:_ ~addr:_ ~size:_ ~kind:_ = ()
@@ -32,7 +78,12 @@ let create mem clock engine =
     firmware_eip = None;
     last_eip = 0;
     resume_grant = None;
+    on_branch = None;
   }
+
+let set_on_branch t f = t.on_branch <- Some f
+let clear_on_branch t = t.on_branch <- None
+let branch_hook_installed t = Option.is_some t.on_branch
 
 let mem t = t.mem
 let regs t = t.regs
@@ -133,6 +184,11 @@ let set_flags_from t result =
   Regfile.set_zero t.regs (result = 0);
   Regfile.set_negative t.regs (Word.to_signed result < 0)
 
+(* The disabled path must stay free: one immediate field match, no
+   closure, no cycles.  Control-flow tracing attaches here (lib/cfa). *)
+let[@inline] notify t ~src ~dst kind =
+  match t.on_branch with None -> () | Some f -> f ~src ~dst ~kind
+
 let execute t pc instr =
   let r = t.regs in
   let get = Regfile.get r in
@@ -177,24 +233,62 @@ let execute t pc instr =
   | Isa.Stw (a, imm, b) -> store32 t (Word.add (get a) imm) (get b)
   | Isa.Ldb (rd, a, imm) -> set rd (load8 t (Word.add (get a) imm))
   | Isa.Stb (a, imm, b) -> store8 t (Word.add (get a) imm) (get b land 0xFF)
-  | Isa.Jmp d -> Regfile.set_eip r (relative d)
-  | Isa.Jz d -> if Regfile.zero_flag r then Regfile.set_eip r (relative d)
-  | Isa.Jnz d -> if not (Regfile.zero_flag r) then Regfile.set_eip r (relative d)
-  | Isa.Jlt d -> if Regfile.negative_flag r then Regfile.set_eip r (relative d)
+  | Isa.Jmp d ->
+      let dst = relative d in
+      Regfile.set_eip r dst;
+      notify t ~src:pc ~dst Direct_jump
+  | Isa.Jz d ->
+      if Regfile.zero_flag r then begin
+        let dst = relative d in
+        Regfile.set_eip r dst;
+        notify t ~src:pc ~dst Cond_taken
+      end
+  | Isa.Jnz d ->
+      if not (Regfile.zero_flag r) then begin
+        let dst = relative d in
+        Regfile.set_eip r dst;
+        notify t ~src:pc ~dst Cond_taken
+      end
+  | Isa.Jlt d ->
+      if Regfile.negative_flag r then begin
+        let dst = relative d in
+        Regfile.set_eip r dst;
+        notify t ~src:pc ~dst Cond_taken
+      end
   | Isa.Jge d ->
-      if not (Regfile.negative_flag r) then Regfile.set_eip r (relative d)
-  | Isa.Jmpr a -> Regfile.set_eip r (get a)
+      if not (Regfile.negative_flag r) then begin
+        let dst = relative d in
+        Regfile.set_eip r dst;
+        notify t ~src:pc ~dst Cond_taken
+      end
+  | Isa.Jmpr a ->
+      let dst = get a in
+      Regfile.set_eip r dst;
+      notify t ~src:pc ~dst Indirect_jump
   | Isa.Call d ->
       set Regfile.lr next;
-      Regfile.set_eip r (relative d)
+      let dst = relative d in
+      Regfile.set_eip r dst;
+      notify t ~src:pc ~dst Direct_call
   | Isa.Callr a ->
       set Regfile.lr next;
-      Regfile.set_eip r (get a)
-  | Isa.Ret -> Regfile.set_eip r (get Regfile.lr)
+      let dst = get a in
+      Regfile.set_eip r dst;
+      notify t ~src:pc ~dst Indirect_call
+  | Isa.Ret ->
+      let dst = get Regfile.lr in
+      Regfile.set_eip r dst;
+      notify t ~src:pc ~dst Return
   | Isa.Push a -> push_word t (get a)
   | Isa.Pop rd -> set rd (pop_word t)
-  | Isa.Swi n -> enter_vector t (Exception_engine.swi_vector_base + n) ~origin:pc
-  | Isa.Iret -> interrupt_return t
+  | Isa.Swi n ->
+      (* dst is the SWI number, not an address: which service was asked
+         for is exactly what a control-flow log needs to record. *)
+      notify t ~src:pc ~dst:n Swi_entry;
+      enter_vector t (Exception_engine.swi_vector_base + n) ~origin:pc
+  | Isa.Iret ->
+      interrupt_return t;
+      notify t ~src:pc ~dst:(Regfile.eip r) Iret_return
   | Isa.Halt -> t.halted <- true
 
 let step t =

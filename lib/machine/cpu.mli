@@ -35,7 +35,40 @@ type check =
   eip:Word.t -> addr:Word.t -> size:int -> kind:Access.kind -> unit
 (** Protection hook; deny by raising {!Access.Violation}. *)
 
+(** How a control transfer happened — the event vocabulary of the
+    control-flow-attestation log (lib/cfa). *)
+type branch_kind =
+  | Direct_jump  (** [Jmp] *)
+  | Cond_taken  (** [Jz]/[Jnz]/[Jlt]/[Jge], only when taken *)
+  | Indirect_jump  (** [Jmpr] *)
+  | Direct_call  (** [Call] *)
+  | Indirect_call  (** [Callr] *)
+  | Return  (** [Ret] through the link register *)
+  | Swi_entry  (** [Swi n]; the event's [dst] is [n], not an address *)
+  | Iret_return  (** [Iret]; [dst] is the popped resume address *)
+
+val branch_kind_code : branch_kind -> int
+(** Stable wire encoding, [0..7]. *)
+
+val branch_kind_of_code : int -> branch_kind option
+val pp_branch_kind : Format.formatter -> branch_kind -> unit
+
+type branch_hook = src:Word.t -> dst:Word.t -> kind:branch_kind -> unit
+
 val create : Memory.t -> Cycles.t -> Exception_engine.t -> t
+
+val set_on_branch : t -> branch_hook -> unit
+(** Install the control-flow observer, called after every transferring
+    instruction retires (taken branches only; a fall-through conditional
+    is silent).  Off by default; when no hook is installed the hot
+    fetch/execute path pays nothing — one immediate field test, no
+    allocation, no cycles.  Hardware-initiated transfers (interrupt
+    entry, host-side dispatch) are {e not} reported: the hook sees what
+    the {e guest program} did, which is what control-flow attestation
+    must vouch for. *)
+
+val clear_on_branch : t -> unit
+val branch_hook_installed : t -> bool
 
 val mem : t -> Memory.t
 val regs : t -> Regfile.t

@@ -25,7 +25,10 @@ let emit t ~source detail =
   end
 
 let emitf t ~source fmt =
-  Format.kasprintf (fun detail -> emit t ~source detail) fmt
+  (* When disabled, skip the formatting work entirely — [ikfprintf]
+     consumes the arguments without rendering them. *)
+  if t.enabled then Format.kasprintf (fun detail -> emit t ~source detail) fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt
 
 let events t = List.of_seq (Queue.to_seq t.events)
 

@@ -1,13 +1,19 @@
 open Tytan_core
 
+type cfa_responder =
+  id:Task_id.t -> nonce:bytes -> Attestation.cfa_report option
+
 type t = {
   platform : Platform.t;
   link : Link.t;
   slice_cycles : int;
   advance : cycles:int -> unit;
   mutable verifiers : Verifier.t list;
+  mutable cfa_responder : cfa_responder option;
   mutable slice : int;
   mutable served : int;
+  mutable malformed : int;
+  mutable unknown : int;
 }
 
 let create platform ~link ?slice_cycles ?advance () =
@@ -21,27 +27,56 @@ let create platform ~link ?slice_cycles ?advance () =
     | Some f -> f
     | None -> fun ~cycles -> ignore (Platform.run platform ~cycles)
   in
-  { platform; link; slice_cycles; advance; verifiers = []; slice = 0; served = 0 }
+  {
+    platform;
+    link;
+    slice_cycles;
+    advance;
+    verifiers = [];
+    cfa_responder = None;
+    slice = 0;
+    served = 0;
+    malformed = 0;
+    unknown = 0;
+  }
 
 let attach_verifier t v = t.verifiers <- v :: t.verifiers
+let set_cfa_responder t f = t.cfa_responder <- Some f
 
 (* The device's network agent: an OS-level driver that hands attestation
    challenges to the Remote Attest component and transmits its reports.
-   Malformed or non-challenge frames are dropped silently. *)
+   Malformed frames are dropped (and counted); frames with an unknown
+   tag are dropped separately — a newer protocol revision is not an
+   attack. *)
 let device_agent t frame =
   match Platform.attestation t.platform with
   | None -> ()
   | Some attestation -> (
+      let send reply =
+        Link.send t.link ~from:Link.Device ~at:t.slice (Protocol.encode reply)
+      in
       match Protocol.decode frame with
-      | Error _ | Ok (Protocol.Response _) | Ok (Protocol.Refusal _) -> ()
+      | Error e ->
+          if Protocol.is_unknown_tag e then t.unknown <- t.unknown + 1
+          else t.malformed <- t.malformed + 1
+      | Ok (Protocol.Response _ | Protocol.Refusal _ | Protocol.CfaResponse _)
+        ->
+          ()
       | Ok (Protocol.Challenge { seq; id; nonce }) ->
           t.served <- t.served + 1;
-          let reply =
-            match Attestation.remote_attest attestation ~id ~nonce with
+          send
+            (match Attestation.remote_attest attestation ~id ~nonce with
             | Some report -> Protocol.Response { seq; report }
+            | None -> Protocol.Refusal { seq })
+      | Ok (Protocol.CfaChallenge { seq; id; nonce }) ->
+          t.served <- t.served + 1;
+          send
+            (match t.cfa_responder with
             | None -> Protocol.Refusal { seq }
-          in
-          Link.send t.link ~from:Link.Device ~at:t.slice (Protocol.encode reply))
+            | Some respond -> (
+                match respond ~id ~nonce with
+                | Some report -> Protocol.CfaResponse { seq; report }
+                | None -> Protocol.Refusal { seq })))
 
 let step t =
   (* 1. The device computes for one slice. *)
@@ -83,3 +118,5 @@ let run_until_settled t ~max_slices =
 
 let slice t = t.slice
 let challenges_served t = t.served
+let malformed_frames t = t.malformed
+let unknown_tag_frames t = t.unknown

@@ -26,6 +26,15 @@ val create :
 val attach_verifier : t -> Verifier.t -> unit
 (** Multiple concurrent verifier sessions are supported. *)
 
+type cfa_responder =
+  id:Task_id.t -> nonce:bytes -> Attestation.cfa_report option
+
+val set_cfa_responder : t -> cfa_responder -> unit
+(** How the device answers [CfaChallenge] frames (usually
+    [Tytan_cfa.Monitor.responder monitor]).  Without one — or when the
+    responder returns [None] — the device refuses, exactly as for an
+    unknown identity. *)
+
 val run : t -> slices:int -> unit
 (** Advance the co-simulation.  Stops early only if the device halts. *)
 
@@ -36,3 +45,10 @@ val run_until_settled : t -> max_slices:int -> int
 val slice : t -> int
 val challenges_served : t -> int
 (** Challenges the device agent answered (including refusals). *)
+
+val malformed_frames : t -> int
+(** Undecodable frames the device agent dropped. *)
+
+val unknown_tag_frames : t -> int
+(** Well-formed-looking frames with an unrecognized tag, dropped without
+    being counted as malformed (forward compatibility). *)

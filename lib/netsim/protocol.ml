@@ -4,29 +4,61 @@ type message =
   | Challenge of { seq : int; id : Task_id.t; nonce : bytes }
   | Response of { seq : int; report : Attestation.report }
   | Refusal of { seq : int }
+  | CfaChallenge of { seq : int; id : Task_id.t; nonce : bytes }
+  | CfaResponse of { seq : int; report : Attestation.cfa_report }
 
 let mac_size = Tytan_crypto.Sha1.digest_size
+let max_edges = 0xFFFF
+
+let add_seq b seq =
+  let seq_bytes = Bytes.create 4 in
+  Bytes.set_int32_be seq_bytes 0 (Int32.of_int seq);
+  Buffer.add_bytes b seq_bytes
+
+let add_challenge b ~tag ~seq ~id ~nonce =
+  Buffer.add_char b tag;
+  add_seq b seq;
+  Buffer.add_bytes b (Task_id.to_bytes id);
+  Buffer.add_char b (Char.chr (Bytes.length nonce land 0xFF));
+  Buffer.add_bytes b nonce
 
 let encode = function
   | Challenge { seq; id; nonce } ->
       let b = Buffer.create 32 in
-      Buffer.add_char b 'C';
-      let seq_bytes = Bytes.create 4 in
-      Bytes.set_int32_be seq_bytes 0 (Int32.of_int seq);
-      Buffer.add_bytes b seq_bytes;
-      Buffer.add_bytes b (Task_id.to_bytes id);
-      Buffer.add_char b (Char.chr (Bytes.length nonce land 0xFF));
-      Buffer.add_bytes b nonce;
+      add_challenge b ~tag:'C' ~seq ~id ~nonce;
+      Buffer.to_bytes b
+  | CfaChallenge { seq; id; nonce } ->
+      let b = Buffer.create 32 in
+      add_challenge b ~tag:'F' ~seq ~id ~nonce;
       Buffer.to_bytes b
   | Response { seq; report } ->
       let b = Buffer.create 64 in
       Buffer.add_char b 'R';
-      let seq_bytes = Bytes.create 4 in
-      Bytes.set_int32_be seq_bytes 0 (Int32.of_int seq);
-      Buffer.add_bytes b seq_bytes;
+      add_seq b seq;
       Buffer.add_bytes b (Task_id.to_bytes report.Attestation.id);
       Buffer.add_char b (Char.chr (Bytes.length report.Attestation.nonce land 0xFF));
       Buffer.add_bytes b report.Attestation.nonce;
+      Buffer.add_bytes b report.Attestation.mac;
+      Buffer.to_bytes b
+  | CfaResponse { seq; report } ->
+      let edges = report.Attestation.edges in
+      if Array.length edges > max_edges then
+        invalid_arg "Protocol.encode: too many edges for one CfaResponse";
+      let b = Buffer.create (96 + (Array.length edges * Attestation.cf_edge_size)) in
+      Buffer.add_char b 'G';
+      add_seq b seq;
+      Buffer.add_bytes b (Task_id.to_bytes report.Attestation.id);
+      Buffer.add_char b (Char.chr (Bytes.length report.Attestation.nonce land 0xFF));
+      Buffer.add_bytes b report.Attestation.nonce;
+      Buffer.add_bytes b report.Attestation.cf_digest;
+      Buffer.add_bytes b report.Attestation.base_digest;
+      let count = Bytes.create 4 in
+      Bytes.set_int32_be count 0 (Int32.of_int report.Attestation.edge_count);
+      Buffer.add_bytes b count;
+      let n = Bytes.create 2 in
+      Bytes.set_uint16_be n 0 (Array.length edges);
+      Buffer.add_bytes b n;
+      Array.iter (fun e -> Buffer.add_bytes b (Attestation.cf_edge_to_bytes e)) edges;
       Buffer.add_bytes b report.Attestation.mac;
       Buffer.to_bytes b
   | Refusal { seq } ->
@@ -35,26 +67,37 @@ let encode = function
       Bytes.set_int32_be b 1 (Int32.of_int seq);
       b
 
+let unknown_tag_prefix = "unknown frame tag"
+let is_unknown_tag e =
+  String.length e >= String.length unknown_tag_prefix
+  && String.sub e 0 (String.length unknown_tag_prefix) = unknown_tag_prefix
+
 let decode b =
   let len = Bytes.length b in
   let seq_of () = Int32.to_int (Bytes.get_int32_be b 1) in
+  let challenge_of () =
+    if len < 14 then Error "truncated challenge"
+    else
+      let nonce_len = Char.code (Bytes.get b 13) in
+      if len <> 14 + nonce_len then Error "bad challenge length"
+      else
+        Ok
+          ( seq_of (),
+            Task_id.of_bytes (Bytes.sub b 5 8),
+            Bytes.sub b 14 nonce_len )
+  in
   if len < 5 then Error "frame too short"
   else
     match Bytes.get b 0 with
     | 'X' -> if len = 5 then Ok (Refusal { seq = seq_of () }) else Error "bad refusal"
     | 'C' ->
-        if len < 14 then Error "truncated challenge"
-        else
-          let nonce_len = Char.code (Bytes.get b 13) in
-          if len <> 14 + nonce_len then Error "bad challenge length"
-          else
-            Ok
-              (Challenge
-                 {
-                   seq = seq_of ();
-                   id = Task_id.of_bytes (Bytes.sub b 5 8);
-                   nonce = Bytes.sub b 14 nonce_len;
-                 })
+        Result.map
+          (fun (seq, id, nonce) -> Challenge { seq; id; nonce })
+          (challenge_of ())
+    | 'F' ->
+        Result.map
+          (fun (seq, id, nonce) -> CfaChallenge { seq; id; nonce })
+          (challenge_of ())
     | 'R' ->
         if len < 14 + mac_size then Error "truncated response"
         else
@@ -72,4 +115,47 @@ let decode b =
                        mac = Bytes.sub b (14 + nonce_len) mac_size;
                      };
                  })
-    | _ -> Error "unknown frame tag"
+    | 'G' ->
+        (* 'G' | seq(4) | id(8) | nonce_len(1) | nonce | cf_digest(20) |
+           base_digest(20) | edge_count(4) | n_edges(2) | edges(9 each) |
+           mac(20) *)
+        let fixed_tail = (2 * mac_size) + 4 + 2 + mac_size in
+        if len < 14 + fixed_tail then Error "truncated cfa response"
+        else
+          let nonce_len = Char.code (Bytes.get b 13) in
+          let pos = 14 + nonce_len in
+          if len < pos + fixed_tail then Error "bad cfa response length"
+          else
+            let n_edges = Bytes.get_uint16_be b (pos + 44) in
+            if len <> pos + fixed_tail + (n_edges * Attestation.cf_edge_size)
+            then Error "bad cfa response length"
+            else
+              let raw =
+                Array.init n_edges (fun i ->
+                    Attestation.cf_edge_of_bytes b
+                      ~pos:(pos + 46 + (i * Attestation.cf_edge_size)))
+              in
+              if Array.exists Option.is_none raw then
+                Error "bad edge kind in cfa response"
+              else
+                Ok
+                  (CfaResponse
+                     {
+                       seq = seq_of ();
+                       report =
+                         {
+                           Attestation.id = Task_id.of_bytes (Bytes.sub b 5 8);
+                           nonce = Bytes.sub b 14 nonce_len;
+                           cf_digest = Bytes.sub b pos mac_size;
+                           base_digest = Bytes.sub b (pos + 20) mac_size;
+                           edge_count =
+                             Int32.to_int (Bytes.get_int32_be b (pos + 40))
+                             land Tytan_machine.Word.max_value;
+                           edges = Array.map Option.get raw;
+                           mac =
+                             Bytes.sub b
+                               (pos + 46 + (n_edges * Attestation.cf_edge_size))
+                               mac_size;
+                         };
+                     })
+    | c -> Error (Printf.sprintf "%s 0x%02X" unknown_tag_prefix (Char.code c))

@@ -1,14 +1,20 @@
 (** Wire format of the remote-attestation protocol.
 
     {v
-      challenge : 'C' | seq(4) | id(8) | nonce_len(1) | nonce
-      response  : 'R' | seq(4) | id(8) | nonce_len(1) | nonce | mac(20)
-      refusal   : 'X' | seq(4)                (no such task loaded)
+      challenge     : 'C' | seq(4) | id(8) | nonce_len(1) | nonce
+      response      : 'R' | seq(4) | id(8) | nonce_len(1) | nonce | mac(20)
+      refusal       : 'X' | seq(4)                (no such task loaded)
+      cfa challenge : 'F' | seq(4) | id(8) | nonce_len(1) | nonce
+      cfa response  : 'G' | seq(4) | id(8) | nonce_len(1) | nonce
+                          | cf_digest(20) | base_digest(20)
+                          | edge_count(4) | n_edges(2) | edges(9·n)
+                          | mac(20)
     v}
 
     The sequence number pairs retransmitted challenges with their
     responses; freshness comes from the nonce, authenticity from the
-    MAC. *)
+    MAC.  Each edge is src(4,LE) | dst(4,LE) | kind(1)
+    ({!Tytan_machine.Cpu.branch_kind_code}). *)
 
 open Tytan_core
 
@@ -16,9 +22,21 @@ type message =
   | Challenge of { seq : int; id : Task_id.t; nonce : bytes }
   | Response of { seq : int; report : Attestation.report }
   | Refusal of { seq : int }
+  | CfaChallenge of { seq : int; id : Task_id.t; nonce : bytes }
+  | CfaResponse of { seq : int; report : Attestation.cfa_report }
+
+val max_edges : int
+(** Most edges one CfaResponse can carry (65 535; the n_edges field is
+    16 bits).  {!encode} raises [Invalid_argument] beyond it. *)
 
 val encode : message -> bytes
 
 val decode : bytes -> (message, string) result
-(** Malformed frames (truncated, bad tag, bad lengths) are errors —
-    the device agent drops them. *)
+(** Malformed frames (truncated, bad lengths, bad edge kinds) are
+    errors — the device agent drops them.  An unrecognized leading byte
+    yields a {e distinguishable} error ({!is_unknown_tag}), so agents
+    can skip frames from a newer protocol revision without treating the
+    peer as malformed. *)
+
+val is_unknown_tag : string -> bool
+(** Does this [decode] error mean "valid-looking frame, unknown tag"? *)

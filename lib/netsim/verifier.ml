@@ -5,6 +5,7 @@ type outcome =
   | Attested
   | Refused
   | Gave_up
+  | Cfa_rejected
 
 type backoff = {
   base_slices : int;
@@ -21,13 +22,16 @@ type t = {
   backoff : backoff option;
   max_attempts : int;
   refusals_to_settle : int;
+  cfa : (Attestation.cfa_report -> (unit, string) result) option;
   nonce : bytes;
   seq : int;
   mutable outcome : outcome;
   mutable attempts : int;
   mutable next_send : int;
   mutable rejected : int;
+  mutable ignored : int;
   mutable refusals : int;
+  mutable cfa_failure : string option;
   mutable jitter_rng : int;
 }
 
@@ -36,7 +40,7 @@ type t = {
 let counter = ref 0
 
 let create ~ka ~expected ?(timeout_slices = 8) ?backoff ?(max_attempts = 10)
-    ?(refusals_to_settle = 1) () =
+    ?(refusals_to_settle = 1) ?cfa () =
   incr counter;
   (match backoff with
   | Some b ->
@@ -52,13 +56,16 @@ let create ~ka ~expected ?(timeout_slices = 8) ?backoff ?(max_attempts = 10)
     backoff;
     max_attempts;
     refusals_to_settle;
+    cfa;
     nonce = Bytes.of_string (Printf.sprintf "vnonce-%06d" !counter);
     seq = !counter;
     outcome = Pending;
     attempts = 0;
     next_send = 0;
     rejected = 0;
+    ignored = 0;
     refusals = 0;
+    cfa_failure = None;
     (* Seeded from the session's stable parameters (not the global
        counter), so identical sessions replay identical schedules. *)
     jitter_rng =
@@ -89,30 +96,65 @@ let poll t ~at =
   else begin
     t.attempts <- t.attempts + 1;
     t.next_send <- at + wait_slices t ~attempt:t.attempts;
-    Some
-      (Protocol.encode
-         (Protocol.Challenge { seq = t.seq; id = t.expected; nonce = t.nonce }))
+    let challenge =
+      match t.cfa with
+      | None -> Protocol.Challenge { seq = t.seq; id = t.expected; nonce = t.nonce }
+      | Some _ ->
+          Protocol.CfaChallenge { seq = t.seq; id = t.expected; nonce = t.nonce }
+    in
+    Some (Protocol.encode challenge)
   end
 
 let on_frame t frame =
   if t.outcome = Pending then
     match Protocol.decode frame with
-    | Error _ -> t.rejected <- t.rejected + 1
-    | Ok (Protocol.Challenge _) -> t.rejected <- t.rejected + 1
+    | Error e ->
+        (* A frame from a future protocol revision is not a hostile
+           peer: skip it without counting it against the session. *)
+        if Protocol.is_unknown_tag e then t.ignored <- t.ignored + 1
+        else t.rejected <- t.rejected + 1
+    | Ok (Protocol.Challenge _) | Ok (Protocol.CfaChallenge _) ->
+        t.rejected <- t.rejected + 1
     | Ok (Protocol.Refusal { seq }) ->
         if seq = t.seq then begin
           t.refusals <- t.refusals + 1;
           if t.refusals >= t.refusals_to_settle then t.outcome <- Refused
         end
         else t.rejected <- t.rejected + 1
-    | Ok (Protocol.Response { seq; report }) ->
-        if
-          seq = t.seq
-          && Attestation.verify ~ka:t.ka report ~expected:t.expected
-               ~nonce:t.nonce
-        then t.outcome <- Attested
-        else t.rejected <- t.rejected + 1
+    | Ok (Protocol.Response { seq; report }) -> (
+        match t.cfa with
+        | Some _ ->
+            (* This session demanded a control-flow report; a plain
+               static report does not answer it. *)
+            t.rejected <- t.rejected + 1
+        | None ->
+            if
+              seq = t.seq
+              && Attestation.verify ~ka:t.ka report ~expected:t.expected
+                   ~nonce:t.nonce
+            then t.outcome <- Attested
+            else t.rejected <- t.rejected + 1)
+    | Ok (Protocol.CfaResponse { seq; report }) -> (
+        match t.cfa with
+        | None -> t.rejected <- t.rejected + 1
+        | Some replay ->
+            if
+              seq = t.seq
+              && Attestation.verify_cfa ~ka:t.ka report ~expected:t.expected
+                   ~nonce:t.nonce
+            then (
+              (* Authentic report from the genuine platform: the replay
+                 verdict is definitive either way.  An illegal path is a
+                 settled compromise, not a frame to retry. *)
+              match replay report with
+              | Ok () -> t.outcome <- Attested
+              | Error reason ->
+                  t.cfa_failure <- Some reason;
+                  t.outcome <- Cfa_rejected)
+            else t.rejected <- t.rejected + 1)
 
 let outcome t = t.outcome
 let attempts t = t.attempts
 let rejected_frames t = t.rejected
+let ignored_frames t = t.ignored
+let cfa_failure t = t.cfa_failure

@@ -18,9 +18,13 @@ open Tytan_core
 
 type outcome =
   | Pending
-  | Attested  (** a genuine report arrived *)
+  | Attested  (** a genuine report arrived (and, in CFA mode, replayed) *)
   | Refused  (** the device says the task is not loaded *)
   | Gave_up  (** retries exhausted *)
+  | Cfa_rejected
+      (** an {e authentic} control-flow report whose path the replay
+          rejects: the right binary is loaded but did something its CFG
+          cannot — a runtime compromise.  Settled, never retried. *)
 
 type backoff = {
   base_slices : int;  (** wait before the first retry *)
@@ -40,6 +44,7 @@ val create :
   ?backoff:backoff ->
   ?max_attempts:int ->
   ?refusals_to_settle:int ->
+  ?cfa:(Attestation.cfa_report -> (unit, string) result) ->
   unit ->
   t
 (** Defaults: 8-slice fixed timeout (no backoff), 10 attempts, settle on
@@ -49,7 +54,13 @@ val create :
     byte in the {e challenge}'s identity makes an honest device refuse —
     so a verifier facing a hostile link should demand
     [refusals_to_settle] consistent refusals (across retransmissions)
-    before concluding [Refused]. *)
+    before concluding [Refused].
+
+    With [~cfa] the session runs in control-flow-attestation mode: it
+    sends [CfaChallenge] frames and judges each authentic [CfaResponse]
+    with the given replay (usually [Tytan_cfa.Replay.checker oracle]).
+    A replay failure settles the session as {!Cfa_rejected}; plain
+    static responses do not satisfy a CFA session. *)
 
 val poll : t -> at:int -> bytes option
 (** Called every slice; [Some frame] when a (re)transmission is due. *)
@@ -61,3 +72,11 @@ val on_frame : t -> bytes -> unit
 val outcome : t -> outcome
 val attempts : t -> int
 val rejected_frames : t -> int
+
+val ignored_frames : t -> int
+(** Frames skipped because their tag is from an unknown (newer) protocol
+    revision — dropped, not counted as hostile. *)
+
+val cfa_failure : t -> string option
+(** Why the replay rejected the path, once [outcome] is
+    {!Cfa_rejected}. *)

@@ -56,7 +56,7 @@ let audit registry d ?(max_attempts = 20) () =
         let status =
           match Verifier.outcome v with
           | Verifier.Attested -> Healthy
-          | Verifier.Refused -> Compromised_or_missing
+          | Verifier.Refused | Verifier.Cfa_rejected -> Compromised_or_missing
           | Verifier.Pending | Verifier.Gave_up -> Unreachable
         in
         (component, status))

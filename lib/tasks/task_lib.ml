@@ -285,6 +285,57 @@ let idt_attacker ~idt_addr =
       Assembler.label p "survived";
       Assembler.word p 0)
 
+type dispatcher = {
+  telf : Telf.t;
+  handler_cell : int;
+  good_handler : int;
+  gadget : int;
+}
+
+let gadget_dispatcher ?(stack_size = 512) () =
+  let program =
+    Toolchain.secure_program ()
+      ~main:(fun p ->
+        let open Isa in
+        Assembler.label p "main";
+        Assembler.label p "loop";
+        (* Data-driven dispatch: fetch the handler pointer from the
+           "handler" cell and call through it.  The cell is initialised
+           by a relocation, so "good_handler" is the one code address
+           the binary legitimately publishes. *)
+        Assembler.movi_label p ~rd:4 "handler";
+        Assembler.instr p (Ldw (6, 4, 0));
+        Assembler.instr p (Callr 6);
+        increment_cell p ~addr_reg:4 ~scratch:5 "rounds";
+        delay_one_tick p;
+        Assembler.jmp_label p "loop";
+        (* The audited handler: meters every invocation. *)
+        Assembler.label p "good_handler";
+        increment_cell p ~addr_reg:4 ~scratch:5 "handled";
+        Assembler.instr p Ret;
+        (* A bare return — valid, measured code that skips the metering.
+           Harmless where it stands (it is never reached), but a free
+           gadget for an attacker who corrupts the handler pointer: the
+           task keeps running cleanly, the binary still measures clean,
+           only the control flow betrays the compromise. *)
+        Assembler.label p "gadget";
+        Assembler.instr p Ret;
+        Assembler.begin_data p;
+        Assembler.label p "handler";
+        Assembler.word_label p "good_handler";
+        Assembler.label p "rounds";
+        Assembler.word p 0;
+        Assembler.label p "handled";
+        Assembler.word p 0)
+  in
+  let sym name = List.assoc name program.Assembler.symbols in
+  {
+    telf = Builder.of_program ~stack_size program;
+    handler_cell = sym "handler";
+    good_handler = sym "good_handler";
+    gadget = sym "gadget";
+  }
+
 let shm_requester ~peer ~value =
   let lo, hi = Task_id.to_words peer in
   build ~secure:true (fun p ->

@@ -74,6 +74,26 @@ val entry_bypass : victim_entry:Word.t -> offset:Word.t -> Telf.t
 val idt_attacker : idt_addr:Word.t -> Telf.t
 (** Attempts to overwrite an interrupt descriptor table entry. *)
 
+type dispatcher = {
+  telf : Telf.t;
+  handler_cell : int;  (** image offset of the function-pointer cell *)
+  good_handler : int;  (** text offset of the legitimate handler *)
+  gadget : int;  (** text offset of the bare-[Ret] gadget *)
+}
+
+val gadget_dispatcher : ?stack_size:int -> unit -> dispatcher
+(** The CFA demonstration workload: a secure task that calls through a
+    function pointer held in its data section (initialised by relocation
+    to [good_handler], which meters every call in the "handled" cell).
+    The binary also contains a bare-[Ret] gadget.  Corrupting the
+    pointer cell at runtime — a data-only exploit the EA-MPU cannot
+    see, simulated by a direct memory poke — makes the dispatch loop
+    run the gadget instead: no fault, unchanged measurement (static
+    attestation still passes), but the indirect call now targets a code
+    address no relocation publishes, which control-flow attestation
+    flags.  Data layout: [+0] handler pointer, [+4] dispatch rounds,
+    [+8] handled count. *)
+
 val busy_loop : ?secure:bool -> ?work:int -> unit -> Telf.t
 (** Spin executing ALU work forever without ever yielding — relies on
     pre-emption for the platform to stay live.  [work] pads the image to

@@ -1,0 +1,338 @@
+(* Control-flow attestation: the hash-chained log, the device monitor,
+   verifier-side replay, and the headline security property — a runtime
+   (data-only) compromise that static attestation cannot see. *)
+
+open Tytan_core
+module Cpu = Tytan_machine.Cpu
+module Memory = Tytan_machine.Memory
+module Isa = Tytan_machine.Isa
+module Tcb = Tytan_rtos.Tcb
+module Region = Tytan_eampu.Region
+module Log = Tytan_cfa.Log
+module Monitor = Tytan_cfa.Monitor
+module Replay = Tytan_cfa.Replay
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* --- The hash-chained log ---------------------------------------------------- *)
+
+let edge src dst kind = { Attestation.src; dst; kind }
+
+let some_edges =
+  [|
+    edge 0 8 Cpu.Direct_jump;
+    edge 16 32 Cpu.Cond_taken;
+    edge 40 8 Cpu.Indirect_call;
+    edge 24 48 Cpu.Return;
+    edge 56 2 Cpu.Swi_entry;
+    edge 64 0 Cpu.Direct_jump;
+    edge 72 80 Cpu.Direct_call;
+    edge 88 96 Cpu.Indirect_jump;
+    edge 96 16 Cpu.Return;
+    edge 104 112 Cpu.Cond_taken;
+  |]
+
+let log_tests =
+  let id = Task_id.of_image (Bytes.of_string "cfa-log-test") in
+  [
+    Alcotest.test_case "chain is deterministic and order-sensitive" `Quick
+      (fun () ->
+        let build order =
+          let l = Log.create ~id () in
+          Array.iter (Log.append l) order;
+          Log.head_digest l
+        in
+        check_bool "same edges, same head" true
+          (build some_edges = build some_edges);
+        let swapped = Array.copy some_edges in
+        let t = swapped.(0) in
+        swapped.(0) <- swapped.(1);
+        swapped.(1) <- t;
+        check_bool "order changes the head" true
+          (build some_edges <> build swapped));
+    Alcotest.test_case "genesis binds the task identity" `Quick (fun () ->
+        let other = Task_id.of_image (Bytes.of_string "someone-else") in
+        let build id =
+          let l = Log.create ~id () in
+          Array.iter (Log.append l) some_edges;
+          Log.head_digest l
+        in
+        check_bool "identity in the chain" true (build id <> build other));
+    Alcotest.test_case "full history until the ring evicts" `Quick (fun () ->
+        let l = Log.create ~id ~capacity:4 () in
+        check_bool "empty log is full history" true (Log.full_history l);
+        check_bool "empty base is genesis" true
+          (Log.base_digest l = Attestation.cf_genesis ~id);
+        Array.iteri
+          (fun i e ->
+            Log.append l e;
+            if i < 4 then check_bool "still full" true (Log.full_history l))
+          some_edges;
+        check_int "all counted" 10 (Log.count l);
+        check_int "ring bounded" 4 (Log.retained l);
+        check_bool "window now" false (Log.full_history l);
+        check_bool "base moved off genesis" true
+          (Log.base_digest l <> Attestation.cf_genesis ~id));
+    Alcotest.test_case "retained window extends base to head" `Quick
+      (fun () ->
+        let l = Log.create ~id ~capacity:4 () in
+        Array.iter (Log.append l) some_edges;
+        let replayed =
+          Array.fold_left Attestation.cf_extend (Log.base_digest l)
+            (Log.edges l)
+        in
+        check_bool "chain closes" true (replayed = Log.head_digest l));
+    Alcotest.test_case "edge wire format round-trips" `Quick (fun () ->
+        Array.iter
+          (fun e ->
+            let b = Attestation.cf_edge_to_bytes e in
+            check_bool "round trip" true
+              (Attestation.cf_edge_of_bytes b ~pos:0 = Some e))
+          some_edges;
+        let junk = Bytes.make 9 '\xff' in
+        check_bool "bad kind rejected" true
+          (Attestation.cf_edge_of_bytes junk ~pos:0 = None));
+  ]
+
+(* --- Device monitor on a live platform --------------------------------------- *)
+
+let load_dispatcher p =
+  let d = Tasks.gadget_dispatcher () in
+  let tcb = Result.get_ok (Platform.load_blocking p ~name:"disp" d.Tasks.telf) in
+  let rtm = Option.get (Platform.rtm p) in
+  let entry = Option.get (Rtm.find_by_tcb rtm tcb) in
+  (d, tcb, entry)
+
+let read_cell p addr =
+  let rtm = Option.get (Platform.rtm p) in
+  Cpu.with_firmware (Platform.cpu p) ~eip:(Rtm.code_eip rtm) (fun () ->
+      Cpu.load32 (Platform.cpu p) addr)
+
+let rounds p (entry : Rtm.entry) (d : Tasks.dispatcher) =
+  read_cell p (entry.Rtm.base + d.Tasks.handler_cell + 4)
+
+let handled p (entry : Rtm.entry) (d : Tasks.dispatcher) =
+  read_cell p (entry.Rtm.base + d.Tasks.handler_cell + 8)
+
+let watched ?capacity ~ticks () =
+  let p = Platform.create () in
+  let d, tcb, entry = load_dispatcher p in
+  let mon = Monitor.create p in
+  let s = Result.get_ok (Monitor.watch mon ~tcb ?capacity ()) in
+  Platform.run_ticks p ticks;
+  (p, d, tcb, entry, mon, s)
+
+let oracle (d : Tasks.dispatcher) =
+  Result.get_ok (Replay.oracle_of_telf d.Tasks.telf)
+
+let monitor_tests =
+  [
+    Alcotest.test_case "an unwatched platform is untouched" `Quick (fun () ->
+        let run with_monitor =
+          let p = Platform.create () in
+          let d, _, entry = load_dispatcher p in
+          let mon = if with_monitor then Some (Monitor.create p) else None in
+          Platform.run_ticks p 15;
+          (rounds p entry d, Option.map Monitor.events_logged mon)
+        in
+        let plain, _ = run false in
+        let monitored, events = run true in
+        check_bool "task made progress" true (plain > 0);
+        check_int "identical progress" plain monitored;
+        check_int "no events" 0 (Option.get events));
+    Alcotest.test_case "watching records events into the chained log" `Quick
+      (fun () ->
+        let p, d, _, entry, mon, s = watched ~ticks:12 () in
+        check_bool "events logged" true (Monitor.events_logged mon > 0);
+        check_int "log agrees with the monitor" (Monitor.events_logged mon)
+          (Log.count (Monitor.log s));
+        check_bool "task still progressing" true (rounds p entry d > 0);
+        check_bool "every dispatch ran the real handler" true
+          (handled p entry d = rounds p entry d));
+    Alcotest.test_case "event volume grows with execution" `Quick (fun () ->
+        let events ticks =
+          let _, _, _, _, mon, _ = watched ~ticks () in
+          Monitor.events_logged mon
+        in
+        let short = events 6 and long = events 18 in
+        check_bool "more run, more edges" true (long > 2 * short));
+    Alcotest.test_case "unwatch stops logging and clears the hook" `Quick
+      (fun () ->
+        let p, _, _, _, mon, s = watched ~ticks:6 () in
+        let before = Monitor.events_logged mon in
+        Monitor.unwatch mon s;
+        Platform.run_ticks p 6;
+        check_int "no further events" before (Monitor.events_logged mon);
+        check_bool "cpu hook gone" false
+          (Cpu.branch_hook_installed (Platform.cpu p)));
+    Alcotest.test_case "watching needs the secure platform" `Quick (fun () ->
+        let p = Platform.create ~config:Platform.baseline_config () in
+        let d = Tasks.gadget_dispatcher () in
+        let tcb =
+          Result.get_ok
+            (Platform.load_blocking p ~name:"d" ~secure:false d.Tasks.telf)
+        in
+        let mon = Monitor.create p in
+        check_bool "refused" true (Result.is_error (Monitor.watch mon ~tcb ())));
+    Alcotest.test_case "honest full-history report replays clean" `Quick
+      (fun () ->
+        let _, d, _, _, mon, s = watched ~ticks:12 () in
+        let nonce = Bytes.of_string "cfa-nonce-1" in
+        let r = Option.get (Monitor.attest mon s ~nonce) in
+        check_int "report covers the whole log" (Log.count (Monitor.log s))
+          r.Attestation.edge_count;
+        check_bool "path accepted" true
+          (Replay.verify (oracle d) r = Ok Replay.Full_history));
+    Alcotest.test_case "bounded window still replays" `Quick (fun () ->
+        let _, d, _, _, mon, s = watched ~capacity:8 ~ticks:12 () in
+        let count = Log.count (Monitor.log s) in
+        check_bool "ring wrapped" true (count > 8);
+        let r = Option.get (Monitor.attest mon s ~nonce:(Bytes.of_string "n")) in
+        check_bool "window accepted" true
+          (Replay.verify (oracle d) r = Ok (Replay.Window (count - 8))));
+    Alcotest.test_case "a task writing the log ring is killed" `Quick
+      (fun () ->
+        let p, _, _, _, _, s = watched ~ticks:2 () in
+        let ring = Monitor.ring_region s in
+        let attacker_telf = Tasks.idt_attacker ~idt_addr:(Region.base ring) in
+        let attacker =
+          Result.get_ok
+            (Platform.load_blocking p ~name:"scribbler" ~secure:false
+               attacker_telf)
+        in
+        Platform.run_ticks p 4;
+        check_bool "EA-MPU killed the scribbler" true
+          (attacker.Tcb.state = Tcb.Terminated));
+  ]
+
+(* --- The security property --------------------------------------------------- *)
+
+let security_tests =
+  [
+    Alcotest.test_case
+      "data-only gadget exploit: static attestation passes, CFA catches it"
+      `Quick (fun () ->
+        let p, d, tcb, entry, mon, s = watched ~ticks:8 () in
+        let orc = oracle d in
+        (* Honest phase: the path replays clean. *)
+        let r1 = Option.get (Monitor.attest mon s ~nonce:(Bytes.of_string "h")) in
+        check_bool "honest run accepted" true
+          (Replay.verify orc r1 = Ok Replay.Full_history);
+        (* The exploit: corrupt the function-pointer cell in the task's
+           data section so dispatch lands on the dead Ret gadget.  A
+           direct memory poke models a data-only write primitive — no
+           code changes, no EA-MPU fault. *)
+        let base = entry.Rtm.base in
+        Memory.write32 (Platform.memory p)
+          (base + d.Tasks.handler_cell)
+          (base + d.Tasks.gadget);
+        let handled_before = handled p entry d in
+        Platform.run_ticks p 8;
+        check_bool "task never faulted" true (tcb.Tcb.state <> Tcb.Terminated);
+        check_bool "dispatch loop kept running" true
+          (rounds p entry d > handled_before);
+        check_int "but the real handler no longer runs" handled_before
+          (handled p entry d);
+        (* Static measurement was taken at load: remote attestation still
+           vouches for the task. *)
+        let att = Option.get (Platform.attestation p) in
+        let ka =
+          Attestation.derive_ka
+            ~platform_key:(Platform.config p).Platform.platform_key
+        in
+        let nonce = Bytes.of_string "static-after-exploit" in
+        let rep =
+          Option.get (Attestation.remote_attest att ~id:entry.Rtm.id ~nonce)
+        in
+        check_bool "static attestation still passes" true
+          (Attestation.verify ~ka rep ~expected:entry.Rtm.id ~nonce);
+        (* The control-flow report does not: the indirect call now targets
+           an address no relocation publishes. *)
+        let nonce2 = Bytes.of_string "cfa-after-exploit" in
+        let r2 = Option.get (Monitor.attest mon s ~nonce:nonce2) in
+        check_bool "report is authentic" true
+          (Attestation.verify_cfa ~ka r2 ~expected:entry.Rtm.id ~nonce:nonce2);
+        match Replay.verify orc r2 with
+        | Ok _ -> Alcotest.fail "gadget dispatch replayed clean"
+        | Error msg ->
+            check_bool "named as a code-reuse gadget" true
+              (contains ~sub:"gadget" msg));
+    Alcotest.test_case "entry-point bypass shows up as a foreign edge" `Quick
+      (fun () ->
+        let p, d, tcb, _, mon, s = watched ~ticks:4 () in
+        let attacker_telf =
+          Tasks.entry_bypass ~victim_entry:tcb.Tcb.entry
+            ~offset:(4 * Isa.width)
+        in
+        let attacker =
+          Result.get_ok
+            (Platform.load_blocking p ~name:"bypass" ~secure:false
+               attacker_telf)
+        in
+        Platform.run_ticks p 4;
+        check_bool "EA-MPU killed the attacker anyway" true
+          (attacker.Tcb.state = Tcb.Terminated);
+        let r = Option.get (Monitor.attest mon s ~nonce:(Bytes.of_string "b")) in
+        (match Replay.verify (oracle d) r with
+        | Ok _ -> Alcotest.fail "bypass edge replayed clean"
+        | Error msg ->
+            check_bool "flagged as an entry bypass" true
+              (contains ~sub:"entry point" msg)));
+    Alcotest.test_case "jumping exactly to the entry replays clean" `Quick
+      (fun () ->
+        let p, d, tcb, _, mon, s = watched ~ticks:4 () in
+        let attacker_telf =
+          Tasks.entry_bypass ~victim_entry:tcb.Tcb.entry ~offset:0
+        in
+        let attacker =
+          Result.get_ok
+            (Platform.load_blocking p ~name:"knocker" ~secure:false
+               attacker_telf)
+        in
+        Platform.run_ticks p 4;
+        check_bool "legal entry, no violation" true
+          (attacker.Tcb.state <> Tcb.Terminated);
+        let r = Option.get (Monitor.attest mon s ~nonce:(Bytes.of_string "e")) in
+        check_bool "foreign entry at the entry point is fine" true
+          (Result.is_ok (Replay.verify (oracle d) r)));
+    Alcotest.test_case "tampered reports are rejected" `Quick (fun () ->
+        let p, d, _, entry, mon, s = watched ~ticks:8 () in
+        let ka =
+          Attestation.derive_ka
+            ~platform_key:(Platform.config p).Platform.platform_key
+        in
+        let nonce = Bytes.of_string "tamper" in
+        let r = Option.get (Monitor.attest mon s ~nonce) in
+        (* MAC tamper: authenticity fails. *)
+        let mac = Bytes.copy r.Attestation.mac in
+        Bytes.set mac 0 (Char.chr (Char.code (Bytes.get mac 0) lxor 1));
+        check_bool "forged MAC rejected" false
+          (Attestation.verify_cfa ~ka
+             { r with Attestation.mac }
+             ~expected:entry.Rtm.id ~nonce);
+        (* Edge tamper: the hash chain no longer closes. *)
+        let edges = Array.copy r.Attestation.edges in
+        check_bool "enough edges to swap" true (Array.length edges >= 2);
+        let t = edges.(0) in
+        edges.(0) <- edges.(1);
+        edges.(1) <- t;
+        match Replay.verify (oracle d) { r with Attestation.edges } with
+        | Ok _ -> Alcotest.fail "edited path replayed clean"
+        | Error msg ->
+            check_bool "digest mismatch" true (contains ~sub:"digest" msg));
+  ]
+
+let () =
+  Alcotest.run "cfa"
+    [
+      ("log", log_tests);
+      ("monitor", monitor_tests);
+      ("security", security_tests);
+    ]

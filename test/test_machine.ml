@@ -608,6 +608,131 @@ let trace_tests =
           (Trace.find trace ~source:"sched" ~substring:"t1" <> None);
         check_bool "absent" true
           (Trace.find trace ~source:"sched" ~substring:"zz" = None));
+    Alcotest.test_case "eviction keeps the newest events" `Quick (fun () ->
+        let clock = Cycles.create () in
+        let trace = Trace.create ~capacity:3 clock in
+        Trace.enable trace;
+        for i = 0 to 9 do
+          Trace.emitf trace ~source:"s" "e%d" i
+        done;
+        let details = List.map (fun e -> e.Trace.detail) (Trace.events trace) in
+        check_bool "newest retained, oldest gone" true
+          (details = [ "e7"; "e8"; "e9" ]));
+    Alcotest.test_case "emitf on a disabled trace never formats" `Quick
+      (fun () ->
+        let clock = Cycles.create () in
+        let trace = Trace.create clock in
+        let formatted = ref false in
+        Trace.emitf trace ~source:"x" "%t" (fun _ -> formatted := true);
+        check_bool "formatter closure untouched" false !formatted;
+        check "nothing recorded" 0 (List.length (Trace.events trace)));
+    Alcotest.test_case "count and find agree after wraparound" `Quick
+      (fun () ->
+        let clock = Cycles.create () in
+        let trace = Trace.create ~capacity:3 clock in
+        Trace.enable trace;
+        for i = 0 to 9 do
+          Trace.emitf trace ~source:(if i mod 2 = 0 then "even" else "odd") "e%d" i
+        done;
+        (* Retained window is e7, e8, e9: one even event, two odd. *)
+        check "even survivors" 1 (Trace.count trace ~source:"even");
+        check "odd survivors" 2 (Trace.count trace ~source:"odd");
+        check_bool "newest findable" true
+          (Trace.find trace ~source:"odd" ~substring:"e9" <> None);
+        check_bool "evicted not findable" true
+          (Trace.find trace ~source:"even" ~substring:"e0" = None));
+  ]
+
+(* --- The control-flow observer hook ---------------------------------------- *)
+
+(* A little gauntlet exercising one of each transfer: taken and not-taken
+   conditionals, direct and indirect jumps and calls, and a return. *)
+let hook_gauntlet =
+  [
+    Isa.Movi (0, 1) (* 0x200 *);
+    Isa.Cmpi (0, 1) (* 0x208: sets Z *);
+    Isa.Jz 8 (* 0x210: taken -> 0x220 *);
+    Isa.Halt (* 0x218: skipped *);
+    Isa.Call 8 (* 0x220: -> 0x230, lr = 0x228 *);
+    Isa.Halt (* 0x228: final stop after Ret *);
+    Isa.Movi (1, 0x260) (* 0x230 *);
+    Isa.Cmpi (0, 2) (* 0x238: clears Z *);
+    Isa.Jz 8 (* 0x240: NOT taken -> silent *);
+    Isa.Jmpr 1 (* 0x248: -> 0x260 *);
+    Isa.Halt (* 0x250 *);
+    Isa.Halt (* 0x258 *);
+    Isa.Ret (* 0x260: -> lr 0x228 *);
+  ]
+
+let run_gauntlet ~hook =
+  let mem, clock, _, cpu = machine () in
+  List.iteri
+    (fun i instr ->
+      Memory.blit_bytes mem (0x200 + (i * Isa.width)) (Isa.encode instr))
+    hook_gauntlet;
+  Regfile.set_eip (Cpu.regs cpu) 0x200;
+  Regfile.set (Cpu.regs cpu) Regfile.sp 0x800;
+  let events = ref [] in
+  if hook then
+    Cpu.set_on_branch cpu (fun ~src ~dst ~kind ->
+        events := (src, dst, kind) :: !events);
+  let rec go n = if n > 0 && Cpu.step cpu = Cpu.Running then go (n - 1) in
+  go 100;
+  (cpu, clock, List.rev !events)
+
+let branch_hook_tests =
+  [
+    Alcotest.test_case "hook sees every taken transfer, and only those"
+      `Quick (fun () ->
+        let _, _, events = run_gauntlet ~hook:true in
+        check_bool "exact event stream" true
+          (events
+          = [
+              (0x210, 0x220, Cpu.Cond_taken);
+              (0x220, 0x230, Cpu.Direct_call);
+              (0x248, 0x260, Cpu.Indirect_jump);
+              (0x260, 0x228, Cpu.Return);
+            ]));
+    Alcotest.test_case "no hook: same execution, same cycles, no events"
+      `Quick (fun () ->
+        let cpu_h, clock_h, events = run_gauntlet ~hook:true in
+        let cpu_n, clock_n, none = run_gauntlet ~hook:false in
+        check "hook observes" 4 (List.length events);
+        check "nothing without a hook" 0 (List.length none);
+        check "identical cycle count" (Cycles.now clock_h) (Cycles.now clock_n);
+        check "identical architectural state"
+          (Regfile.eip (Cpu.regs cpu_h))
+          (Regfile.eip (Cpu.regs cpu_n)));
+    Alcotest.test_case "clear_on_branch detaches the observer" `Quick
+      (fun () ->
+        let mem, _, _, cpu = machine () in
+        Memory.blit_bytes mem 0x200 (Isa.encode (Isa.Jmp 0));
+        Memory.blit_bytes mem 0x208 (Isa.encode Isa.Halt);
+        Regfile.set_eip (Cpu.regs cpu) 0x200;
+        let hits = ref 0 in
+        Cpu.set_on_branch cpu (fun ~src:_ ~dst:_ ~kind:_ -> incr hits);
+        check_bool "installed" true (Cpu.branch_hook_installed cpu);
+        ignore (Cpu.step cpu);
+        Cpu.clear_on_branch cpu;
+        check_bool "detached" false (Cpu.branch_hook_installed cpu);
+        Regfile.set_eip (Cpu.regs cpu) 0x200;
+        ignore (Cpu.step cpu);
+        check "only the hooked step observed" 1 !hits);
+    Alcotest.test_case "swi reports the service number, not an address"
+      `Quick (fun () ->
+        let mem, _, engine, cpu = machine () in
+        (* An IDT entry for SWI 3 pointing at a Halt. *)
+        Exception_engine.set_vector engine
+          (Exception_engine.swi_vector_base + 3)
+          0x400;
+        Memory.blit_bytes mem 0x400 (Isa.encode Isa.Halt);
+        Memory.blit_bytes mem 0x200 (Isa.encode (Isa.Swi 3));
+        Regfile.set_eip (Cpu.regs cpu) 0x200;
+        Regfile.set (Cpu.regs cpu) Regfile.sp 0x800;
+        let seen = ref None in
+        Cpu.set_on_branch cpu (fun ~src ~dst ~kind -> seen := Some (src, dst, kind));
+        ignore (Cpu.step cpu);
+        check_bool "swi edge" true (!seen = Some (0x200, 3, Cpu.Swi_entry)));
   ]
 
 (* --- More CPU semantics ---------------------------------------------------- *)
@@ -773,4 +898,5 @@ let () =
       ("devices", device_tests);
       ("disasm", disasm_tests);
       ("trace", trace_tests);
+      ("branch-hook", branch_hook_tests);
     ]

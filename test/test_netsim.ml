@@ -4,9 +4,19 @@
 open Tytan_core
 open Tytan_netsim
 module Tasks = Tytan_tasks.Task_lib
+module Cpu = Tytan_machine.Cpu
+module Word = Tytan_machine.Word
+module Memory = Tytan_machine.Memory
+module Monitor = Tytan_cfa.Monitor
+module Replay = Tytan_cfa.Replay
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
 
 (* --- Link ------------------------------------------------------------------ *)
 
@@ -85,6 +95,144 @@ let protocol_tests =
     Alcotest.test_case "unknown tag rejected" `Quick (fun () ->
         check_bool "error" true
           (Result.is_error (Protocol.decode (Bytes.of_string "Zxxxx"))));
+    Alcotest.test_case "unknown tags are distinguishable from garbage" `Quick
+      (fun () ->
+        (match Protocol.decode (Bytes.of_string "Zxxxx") with
+        | Error e -> check_bool "flagged as unknown tag" true (Protocol.is_unknown_tag e)
+        | Ok _ -> Alcotest.fail "decoded an unknown tag");
+        match Protocol.decode (Bytes.of_string "C") with
+        | Error e ->
+            check_bool "truncation is not an unknown tag" false
+              (Protocol.is_unknown_tag e)
+        | Ok _ -> Alcotest.fail "decoded a truncated challenge");
+    Alcotest.test_case "cfa challenge round trip" `Quick (fun () ->
+        let id = Task_id.of_image (Bytes.of_string "cfa-task") in
+        let m = Protocol.CfaChallenge { seq = 5; id; nonce = Bytes.of_string "n5" } in
+        check_bool "round trip" true (Protocol.decode (Protocol.encode m) = Ok m));
+    Alcotest.test_case "cfa response round trip" `Quick (fun () ->
+        let report =
+          {
+            Attestation.id = Task_id.of_image (Bytes.of_string "t");
+            nonce = Bytes.of_string "nonce-cfa";
+            cf_digest = Bytes.make 20 'd';
+            base_digest = Bytes.make 20 'b';
+            edge_count = 1234;
+            edges =
+              [|
+                { Attestation.src = 8; dst = 16; kind = Cpu.Direct_jump };
+                { Attestation.src = 24; dst = 2; kind = Cpu.Swi_entry };
+              |];
+            mac = Bytes.make 20 'm';
+          }
+        in
+        let m = Protocol.CfaResponse { seq = 9; report } in
+        check_bool "round trip" true (Protocol.decode (Protocol.encode m) = Ok m));
+    Alcotest.test_case "cfa response at the edge-count wire limit" `Quick
+      (fun () ->
+        let edge i =
+          { Attestation.src = i * 8; dst = (i * 8) + 8; kind = Cpu.Direct_call }
+        in
+        let report =
+          {
+            Attestation.id = Task_id.of_image (Bytes.of_string "big");
+            nonce = Bytes.of_string "n";
+            cf_digest = Bytes.make 20 'x';
+            base_digest = Bytes.make 20 'y';
+            edge_count = Protocol.max_edges;
+            edges = Array.init Protocol.max_edges edge;
+            mac = Bytes.make 20 'm';
+          }
+        in
+        let m = Protocol.CfaResponse { seq = 1; report } in
+        check_bool "round trip at 65535 edges" true
+          (Protocol.decode (Protocol.encode m) = Ok m);
+        let over =
+          Protocol.CfaResponse
+            {
+              seq = 2;
+              report =
+                { report with Attestation.edges = Array.init (Protocol.max_edges + 1) edge };
+            }
+        in
+        check_bool "one more refuses to encode" true
+          (match Protocol.encode over with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+  ]
+
+(* --- Protocol properties ----------------------------------------------------- *)
+
+let edge_gen =
+  QCheck.Gen.(
+    map3
+      (fun s d k ->
+        {
+          Attestation.src = s land Word.max_value;
+          dst = d land Word.max_value;
+          kind = Option.get (Cpu.branch_kind_of_code k);
+        })
+      (int_bound max_int) (int_bound max_int) (int_bound 7))
+
+let report_gen =
+  QCheck.Gen.(
+    map3
+      (fun img nonce (edges, extra, tail) ->
+        let sub pos = Bytes.of_string (String.sub tail pos 20) in
+        {
+          Attestation.id = Task_id.of_image (Bytes.of_string img);
+          nonce = Bytes.of_string nonce;
+          cf_digest = sub 0;
+          base_digest = sub 20;
+          edge_count = Array.length edges + extra;
+          edges;
+          mac = sub 40;
+        })
+      (string_size (int_range 1 12))
+      (string_size (int_range 0 40))
+      (triple
+         (array_size (int_range 0 64) edge_gen)
+         (int_bound 100_000)
+         (string_size (return 60))))
+
+let report_arb = QCheck.make report_gen
+
+let protocol_property_tests =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  [
+    to_alcotest
+      (QCheck.Test.make ~name:"cfa report wire round trip" ~count:200
+         (QCheck.pair (QCheck.make QCheck.Gen.(int_bound 0xFFFF)) report_arb)
+         (fun (seq, report) ->
+           let m = Protocol.CfaResponse { seq; report } in
+           Protocol.decode (Protocol.encode m) = Ok m));
+    to_alcotest
+      (QCheck.Test.make ~name:"mutated cfa frames never crash decode or verifier"
+         ~count:300
+         (QCheck.triple report_arb
+            (QCheck.list_of_size
+               QCheck.Gen.(int_range 0 8)
+               (QCheck.pair QCheck.small_nat (QCheck.make QCheck.Gen.(int_bound 255))))
+            QCheck.small_nat)
+         (fun (report, flips, cut) ->
+           let frame = Protocol.encode (Protocol.CfaResponse { seq = 1; report }) in
+           List.iter
+             (fun (pos, v) ->
+               Bytes.set frame (pos mod Bytes.length frame) (Char.chr v))
+             flips;
+           let frame =
+             if cut mod 3 = 0 then Bytes.sub frame 0 (cut mod Bytes.length frame)
+             else frame
+           in
+           ignore (Protocol.decode frame : (Protocol.message, string) result);
+           let v =
+             Verifier.create ~ka:(Bytes.make 20 'k')
+               ~expected:report.Attestation.id
+               ~cfa:(fun _ -> Ok ())
+               ()
+           in
+           ignore (Verifier.poll v ~at:0);
+           Verifier.on_frame v frame;
+           true));
   ]
 
 (* --- End-to-end co-simulation ------------------------------------------------ *)
@@ -190,10 +338,121 @@ let cosim_tests =
           (Cosim.challenges_served cosim >= 4));
   ]
 
+(* --- Control-flow attestation across the network ------------------------------ *)
+
+let device_with_watched_dispatcher () =
+  let p = Platform.create () in
+  let d = Tasks.gadget_dispatcher () in
+  let tcb = Result.get_ok (Platform.load_blocking p ~name:"disp" d.Tasks.telf) in
+  let rtm = Option.get (Platform.rtm p) in
+  let entry = Option.get (Rtm.find_by_tcb rtm tcb) in
+  let mon = Monitor.create p in
+  (match Monitor.watch mon ~tcb () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let ka =
+    Attestation.derive_ka ~platform_key:(Platform.config p).Platform.platform_key
+  in
+  let oracle = Result.get_ok (Replay.oracle_of_telf d.Tasks.telf) in
+  (p, d, entry, mon, ka, oracle)
+
+(* One full audit of a device whose dispatcher is gadget-hijacked after an
+   honest warm-up: a static session and a CFA session run concurrently
+   over the same lossy link. *)
+let audit_compromised_device () =
+  let p, d, entry, mon, ka, oracle = device_with_watched_dispatcher () in
+  Platform.run_ticks p 6;
+  let base = entry.Rtm.base in
+  Memory.write32 (Platform.memory p)
+    (base + d.Tasks.handler_cell)
+    (base + d.Tasks.gadget);
+  Platform.run_ticks p 4;
+  let link = Link.create ~seed:9 ~loss_percent:30 () in
+  let cosim = Cosim.create p ~link () in
+  Cosim.set_cfa_responder cosim (Monitor.responder mon);
+  let vs = Verifier.create ~ka ~expected:entry.Rtm.id ~max_attempts:30 () in
+  let vc =
+    Verifier.create ~ka ~expected:entry.Rtm.id ~max_attempts:30
+      ~cfa:(Replay.checker oracle) ()
+  in
+  Cosim.attach_verifier cosim vs;
+  Cosim.attach_verifier cosim vc;
+  ignore (Cosim.run_until_settled cosim ~max_slices:1000);
+  (Verifier.outcome vs, Verifier.outcome vc, Verifier.cfa_failure vc)
+
+let cfa_cosim_tests =
+  [
+    Alcotest.test_case "verifier drops unknown-tag frames" `Quick (fun () ->
+        let v =
+          Verifier.create ~ka:(Bytes.make 20 'k')
+            ~expected:(Task_id.of_image (Bytes.of_string "x"))
+            ()
+        in
+        ignore (Verifier.poll v ~at:0);
+        Verifier.on_frame v (Bytes.of_string "Qframe-from-a-newer-revision");
+        check_int "dropped" 1 (Verifier.ignored_frames v);
+        check_int "not counted hostile" 0 (Verifier.rejected_frames v);
+        check_bool "still pending" true (Verifier.outcome v = Verifier.Pending));
+    Alcotest.test_case "device agent drops unknown tags, attestation unharmed"
+      `Quick (fun () ->
+        let p, _, id, ka = device_with_task () in
+        let link = Link.create () in
+        let cosim = Cosim.create p ~link () in
+        Link.send link ~from:Link.Remote ~at:0
+          (Bytes.of_string "Qframe-from-the-future");
+        Link.send link ~from:Link.Remote ~at:0 (Bytes.of_string "C");
+        let v = Verifier.create ~ka ~expected:id () in
+        Cosim.attach_verifier cosim v;
+        ignore (Cosim.run_until_settled cosim ~max_slices:50);
+        check_int "unknown tag dropped" 1 (Cosim.unknown_tag_frames cosim);
+        check_int "truncated frame malformed" 1 (Cosim.malformed_frames cosim);
+        check_bool "attestation unaffected" true
+          (Verifier.outcome v = Verifier.Attested));
+    Alcotest.test_case "honest device passes CFA over a lossy link" `Quick
+      (fun () ->
+        let p, _, entry, mon, ka, oracle = device_with_watched_dispatcher () in
+        Platform.run_ticks p 6;
+        let link = Link.create ~seed:3 ~loss_percent:50 () in
+        let cosim = Cosim.create p ~link () in
+        Cosim.set_cfa_responder cosim (Monitor.responder mon);
+        let v =
+          Verifier.create ~ka ~expected:entry.Rtm.id ~max_attempts:30
+            ~cfa:(Replay.checker oracle) ()
+        in
+        Cosim.attach_verifier cosim v;
+        ignore (Cosim.run_until_settled cosim ~max_slices:1000);
+        check_bool "attested" true (Verifier.outcome v = Verifier.Attested));
+    Alcotest.test_case "without a CFA responder the device refuses" `Quick
+      (fun () ->
+        let p, _, entry, _, ka, oracle = device_with_watched_dispatcher () in
+        let link = Link.create () in
+        let cosim = Cosim.create p ~link () in
+        let v =
+          Verifier.create ~ka ~expected:entry.Rtm.id
+            ~cfa:(Replay.checker oracle) ()
+        in
+        Cosim.attach_verifier cosim v;
+        ignore (Cosim.run_until_settled cosim ~max_slices:100);
+        check_bool "refused" true (Verifier.outcome v = Verifier.Refused));
+    Alcotest.test_case
+      "gadget-hijacked device: static attests, CFA rejects, deterministically"
+      `Quick (fun () ->
+        let s1, c1, why1 = audit_compromised_device () in
+        check_bool "static attestation still passes" true (s1 = Verifier.Attested);
+        check_bool "CFA rejects the same device" true (c1 = Verifier.Cfa_rejected);
+        check_bool "the replay names the gadget" true
+          (contains ~sub:"gadget" (Option.value ~default:"" why1));
+        let s2, c2, why2 = audit_compromised_device () in
+        check_bool "identical verdicts on a re-run" true
+          ((s1, c1, why1) = (s2, c2, why2)));
+  ]
+
 let () =
   Alcotest.run "netsim"
     [
       ("link", link_tests);
       ("protocol", protocol_tests);
+      ("protocol-properties", protocol_property_tests);
       ("cosim", cosim_tests);
+      ("cfa-cosim", cfa_cosim_tests);
     ]
