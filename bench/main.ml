@@ -953,6 +953,52 @@ let run_cfa_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+module Telemetry = Tytan_telemetry.Telemetry
+
+(* Instrumentation overhead: an identical seeded workload — load a
+   secure yielder (loader + RTM measurement inside the window) and run
+   it to completion — with the telemetry registry disabled vs enabled.
+   Disabled must be free; enabled charges Cost_model.telemetry_event /
+   telemetry_span per record, an honest modelled price. *)
+let telemetry_run ~enabled ~count =
+  let config = { Platform.default_config with telemetry_enabled = enabled } in
+  let p = Platform.create ~config () in
+  let clock = Platform.clock p in
+  let start = Cycles.now clock in
+  let tcb = load_exn p "subject" (Tasks.yielder ~count ()) in
+  let guard = ref 500_000 in
+  while tcb.Tcb.state <> Tcb.Terminated && !guard > 0 do
+    ignore (Platform.run p ~cycles:200);
+    decr guard
+  done;
+  if tcb.Tcb.state <> Tcb.Terminated then failwith "yielder never finished";
+  let tel = Platform.telemetry p in
+  ( Cycles.now clock - start,
+    Telemetry.events_recorded tel,
+    Telemetry.spans_recorded tel )
+
+let run_telemetry_bench () =
+  hr "Telemetry — instrumentation overhead (lib/telemetry)";
+  let count = if !smoke then 12 else 48 in
+  let disabled, _, _ = telemetry_run ~enabled:false ~count in
+  let enabled, events, spans = telemetry_run ~enabled:true ~count in
+  let delta = enabled - disabled in
+  let model =
+    (events * Cost_model.telemetry_event)
+    + (spans * Cost_model.telemetry_span)
+  in
+  row "yielder, %d iterations + load: %d cycles disabled, %d enabled\n" count
+    disabled enabled;
+  row
+    "overhead %d cycles for %d events + %d spans; cost model predicts %d\n"
+    delta events spans model;
+  row "(%d cycles/event, %d cycles/span; disabled registry is cycle-free)\n"
+    Cost_model.telemetry_event Cost_model.telemetry_span;
+  record ~table:"telemetry" ~label:"disabled" disabled;
+  record ~table:"telemetry" ~label:"enabled" enabled;
+  record ~table:"telemetry" ~label:"overhead" delta;
+  record ~table:"telemetry" ~label:"model-overhead" model
+
 let () =
   let wall = Array.exists (fun a -> a = "--wall") Sys.argv in
   smoke := Array.exists (fun a -> a = "--smoke") Sys.argv;
@@ -977,6 +1023,7 @@ let () =
   run_table8 ();
   run_ipc_bench ();
   run_cfa_bench ();
+  run_telemetry_bench ();
   run_realtime_compliance ();
   run_jitter ();
   run_ablations ();

@@ -6,6 +6,8 @@
      tytan attest                    run a remote-attestation exchange
      tytan inspect                   dump the EA-MPU rule set after boot
      tytan cfa [--local] [--loss N]  control-flow attestation demonstration
+     tytan stats [--json]            run the instrumented demo, dump metrics
+     tytan trace [--out FILE]        event log, or a Perfetto-loadable trace
 
    See also: dune exec bench/main.exe (tables) and examples/. *)
 
@@ -14,6 +16,8 @@ open Tytan_machine
 open Tytan_rtos
 open Tytan_core
 module Tasks = Tytan_tasks.Task_lib
+module Telemetry = Tytan_telemetry.Telemetry
+module Export = Tytan_telemetry.Export
 
 let make_platform baseline =
   if baseline then Platform.create ~config:Platform.baseline_config ()
@@ -163,23 +167,142 @@ let disasm_cmd =
     (Cmd.info "disasm" ~doc:"Disassemble the example secure task binary")
     Term.(const disasm $ const ())
 
+(* --- telemetry demo workload (stats / trace --out) ------------------------- *)
+
+let pmu_base = 0xF200_0000
+
+(* The workload behind [stats] and [trace --out]: a fully instrumented
+   device running secure-IPC traffic and a periodic worker, followed by a
+   remote-attestation exchange over a mildly lossy link — so the span
+   timeline carries kernel, ipc, rtm, loader and net regions.  Everything
+   is seeded; the same invocation always produces the same registry and
+   trace (the golden test depends on it). *)
+let telemetry_demo ~ticks =
+  let open Tytan_netsim in
+  let config =
+    { Platform.default_config with trace_enabled = true; telemetry_enabled = true }
+  in
+  let p = Platform.create ~config () in
+  let pmu = Platform.attach_pmu p ~base:pmu_base in
+  let rtm = Option.get (Platform.rtm p) in
+  let load name telf =
+    match Platform.load_blocking p ~name telf with
+    | Ok tcb -> tcb
+    | Error e -> failwith (Printf.sprintf "tytan: loading %s failed: %s" name e)
+  in
+  let rtelf = Tasks.ipc_receiver () in
+  let receiver = load "echo" rtelf in
+  let rid = (Option.get (Rtm.find_by_tcb rtm receiver)).Rtm.id in
+  ignore
+    (load "chatter" (Tasks.ipc_sender ~receiver:rid ~message0:9 ~repeat:true ()));
+  ignore (load "worker" (Tasks.counter ()));
+  Platform.run_ticks p ticks;
+  let link = Link.create ~seed:11 ~loss_percent:15 ~duplicate_percent:5 () in
+  let cosim = Cosim.create p ~link () in
+  let ka =
+    Attestation.derive_ka ~platform_key:(Platform.config p).Platform.platform_key
+  in
+  let verifier =
+    Verifier.create ~ka ~expected:(Rtm.identity_of_telf rtelf) ~max_attempts:20 ()
+  in
+  Cosim.attach_verifier cosim verifier;
+  ignore (Cosim.run_until_settled cosim ~max_slices:120);
+  Cosim.record_link_gauges cosim;
+  (p, pmu)
+
+(* --- stats ----------------------------------------------------------------- *)
+
+let stats json ticks =
+  let p, pmu = telemetry_demo ~ticks in
+  let tel = Platform.telemetry p in
+  if json then
+    print_string
+      (Export.stats_json
+         ~attribution:(Platform.cycle_attribution p)
+         ~total_cycles:(Cycles.now (Platform.clock p))
+         tel)
+  else begin
+    let total = Cycles.now (Platform.clock p) in
+    Printf.printf "total cycles: %d (%.2f ms)\n" total (Cycles.to_ms total);
+    print_endline "per-task cycle attribution:";
+    List.iter
+      (fun (name, cycles) -> Printf.printf "  %-12s %10d\n" name cycles)
+      (Platform.cycle_attribution p);
+    (* Read the PMU over MMIO so the register map (and its honest read
+       cost) shows up in the report. *)
+    let dev = Devices.Pmu.device pmu in
+    let cycles_lo = dev.Memory.read32 ~offset:0 in
+    let instret_lo = dev.Memory.read32 ~offset:8 in
+    let ctxsw = dev.Memory.read32 ~offset:16 in
+    Printf.printf
+      "pmu @ 0x%08X: CYCLES_LO=%d INSTRET_LO=%d CTXSW=%d (reads served: %d)\n"
+      pmu_base cycles_lo instret_lo ctxsw
+      (Devices.Pmu.reads pmu);
+    print_string (Export.summary tel);
+    print_endline "span timeline (excerpt):";
+    print_string (Export.text_timeline ~limit:20 tel)
+  end
+
+let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output.")
+  in
+  let ticks =
+    Arg.(value & opt int 10 & info [ "ticks" ] ~doc:"Ticks to simulate.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the instrumented demo workload and dump the telemetry \
+          registry: counters, gauges, cycle histograms, per-task cycle \
+          attribution and the PMU registers")
+    Term.(const stats $ json $ ticks)
+
 (* --- trace ---------------------------------------------------------------- *)
 
-let trace_run ticks =
-  let config = { Platform.default_config with trace_enabled = true } in
-  let p = Platform.create ~config () in
-  let telf = Tasks.counter () in
-  ignore (Platform.load_blocking p ~name:"traced" telf);
-  Platform.run_ticks p ticks;
-  Format.printf "%a@." Trace.pp (Platform.trace p)
+let trace_run ticks out =
+  match out with
+  | None ->
+      let config = { Platform.default_config with trace_enabled = true } in
+      let p = Platform.create ~config () in
+      let telf = Tasks.counter () in
+      ignore (Platform.load_blocking p ~name:"traced" telf);
+      Platform.run_ticks p ticks;
+      Format.printf "%a@." Trace.pp (Platform.trace p)
+  | Some path ->
+      let p, _pmu = telemetry_demo ~ticks in
+      let tel = Platform.telemetry p in
+      let json = Export.chrome_trace tel (Platform.trace p) in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc json);
+      Printf.printf
+        "wrote %s: %d spans + %d trace events (load in Perfetto / \
+         chrome://tracing)\n"
+        path
+        (Telemetry.spans_recorded tel)
+        (List.length (Trace.events (Platform.trace p)))
 
 let trace_cmd =
   let ticks =
     Arg.(value & opt int 5 & info [ "ticks" ] ~doc:"Ticks to trace.")
   in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome-trace-event JSON timeline of the instrumented \
+             demo workload to $(docv) instead of dumping the text log.")
+  in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run with event tracing and dump the event log")
-    Term.(const trace_run $ ticks)
+    (Cmd.info "trace"
+       ~doc:
+         "Run with event tracing and dump the event log, or export a \
+          Perfetto-loadable span timeline with --out")
+    Term.(const trace_run $ ticks $ out)
 
 (* --- fleet ---------------------------------------------------------------- *)
 
@@ -583,5 +706,5 @@ let () =
        (Cmd.group info
           [
             boot_cmd; run_cmd; attest_cmd; inspect_cmd; disasm_cmd; trace_cmd;
-            lint_cmd; fleet_cmd; chaos_cmd; cfa_cmd;
+            stats_cmd; lint_cmd; fleet_cmd; chaos_cmd; cfa_cmd;
           ]))

@@ -36,5 +36,8 @@ let ipc_proxy_total =
   + ipc_copy_message + ipc_finish
 
 let boot_verify_per_block = rtm_per_block
+let telemetry_event = 24
+let telemetry_span = 56
+let pmu_read = 34
 let update_swap_base = 350
 let update_migrate_per_word = 16

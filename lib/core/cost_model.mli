@@ -146,6 +146,26 @@ val boot_verify_per_block : int
 (** Verifying a trusted component at boot hashes its region; charged per
     64-byte block like any other measurement. *)
 
+(** {2 Telemetry (observability extension)}
+
+    Observation is part of the machine: when the telemetry registry is
+    enabled, every recorded event and span charges the simulated clock,
+    so instrumented runs honestly include the cost of instrumenting.
+    When disabled the cost is exactly zero (asserted cycle-exact in
+    tests). *)
+
+val telemetry_event : int
+(** Recording one metric event — counter bump, gauge store, or histogram
+    observation (24; a guarded store plus index arithmetic). *)
+
+val telemetry_span : int
+(** Opening and closing one timed span — two clock reads plus ring-buffer
+    bookkeeping (56).  Charged in full when the span closes. *)
+
+val pmu_read : int
+(** One MMIO read of a PMU counter register (34; an uncached peripheral
+    bus transaction, charged before the counter is sampled). *)
+
 (** {2 Runtime task update (extension)} *)
 
 val update_swap_base : int

@@ -1,5 +1,6 @@
 open Tytan_machine
 open Tytan_rtos
+open Tytan_telemetry
 
 let swi_send = 3
 let swi_done = 4
@@ -22,6 +23,7 @@ type session = {
   receiver_prev_state : Tcb.state;
   receiver_prev_wake : int;
   receiver_prev_live_frame : bool;
+  span : int;  (** telemetry span covering the send -> done round trip *)
 }
 
 type t = {
@@ -62,6 +64,7 @@ let find_service t id =
 
 let cpu t = Kernel.cpu t.kernel
 let clock t = Cpu.clock (cpu t)
+let tel t = Kernel.telemetry t.kernel
 let as_proxy t f = Cpu.with_firmware (cpu t) ~eip:t.code_eip f
 
 (* --- Inbox access (proxy identity) -------------------------------------- *)
@@ -77,7 +80,8 @@ let write_inbox t (receiver : Tcb.t) ~sender_id ~message =
         let v = if i < Array.length message then message.(i) else 0 in
         Cpu.store32 (cpu t) (Word.add base (16 + (4 * i))) v
       done);
-  t.deliveries <- t.deliveries + 1
+  t.deliveries <- t.deliveries + 1;
+  Telemetry.incr (tel t) ~task:receiver.name ~component:"ipc" "deliveries"
 
 let read_inbox t (receiver : Tcb.t) =
   as_proxy t (fun () ->
@@ -108,6 +112,9 @@ let branch_to_receiver t (receiver : Tcb.t) =
   Regfile.set_interrupts regs true;
   Regfile.set_eip regs receiver.entry;
   receiver.state <- Tcb.Running;
+  (* The handler's slice is the receiver's time, not the sender's: open a
+     fresh accounting slice so per-task cycle attribution stays exact. *)
+  receiver.dispatched_at <- Cycles.now (clock t);
   Scheduler.set_current (Kernel.scheduler t.kernel) (Some receiver)
 
 let start_sync_session t ~(sender : Tcb.t) ~(receiver : Tcb.t) =
@@ -120,6 +127,9 @@ let start_sync_session t ~(sender : Tcb.t) ~(receiver : Tcb.t) =
       receiver_prev_state = receiver.state;
       receiver_prev_wake = receiver.wake_tick;
       receiver_prev_live_frame = receiver.live_frame;
+      span =
+        Telemetry.begin_span (tel t) ~task:sender.name ~component:"ipc"
+          "sync_session";
     }
   in
   Scheduler.remove sched sender;
@@ -147,7 +157,8 @@ let finish_sync_session t session =
   (* Release the sender. *)
   Scheduler.remove sched session.sender;
   if session.sender.state <> Tcb.Terminated then
-    Scheduler.add_ready sched session.sender
+    Scheduler.add_ready sched session.sender;
+  Telemetry.end_span (tel t) session.span
 
 (* --- SWI handlers -------------------------------------------------------- *)
 
@@ -164,7 +175,13 @@ let resolve_sender t =
   Rtm.find_by_eip t.rtm origin
 
 let handle_send t (caller : Tcb.t) gprs =
-  match resolve_sender t with
+  (* The "send" span is the proxy's own work (origin resolution through
+     delivery); a synchronous hand-off additionally opens a
+     "sync_session" span that runs until the handler signals done. *)
+  let span =
+    Telemetry.begin_span (tel t) ~task:caller.name ~component:"ipc" "send"
+  in
+  (match resolve_sender t with
   | None -> kill_caller t caller "sender has no registered identity"
   | Some sender_entry ->
       let receiver_id = Task_id.of_words ~lo:gprs.(8) ~hi:gprs.(9) in
@@ -203,7 +220,8 @@ let handle_send t (caller : Tcb.t) gprs =
                 (* Asynchronous (or a receiver without an entry routine):
                    the sender continues; the receiver sees the message the
                    next time it inspects its inbox. *)
-                Kernel.dispatch t.kernel))
+                Kernel.dispatch t.kernel)));
+  Telemetry.end_span (tel t) span
 
 let handle_done t (caller : Tcb.t) =
   match t.sessions with

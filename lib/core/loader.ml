@@ -2,6 +2,7 @@ open Tytan_machine
 open Tytan_eampu
 open Tytan_rtos
 open Tytan_telf
+open Tytan_telemetry
 
 type trusted_regions = {
   kernel_code : Region.t;
@@ -38,6 +39,7 @@ type job = {
   mutable slots : int list;
   mutable initial_sp : Word.t;
   mutable phase_cycles : (string * int) list;  (* accumulated per phase *)
+  mutable span : int;  (* telemetry span covering the whole load; 0 = none *)
 }
 
 type t = {
@@ -80,7 +82,8 @@ let bytes_loaded t = t.bytes_loaded
 let pending t = List.length t.queue
 
 let fresh_job request =
-  { request; phase = Parse; base = 0; slots = []; initial_sp = 0; phase_cycles = [] }
+  { request; phase = Parse; base = 0; slots = []; initial_sp = 0;
+    phase_cycles = []; span = 0 }
 
 let submit t request = t.queue <- t.queue @ [ fresh_job request ]
 
@@ -301,6 +304,10 @@ let step_job_inner t job =
 (* Account the cycles of each step to the phase it started in (the bench
    harness reads the per-phase decomposition for Table 4). *)
 let step_job t job =
+  let tel = Kernel.telemetry t.kernel in
+  if job.span = 0 then
+    job.span <-
+      Telemetry.begin_span tel ~task:job.request.name ~component:"loader" "load";
   let label = phase_label job.phase in
   let result, cost = Cycles.measure (clock t) (fun () -> step_job_inner t job) in
   if cost > t.max_step_cycles then t.max_step_cycles <- cost;
@@ -310,7 +317,14 @@ let step_job t job =
         (label, acc + cost) :: List.remove_assoc label job.phase_cycles
   | None -> job.phase_cycles <- (label, cost) :: job.phase_cycles);
   (match result with
-  | `Loaded _ | `Failed _ -> t.last_report <- List.rev job.phase_cycles
+  | `Loaded _ ->
+      t.last_report <- List.rev job.phase_cycles;
+      Telemetry.end_span tel job.span;
+      Telemetry.incr tel ~component:"loader" "loads"
+  | `Failed _ ->
+      t.last_report <- List.rev job.phase_cycles;
+      Telemetry.end_span tel job.span;
+      Telemetry.incr tel ~component:"loader" "load_failures"
   | `Working -> ());
   result
 

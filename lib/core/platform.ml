@@ -1,6 +1,7 @@
 open Tytan_machine
 open Tytan_eampu
 open Tytan_rtos
+open Tytan_telemetry
 module Crypto = Tytan_crypto
 
 exception Boot_failure of string
@@ -11,6 +12,7 @@ type config = {
   tick_period : int;
   eampu_slots : int;
   trace_enabled : bool;
+  telemetry_enabled : bool;
   platform_key : bytes;
   tamper_component : string option;
   allow_dynamic_loading : bool;
@@ -25,6 +27,7 @@ let default_config =
     tick_period = 32_000 (* 1.5 kHz at 48 MHz *);
     eampu_slots = 32;
     trace_enabled = false;
+    telemetry_enabled = false;
     platform_key = Bytes.of_string "tytan-platform-key--";
     tamper_component = None;
     allow_dynamic_loading = true;
@@ -70,6 +73,7 @@ type t = {
   clock : Cycles.t;
   engine : Exception_engine.t;
   trace : Trace.t;
+  telemetry : Telemetry.t;
   kernel : Kernel.t;
   heap : Heap.t;
   loader : Loader.t;
@@ -185,6 +189,11 @@ let create ?(config = default_config) () =
   let cpu = Cpu.create mem clock engine in
   let trace = Trace.create clock in
   if config.trace_enabled then Trace.enable trace;
+  let telemetry =
+    Telemetry.create ~per_event_cost:Cost_model.telemetry_event
+      ~per_span_cost:Cost_model.telemetry_span clock
+  in
+  if config.telemetry_enabled then Telemetry.enable telemetry;
   let map, trusted_code_end, heap_base = build_map () in
   if heap_base >= config.mem_size then
     invalid_arg "Platform.create: memory too small for the OS image";
@@ -219,7 +228,8 @@ let create ?(config = default_config) () =
       Memory.write8 mem (Region.base r + 7) 0xAA
   | None -> ());
   let kernel =
-    Kernel.create cpu ~code_eip:(Region.base kernel_code) ~tick_irq:0 ~trace
+    Kernel.create ~telemetry cpu ~code_eip:(Region.base kernel_code)
+      ~tick_irq:0 ~trace
   in
   let heap =
     Heap.create ~base:heap_base ~size:(config.mem_size - heap_base)
@@ -245,7 +255,9 @@ let create ?(config = default_config) () =
         Mpu_driver.create eampu clock
           ~code_eip:(Region.base (region map "eampu-driver"))
       in
-      let rtm = Rtm.create cpu ~code_eip:(Region.base (region map "rtm")) in
+      let rtm =
+        Rtm.create ~telemetry cpu ~code_eip:(Region.base (region map "rtm"))
+      in
       let int_mux =
         Int_mux.create kernel ~code_eip:(Region.base (region map "int-mux"))
       in
@@ -280,8 +292,11 @@ let create ?(config = default_config) () =
           ~shm_alloc ~shm_grant
       in
       let storage_id = region_id mem (region map "secure-storage") in
+      let storage_handler = Secure_storage.ipc_handler storage in
       Ipc.register_service ipc ~name:"secure-storage" ~id:storage_id
-        ~handler:(Secure_storage.ipc_handler storage);
+        ~handler:(fun ~sender ~message ->
+          Telemetry.with_span telemetry ~component:"storage" "op" (fun () ->
+              storage_handler ~sender ~message));
       (* Local attestation as an IPC endpoint: a task sends an identity
          (two words) and learns whether a task with that identity is
          currently loaded — id_t doubles as the local attestation report
@@ -289,9 +304,14 @@ let create ?(config = default_config) () =
       let attest_id = region_id mem (region map "remote-attest") in
       Ipc.register_service ipc ~name:"local-attest" ~id:attest_id
         ~handler:(fun ~sender:_ ~message ->
-          let queried = Task_id.of_words ~lo:message.(0) ~hi:message.(1) in
-          let loaded = Attestation.local_attest attestation queried in
-          Some [| (if loaded then 0 else 1); message.(0); message.(1); 0; 0; 0; 0; 0 |]);
+          Telemetry.with_span telemetry ~component:"attest" "local" (fun () ->
+              let queried = Task_id.of_words ~lo:message.(0) ~hi:message.(1) in
+              let loaded = Attestation.local_attest attestation queried in
+              Some
+                [|
+                  (if loaded then 0 else 1); message.(0); message.(1); 0; 0; 0;
+                  0; 0;
+                |]));
       let loader =
         Loader.create
           ?vet:
@@ -360,6 +380,7 @@ let create ?(config = default_config) () =
         clock;
         engine;
         trace;
+        telemetry;
         kernel;
         heap;
         loader;
@@ -382,7 +403,9 @@ let create ?(config = default_config) () =
     else begin
       (* Unmodified-FreeRTOS baseline: an RTM instance exists only as the
          loader's (uncharged) identity directory for IPC-free loads. *)
-      let rtm = Rtm.create cpu ~code_eip:(Region.base (region map "rtm")) in
+      let rtm =
+        Rtm.create ~telemetry cpu ~code_eip:(Region.base (region map "rtm"))
+      in
       let loader =
         Loader.create
           ?vet:
@@ -404,6 +427,7 @@ let create ?(config = default_config) () =
         clock;
         engine;
         trace;
+        telemetry;
         kernel;
         heap;
         loader;
@@ -446,6 +470,7 @@ let engine t = t.engine
 let kernel t = t.kernel
 let clock t = t.clock
 let trace t = t.trace
+let telemetry t = t.telemetry
 let config t = t.config
 let loader t = t.loader
 let heap t = t.heap
@@ -539,6 +564,16 @@ let attach_watchdog t ~name ~base ~irq ~timeout =
   add_pollable t (fun () -> Devices.Watchdog.poll wd);
   wd
 
+let attach_pmu t ~base =
+  let pmu =
+    Devices.Pmu.create t.clock ~name:"pmu" ~base
+      ~read_cost:Cost_model.pmu_read
+      ~instructions:(fun () -> Cpu.instructions_retired t.cpu)
+      ~context_switches:(fun () -> Kernel.context_switches t.kernel)
+  in
+  Memory.map_device t.mem (Devices.Pmu.device pmu);
+  pmu
+
 let attach_console t ~base =
   let console = Devices.Console.create ~base in
   Memory.map_device t.mem (Devices.Console.device console);
@@ -556,6 +591,22 @@ let restrict_mmio_to_task t (tcb : Tcb.t) ~base ~size =
       with
       | Ok _ -> Ok ()
       | Error e -> Error e)
+
+(* --- Cycle attribution ---------------------------------------------------- *)
+
+(* Where every cycle went: each task's accumulated run time, with the
+   remainder — firmware services, trusted components, interrupt plumbing
+   and the currently-running task's open slice — in the "(os)" bucket.
+   The rows sum to [Cycles.now] by construction. *)
+let cycle_attribution t =
+  let total = Cycles.now t.clock in
+  let tasks =
+    List.map
+      (fun (tcb : Tcb.t) -> (tcb.name, tcb.cycles_used))
+      (Kernel.all_tasks t.kernel)
+  in
+  let used = List.fold_left (fun n (_, c) -> n + c) 0 tasks in
+  tasks @ [ ("(os)", total - used) ]
 
 (* --- Memory accounting (Table 8) ----------------------------------------- *)
 

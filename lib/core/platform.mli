@@ -43,6 +43,10 @@ type config = {
   tick_period : int;  (** cycles between tick IRQs *)
   eampu_slots : int;
   trace_enabled : bool;
+  telemetry_enabled : bool;
+  (** enable the cycle-accurate telemetry registry; when on, every
+      recorded event/span charges the documented [Cost_model] telemetry
+      constants (observation is part of the machine) *)
   platform_key : bytes;  (** exactly 20 bytes; the manufacturer-provisioned Kp *)
   tamper_component : string option;
   (** test hook: corrupt this component's code before boot verification *)
@@ -80,6 +84,13 @@ val engine : t -> Exception_engine.t
 val kernel : t -> Kernel.t
 val clock : t -> Cycles.t
 val trace : t -> Trace.t
+
+val telemetry : t -> Tytan_telemetry.Telemetry.t
+(** The platform-wide metrics/span registry, shared by the kernel, the
+    trusted components and the network co-simulation.  Costs are wired
+    from {!Cost_model.telemetry_event}/{!Cost_model.telemetry_span};
+    disabled (and exactly free) unless [config.telemetry_enabled]. *)
+
 val config : t -> config
 val loader : t -> Loader.t
 val heap : t -> Heap.t
@@ -186,6 +197,20 @@ val route_rx_to_queue : t -> Devices.Rx_fifo.t -> queue_id:int -> int ref
 val restrict_mmio_to_task : t -> Tcb.t -> base:Word.t -> size:int -> (unit, string) result
 (** Install an EA-MPU rule granting an MMIO window exclusively to one
     task (plus making it protected from everyone else). *)
+
+val attach_pmu : t -> base:Word.t -> Devices.Pmu.t
+(** Map the performance-counter device (cycles, instructions retired,
+    context switches) at [base]; reads charge {!Cost_model.pmu_read}.
+    Protect the window with {!restrict_mmio_to_task} to give one task
+    exclusive access.  See {!Devices.Pmu} for the register map. *)
+
+(** {2 Cycle attribution} *)
+
+val cycle_attribution : t -> (string * int) list
+(** Where every cycle went, as [(name, cycles)] rows: each task's
+    accumulated run time plus an ["(os)"] row for firmware, trusted
+    components and the currently-open slice.  Rows sum exactly to
+    [Cycles.now (clock t)]. *)
 
 (** {2 Memory accounting (Table 8)} *)
 

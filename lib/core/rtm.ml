@@ -1,5 +1,6 @@
 open Tytan_machine
 open Tytan_rtos
+open Tytan_telemetry
 open Tytan_telf
 module Sha1 = Tytan_crypto.Sha1
 
@@ -15,11 +16,18 @@ type entry = {
 type t = {
   cpu : Cpu.t;
   code_eip : Word.t;
+  tel : Telemetry.t;
   mutable directory : entry list;
   mutable measurements : int;
 }
 
-let create cpu ~code_eip = { cpu; code_eip; directory = []; measurements = 0 }
+let create ?telemetry cpu ~code_eip =
+  let tel =
+    match telemetry with
+    | Some tel -> tel
+    | None -> Telemetry.create (Cpu.clock cpu)
+  in
+  { cpu; code_eip; tel; directory = []; measurements = 0 }
 let code_eip t = t.code_eip
 
 (* Canonical measurement input: a fixed 16-byte header binding the entry
@@ -47,10 +55,12 @@ type job = {
   ctx : Sha1.ctx;
   snapshot : bytes;  (** loaded image with relocation reverted *)
   mutable offset : int;
+  span : int;  (** telemetry span covering the whole measurement *)
 }
 
 let start_measure t ~base ~(telf : Telf.t) =
   let clock = Cpu.clock t.cpu in
+  let span = Telemetry.begin_span t.tel ~component:"rtm" "measure" in
   Cycles.charge clock Cost_model.rtm_measure_base;
   let snapshot =
     Cpu.with_firmware t.cpu ~eip:t.code_eip (fun () ->
@@ -64,7 +74,7 @@ let start_measure t ~base ~(telf : Telf.t) =
     + (Array.length telf.relocations * Cost_model.rtm_revert_per_address));
   let ctx = Sha1.init () in
   Sha1.feed ctx (canonical_header telf);
-  { ctx; snapshot; offset = 0 }
+  { ctx; snapshot; offset = 0; span }
 
 (* One step = one 64-byte block, so the total measurement cost is
    base + blocks_of · per_block (Table 7); the final step also pays for
@@ -78,6 +88,8 @@ let step_measure t job =
   job.offset <- job.offset + len;
   if job.offset >= Bytes.length job.snapshot then begin
     t.measurements <- t.measurements + 1;
+    Telemetry.end_span t.tel job.span;
+    Telemetry.incr t.tel ~component:"rtm" "measurements";
     `Done (Task_id.of_digest (Sha1.finalize job.ctx))
   end
   else `More

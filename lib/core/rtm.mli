@@ -28,7 +28,11 @@ type entry = {
 
 type t
 
-val create : Cpu.t -> code_eip:Word.t -> t
+val create :
+  ?telemetry:Tytan_telemetry.Telemetry.t -> Cpu.t -> code_eip:Word.t -> t
+(** [telemetry] (default: a fresh disabled registry) records one
+    ["rtm.measure"] span per measurement — opened by {!start_measure},
+    closed when {!step_measure} completes — and a measurement counter. *)
 
 val code_eip : t -> Word.t
 

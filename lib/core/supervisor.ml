@@ -1,6 +1,7 @@
 open Tytan_machine
 open Tytan_rtos
 open Tytan_telf
+open Tytan_telemetry
 
 type policy = {
   max_restarts : int;
@@ -50,6 +51,11 @@ type t = {
 
 let find_by_name t name = List.find_opt (fun e -> e.name = name) t.entries
 
+(* Mirror the survival counters into the telemetry registry so a chaos
+   report (or [tytan stats]) sees them alongside kernel/netsim metrics. *)
+let note t ?task name =
+  Telemetry.incr (Kernel.telemetry t.kernel) ?task ~component:"supervisor" name
+
 let find_by_tcb t (tcb : Tcb.t) =
   List.find_opt
     (fun e -> match e.tcb with Some c -> c.Tcb.id = tcb.Tcb.id | None -> false)
@@ -63,6 +69,7 @@ let disable_watchdog entry =
 let quarantine t entry ~measured ~why =
   entry.state <- Quarantined;
   t.quarantined <- t.quarantined + 1;
+  note t ~task:entry.name "quarantines";
   disable_watchdog entry;
   Trace.emitf t.trace ~source:"supervisor"
     "quarantine %s (%s): measured %s, reference %s" entry.name why
@@ -82,6 +89,7 @@ let schedule_restart t entry ~why =
   if entry.restart_count >= entry.policy.max_restarts then begin
     entry.state <- Gave_up;
     t.gave_up <- t.gave_up + 1;
+    note t ~task:entry.name "gave_up";
     Trace.emitf t.trace ~source:"supervisor" "gave up on %s after %d restarts"
       entry.name entry.restart_count
   end
@@ -136,12 +144,14 @@ let on_task_exit t (tcb : Tcb.t) =
           Trace.emitf t.trace ~source:"supervisor"
             "%s exited with no measurable image; not restarting" entry.name;
           entry.state <- Quarantined;
-          t.quarantined <- t.quarantined + 1)
+          t.quarantined <- t.quarantined + 1;
+          note t ~task:entry.name "quarantines")
 
 (* Hang path: the watchdog bit.  The task is still loaded, so re-measure
    it in place. *)
 let on_bite t entry =
   t.bites <- t.bites + 1;
+  note t ~task:entry.name "watchdog_bites";
   disable_watchdog entry;
   Trace.emitf t.trace ~source:"watchdog" "bite: %s missed its deadline"
     entry.name;
@@ -179,6 +189,7 @@ let on_loaded t (tcb : Tcb.t) =
           entry.state <- Running;
           entry.last_activations <- tcb.Tcb.activations;
           t.restarts <- t.restarts + 1;
+          note t ~task:entry.name "restarts";
           (match entry.watchdog with
           | Some wd ->
               Devices.Watchdog.kick wd;
@@ -192,6 +203,7 @@ let on_loaded t (tcb : Tcb.t) =
       | None ->
           entry.state <- Quarantined;
           t.quarantined <- t.quarantined + 1;
+          note t ~task:entry.name "quarantines";
           Trace.emitf t.trace ~source:"supervisor"
             "%s reloaded but missing from the RTM directory; quarantined"
             entry.name)

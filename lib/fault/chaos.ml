@@ -22,6 +22,7 @@ type report = {
   context_switches : int;
   trace_events : int;
   trace_digest : string;
+  telemetry : (string * int) list;
   survived : bool;
 }
 
@@ -69,6 +70,13 @@ let run ?(seed = 1) ?(ticks = 40) () =
   if ticks < 30 then invalid_arg "Chaos.run: need at least 30 ticks";
   let config = { Platform.default_config with trace_enabled = true } in
   let p = Platform.create ~config () in
+  (* Metrics without distortion: zeroing the per-event/per-span costs
+     before enabling keeps the campaign cycle-for-cycle identical to an
+     uninstrumented run, so the seed → trace-digest determinism contract
+     is untouched while the survival report still gets its snapshot. *)
+  let tel = Platform.telemetry p in
+  Tytan_telemetry.Telemetry.set_costs tel ~per_event:0 ~per_span:0;
+  Tytan_telemetry.Telemetry.enable tel;
   let tick_period = config.Platform.tick_period in
   (* Device population: two supervised workers, one sensor poller. *)
   ignore
@@ -172,6 +180,27 @@ let run ?(seed = 1) ?(ticks = 40) () =
     context_switches = Kernel.context_switches kernel;
     trace_events = List.length (Trace.events (Platform.trace p));
     trace_digest = trace_digest (Platform.trace p);
+    telemetry =
+      (Cosim.record_link_gauges cosim;
+       let module T = Tytan_telemetry.Telemetry in
+       (* Supervisor counters are task-labelled; sum them across tasks. *)
+       let sum component name =
+         List.fold_left
+           (fun acc ((k : T.key), v) ->
+             if k.component = component && k.name = name then acc + v else acc)
+           0 (T.counters tel)
+       in
+       [
+         ("link_dropped", T.gauge tel ~component:"net" "link_dropped");
+         ("link_delivered", T.gauge tel ~component:"net" "link_delivered");
+         ("challenges_served", T.counter tel ~component:"net" "challenges_served");
+         ("watchdog_bites", sum "supervisor" "watchdog_bites");
+         ("restarts", sum "supervisor" "restarts");
+         ("quarantines", sum "supervisor" "quarantines");
+         ("loads", T.counter tel ~component:"loader" "loads");
+         ("events_recorded", T.events_recorded tel);
+         ("spans_recorded", T.spans_recorded tel);
+       ]);
     survived;
   }
 
@@ -203,5 +232,7 @@ let to_string r =
   add "  kernel: %d faults contained, %d context switches\n" r.kernel_faults
     r.context_switches;
   add "  trace: %d events, digest %s\n" r.trace_events r.trace_digest;
+  add "  telemetry:\n";
+  List.iter (fun (k, n) -> add "    %-18s %d\n" k n) r.telemetry;
   add "  survival: %s\n" (if r.survived then "SURVIVED" else "DID NOT SURVIVE");
   Buffer.contents b

@@ -41,6 +41,11 @@ type report = {
   trace_digest : string;
       (** SHA-1 over the full trace event sequence — equal digests mean
           bit-for-bit identical runs *)
+  telemetry : (string * int) list;
+      (** snapshot from the platform's telemetry registry (link drops,
+          watchdog bites, supervisor restarts, quarantines, …).  The
+          campaign enables the registry with zeroed per-event costs, so
+          observation does not perturb the deterministic run. *)
   survived : bool;
       (** worker-a running and re-attested, worker-b quarantined *)
 }

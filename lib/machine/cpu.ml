@@ -62,6 +62,7 @@ type t = {
   mutable last_eip : Word.t;
   mutable resume_grant : Word.t option;
   mutable on_branch : branch_hook option;
+  mutable retired : int;
 }
 
 let allow_all ~eip:_ ~addr:_ ~size:_ ~kind:_ = ()
@@ -79,12 +80,14 @@ let create mem clock engine =
     last_eip = 0;
     resume_grant = None;
     on_branch = None;
+    retired = 0;
   }
 
 let set_on_branch t f = t.on_branch <- Some f
 let clear_on_branch t = t.on_branch <- None
 let branch_hook_installed t = Option.is_some t.on_branch
 
+let instructions_retired t = t.retired
 let mem t = t.mem
 let regs t = t.regs
 let clock t = t.clock
@@ -315,6 +318,7 @@ let step t =
          in
          Cycles.charge t.clock (Isa.cost instr);
          t.last_eip <- pc;
+         t.retired <- t.retired + 1;
          execute t pc instr
        end
      with Access.Violation v -> (

@@ -70,6 +70,10 @@ val set_on_branch : t -> branch_hook -> unit
 val clear_on_branch : t -> unit
 val branch_hook_installed : t -> bool
 
+val instructions_retired : t -> int
+(** Guest instructions retired since creation — the PMU's INSTRET
+    counter.  Firmware (host-side) work retires no instructions. *)
+
 val mem : t -> Memory.t
 val regs : t -> Regfile.t
 val clock : t -> Cycles.t

@@ -198,6 +198,46 @@ module Watchdog = struct
   let irq t = t.irq
 end
 
+module Pmu = struct
+  type t = {
+    name : string;
+    base : Word.t;
+    clock : Cycles.t;
+    instructions : unit -> int;
+    context_switches : unit -> int;
+    read_cost : int;
+    mutable reads : int;
+  }
+
+  let create clock ~name ~base ~read_cost ~instructions ~context_switches =
+    { name; base; clock; instructions; context_switches; read_cost; reads = 0 }
+
+  let size = 24
+
+  let device t =
+    {
+      Memory.name = t.name;
+      base = t.base;
+      size;
+      read32 =
+        (fun ~offset ->
+          (* Reading a counter is itself a bus transaction with a cost —
+             charged before sampling, so CYCLES_* includes this read. *)
+          Cycles.charge t.clock t.read_cost;
+          t.reads <- t.reads + 1;
+          match offset with
+          | 0 -> Cycles.now t.clock land 0xFFFF_FFFF
+          | 4 -> (Cycles.now t.clock lsr 32) land 0xFFFF_FFFF
+          | 8 -> t.instructions () land 0xFFFF_FFFF
+          | 12 -> (t.instructions () lsr 32) land 0xFFFF_FFFF
+          | 16 -> t.context_switches () land 0xFFFF_FFFF
+          | _ -> t.reads land 0xFFFF_FFFF);
+      write32 = (fun ~offset:_ _ -> ());
+    }
+
+  let reads t = t.reads
+end
+
 module Console = struct
   type t = { base : Word.t; buffer : Buffer.t }
 

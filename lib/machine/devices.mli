@@ -122,6 +122,48 @@ module Watchdog : sig
   val irq : t -> int
 end
 
+module Pmu : sig
+  (** A memory-mapped performance-monitoring unit — the hardware counters
+      a Siskiyou-class SoC would expose so software can observe where
+      cycles go without trusting the OS.  Counters are live (no latch);
+      readers wanting a torn-proof 64-bit value read HI, LO, HI and retry
+      if HI moved — the classic free-running-counter protocol.
+
+      MMIO register map (word registers at [base], 24 bytes):
+      {v
+        +0   CYCLES_LO   global cycle counter, low 32 bits
+        +4   CYCLES_HI   global cycle counter, high bits
+        +8   INSTRET_LO  guest instructions retired, low 32 bits
+        +12  INSTRET_HI  guest instructions retired, high bits
+        +16  CTXSW       context switches performed by the kernel
+        +20  READS       PMU reads served so far (self-metering)
+      v}
+
+      Every read charges [read_cost] cycles (the platform wires
+      [Cost_model.pmu_read]) {e before} sampling, so a CYCLES read
+      observes its own cost.  All registers are read-only; writes are
+      ignored.  The window is an ordinary MMIO device region, so the
+      EA-MPU can restrict it to a chosen task with
+      [Platform.restrict_mmio_to_task]. *)
+
+  type t
+
+  val create :
+    Cycles.t ->
+    name:string ->
+    base:Word.t ->
+    read_cost:int ->
+    instructions:(unit -> int) ->
+    context_switches:(unit -> int) ->
+    t
+
+  val size : int
+  val device : t -> Memory.device
+
+  val reads : t -> int
+  (** MMIO reads served. *)
+end
+
 module Console : sig
   type t
 

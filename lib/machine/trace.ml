@@ -24,11 +24,16 @@ let emit t ~source detail =
     Queue.push { at_cycle = Cycles.now t.clock; source; detail } t.events
   end
 
+(* A formatter whose output goes nowhere: the disabled path must not
+   touch the shared global [Format.str_formatter], whose buffer other
+   code may be flushing concurrently. *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) ignore
+
 let emitf t ~source fmt =
   (* When disabled, skip the formatting work entirely — [ikfprintf]
      consumes the arguments without rendering them. *)
   if t.enabled then Format.kasprintf (fun detail -> emit t ~source detail) fmt
-  else Format.ikfprintf ignore Format.str_formatter fmt
+  else Format.ikfprintf ignore null_formatter fmt
 
 let events t = List.of_seq (Queue.to_seq t.events)
 

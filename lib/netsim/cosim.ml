@@ -1,14 +1,23 @@
 open Tytan_core
+open Tytan_telemetry
 
 type cfa_responder =
   id:Task_id.t -> nonce:bytes -> Attestation.cfa_report option
+
+(* Per-session telemetry: one "net/attest" span from the first challenge
+   transmission until the verifier settles. *)
+type session = {
+  verifier : Verifier.t;
+  mutable span : int;
+  mutable settled : bool;
+}
 
 type t = {
   platform : Platform.t;
   link : Link.t;
   slice_cycles : int;
   advance : cycles:int -> unit;
-  mutable verifiers : Verifier.t list;
+  mutable verifiers : session list;
   mutable cfa_responder : cfa_responder option;
   mutable slice : int;
   mutable served : int;
@@ -40,8 +49,11 @@ let create platform ~link ?slice_cycles ?advance () =
     unknown = 0;
   }
 
-let attach_verifier t v = t.verifiers <- v :: t.verifiers
+let attach_verifier t v =
+  t.verifiers <- { verifier = v; span = 0; settled = false } :: t.verifiers
+
 let set_cfa_responder t f = t.cfa_responder <- Some f
+let tel t = Platform.telemetry t.platform
 
 (* The device's network agent: an OS-level driver that hands attestation
    challenges to the Remote Attest component and transmits its reports.
@@ -57,26 +69,36 @@ let device_agent t frame =
       in
       match Protocol.decode frame with
       | Error e ->
-          if Protocol.is_unknown_tag e then t.unknown <- t.unknown + 1
-          else t.malformed <- t.malformed + 1
+          if Protocol.is_unknown_tag e then begin
+            t.unknown <- t.unknown + 1;
+            Telemetry.incr (tel t) ~component:"net" "unknown_frames"
+          end
+          else begin
+            t.malformed <- t.malformed + 1;
+            Telemetry.incr (tel t) ~component:"net" "malformed_frames"
+          end
       | Ok (Protocol.Response _ | Protocol.Refusal _ | Protocol.CfaResponse _)
         ->
           ()
       | Ok (Protocol.Challenge { seq; id; nonce }) ->
           t.served <- t.served + 1;
-          send
-            (match Attestation.remote_attest attestation ~id ~nonce with
-            | Some report -> Protocol.Response { seq; report }
-            | None -> Protocol.Refusal { seq })
+          Telemetry.incr (tel t) ~component:"net" "challenges_served";
+          Telemetry.with_span (tel t) ~component:"net" "serve" (fun () ->
+              send
+                (match Attestation.remote_attest attestation ~id ~nonce with
+                | Some report -> Protocol.Response { seq; report }
+                | None -> Protocol.Refusal { seq }))
       | Ok (Protocol.CfaChallenge { seq; id; nonce }) ->
           t.served <- t.served + 1;
-          send
-            (match t.cfa_responder with
-            | None -> Protocol.Refusal { seq }
-            | Some respond -> (
-                match respond ~id ~nonce with
-                | Some report -> Protocol.CfaResponse { seq; report }
-                | None -> Protocol.Refusal { seq })))
+          Telemetry.incr (tel t) ~component:"net" "challenges_served";
+          Telemetry.with_span (tel t) ~component:"net" "serve" (fun () ->
+              send
+                (match t.cfa_responder with
+                | None -> Protocol.Refusal { seq }
+                | Some respond -> (
+                    match respond ~id ~nonce with
+                    | Some report -> Protocol.CfaResponse { seq; report }
+                    | None -> Protocol.Refusal { seq }))))
 
 let step t =
   (* 1. The device computes for one slice. *)
@@ -86,14 +108,29 @@ let step t =
   (* 3. Remote-bound frames reach the verifiers. *)
   let for_remote = Link.deliver t.link ~to_:Link.Remote ~at:t.slice in
   List.iter
-    (fun frame -> List.iter (fun v -> Verifier.on_frame v frame) t.verifiers)
+    (fun frame ->
+      List.iter (fun s -> Verifier.on_frame s.verifier frame) t.verifiers)
     for_remote;
   (* 4. Verifiers may (re)transmit. *)
   List.iter
-    (fun v ->
-      match Verifier.poll v ~at:t.slice with
-      | Some frame -> Link.send t.link ~from:Link.Remote ~at:t.slice frame
+    (fun s ->
+      match Verifier.poll s.verifier ~at:t.slice with
+      | Some frame ->
+          if s.span = 0 && not s.settled then
+            s.span <-
+              Telemetry.begin_span (tel t) ~component:"net" "attest";
+          Link.send t.link ~from:Link.Remote ~at:t.slice frame
       | None -> ())
+    t.verifiers;
+  (* 5. Close the round-trip span of any session that just settled. *)
+  List.iter
+    (fun s ->
+      if (not s.settled) && Verifier.outcome s.verifier <> Verifier.Pending
+      then begin
+        s.settled <- true;
+        Telemetry.end_span (tel t) s.span;
+        Telemetry.incr (tel t) ~component:"net" "sessions_settled"
+      end)
     t.verifiers;
   t.slice <- t.slice + 1
 
@@ -104,7 +141,9 @@ let run t ~slices =
 
 let run_until_settled t ~max_slices =
   let settled () =
-    List.for_all (fun v -> Verifier.outcome v <> Verifier.Pending) t.verifiers
+    List.for_all
+      (fun s -> Verifier.outcome s.verifier <> Verifier.Pending)
+      t.verifiers
   in
   let start = t.slice in
   let rec go () =
@@ -115,6 +154,12 @@ let run_until_settled t ~max_slices =
     end
   in
   go ()
+
+let record_link_gauges t =
+  List.iter
+    (fun (name, v) ->
+      Telemetry.set_gauge (tel t) ~component:"net" ("link_" ^ name) v)
+    (Link.counters t.link)
 
 let slice t = t.slice
 let challenges_served t = t.served

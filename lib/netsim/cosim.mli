@@ -42,6 +42,11 @@ val run_until_settled : t -> max_slices:int -> int
 (** Run until every attached verifier leaves [Pending] (or the bound is
     hit); returns the slices consumed. *)
 
+val record_link_gauges : t -> unit
+(** Snapshot the link's frame counters into the platform's telemetry
+    registry as ["net"] gauges ([link_sent], [link_dropped], …).  Call
+    after a run; gauges overwrite, so repeated calls are idempotent. *)
+
 val slice : t -> int
 val challenges_served : t -> int
 (** Challenges the device agent answered (including refusals). *)

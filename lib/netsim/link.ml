@@ -111,6 +111,16 @@ let deliver t ~to_ ~at =
   t.delivered <- t.delivered + List.length due;
   List.map (fun f -> f.payload) due
 
+let counters t =
+  [
+    ("sent", t.sent);
+    ("dropped", t.dropped);
+    ("delivered", t.delivered);
+    ("corrupted", t.corrupted);
+    ("duplicated", t.duplicated);
+    ("reordered", t.reordered);
+  ]
+
 let sent_count t = t.sent
 let dropped_count t = t.dropped
 let delivered_count t = t.delivered

@@ -43,6 +43,10 @@ val send : t -> from:side -> at:int -> bytes -> unit
 val deliver : t -> to_:side -> at:int -> bytes list
 (** Frames due for [to_] at slice [at] (oldest first); removes them. *)
 
+val counters : t -> (string * int) list
+(** Every counter below as [(name, value)] pairs, in a fixed order —
+    convenient for dumping into a telemetry snapshot or a report. *)
+
 val sent_count : t -> int
 val dropped_count : t -> int
 val delivered_count : t -> int

@@ -1,4 +1,5 @@
 open Tytan_machine
+open Tytan_telemetry
 
 exception Panic of string
 
@@ -8,6 +9,7 @@ type t = {
   cpu : Cpu.t;
   sched : Scheduler.t;
   trace : Trace.t;
+  tel : Telemetry.t;
   code_eip : Word.t;
   tick_irq : int;
   mutable ops : Context.ops;
@@ -26,11 +28,15 @@ type t = {
   irq_handlers : (int, unit -> unit) Hashtbl.t;
 }
 
-let create cpu ~code_eip ~tick_irq ~trace =
+let create ?telemetry cpu ~code_eip ~tick_irq ~trace =
   {
     cpu;
-    sched = Scheduler.create ();
+    sched = Scheduler.create ~clock:(Cpu.clock cpu) ();
     trace;
+    tel =
+      (match telemetry with
+      | Some tel -> tel
+      | None -> Telemetry.create (Cpu.clock cpu));
     code_eip;
     tick_irq;
     ops = Context.baseline cpu ~save_cost:38 ~restore_cost:254;
@@ -52,6 +58,7 @@ let create cpu ~code_eip ~tick_irq ~trace =
 let cpu t = t.cpu
 let scheduler t = t.sched
 let trace t = t.trace
+let telemetry t = t.tel
 let tick_count t = Scheduler.tick_count t.sched
 let code_eip t = t.code_eip
 let tick_irq t = t.tick_irq
@@ -93,6 +100,15 @@ let make_ready t tcb = Scheduler.add_ready t.sched tcb
 let restore_task t (tcb : Tcb.t) =
   tcb.state <- Tcb.Running;
   tcb.activations <- tcb.activations + 1;
+  (* Ready-queue wait: cycles between entering a ready list and being
+     handed the processor — the dispatch-latency distribution.  The idle
+     task is dispatched without queueing and carries no stamp. *)
+  if tcb.ready_since >= 0 then begin
+    Telemetry.observe t.tel ~task:tcb.name ~component:"kernel" "ready_wait"
+      (Cycles.now (Cpu.clock t.cpu) - tcb.ready_since);
+    tcb.ready_since <- -1
+  end;
+  Telemetry.incr t.tel ~task:tcb.name ~component:"kernel" "dispatches";
   tcb.dispatched_at <- Cycles.now (Cpu.clock t.cpu);
   Scheduler.set_current t.sched (Some tcb);
   t.context_switches <- t.context_switches + 1;
@@ -114,8 +130,9 @@ let dispatch t =
 let save_current t ~gprs =
   match Scheduler.current t.sched with
   | Some tcb when tcb.state = Tcb.Running ->
-      tcb.cycles_used <-
-        tcb.cycles_used + (Cycles.now (Cpu.clock t.cpu) - tcb.dispatched_at);
+      let slice = Cycles.now (Cpu.clock t.cpu) - tcb.dispatched_at in
+      tcb.cycles_used <- tcb.cycles_used + slice;
+      Telemetry.add t.tel ~task:tcb.name ~component:"kernel" "run_cycles" slice;
       t.ops.save tcb gprs;
       tcb.live_frame <- true;
       (* A task that is still Running after the save was merely preempted:
@@ -177,14 +194,26 @@ let enforce_cpu_quota t =
       | Some _ | None -> ())
   | Some _ | None -> ()
 
+(* An interrupt arrival that found a task running (save_current requeued
+   it as Ready) snatched the processor from it involuntarily. *)
+let note_preemption t =
+  match Scheduler.current t.sched with
+  | Some tcb when tcb.Tcb.state = Tcb.Ready ->
+      tcb.preemptions <- tcb.preemptions + 1;
+      Telemetry.incr t.tel ~task:tcb.name ~component:"kernel" "preemptions"
+  | Some _ | None -> ()
+
 let service_tick t =
+  let span = Telemetry.begin_span t.tel ~component:"kernel" "tick" in
+  note_preemption t;
   enforce_cpu_quota t;
   Scheduler.advance_tick t.sched;
   List.iter (wake_one t) (Scheduler.wake_due t.sched);
   let fired = Sw_timer.fire_due t.timers ~now:(Scheduler.tick_count t.sched) in
   if fired > 0 then
     Trace.emitf t.trace ~source:"timer" "%d software timer(s) fired" fired;
-  dispatch t
+  dispatch t;
+  Telemetry.end_span t.tel span
 
 let set_irq_handler t ~irq handler =
   if irq <= 0 || irq >= Exception_engine.swi_vector_base then
@@ -196,12 +225,15 @@ let set_irq_handler t ~irq handler =
 (* Service a device IRQ: run the bound handler (if any), then dispatch.
    The interrupted context was already saved. *)
 let service_irq t ~irq =
+  let span = Telemetry.begin_span t.tel ~component:"kernel" "irq" in
+  note_preemption t;
   (match Hashtbl.find_opt t.irq_handlers irq with
   | Some handler ->
       Trace.emitf t.trace ~source:"kernel" "irq %d" irq;
       handler ()
   | None -> Trace.emitf t.trace ~source:"kernel" "spurious irq %d" irq);
-  dispatch t
+  dispatch t;
+  Telemetry.end_span t.tel span
 
 (* --- Queues ------------------------------------------------------------ *)
 
@@ -346,11 +378,14 @@ let service_swi t ~swi ~gprs =
   | None ->
       (* Only a running task can raise an SWI. *)
       raise (Panic "SWI with no current task")
-  | Some tcb -> (
+  | Some tcb ->
       (* A syscall is voluntary cooperation: reset the runaway counter. *)
       tcb.consecutive_slices <- 0;
       Trace.emitf t.trace ~source:"kernel" "swi %d from %s" swi tcb.name;
-      match swi with
+      let span =
+        Telemetry.begin_span t.tel ~task:tcb.name ~component:"kernel" "swi"
+      in
+      (match swi with
       | 0 ->
           (* yield: context already saved and task re-queued *)
           dispatch t
@@ -379,7 +414,8 @@ let service_swi t ~swi ~gprs =
               other tcb.name;
             terminate t tcb;
             dispatch t
-          end)
+          end);
+      Telemetry.end_span t.tel span
 
 (* --- Vector installation (unmodified-FreeRTOS configuration) ----------- *)
 

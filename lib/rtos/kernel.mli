@@ -38,13 +38,19 @@ exception Panic of string
 type t
 
 val create :
+  ?telemetry:Tytan_telemetry.Telemetry.t ->
   Cpu.t -> code_eip:Word.t -> tick_irq:int -> trace:Trace.t -> t
 (** [code_eip] is an address inside the kernel's code region — the
-    identity under which kernel firmware accesses memory. *)
+    identity under which kernel firmware accesses memory.  [telemetry]
+    (default: a fresh disabled registry) receives the kernel's spans and
+    metrics: tick/irq/swi service spans, per-task dispatch and
+    preemption counters, run-cycle totals and the ready-queue wait
+    histogram. *)
 
 val cpu : t -> Cpu.t
 val scheduler : t -> Scheduler.t
 val trace : t -> Trace.t
+val telemetry : t -> Tytan_telemetry.Telemetry.t
 val tick_count : t -> int
 val code_eip : t -> Word.t
 val tick_irq : t -> int

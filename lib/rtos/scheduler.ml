@@ -5,13 +5,20 @@ type t = {
   mutable current : Tcb.t option;
   mutable delayed : Tcb.t list;  (* sorted by wake_tick ascending *)
   mutable ticks : int;
+  clock : Tytan_machine.Cycles.t option;
 }
 
 (* The ready lists are short (a handful of tasks per level on an MCU), so
    plain lists with append keep the code obvious. *)
 
-let create () =
-  { ready = Array.make priority_levels []; current = None; delayed = []; ticks = 0 }
+let create ?clock () =
+  {
+    ready = Array.make priority_levels [];
+    current = None;
+    delayed = [];
+    ticks = 0;
+    clock;
+  }
 
 let tick_count t = t.ticks
 let advance_tick t = t.ticks <- t.ticks + 1
@@ -25,6 +32,12 @@ let check_priority p =
 let add_ready t (tcb : Tcb.t) =
   check_priority tcb.priority;
   tcb.state <- Tcb.Ready;
+  (* Stamp when the wait began; the kernel's dispatch path turns this
+     into the ready-queue wait histogram. *)
+  tcb.ready_since <-
+    (match t.clock with
+    | Some clock -> Tytan_machine.Cycles.now clock
+    | None -> -1);
   t.ready.(tcb.priority) <- t.ready.(tcb.priority) @ [ tcb ]
 
 let remove t (tcb : Tcb.t) =

@@ -13,7 +13,10 @@ val priority_levels : int
 
 type t
 
-val create : unit -> t
+val create : ?clock:Tytan_machine.Cycles.t -> unit -> t
+(** With a [clock], entering a ready list stamps the task's
+    [ready_since] field (dispatch-latency telemetry); without one the
+    stamp stays [-1]. *)
 
 val tick_count : t -> int
 val advance_tick : t -> unit

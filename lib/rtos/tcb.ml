@@ -37,6 +37,8 @@ type t = {
   mutable live_frame : bool;
   mutable cycles_used : int;
   mutable dispatched_at : int;
+  mutable ready_since : int;
+  mutable preemptions : int;
 }
 
 let make ~id ~name ~priority ~secure ~region_base ~region_size ~code_base
@@ -67,6 +69,8 @@ let make ~id ~name ~priority ~secure ~region_base ~region_size ~code_base
     live_frame = false;
     cycles_used = 0;
     dispatched_at = 0;
+    ready_since = -1;
+    preemptions = 0;
   }
 
 let stack_top t = Word.add t.stack_base t.stack_size

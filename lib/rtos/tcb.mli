@@ -57,6 +57,13 @@ type t = {
   (** accumulated processor cycles (run-time statistics, as FreeRTOS's
       [vTaskGetRunTimeStats]) *)
   mutable dispatched_at : int;  (** clock reading at the last dispatch *)
+  mutable ready_since : int;
+  (** clock reading when the task last entered a ready list, or [-1]
+      when it is not waiting — feeds the kernel's ready-queue wait
+      (dispatch-latency) histogram *)
+  mutable preemptions : int;
+  (** times an interrupt arrival (tick or device IRQ) snatched the
+      processor while this task was running *)
 }
 
 val make :

@@ -1,0 +1,259 @@
+open Tytan_machine
+
+(* Hand-rolled JSON emission: the sealed toolchain carries no JSON
+   library, and the trace format is small enough that escaping strings
+   is the only subtlety. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (escape s)
+
+(* Chrome trace-event export.
+
+   Spans become complete ("ph":"X") duration events and Trace events
+   become instants ("ph":"i"); [ts]/[dur] are raw simulated cycles (the
+   viewer's microseconds read as cycles).  Thread ids partition the
+   timeline by attribution: tid 0 is the kernel/firmware, each task name
+   gets a tid in order of first appearance.  Output is sorted by [ts]
+   (stable), which both Perfetto and the golden test rely on. *)
+
+type event = {
+  ts : int;
+  dur : int option;  (* Some -> "X", None -> "i" *)
+  name : string;
+  cat : string;
+  tid : int;
+  arg_task : string option;
+}
+
+let chrome_trace telemetry trace =
+  let tids = Hashtbl.create 8 in
+  let next_tid = ref 1 in
+  let tid_of = function
+    | None -> 0
+    | Some task -> (
+        match Hashtbl.find_opt tids task with
+        | Some tid -> tid
+        | None ->
+            let tid = !next_tid in
+            Stdlib.incr next_tid;
+            Hashtbl.add tids task tid;
+            tid)
+  in
+  let span_events =
+    List.map
+      (fun (s : Telemetry.span) ->
+        {
+          ts = s.start_cycle;
+          dur = Some s.duration;
+          name = s.span_key.Telemetry.name;
+          cat = s.span_key.Telemetry.component;
+          tid = tid_of s.span_key.Telemetry.task;
+          arg_task = s.span_key.Telemetry.task;
+        })
+      (Telemetry.spans telemetry)
+  in
+  let instant_events =
+    List.map
+      (fun (e : Trace.event) ->
+        {
+          ts = e.at_cycle;
+          dur = None;
+          name = e.detail;
+          cat = e.source;
+          tid = 0;
+          arg_task = None;
+        })
+      (Trace.events trace)
+  in
+  let events =
+    List.stable_sort
+      (fun a b -> compare a.ts b.ts)
+      (span_events @ instant_events)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  let emit_meta ~name ~tid ~arg_name ~arg_value =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":%s,\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{%s:%s}},\n"
+         (json_string name) tid (json_string arg_name) (json_string arg_value))
+  in
+  emit_meta ~name:"process_name" ~tid:0 ~arg_name:"name" ~arg_value:"tytan";
+  emit_meta ~name:"thread_name" ~tid:0 ~arg_name:"name" ~arg_value:"kernel/os";
+  (* Task threads, in first-appearance order (tids were assigned while
+     mapping spans above, so iterate names sorted by tid). *)
+  let named =
+    Hashtbl.fold (fun task tid acc -> (tid, task) :: acc) tids []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (tid, task) ->
+      emit_meta ~name:"thread_name" ~tid ~arg_name:"name"
+        ~arg_value:("task " ^ task))
+    named;
+  let n = List.length events in
+  List.iteri
+    (fun i e ->
+      let args =
+        match e.arg_task with
+        | None -> ""
+        | Some task -> Printf.sprintf ",\"args\":{\"task\":%s}" (json_string task)
+      in
+      let body =
+        match e.dur with
+        | Some dur ->
+            Printf.sprintf
+              "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d%s}"
+              (json_string e.name) (json_string e.cat) e.ts dur e.tid args
+        | None ->
+            Printf.sprintf
+              "{\"name\":%s,\"cat\":%s,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
+              (json_string e.name) (json_string e.cat) e.ts e.tid args
+      in
+      Buffer.add_string buf body;
+      if i < n - 1 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n")
+    events;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+(* Text reports. *)
+
+let mean sum count = if count = 0 then 0 else sum / count
+
+let summary telemetry =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let counters = Telemetry.counters telemetry in
+  if counters <> [] then begin
+    line "counters:";
+    List.iter
+      (fun (k, v) -> line "  %-44s %12d" (Telemetry.key_to_string k) v)
+      counters
+  end;
+  let gauges = Telemetry.gauges telemetry in
+  if gauges <> [] then begin
+    line "gauges:";
+    List.iter
+      (fun (k, v) -> line "  %-44s %12d" (Telemetry.key_to_string k) v)
+      gauges
+  end;
+  let histograms = Telemetry.histograms telemetry in
+  if histograms <> [] then begin
+    line "histograms (cycles):";
+    line "  %-44s %8s %10s %10s %10s" "key" "count" "min" "mean" "max";
+    List.iter
+      (fun (k, (h : Telemetry.histogram_snapshot)) ->
+        line "  %-44s %8d %10d %10d %10d"
+          (Telemetry.key_to_string k)
+          h.Telemetry.count h.Telemetry.min_value
+          (mean h.Telemetry.sum h.Telemetry.count)
+          h.Telemetry.max_value)
+      histograms
+  end;
+  let dropped = Telemetry.spans_dropped telemetry in
+  let mis = Telemetry.mis_nested telemetry in
+  let open_spans = Telemetry.open_span_count telemetry in
+  line "spans: %d recorded, %d open, %d dropped, %d mis-nested"
+    (Telemetry.spans_recorded telemetry)
+    open_spans dropped mis;
+  Buffer.contents buf
+
+let text_timeline ?(limit = 60) telemetry =
+  let buf = Buffer.create 2048 in
+  let spans =
+    List.stable_sort
+      (fun (a : Telemetry.span) b -> compare a.start_cycle b.start_cycle)
+      (Telemetry.spans telemetry)
+  in
+  let total = List.length spans in
+  let spans =
+    if total <= limit then spans
+    else List.filteri (fun i _ -> i < limit) spans
+  in
+  List.iter
+    (fun (s : Telemetry.span) ->
+      let indent = String.make (2 * min s.depth 8) ' ' in
+      let task =
+        match s.span_key.Telemetry.task with
+        | None -> ""
+        | Some t -> Printf.sprintf " (%s)" t
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "[%10d +%6d] %s%s.%s%s\n" s.start_cycle s.duration
+           indent s.span_key.Telemetry.component s.span_key.Telemetry.name task))
+    spans;
+  if total > limit then
+    Buffer.add_string buf (Printf.sprintf "... (%d more spans)\n" (total - limit));
+  Buffer.contents buf
+
+(* Machine-readable stats: the [tytan stats --json] payload. *)
+
+let stats_json ?(attribution = []) ~total_cycles telemetry =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"total_cycles\": %d,\n" total_cycles);
+  Buffer.add_string buf "  \"attribution\": [";
+  let n = List.length attribution in
+  List.iteri
+    (fun i (task, cycles) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"task\": %s, \"cycles\": %d}%s"
+           (json_string task) cycles
+           (if i < n - 1 then "," else ""))
+    )
+    attribution;
+  Buffer.add_string buf "\n  ],\n";
+  let labelled_list name items render =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": [" name);
+    let n = List.length items in
+    List.iteri
+      (fun i item ->
+        Buffer.add_string buf
+          (Printf.sprintf "\n    %s%s" (render item)
+             (if i < n - 1 then "," else "")))
+      items;
+    Buffer.add_string buf "\n  ],\n"
+  in
+  let key_fields (k : Telemetry.key) =
+    Printf.sprintf "\"component\": %s, \"name\": %s%s"
+      (json_string k.Telemetry.component)
+      (json_string k.Telemetry.name)
+      (match k.Telemetry.task with
+      | None -> ""
+      | Some t -> Printf.sprintf ", \"task\": %s" (json_string t))
+  in
+  labelled_list "counters" (Telemetry.counters telemetry) (fun (k, v) ->
+      Printf.sprintf "{%s, \"value\": %d}" (key_fields k) v);
+  labelled_list "gauges" (Telemetry.gauges telemetry) (fun (k, v) ->
+      Printf.sprintf "{%s, \"value\": %d}" (key_fields k) v);
+  labelled_list "histograms" (Telemetry.histograms telemetry)
+    (fun (k, (h : Telemetry.histogram_snapshot)) ->
+      Printf.sprintf
+        "{%s, \"count\": %d, \"sum\": %d, \"min\": %d, \"mean\": %d, \"max\": %d}"
+        (key_fields k) h.Telemetry.count h.Telemetry.sum h.Telemetry.min_value
+        (mean h.Telemetry.sum h.Telemetry.count)
+        h.Telemetry.max_value);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"spans_recorded\": %d,\n  \"spans_dropped\": %d,\n  \"mis_nested\": %d\n"
+       (Telemetry.spans_recorded telemetry)
+       (Telemetry.spans_dropped telemetry)
+       (Telemetry.mis_nested telemetry));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

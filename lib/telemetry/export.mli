@@ -1,0 +1,26 @@
+(** Telemetry exporters: Chrome trace-event JSON and text reports. *)
+
+open Tytan_machine
+
+val chrome_trace : Telemetry.t -> Trace.t -> string
+(** One Perfetto-loadable timeline merging completed telemetry spans
+    (["ph":"X"] duration events) with {!Trace} events (["ph":"i"]
+    instants).  [ts] and [dur] are raw simulated cycles; tid 0 is the
+    kernel/firmware and each task gets its own thread row.  Events are
+    sorted by [ts] and the output is deterministic (golden-testable). *)
+
+val summary : Telemetry.t -> string
+(** Human-readable report: counters, gauges, histogram statistics and
+    span bookkeeping totals. *)
+
+val text_timeline : ?limit:int -> Telemetry.t -> string
+(** Perfetto-screenshot-equivalent text rendering of the span timeline,
+    indented by nesting depth; at most [limit] (default 60) spans. *)
+
+val stats_json :
+  ?attribution:(string * int) list -> total_cycles:int -> Telemetry.t -> string
+(** The [tytan stats --json] payload: total cycles, per-task cycle
+    attribution, and the full metrics registry. *)
+
+val json_string : string -> string
+(** Escape and quote a string as a JSON literal (shared by reporters). *)

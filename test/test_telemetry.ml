@@ -1,0 +1,526 @@
+(* Telemetry subsystem tests: histogram bucket boundaries, span nesting
+   and mis-nesting, the zero-cost-disabled contract (asserted cycle-exact
+   against Cost_model), the PMU device, and the Chrome-trace exporter
+   (structural JSON validity with monotonically consistent ts/dur). *)
+
+open Tytan_machine
+open Tytan_core
+open Tytan_telemetry
+module Tasks = Tytan_tasks.Task_lib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Histogram buckets ---------------------------------------------------- *)
+
+let histogram_tests =
+  [
+    Alcotest.test_case "bucket boundaries: 0, 1, powers of two, max_int" `Quick
+      (fun () ->
+        check_int "0 -> bucket 0" 0 (Telemetry.bucket_index 0);
+        check_int "negative -> bucket 0" 0 (Telemetry.bucket_index (-5));
+        check_int "1 -> bucket 1" 1 (Telemetry.bucket_index 1);
+        check_int "2 -> bucket 2" 2 (Telemetry.bucket_index 2);
+        check_int "3 -> bucket 2" 2 (Telemetry.bucket_index 3);
+        check_int "4 -> bucket 3" 3 (Telemetry.bucket_index 4);
+        check_int "max_int -> last bucket" (Telemetry.bucket_count - 1)
+          (Telemetry.bucket_index max_int));
+    Alcotest.test_case "every bucket's bounds round-trip" `Quick (fun () ->
+        for i = 0 to Telemetry.bucket_count - 1 do
+          let lo = Telemetry.bucket_lower i and hi = Telemetry.bucket_upper i in
+          check_bool "lower <= upper" true (lo <= hi);
+          check_int "lower lands in its bucket" i (Telemetry.bucket_index lo);
+          check_int "upper lands in its bucket" i (Telemetry.bucket_index hi)
+        done);
+    Alcotest.test_case "observations land in snapshot" `Quick (fun () ->
+        let clock = Cycles.create () in
+        let t = Telemetry.create clock in
+        Telemetry.enable t;
+        List.iter
+          (fun v -> Telemetry.observe t ~component:"x" "h" v)
+          [ 0; 1; 3; 1000; max_int ];
+        let s =
+          Option.get (Telemetry.histogram t ~component:"x" "h")
+        in
+        check_int "count" 5 s.Telemetry.count;
+        check_int "min" 0 s.Telemetry.min_value;
+        check_int "max" max_int s.Telemetry.max_value;
+        check_int "buckets hit" 5 (List.length s.Telemetry.nonzero_buckets));
+  ]
+
+(* --- Spans ----------------------------------------------------------------- *)
+
+let span_tests =
+  [
+    Alcotest.test_case "nesting depths recorded" `Quick (fun () ->
+        let clock = Cycles.create () in
+        let t = Telemetry.create clock in
+        Telemetry.enable t;
+        let outer = Telemetry.begin_span t ~component:"a" "outer" in
+        Cycles.charge clock 100;
+        let inner = Telemetry.begin_span t ~component:"a" "inner" in
+        Cycles.charge clock 10;
+        Telemetry.end_span t inner;
+        Telemetry.end_span t outer;
+        match Telemetry.spans t with
+        | [ i; o ] ->
+            check_int "inner depth" 1 i.Telemetry.depth;
+            check_int "outer depth" 0 o.Telemetry.depth;
+            check_int "inner duration" 10 i.Telemetry.duration;
+            check_int "outer duration" 110 o.Telemetry.duration;
+            check_bool "outer started first" true
+              (o.Telemetry.start_cycle < i.Telemetry.start_cycle)
+        | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+    Alcotest.test_case "out-of-order close of open spans is tolerated" `Quick
+      (fun () ->
+        let clock = Cycles.create () in
+        let t = Telemetry.create clock in
+        Telemetry.enable t;
+        let a = Telemetry.begin_span t ~component:"a" "a" in
+        let b = Telemetry.begin_span t ~component:"a" "b" in
+        Telemetry.end_span t a;
+        (* a closed before its inner b *)
+        Telemetry.end_span t b;
+        check_int "no mis-nesting" 0 (Telemetry.mis_nested t);
+        check_int "both recorded" 2 (Telemetry.spans_recorded t));
+    Alcotest.test_case "double close and unknown ids are mis-nesting" `Quick
+      (fun () ->
+        let clock = Cycles.create () in
+        let t = Telemetry.create clock in
+        Telemetry.enable t;
+        let a = Telemetry.begin_span t ~component:"a" "a" in
+        Telemetry.end_span t a;
+        Telemetry.end_span t a;
+        (* double close *)
+        Telemetry.end_span t 9999;
+        (* never opened *)
+        check_int "mis-nested" 2 (Telemetry.mis_nested t);
+        check_int "recorded once" 1 (Telemetry.spans_recorded t));
+    Alcotest.test_case "capacity bounds completed spans and counts drops"
+      `Quick (fun () ->
+        let clock = Cycles.create () in
+        let t = Telemetry.create ~span_capacity:4 clock in
+        Telemetry.enable t;
+        for _ = 1 to 10 do
+          Telemetry.end_span t (Telemetry.begin_span t ~component:"a" "s")
+        done;
+        check_int "kept" 4 (List.length (Telemetry.spans t));
+        check_int "dropped" 6 (Telemetry.spans_dropped t);
+        check_int "recorded" 10 (Telemetry.spans_recorded t));
+    Alcotest.test_case "every closed span feeds its duration histogram" `Quick
+      (fun () ->
+        let clock = Cycles.create () in
+        let t = Telemetry.create clock in
+        Telemetry.enable t;
+        Telemetry.with_span t ~component:"a" "s" (fun () ->
+            Cycles.charge clock 7);
+        let s = Option.get (Telemetry.histogram t ~component:"a" "s") in
+        check_int "one observation" 1 s.Telemetry.count;
+        check_int "sum is the duration" 7 s.Telemetry.sum);
+  ]
+
+(* --- The zero-cost-disabled / exact-cost-enabled contract ------------------ *)
+
+let cost_tests =
+  [
+    Alcotest.test_case "disabled registry charges exactly 0 cycles" `Quick
+      (fun () ->
+        let clock = Cycles.create () in
+        let t =
+          Telemetry.create ~per_event_cost:Cost_model.telemetry_event
+            ~per_span_cost:Cost_model.telemetry_span clock
+        in
+        let before = Cycles.now clock in
+        for i = 1 to 100 do
+          Telemetry.incr t ~component:"x" "c";
+          Telemetry.add t ~component:"x" "a" i;
+          Telemetry.set_gauge t ~component:"x" "g" i;
+          Telemetry.observe t ~component:"x" "h" i;
+          let s = Telemetry.begin_span t ~component:"x" "s" in
+          check_int "disabled begin_span returns 0" 0 s;
+          Telemetry.end_span t s
+        done;
+        check_int "exactly zero cycles" before (Cycles.now clock);
+        check_int "no events" 0 (Telemetry.events_recorded t);
+        check_int "no spans" 0 (Telemetry.spans_recorded t);
+        check_bool "no metrics materialised" true (Telemetry.counters t = []));
+    Alcotest.test_case "enabled cost is exactly the Cost_model constants"
+      `Quick (fun () ->
+        let clock = Cycles.create () in
+        let t =
+          Telemetry.create ~per_event_cost:Cost_model.telemetry_event
+            ~per_span_cost:Cost_model.telemetry_span clock
+        in
+        Telemetry.enable t;
+        let events = 17 and spans = 5 in
+        let before = Cycles.now clock in
+        for i = 1 to events do
+          Telemetry.incr t ~component:"x" "c";
+          ignore i
+        done;
+        for _ = 1 to spans do
+          Telemetry.end_span t (Telemetry.begin_span t ~component:"x" "s")
+        done;
+        check_int "K*event + M*span cycles"
+          ((events * Cost_model.telemetry_event)
+          + (spans * Cost_model.telemetry_span))
+          (Cycles.now clock - before));
+    Alcotest.test_case "a span's own charge lands outside its duration" `Quick
+      (fun () ->
+        let clock = Cycles.create () in
+        let t =
+          Telemetry.create ~per_span_cost:Cost_model.telemetry_span clock
+        in
+        Telemetry.enable t;
+        Telemetry.end_span t (Telemetry.begin_span t ~component:"x" "s");
+        match Telemetry.spans t with
+        | [ s ] -> check_int "empty span has zero duration" 0 s.Telemetry.duration
+        | _ -> Alcotest.fail "expected one span");
+  ]
+
+(* --- PMU device ------------------------------------------------------------ *)
+
+let pmu_tests =
+  [
+    Alcotest.test_case "registers are live and reads charge their cost" `Quick
+      (fun () ->
+        let clock = Cycles.create () in
+        let instret = ref 41 in
+        let pmu =
+          Devices.Pmu.create clock ~name:"pmu" ~base:0xF200_0000 ~read_cost:34
+            ~instructions:(fun () -> !instret)
+            ~context_switches:(fun () -> 7)
+        in
+        let dev = Devices.Pmu.device pmu in
+        Cycles.charge clock 1000;
+        let cycles_lo = dev.Memory.read32 ~offset:0 in
+        (* The read charged 34 before sampling, so it observes itself. *)
+        check_int "CYCLES_LO observes its own cost" 1034 cycles_lo;
+        check_int "INSTRET_LO" 41 (dev.Memory.read32 ~offset:8);
+        check_int "INSTRET_HI" 0 (dev.Memory.read32 ~offset:12);
+        check_int "CTXSW" 7 (dev.Memory.read32 ~offset:16);
+        (* Like CYCLES, READS observes itself: the 5th read returns 5. *)
+        check_int "READS self-metering" 5 (dev.Memory.read32 ~offset:20);
+        check_int "five reads served" 5 (Devices.Pmu.reads pmu);
+        check_int "each read cost 34" (1000 + (5 * 34)) (Cycles.now clock);
+        (* Writes are ignored. *)
+        dev.Memory.write32 ~offset:0 123;
+        check_bool "counter unaffected by write" true
+          (dev.Memory.read32 ~offset:0 > 1034));
+  ]
+
+(* --- Platform integration -------------------------------------------------- *)
+
+let load p ?priority ?secure name telf =
+  Result.get_ok (Platform.load_blocking p ~name ?priority ?secure telf)
+
+let instrumented_platform ?(ticks = 8) () =
+  let config =
+    { Platform.default_config with
+      trace_enabled = true;
+      telemetry_enabled = true
+    }
+  in
+  let p = Platform.create ~config () in
+  let rtelf = Tasks.ipc_receiver () in
+  let receiver = load p "recv" rtelf in
+  let rid =
+    (Option.get (Rtm.find_by_tcb (Option.get (Platform.rtm p)) receiver)).Rtm.id
+  in
+  ignore (load p "send" (Tasks.ipc_sender ~receiver:rid ~repeat:true ()));
+  Platform.run_ticks p ticks;
+  p
+
+let platform_tests =
+  [
+    Alcotest.test_case "platform registry carries the Cost_model prices" `Quick
+      (fun () ->
+        let p = instrumented_platform () in
+        let tel = Platform.telemetry p in
+        check_bool "enabled" true (Telemetry.enabled tel);
+        check_int "event cost" Cost_model.telemetry_event
+          (Telemetry.per_event_cost tel);
+        check_int "span cost" Cost_model.telemetry_span
+          (Telemetry.per_span_cost tel));
+    Alcotest.test_case "kernel, ipc, rtm and loader spans are recorded" `Quick
+      (fun () ->
+        let p = instrumented_platform () in
+        let tel = Platform.telemetry p in
+        let has component name =
+          List.exists
+            (fun (s : Telemetry.span) ->
+              s.Telemetry.span_key.Telemetry.component = component
+              && s.Telemetry.span_key.Telemetry.name = name)
+            (Telemetry.spans tel)
+        in
+        check_bool "kernel tick span" true (has "kernel" "tick");
+        check_bool "kernel swi span" true (has "kernel" "swi");
+        check_bool "ipc send span" true (has "ipc" "send");
+        check_bool "ipc sync round-trip span" true (has "ipc" "sync_session");
+        check_bool "rtm measure span" true (has "rtm" "measure");
+        check_bool "loader load span" true (has "loader" "load");
+        check_int "no mis-nesting in a real run" 0 (Telemetry.mis_nested tel));
+    Alcotest.test_case "ready-queue wait histogram fills per task" `Quick
+      (fun () ->
+        let p = instrumented_platform () in
+        let tel = Platform.telemetry p in
+        let s =
+          Option.get
+            (Telemetry.histogram tel ~task:"send" ~component:"kernel"
+               "ready_wait")
+        in
+        check_bool "observed waits" true (s.Telemetry.count > 0);
+        check_bool "mean within range" true
+          (s.Telemetry.min_value <= s.Telemetry.max_value));
+    Alcotest.test_case "cycle attribution sums exactly to the clock" `Quick
+      (fun () ->
+        let p = instrumented_platform () in
+        let rows = Platform.cycle_attribution p in
+        let total = List.fold_left (fun acc (_, c) -> acc + c) 0 rows in
+        check_int "rows sum to Cycles.now" (Cycles.now (Platform.clock p)) total;
+        List.iter
+          (fun (name, c) ->
+            check_bool (name ^ " non-negative") true (c >= 0))
+          rows;
+        check_bool "(os) residual present" true
+          (List.mem_assoc "(os)" rows));
+    Alcotest.test_case "disabled platform telemetry records nothing" `Quick
+      (fun () ->
+        let p = Platform.create () in
+        ignore (load p "t" (Tasks.counter ()));
+        Platform.run_ticks p 4;
+        let tel = Platform.telemetry p in
+        check_bool "disabled by default" false (Telemetry.enabled tel);
+        check_int "no events" 0 (Telemetry.events_recorded tel);
+        check_int "no spans" 0 (Telemetry.spans_recorded tel));
+  ]
+
+(* --- Chrome trace export --------------------------------------------------- *)
+
+(* A minimal JSON parser — enough to structurally validate the exporter's
+   output without external dependencies. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\255' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with
+        | ' ' | '\t' | '\n' | '\r' ->
+            advance ();
+            skip_ws ()
+        | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                (* consume 4 hex digits; keep the escape verbatim *)
+                for _ = 1 to 4 do
+                  advance ()
+                done;
+                Buffer.add_char b '?'
+            | c -> Buffer.add_char b c);
+            advance ();
+            go ()
+        | '\255' -> raise (Bad "unterminated string")
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then (
+            advance ();
+            Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              if peek () = ',' then (
+                advance ();
+                members ((k, v) :: acc))
+              else (
+                expect '}';
+                Obj (List.rev ((k, v) :: acc)))
+            in
+            members []
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then (
+            advance ();
+            List [])
+          else
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              if peek () = ',' then (
+                advance ();
+                elements (v :: acc))
+              else (
+                expect ']';
+                List (List.rev (v :: acc)))
+            in
+            elements []
+      | 't' ->
+          pos := !pos + 4;
+          Bool true
+      | 'f' ->
+          pos := !pos + 5;
+          Bool false
+      | 'n' ->
+          pos := !pos + 4;
+          Null
+      | _ ->
+          let start = !pos in
+          while
+            !pos < n
+            && match s.[!pos] with
+               | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+               | _ -> false
+          do
+            advance ()
+          done;
+          if !pos = start then raise (Bad (Printf.sprintf "junk at %d" start));
+          Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let mem k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let str = function Str s -> s | _ -> raise (Bad "not a string")
+  let num = function Num f -> f | _ -> raise (Bad "not a number")
+end
+
+let export_tests =
+  [
+    Alcotest.test_case
+      "chrome_trace is valid JSON with consistent ts/dur and all sources"
+      `Quick (fun () ->
+        let p = instrumented_platform ~ticks:10 () in
+        let tel = Platform.telemetry p in
+        let json = Export.chrome_trace tel (Platform.trace p) in
+        let root = Json.parse json in
+        let events =
+          match Json.mem "traceEvents" root with
+          | Some (Json.List l) -> l
+          | _ -> Alcotest.fail "no traceEvents array"
+        in
+        check_bool "has events" true (events <> []);
+        let last_ts = ref neg_infinity in
+        let cats = Hashtbl.create 8 in
+        List.iter
+          (fun e ->
+            let ph = Json.str (Option.get (Json.mem "ph" e)) in
+            check_bool "known phase" true (List.mem ph [ "X"; "i"; "M" ]);
+            match ph with
+            | "M" -> ()
+            | _ ->
+                let ts = Json.num (Option.get (Json.mem "ts" e)) in
+                check_bool "ts monotone" true (ts >= !last_ts);
+                last_ts := ts;
+                (match Json.mem "cat" e with
+                | Some c -> Hashtbl.replace cats (Json.str c) ()
+                | None -> ());
+                if ph = "X" then begin
+                  let dur = Json.num (Option.get (Json.mem "dur" e)) in
+                  check_bool "dur >= 0" true (dur >= 0.0);
+                  check_bool "span ends within the run" true
+                    (ts +. dur
+                    <= float_of_int (Cycles.now (Platform.clock p)))
+                end)
+          events;
+        List.iter
+          (fun cat ->
+            check_bool ("category " ^ cat) true (Hashtbl.mem cats cat))
+          [ "kernel"; "ipc"; "rtm"; "loader" ]);
+    Alcotest.test_case "stats_json parses and attribution is faithful" `Quick
+      (fun () ->
+        let p = instrumented_platform () in
+        let tel = Platform.telemetry p in
+        let total = Cycles.now (Platform.clock p) in
+        let root =
+          Json.parse
+            (Export.stats_json
+               ~attribution:(Platform.cycle_attribution p)
+               ~total_cycles:total tel)
+        in
+        check_int "total_cycles field" total
+          (int_of_float (Json.num (Option.get (Json.mem "total_cycles" root))));
+        let rows =
+          match Json.mem "attribution" root with
+          | Some (Json.List l) -> l
+          | _ -> Alcotest.fail "no attribution"
+        in
+        let sum =
+          List.fold_left
+            (fun acc r ->
+              acc
+              + int_of_float (Json.num (Option.get (Json.mem "cycles" r))))
+            0 rows
+        in
+        check_int "attribution sums to total" total sum);
+    Alcotest.test_case "json_string escapes control characters" `Quick
+      (fun () ->
+        check_bool "quote escaped" true
+          (Export.json_string "a\"b" = "\"a\\\"b\"");
+        check_bool "newline escaped" true
+          (Export.json_string "a\nb" = "\"a\\nb\"");
+        match Json.parse (Export.json_string "x\t\"\\y") with
+        | Json.Str s -> check_bool "round-trips" true (s = "x\t\"\\y")
+        | _ -> Alcotest.fail "not a string");
+  ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ("histograms", histogram_tests);
+      ("spans", span_tests);
+      ("costs", cost_tests);
+      ("pmu", pmu_tests);
+      ("platform", platform_tests);
+      ("export", export_tests);
+    ]
