@@ -999,6 +999,34 @@ let run_telemetry_bench () =
   record ~table:"telemetry" ~label:"overhead" delta;
   record ~table:"telemetry" ~label:"model-overhead" model
 
+let run_swarm_bench () =
+  hr "Fleet-scale swarm attestation — scalar vs batched verifier (lib/provision)";
+  let module Swarm = Tytan_provision.Swarm in
+  let sizes = if !smoke then [ 16; 64 ] else [ 16; 256; 2048 ] in
+  let epochs = 4 in
+  row "N devices, %d epochs, 10%% loss, 6 health polls/epoch; verifier cycles:\n"
+    epochs;
+  List.iter
+    (fun n ->
+      let campaign mode =
+        Swarm.run ~mode ~devices:n ~epochs ~seed:1 ()
+      in
+      let scalar = campaign Swarm.Scalar in
+      let batched = campaign Swarm.Batched in
+      if Swarm.verdicts scalar <> Swarm.verdicts batched then
+        failwith "swarm bench: scalar/batched verdicts diverged";
+      let ratio =
+        float_of_int scalar.Swarm.verifier_cycles
+        /. float_of_int (max 1 batched.Swarm.verifier_cycles)
+      in
+      row "  N=%4d: scalar %10d   batched %10d   (%.1fx, verdicts identical)\n"
+        n scalar.Swarm.verifier_cycles batched.Swarm.verifier_cycles ratio;
+      record ~table:"fleet" ~label:(Printf.sprintf "scalar-verify-%d" n)
+        scalar.Swarm.verifier_cycles;
+      record ~table:"fleet" ~label:(Printf.sprintf "batched-verify-%d" n)
+        batched.Swarm.verifier_cycles)
+    sizes
+
 let () =
   let wall = Array.exists (fun a -> a = "--wall") Sys.argv in
   smoke := Array.exists (fun a -> a = "--smoke") Sys.argv;
@@ -1024,6 +1052,7 @@ let () =
   run_ipc_bench ();
   run_cfa_bench ();
   run_telemetry_bench ();
+  run_swarm_bench ();
   run_realtime_compliance ();
   run_jitter ();
   run_ablations ();

@@ -306,54 +306,74 @@ let trace_cmd =
 
 (* --- fleet ---------------------------------------------------------------- *)
 
-let fleet devices loss =
+let fleet devices epochs seed faults mode loss verify =
   let open Tytan_provision in
-  let registry = Registry.create ~master:(Bytes.of_string "cli-root-secret") in
-  let fw = Tasks.counter () in
-  Registry.set_manifest registry [ ("control-fw", Rtm.identity_of_telf fw) ];
-  let fleet =
-    List.init devices (fun i ->
-        let d =
-          Fleet.manufacture registry
-            ~serial:(Printf.sprintf "ecu-%03d" (i + 1))
-            ~loss_percent:loss ~link_seed:(i + 3) ()
-        in
-        ignore (Result.get_ok (Fleet.deploy d ~name:"control-fw" fw));
-        d)
+  let mode =
+    match mode with
+    | "scalar" -> Swarm.Scalar
+    | "batched" -> Swarm.Batched
+    | other ->
+        Printf.eprintf "tytan: unknown fleet mode %S (scalar|batched)\n" other;
+        exit 124
   in
-  (* The last device gets a tampered build. *)
-  (match List.rev fleet with
-  | last :: _ -> (
-      match
-        Kernel.find_task_by_name (Platform.kernel (Fleet.platform last)) "control-fw"
-      with
-      | Some tcb ->
-          Platform.unload (Fleet.platform last) tcb;
-          let tampered =
-            let image = Bytes.copy fw.Tytan_telf.Telf.image in
-            Bytes.blit (Isa.encode Isa.Nop) 0 image 200 8;
-            { fw with Tytan_telf.Telf.image }
-          in
-          ignore (Result.get_ok (Fleet.deploy last ~name:"control-fw" tampered))
-      | None -> ())
-  | [] -> ());
-  Printf.printf "auditing %d device(s) over a %d%%-loss uplink...
-" devices loss;
-  List.iter
-    (fun report -> Format.printf "%a@." Fleet.pp_report report)
-    (Fleet.audit_fleet registry fleet ~max_attempts:30 ())
+  let run () =
+    Swarm.run ~mode ~devices ~epochs ~seed ~faults ~loss_percent:loss ()
+  in
+  let report = run () in
+  print_string (Swarm.to_string report);
+  if verify then begin
+    let again = run () in
+    if Swarm.equal report again then
+      print_endline "reproducibility: second run identical (same digest)"
+    else begin
+      print_endline "reproducibility: RUNS DIVERGED";
+      exit 1
+    end
+  end;
+  (* Without injected faults every device is honest, so a lost device is
+     an infrastructure failure worth a non-zero exit; with --faults a
+     broken device is the experiment working as designed. *)
+  if (not report.Swarm.survived) && not faults then exit 2
 
 let fleet_cmd =
   let devices =
-    Arg.(value & opt int 3 & info [ "devices" ] ~doc:"Fleet size.")
+    Arg.(value & opt int 64 & info [ "devices" ] ~doc:"Fleet size.")
+  in
+  let epochs =
+    Arg.(value & opt int 4 & info [ "epochs" ] ~doc:"Fresh-nonce attestation rounds.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign PRNG seed.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Inject a seeded device-fault schedule (firmware tampers, kills, \
+             one-epoch hangs) and link corruption/duplication/reordering.")
+  in
+  let mode =
+    Arg.(
+      value & opt string "batched"
+      & info [ "mode" ] ~doc:"Verifier engine: batched (aggregator) or scalar.")
   in
   let loss =
-    Arg.(value & opt int 30 & info [ "loss" ] ~doc:"Uplink frame loss, percent.")
+    Arg.(value & opt int 10 & info [ "loss" ] ~doc:"Uplink frame loss, percent.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Run the campaign twice and compare reports.")
   in
   Cmd.v
     (Cmd.info "fleet"
-       ~doc:"Provision a fleet, tamper with one device, audit them all")
-    Term.(const fleet $ devices $ loss)
+       ~doc:
+         "Run a fleet-scale swarm-attestation campaign: N provers over lossy \
+          links, K fresh-nonce epochs, batched Merkle aggregation with a \
+          measurement cache (or the scalar baseline with --mode scalar)")
+    Term.(
+      const fleet $ devices $ epochs $ seed $ faults $ mode $ loss $ verify)
 
 (* --- lint ------------------------------------------------------------------ *)
 

@@ -135,6 +135,8 @@ let verify_cfa ~ka (r : cfa_report) ~expected ~nonce =
           ~base_digest:r.base_digest ~edge_count:r.edge_count)
        ~tag:r.mac
 
+let expected_mac ~ka ~id ~nonce = Crypto.Hmac.mac ~key:ka (report_payload ~id ~nonce)
+
 let verify ~ka (report : report) ~expected ~nonce =
   Task_id.equal report.id expected
   && Crypto.Constant_time.equal report.nonce nonce

@@ -91,6 +91,12 @@ val verify : ka:bytes -> report -> expected:Task_id.t -> nonce:bytes -> bool
 (** Verifier side: check the MAC, the identity and the nonce (constant
     time; stale nonces are rejected by the caller tracking freshness). *)
 
+val expected_mac : ka:bytes -> id:Task_id.t -> nonce:bytes -> bytes
+(** The MAC a genuine platform would produce for [(id, nonce)] under
+    [ka].  A batching verifier computes this once per device per nonce
+    epoch and caches it; subsequent reports in the same epoch verify by
+    constant-time comparison instead of a fresh HMAC. *)
+
 val cfa_attest :
   t ->
   id:Task_id.t ->

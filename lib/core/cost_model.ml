@@ -41,3 +41,6 @@ let telemetry_span = 56
 let pmu_read = 34
 let update_swap_base = 350
 let update_migrate_per_word = 16
+let sha256_per_compression = crypto_per_compression * 145 / 100
+let swarm_cache_lookup = 24
+let swarm_root_check = 40

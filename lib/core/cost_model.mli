@@ -175,3 +175,19 @@ val update_swap_base : int
 val update_migrate_per_word : int
 (** Copying one word of task state across protection domains during the
     swap (16; a checked read plus a checked write). *)
+
+(** {2 Fleet-scale swarm attestation (extension)} *)
+
+val sha256_per_compression : int
+(** Cycle price of one SHA-256 compression invocation (5 702 = 1.45 ×
+    the SHA-1 figure, matching the benchmark's hash-algorithm ablation).
+    The Merkle aggregator charges its tree work at this rate. *)
+
+val swarm_cache_lookup : int
+(** One probe of the verifier-side measurement cache — a hash-table
+    lookup plus an epoch tag compare (24; same order as a telemetry
+    event, it is the same kind of guarded table access). *)
+
+val swarm_root_check : int
+(** Comparing a cached verdict's batch root against the sealed epoch
+    roots (40; a table probe plus a 32-byte constant-time compare). *)

@@ -1,0 +1,65 @@
+(* Binary Merkle tree over SHA-256 with RFC 6962-style domain
+   separation: leaves hash under a 0x00 prefix, interior nodes under
+   0x01, so no leaf payload can masquerade as an interior node (the
+   classic second-preimage trick against prefix-free-less trees).  An
+   odd node at any level is promoted unchanged — no duplication — so a
+   singleton tree's root is exactly the leaf hash. *)
+
+let leaf_prefix = Bytes.make 1 '\x00'
+let node_prefix = Bytes.make 1 '\x01'
+let leaf_hash payload = Sha256.digest (Bytes.cat leaf_prefix payload)
+let node_hash left right = Sha256.digest (Bytes.concat node_prefix [ left; right ])
+
+type step = { sibling : bytes; sibling_on_left : bool }
+type proof = step list
+
+type t = {
+  levels : bytes array array;
+      (* levels.(0) = leaf hashes; last level is the single root *)
+  count : int;
+}
+
+let build leaves =
+  let n = Array.length leaves in
+  if n = 0 then invalid_arg "Merkle.build: empty leaf set";
+  let base = Array.map leaf_hash leaves in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let m = Array.length level in
+      let next =
+        Array.init ((m + 1) / 2) (fun i ->
+            if (2 * i) + 1 < m then node_hash level.(2 * i) level.((2 * i) + 1)
+            else level.(2 * i))
+      in
+      up (level :: acc) next
+    end
+  in
+  { levels = Array.of_list (up [] base); count = n }
+
+let root t = Bytes.copy t.levels.(Array.length t.levels - 1).(0)
+let leaf_count t = t.count
+
+let proof t index =
+  if index < 0 || index >= t.count then invalid_arg "Merkle.proof: bad index";
+  let steps = ref [] in
+  let idx = ref index in
+  for l = 0 to Array.length t.levels - 2 do
+    let level = t.levels.(l) in
+    let sib = if !idx land 1 = 0 then !idx + 1 else !idx - 1 in
+    if sib < Array.length level then
+      steps :=
+        { sibling = Bytes.copy level.(sib); sibling_on_left = !idx land 1 = 1 }
+        :: !steps;
+    idx := !idx / 2
+  done;
+  List.rev !steps
+
+let verify ~root:expected ~leaf proof =
+  let acc =
+    List.fold_left
+      (fun acc { sibling; sibling_on_left } ->
+        if sibling_on_left then node_hash sibling acc else node_hash acc sibling)
+      (leaf_hash leaf) proof
+  in
+  Constant_time.equal acc expected

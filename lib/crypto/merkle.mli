@@ -1,0 +1,42 @@
+(** Binary Merkle tree over SHA-256 leaves with membership proofs.
+
+    The swarm-attestation aggregator batches per-device report leaves
+    into one epoch-stamped root; a fleet operator then vouches for N
+    devices with a single 32-byte digest, and any single device's
+    membership is provable with an O(log N) path.
+
+    Domain separation (RFC 6962 style): leaves are hashed as
+    [SHA-256(0x00 | payload)], interior nodes as
+    [SHA-256(0x01 | left | right)], which blocks leaf/node confusion
+    second-preimage attacks.  An odd node at any level is promoted
+    unchanged, so a one-leaf tree degenerates to the leaf hash itself. *)
+
+val leaf_hash : bytes -> bytes
+(** [SHA-256(0x00 | payload)]. *)
+
+val node_hash : bytes -> bytes -> bytes
+(** [SHA-256(0x01 | left | right)]. *)
+
+type step = {
+  sibling : bytes;  (** the sibling digest to combine with *)
+  sibling_on_left : bool;  (** sibling is the left child at this level *)
+}
+
+type proof = step list
+(** Membership path, leaf level first.  Empty for a singleton tree. *)
+
+type t
+
+val build : bytes array -> t
+(** Build over the raw leaf payloads, in order.  Raises [Invalid_argument]
+    on an empty array. *)
+
+val root : t -> bytes
+val leaf_count : t -> int
+
+val proof : t -> int -> proof
+(** Membership proof for the leaf at [index]. *)
+
+val verify : root:bytes -> leaf:bytes -> proof -> bool
+(** Recompute the path from the raw [leaf] payload and compare against
+    [root] (constant-time digest comparison). *)

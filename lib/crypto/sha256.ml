@@ -1,6 +1,7 @@
 (* SHA-256 per FIPS 180-4; 32-bit lanes on masked OCaml ints. *)
 
 let digest_size = 32
+let global_compressions = ref 0
 let block_size = 64
 let mask32 = 0xFFFF_FFFF
 
@@ -92,7 +93,8 @@ let compress ctx block pos =
   update 5 !f;
   update 6 !g;
   update 7 !h;
-  ctx.compressions <- ctx.compressions + 1
+  ctx.compressions <- ctx.compressions + 1;
+  incr global_compressions
 
 let feed_sub ctx data ~pos ~len =
   if ctx.finalized then invalid_arg "Sha256.feed: context already finalized";
@@ -157,6 +159,7 @@ let digest data =
 
 let digest_string s = digest (Bytes.of_string s)
 let compression_count ctx = ctx.compressions
+let total_compressions () = !global_compressions
 
 let to_hex b =
   String.concat ""

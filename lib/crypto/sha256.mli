@@ -26,3 +26,9 @@ val digest_string : string -> bytes
 
 val compression_count : ctx -> int
 val to_hex : bytes -> string
+
+val total_compressions : unit -> int
+(** Process-global count of compression-function invocations across all
+    contexts, mirroring {!Sha1.total_compressions}: services that charge
+    simulated cycles for SHA-256 work (the Merkle aggregator) sample this
+    before and after an operation. *)

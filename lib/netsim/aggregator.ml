@@ -1,0 +1,176 @@
+open Tytan_core
+module Crypto = Tytan_crypto
+module Cycles = Tytan_machine.Cycles
+module Telemetry = Tytan_telemetry.Telemetry
+
+type entry = {
+  expected_mac : bytes;
+  nonce : bytes;
+  mutable sealed_root : bytes option;
+}
+
+type batch = { epoch : int; root : bytes; size : int }
+
+type t = {
+  ka_of : serial:string -> bytes;
+  clock : Cycles.t;
+  telemetry : Telemetry.t option;
+  batch_limit : int;
+  keys : (string, bytes) Hashtbl.t;
+  cache : (string, entry) Hashtbl.t;
+  current_roots : (string, unit) Hashtbl.t;
+  mutable epoch : int;
+  mutable pending : (string * bytes) list;  (* newest first *)
+  mutable pending_count : int;
+  mutable batches : batch list;  (* newest first *)
+  mutable last_tree : (Crypto.Merkle.t * bytes array) option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable key_derivations : int;
+}
+
+let create ~ka_of ~clock ?telemetry ?(batch_limit = 256) () =
+  if batch_limit <= 0 then invalid_arg "Aggregator.create: batch_limit";
+  {
+    ka_of;
+    clock;
+    telemetry;
+    batch_limit;
+    keys = Hashtbl.create 64;
+    cache = Hashtbl.create 64;
+    current_roots = Hashtbl.create 8;
+    epoch = 0;
+    pending = [];
+    pending_count = 0;
+    batches = [];
+    last_tree = None;
+    hits = 0;
+    misses = 0;
+    key_derivations = 0;
+  }
+
+let emit t f = match t.telemetry with Some tel -> f tel | None -> ()
+
+(* Crypto cycles are charged by sampling the process-global compression
+   counters around the operation, at the per-algorithm rates — the same
+   discipline the on-device services use, applied verifier-side. *)
+let charged t f =
+  let s1 = Crypto.Sha1.total_compressions () in
+  let s2 = Crypto.Sha256.total_compressions () in
+  let r = f () in
+  let d1 = Crypto.Sha1.total_compressions () - s1 in
+  let d2 = Crypto.Sha256.total_compressions () - s2 in
+  if d1 > 0 then Cycles.charge t.clock (d1 * Cost_model.crypto_per_compression);
+  if d2 > 0 then Cycles.charge t.clock (d2 * Cost_model.sha256_per_compression);
+  r
+
+let epoch t = t.epoch
+
+let seal t =
+  if t.pending_count > 0 then begin
+    let leaves =
+      Array.of_list (List.rev_map (fun (_, leaf) -> leaf) t.pending)
+    in
+    let serials = List.rev_map fst t.pending in
+    let tree = charged t (fun () -> Crypto.Merkle.build leaves) in
+    let root = Crypto.Merkle.root tree in
+    List.iter
+      (fun serial ->
+        match Hashtbl.find_opt t.cache serial with
+        | Some e -> e.sealed_root <- Some root
+        | None -> ())
+      serials;
+    Hashtbl.replace t.current_roots (Bytes.to_string root) ();
+    t.batches <- { epoch = t.epoch; root; size = t.pending_count } :: t.batches;
+    t.last_tree <- Some (tree, leaves);
+    emit t (fun tel ->
+        Telemetry.observe tel ~component:"swarm" "batch_size" t.pending_count;
+        Telemetry.incr tel ~component:"swarm" "batches_sealed");
+    t.pending <- [];
+    t.pending_count <- 0
+  end
+
+let flush t = seal t
+
+let begin_epoch t ~epoch =
+  seal t;
+  Hashtbl.reset t.cache;
+  Hashtbl.reset t.current_roots;
+  t.epoch <- epoch
+
+let key_of t serial =
+  match Hashtbl.find_opt t.keys serial with
+  | Some ka -> ka
+  | None ->
+      let ka = charged t (fun () -> t.ka_of ~serial) in
+      t.key_derivations <- t.key_derivations + 1;
+      Hashtbl.replace t.keys serial ka;
+      ka
+
+let leaf_payload ~serial ~(report : Attestation.report) =
+  Bytes.concat Bytes.empty
+    [
+      Bytes.of_string serial;
+      Task_id.to_bytes report.id;
+      report.nonce;
+      report.mac;
+    ]
+
+let admit t ~serial report =
+  t.pending <- (serial, leaf_payload ~serial ~report) :: t.pending;
+  t.pending_count <- t.pending_count + 1;
+  if t.pending_count >= t.batch_limit then seal t
+
+let check_report t ~serial ~expected ~nonce (report : Attestation.report) =
+  Cycles.charge t.clock Cost_model.swarm_cache_lookup;
+  if
+    (not (Task_id.equal report.id expected))
+    || not (Crypto.Constant_time.equal report.nonce nonce)
+  then false
+  else
+    match Hashtbl.find_opt t.cache serial with
+    | Some e when Crypto.Constant_time.equal e.nonce nonce ->
+        t.hits <- t.hits + 1;
+        emit t (fun tel -> Telemetry.incr tel ~component:"swarm" "cache_hits");
+        Crypto.Constant_time.equal e.expected_mac report.mac
+    | _ ->
+        t.misses <- t.misses + 1;
+        emit t (fun tel -> Telemetry.incr tel ~component:"swarm" "cache_misses");
+        let ka = key_of t serial in
+        let expected_mac =
+          charged t (fun () -> Attestation.expected_mac ~ka ~id:expected ~nonce)
+        in
+        let genuine = Crypto.Constant_time.equal expected_mac report.mac in
+        if genuine then begin
+          (* Only verified measurements enter the cache: a forged report
+             must never seed the fast path. *)
+          Hashtbl.replace t.cache serial
+            { expected_mac; nonce; sealed_root = None };
+          admit t ~serial report
+        end;
+        genuine
+
+let query t ~serial ~epoch =
+  Cycles.charge t.clock Cost_model.swarm_cache_lookup;
+  epoch = t.epoch
+  &&
+  match Hashtbl.find_opt t.cache serial with
+  | Some { sealed_root = Some root; _ } ->
+      Cycles.charge t.clock Cost_model.swarm_root_check;
+      let ok = Hashtbl.mem t.current_roots (Bytes.to_string root) in
+      if ok then begin
+        (* Serving the cached measurement — the O(1) fast path the
+           scalar verifier pays a full KDF + HMAC for. *)
+        t.hits <- t.hits + 1;
+        emit t (fun tel -> Telemetry.incr tel ~component:"swarm" "cache_hits")
+      end;
+      ok
+  | Some { sealed_root = None; _ } | None -> false
+
+let batches t =
+  List.rev_map (fun (b : batch) -> (b.epoch, Bytes.copy b.root, b.size)) t.batches
+
+let last_tree t = t.last_tree
+let cache_hits t = t.hits
+let cache_misses t = t.misses
+let key_derivations t = t.key_derivations

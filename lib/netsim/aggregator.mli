@@ -1,0 +1,88 @@
+(** Batched fleet verifier: Merkle report aggregation plus a
+    measurement cache.
+
+    The scalar {!Verifier} re-runs the full key derivation and HMAC per
+    device per health query — fine for one prover, ruinous for a fleet
+    polled continuously.  The aggregator sits verifier-side above the
+    per-device retry sessions and changes the cost shape:
+
+    - {b Key cache}: the per-device attestation key [Ka] is derived once
+      per campaign and reused across epochs.  Sound because the KDF
+      binds only the platform key and purpose, never a nonce.
+    - {b Measurement cache}: the first genuine report of a device in an
+      epoch costs one HMAC ({!Tytan_core.Attestation.expected_mac});
+      every later check of the same [(device, id, nonce-epoch)] key is a
+      constant-time tag compare.  The cache is cleared on
+      {!begin_epoch}: a cached verdict is only ever served within the
+      nonce epoch that produced it, because the MAC binds the epoch's
+      nonce — serving it across epochs would accept a replay
+      (DESIGN.md §13).
+    - {b Merkle batching}: verified reports are admitted as SHA-256
+      leaves and sealed into epoch-stamped {!Tytan_crypto.Merkle} roots;
+      {!query} answers fleet-health polls in O(1) with a cache probe
+      plus a single root check instead of an HMAC round-trip.
+
+    All crypto is charged to the verifier clock by sampling the global
+    compression counters (SHA-1 at [Cost_model.crypto_per_compression],
+    SHA-256 at [Cost_model.sha256_per_compression]); cache probes charge
+    [swarm_cache_lookup] / [swarm_root_check].  Hits, misses and batch
+    sizes flow through [lib/telemetry] when a registry is attached. *)
+
+open Tytan_core
+module Crypto = Tytan_crypto
+
+type t
+
+val create :
+  ka_of:(serial:string -> bytes) ->
+  clock:Tytan_machine.Cycles.t ->
+  ?telemetry:Tytan_telemetry.Telemetry.t ->
+  ?batch_limit:int ->
+  unit ->
+  t
+(** [ka_of] derives a device's attestation key (typically
+    [Registry.attestation_key]); its cost is charged on first use per
+    device.  A full batch ([batch_limit], default 256) seals eagerly;
+    {!flush} seals the remainder. *)
+
+val epoch : t -> int
+
+val begin_epoch : t -> epoch:int -> unit
+(** Seal any pending batch under the old epoch, then drop every cached
+    measurement and root: nothing verified under a previous nonce may
+    answer for the new one. *)
+
+val check_report :
+  t ->
+  serial:string ->
+  expected:Task_id.t ->
+  nonce:bytes ->
+  Attestation.report ->
+  bool
+(** Full verification semantics of {!Attestation.verify} (identity,
+    nonce, MAC — constant time), served from the measurement cache when
+    the device already verified this epoch.  A genuine first report is
+    admitted to the current Merkle batch; forged reports are never
+    cached.  Plug directly into [Verifier.create ~check]. *)
+
+val flush : t -> unit
+(** Seal the in-progress batch (end of an epoch's collection phase). *)
+
+val query : t -> serial:string -> epoch:int -> bool
+(** O(1) fleet-health poll: is this device's measurement verified {e in
+    this epoch} and sealed under a current-epoch root?  [false] for any
+    other epoch, unsealed entries, and unknown devices. *)
+
+val batches : t -> (int * bytes * int) list
+(** Sealed [(epoch, root, size)] triples, oldest first. *)
+
+val last_tree : t -> (Crypto.Merkle.t * bytes array) option
+(** The most recently sealed tree with its leaf payloads — membership
+    proofs for audit ([Merkle.proof] / [Merkle.verify]). *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+val key_derivations : t -> int
+(** How many devices have had [Ka] derived (≤ fleet size, campaign
+    lifetime). *)

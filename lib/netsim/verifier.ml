@@ -1,4 +1,5 @@
 open Tytan_core
+module Crypto = Tytan_crypto
 
 type outcome =
   | Pending
@@ -23,6 +24,7 @@ type t = {
   max_attempts : int;
   refusals_to_settle : int;
   cfa : (Attestation.cfa_report -> (unit, string) result) option;
+  check : (nonce:bytes -> Attestation.report -> bool) option;
   nonce : bytes;
   seq : int;
   mutable outcome : outcome;
@@ -39,9 +41,26 @@ type t = {
    reuse both so duplicated responses stay valid exactly once each. *)
 let counter = ref 0
 
+(* A named session derives its whole identity — nonce, sequence, jitter
+   stream — from the session label alone, never from the process-global
+   counter.  Two consequences: replaying a campaign inside one process
+   yields bit-identical wire traffic (the counter would remember the
+   first run), and a flaky prover's session cannot shift an honest
+   prover's sequence space, so its refusals never land on honest
+   sessions. *)
+let session_material session =
+  let d = Crypto.Sha1.digest_string ("verifier-session/" ^ session) in
+  let word off =
+    (Char.code (Bytes.get d off) lsl 24)
+    lor (Char.code (Bytes.get d (off + 1)) lsl 16)
+    lor (Char.code (Bytes.get d (off + 2)) lsl 8)
+    lor Char.code (Bytes.get d (off + 3))
+  in
+  let nonce = Bytes.sub d 0 12 in
+  (nonce, word 12 land 0x3FFF_FFFF, word 16 land 0x3FFF_FFFF)
+
 let create ~ka ~expected ?(timeout_slices = 8) ?backoff ?(max_attempts = 10)
-    ?(refusals_to_settle = 1) ?cfa () =
-  incr counter;
+    ?(refusals_to_settle = 1) ?cfa ?check ?session () =
   (match backoff with
   | Some b ->
       if b.base_slices <= 0 || b.cap_slices < b.base_slices || b.jitter_slices < 0
@@ -49,6 +68,18 @@ let create ~ka ~expected ?(timeout_slices = 8) ?backoff ?(max_attempts = 10)
   | None -> ());
   if refusals_to_settle <= 0 then
     invalid_arg "Verifier.create: refusals_to_settle must be positive";
+  let nonce, seq, jitter_seed =
+    match session with
+    | Some s -> session_material s
+    | None ->
+        incr counter;
+        ( Bytes.of_string (Printf.sprintf "vnonce-%06d" !counter),
+          !counter,
+          (* Seeded from the session's stable parameters (not the global
+             counter), so identical sessions replay identical
+             schedules. *)
+          0x2A2A lxor Hashtbl.hash (Task_id.to_hex expected, timeout_slices) )
+  in
   {
     ka;
     expected;
@@ -57,8 +88,9 @@ let create ~ka ~expected ?(timeout_slices = 8) ?backoff ?(max_attempts = 10)
     max_attempts;
     refusals_to_settle;
     cfa;
-    nonce = Bytes.of_string (Printf.sprintf "vnonce-%06d" !counter);
-    seq = !counter;
+    check;
+    nonce;
+    seq;
     outcome = Pending;
     attempts = 0;
     next_send = 0;
@@ -66,10 +98,7 @@ let create ~ka ~expected ?(timeout_slices = 8) ?backoff ?(max_attempts = 10)
     ignored = 0;
     refusals = 0;
     cfa_failure = None;
-    (* Seeded from the session's stable parameters (not the global
-       counter), so identical sessions replay identical schedules. *)
-    jitter_rng =
-      0x2A2A lxor Hashtbl.hash (Task_id.to_hex expected, timeout_slices);
+    jitter_rng = jitter_seed;
   }
 
 let next_jitter t bound =
@@ -128,11 +157,16 @@ let on_frame t frame =
                static report does not answer it. *)
             t.rejected <- t.rejected + 1
         | None ->
-            if
+            let genuine =
               seq = t.seq
-              && Attestation.verify ~ka:t.ka report ~expected:t.expected
-                   ~nonce:t.nonce
-            then t.outcome <- Attested
+              &&
+              match t.check with
+              | Some check -> check ~nonce:t.nonce report
+              | None ->
+                  Attestation.verify ~ka:t.ka report ~expected:t.expected
+                    ~nonce:t.nonce
+            in
+            if genuine then t.outcome <- Attested
             else t.rejected <- t.rejected + 1)
     | Ok (Protocol.CfaResponse { seq; report }) -> (
         match t.cfa with
@@ -154,6 +188,9 @@ let on_frame t frame =
             else t.rejected <- t.rejected + 1)
 
 let outcome t = t.outcome
+let nonce t = Bytes.copy t.nonce
+let seq t = t.seq
+let refusals t = t.refusals
 let attempts t = t.attempts
 let rejected_frames t = t.rejected
 let ignored_frames t = t.ignored

@@ -45,6 +45,8 @@ val create :
   ?max_attempts:int ->
   ?refusals_to_settle:int ->
   ?cfa:(Attestation.cfa_report -> (unit, string) result) ->
+  ?check:(nonce:bytes -> Attestation.report -> bool) ->
+  ?session:string ->
   unit ->
   t
 (** Defaults: 8-slice fixed timeout (no backoff), 10 attempts, settle on
@@ -60,7 +62,22 @@ val create :
     sends [CfaChallenge] frames and judges each authentic [CfaResponse]
     with the given replay (usually [Tytan_cfa.Replay.checker oracle]).
     A replay failure settles the session as {!Cfa_rejected}; plain
-    static responses do not satisfy a CFA session. *)
+    static responses do not satisfy a CFA session.
+
+    With [~check] the MAC verification of plain responses is delegated
+    to the given closure (sequence matching stays with the session); a
+    batching verifier uses this to route reports through its measurement
+    cache.  The closure must enforce identity, nonce and MAC itself —
+    returning [true] settles the session as {!Attested}.
+
+    With [~session] the session's nonce, sequence number and jitter
+    stream are all derived deterministically from the session label
+    (SHA-1) instead of a process-global counter.  This scopes retry and
+    refusal state per device: sessions labelled per device id occupy
+    disjoint sequence spaces, so one flaky prover's refusals can never
+    settle an honest prover's session, and re-running a campaign in the
+    same process replays identical wire traffic.  Without [~session] the
+    legacy counter behaviour is preserved. *)
 
 val poll : t -> at:int -> bytes option
 (** Called every slice; [Some frame] when a (re)transmission is due. *)
@@ -70,6 +87,18 @@ val on_frame : t -> bytes -> unit
     counted and ignored. *)
 
 val outcome : t -> outcome
+
+val nonce : t -> bytes
+(** The session's challenge nonce (a copy) — what a batching verifier
+    caches the expected MAC against. *)
+
+val seq : t -> int
+(** The session's sequence number.  Derived from [~session] when given
+    (disjoint per label), otherwise from the process-global counter. *)
+
+val refusals : t -> int
+(** Refusal frames accepted by {e this} session (sequence-matched). *)
+
 val attempts : t -> int
 val rejected_frames : t -> int
 

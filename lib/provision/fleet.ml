@@ -11,6 +11,15 @@ type device = {
 let serial d = d.serial
 let platform d = d.platform
 
+(* The deterministic firmware image a whole fleet runs: byte content is
+   a fixed mix of the campaign seed and the offset, so every campaign
+   with the same seed audits the same reference identity.  Shared with
+   the swarm campaign ({!Swarm}) so scalar audits and batched campaigns
+   attest the very same binary. *)
+let reference_image ~seed ~size =
+  Bytes.init size (fun i ->
+      Char.chr ((seed * 31 + (i * 131) + (i lsr 3)) land 0xff))
+
 let manufacture registry ~serial ?(loss_percent = 0) ?(link_seed = 1) () =
   let config =
     {

@@ -14,6 +14,11 @@ type device
 val serial : device -> string
 val platform : device -> Platform.t
 
+val reference_image : seed:int -> size:int -> bytes
+(** The deterministic reference firmware for a campaign seed — the
+    binary whose identity a healthy device must attest.  {!Swarm} builds
+    its fleets around it. *)
+
 val manufacture :
   Registry.t ->
   serial:string ->

@@ -1,0 +1,442 @@
+open Tytan_core
+open Tytan_netsim
+module Crypto = Tytan_crypto
+module Cycles = Tytan_machine.Cycles
+module Fault_plan = Tytan_fault.Fault_plan
+module Telemetry = Tytan_telemetry.Telemetry
+
+type mode =
+  | Scalar
+  | Batched
+
+let mode_label = function Scalar -> "scalar" | Batched -> "batched"
+
+(* A fleet prover is deliberately lighter than a full [Fleet.device]:
+   at 2 048 devices a [Platform.t] each would dominate memory for no
+   modelling gain.  What the protocol can observe of a device is its
+   uplink, its attestation key and the identity of what it runs — so
+   that is what we keep.  The firmware image itself is shared across
+   the fleet and only copied on tamper. *)
+type prover = {
+  serial : string;
+  link : Link.t;
+  ka : bytes;
+  mutable loaded : Task_id.t;
+  mutable tampered : bool;
+  mutable silenced : bool;  (* permanent: Task_kill *)
+  mutable hung_epoch : int;  (* silent during this one epoch; -1 = none *)
+}
+
+type epoch_stats = {
+  epoch : int;
+  attested : int;
+  refused : int;
+  gave_up : int;
+  verdicts : string;  (* one char per device: A/R/G/C/? *)
+  healthy_polls : int;
+  slices : int;
+  batches : int;  (* sealed this epoch (0 in scalar mode) *)
+  root_hex : string;  (* last sealed root, "" in scalar mode *)
+  cache_hits : int;  (* this epoch *)
+  cache_misses : int;
+  verify_cycles : int;  (* verifier clock delta over this epoch *)
+}
+
+type report = {
+  mode : mode;
+  devices : int;
+  epochs : int;
+  seed : int;
+  faults : bool;
+  loss_percent : int;
+  queries_per_epoch : int;
+  per_epoch : epoch_stats list;
+  verifier_cycles : int;
+  device_cycles : int;
+  frames_sent : int;
+  frames_dropped : int;
+  frames_delivered : int;
+  tampered : int;
+  silenced : int;
+  key_derivations : int;
+  telemetry : (string * int) list;
+  survived : bool;
+}
+
+let serial_of i = Printf.sprintf "dev-%05d" i
+
+(* Crypto cycles are charged by sampling the process-global compression
+   counters around an operation — SHA-1 and SHA-256 at their respective
+   per-compression rates. *)
+let charged clock f =
+  let s1 = Crypto.Sha1.total_compressions () in
+  let s2 = Crypto.Sha256.total_compressions () in
+  let r = f () in
+  let d1 = Crypto.Sha1.total_compressions () - s1 in
+  let d2 = Crypto.Sha256.total_compressions () - s2 in
+  if d1 > 0 then Cycles.charge clock (d1 * Cost_model.crypto_per_compression);
+  if d2 > 0 then Cycles.charge clock (d2 * Cost_model.sha256_per_compression);
+  r
+
+(* The device-fault schedule: image tampers (a flipped firmware bit —
+   the device then honestly refuses the reference identity), permanent
+   kills and one-epoch hangs, pinned to epochs via [at_tick].  Built
+   through [Fault_plan] so campaigns share the chaos subsystem's
+   seed-to-plan determinism. *)
+let fault_events ~seed ~devices ~epochs =
+  let prng = Fault_plan.Prng.create (seed lxor 0x5EED) in
+  let count = max 1 (devices / 6) in
+  let events =
+    List.init count (fun _ ->
+        let epoch = Fault_plan.Prng.int prng epochs in
+        let dev = Fault_plan.Prng.int prng devices in
+        let kind =
+          match Fault_plan.Prng.int prng 3 with
+          | 0 ->
+              Fault_plan.Bit_flip
+                { addr = dev; bit = Fault_plan.Prng.int prng 8 }
+          | 1 -> Fault_plan.Task_kill { name = serial_of dev }
+          | _ -> Fault_plan.Task_hang { name = serial_of dev }
+        in
+        { Fault_plan.at_tick = epoch; kind })
+  in
+  (Fault_plan.make ~seed events).Fault_plan.events
+
+let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
+    ?(queries_per_epoch = 6) () =
+  if devices <= 0 then invalid_arg "Swarm.run: devices must be positive";
+  if epochs <= 0 then invalid_arg "Swarm.run: epochs must be positive";
+  let master =
+    Bytes.of_string (Printf.sprintf "fleet-master-%08x" (seed land 0xFFFF_FFFF))
+  in
+  let registry = Registry.create ~master in
+  let image = Fleet.reference_image ~seed ~size:512 in
+  let fw_id = Task_id.of_image image in
+  let verifier_clock = Cycles.create () in
+  let device_clock = Cycles.create () in
+  (* Observation must not perturb the run: costs are zeroed (the chaos
+     campaign's discipline) so enabling telemetry leaves every clock
+     bit-identical. *)
+  let telemetry =
+    Telemetry.create ~per_event_cost:0 ~per_span_cost:0 verifier_clock
+  in
+  Telemetry.enable telemetry;
+  let corrupt_percent = if faults then 3 else 0 in
+  let provers =
+    Array.init devices (fun i ->
+        let serial = serial_of i in
+        let link =
+          Link.create
+            ~seed:(((seed * 7919) + (i * 104729) + 13) land 0x3FFF_FFFF)
+            ~loss_percent ~corrupt_percent
+            ~duplicate_percent:(if faults then 2 else 0)
+            ~reorder_percent:(if faults then 2 else 0)
+            ()
+        in
+        let platform_key = Registry.platform_key registry ~serial in
+        (* Device-side boot-time key derivation, same in either mode. *)
+        let ka =
+          charged device_clock (fun () ->
+              Attestation.derive_ka ~platform_key)
+        in
+        {
+          serial;
+          link;
+          ka;
+          loaded = fw_id;
+          tampered = false;
+          silenced = false;
+          hung_epoch = -1;
+        })
+  in
+  let plan = if faults then fault_events ~seed ~devices ~epochs else [] in
+  let aggregator =
+    match mode with
+    | Scalar -> None
+    | Batched ->
+        Some
+          (Aggregator.create
+             ~ka_of:(fun ~serial -> Registry.attestation_key registry ~serial)
+             ~clock:verifier_clock ~telemetry
+             ~batch_limit:256 ())
+  in
+  let apply_faults epoch =
+    List.iter
+      (fun { Fault_plan.at_tick; kind } ->
+        if at_tick = epoch then
+          match kind with
+          | Fault_plan.Bit_flip { addr; bit } ->
+              let p = provers.(addr mod devices) in
+              if not p.tampered then begin
+                let copy = Bytes.copy image in
+                let pos = (addr * 7) mod Bytes.length copy in
+                Bytes.set copy pos
+                  (Char.chr (Char.code (Bytes.get copy pos) lxor (1 lsl bit)));
+                p.loaded <- Task_id.of_image copy;
+                p.tampered <- true
+              end
+          | Fault_plan.Task_kill { name } ->
+              Array.iter
+                (fun p -> if p.serial = name then p.silenced <- true)
+                provers
+          | Fault_plan.Task_hang { name } ->
+              Array.iter
+                (fun p -> if p.serial = name then p.hung_epoch <- epoch)
+                provers
+          | Fault_plan.Write_glitch _ | Fault_plan.Mmio_glitch _
+          | Fault_plan.Irq_storm _ ->
+              ())
+      plan
+  in
+  let silent (p : prover) ~epoch = p.silenced || p.hung_epoch = epoch in
+  let prover_step (p : prover) ~epoch ~at =
+    List.iter
+      (fun frame ->
+        match Protocol.decode frame with
+        | Error _ -> ()
+        | Ok (Protocol.Challenge { seq; id; nonce }) ->
+            if not (silent p ~epoch) then
+              if Task_id.equal id p.loaded then begin
+                let mac =
+                  charged device_clock (fun () ->
+                      Attestation.expected_mac ~ka:p.ka ~id ~nonce)
+                in
+                Link.send p.link ~from:Link.Device ~at
+                  (Protocol.encode
+                     (Protocol.Response
+                        { seq; report = { Attestation.id; nonce; mac } }))
+              end
+              else
+                Link.send p.link ~from:Link.Device ~at
+                  (Protocol.encode (Protocol.Refusal { seq }))
+        | Ok _ -> ())
+      (Link.deliver p.link ~to_:Link.Device ~at)
+  in
+  let backoff = Verifier.default_backoff in
+  let slice_cap =
+    16 + (10 * (backoff.Verifier.cap_slices + backoff.Verifier.jitter_slices))
+  in
+  let survived = ref true in
+  let stats = ref [] in
+  for e = 0 to epochs - 1 do
+    apply_faults e;
+    (match aggregator with
+    | Some a -> Aggregator.begin_epoch a ~epoch:e
+    | None -> ());
+    let hits0, misses0 =
+      match aggregator with
+      | Some a -> (Aggregator.cache_hits a, Aggregator.cache_misses a)
+      | None -> (0, 0)
+    in
+    let cycles0 = Cycles.now verifier_clock in
+    let sessions =
+      Array.map
+        (fun p ->
+          let session = Printf.sprintf "%s/e%d" p.serial e in
+          match aggregator with
+          | None ->
+              (* The scalar baseline is a stateless verifier: every
+                 session re-derives the device's Ka from the registry
+                 and re-runs the HMAC check itself. *)
+              let ka =
+                charged verifier_clock (fun () ->
+                    Registry.attestation_key registry ~serial:p.serial)
+              in
+              Verifier.create ~ka ~expected:fw_id ~backoff
+                ~refusals_to_settle:2 ~session ()
+          | Some a ->
+              (* Verification is delegated to the aggregator's
+                 measurement cache; the session's own key is unused. *)
+              Verifier.create ~ka:Bytes.empty ~expected:fw_id ~backoff
+                ~refusals_to_settle:2
+                ~check:(fun ~nonce report ->
+                  Aggregator.check_report a ~serial:p.serial ~expected:fw_id
+                    ~nonce report)
+                ~session ())
+        provers
+    in
+    let stash = Array.make devices None in
+    let all_settled () =
+      Array.for_all (fun v -> Verifier.outcome v <> Verifier.Pending) sessions
+    in
+    let slice = ref 0 in
+    while (not (all_settled ())) && !slice <= slice_cap do
+      let at = !slice in
+      for d = 0 to devices - 1 do
+        let p = provers.(d) in
+        let v = sessions.(d) in
+        prover_step p ~epoch:e ~at;
+        List.iter
+          (fun frame ->
+            let before = Verifier.outcome v in
+            (* Scalar sessions verify inline, so the frame handler is
+               where their crypto burns; the aggregator's check charges
+               itself internally — wrapping it here would double-count. *)
+            (match aggregator with
+            | None -> charged verifier_clock (fun () -> Verifier.on_frame v frame)
+            | Some _ -> Verifier.on_frame v frame);
+            if before = Verifier.Pending && Verifier.outcome v = Verifier.Attested
+            then
+              match Protocol.decode frame with
+              | Ok (Protocol.Response { report; _ }) -> stash.(d) <- Some report
+              | _ -> ())
+          (Link.deliver p.link ~to_:Link.Remote ~at);
+        match Verifier.poll v ~at with
+        | Some frame -> Link.send p.link ~from:Link.Remote ~at frame
+        | None -> ()
+      done;
+      incr slice
+    done;
+    (* Anything still pending past the cap has exhausted its schedule:
+       drive the state machine until it concedes. *)
+    Array.iter
+      (fun v ->
+        let at = ref (2 * slice_cap) in
+        while Verifier.outcome v = Verifier.Pending do
+          ignore (Verifier.poll v ~at:!at);
+          at := !at + slice_cap
+        done)
+      sessions;
+    (match aggregator with Some a -> Aggregator.flush a | None -> ());
+    let verdicts =
+      String.init devices (fun d ->
+          match Verifier.outcome sessions.(d) with
+          | Verifier.Attested -> 'A'
+          | Verifier.Refused -> 'R'
+          | Verifier.Gave_up -> 'G'
+          | Verifier.Cfa_rejected -> 'C'
+          | Verifier.Pending -> '?')
+    in
+    let healthy_polls = ref 0 in
+    for _q = 1 to queries_per_epoch do
+      for d = 0 to devices - 1 do
+        let healthy =
+          match aggregator with
+          | Some a -> Aggregator.query a ~serial:provers.(d).serial ~epoch:e
+          | None -> (
+              match (stash.(d), Verifier.outcome sessions.(d)) with
+              | Some report, Verifier.Attested ->
+                  charged verifier_clock (fun () ->
+                      let ka =
+                        Registry.attestation_key registry
+                          ~serial:provers.(d).serial
+                      in
+                      Attestation.verify ~ka report ~expected:fw_id
+                        ~nonce:(Verifier.nonce sessions.(d)))
+              | _ -> false)
+        in
+        if healthy then incr healthy_polls
+      done
+    done;
+    String.iteri
+      (fun d c ->
+        if (not (silent provers.(d) ~epoch:e)) && not provers.(d).tampered then
+          if c <> 'A' then survived := false)
+      verdicts;
+    let hits1, misses1, batch_list =
+      match aggregator with
+      | Some a ->
+          (Aggregator.cache_hits a, Aggregator.cache_misses a, Aggregator.batches a)
+      | None -> (0, 0, [])
+    in
+    let epoch_batches =
+      List.filter (fun (be, _, _) -> be = e) batch_list
+    in
+    let root_hex =
+      match List.rev epoch_batches with
+      | (_, root, _) :: _ -> Crypto.Sha256.to_hex root
+      | [] -> ""
+    in
+    let verify_cycles = Cycles.now verifier_clock - cycles0 in
+    Telemetry.observe telemetry ~component:"swarm" "epoch_verify_cycles"
+      verify_cycles;
+    let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 in
+    stats :=
+      {
+        epoch = e;
+        attested = count 'A' verdicts;
+        refused = count 'R' verdicts;
+        gave_up = count 'G' verdicts;
+        verdicts;
+        healthy_polls = !healthy_polls;
+        slices = !slice;
+        batches = List.length epoch_batches;
+        root_hex;
+        cache_hits = hits1 - hits0;
+        cache_misses = misses1 - misses0;
+        verify_cycles;
+      }
+      :: !stats
+  done;
+  let frames_sent = Array.fold_left (fun n p -> n + Link.sent_count p.link) 0 provers in
+  let frames_dropped =
+    Array.fold_left (fun n p -> n + Link.dropped_count p.link) 0 provers
+  in
+  let frames_delivered =
+    Array.fold_left (fun n p -> n + Link.delivered_count p.link) 0 provers
+  in
+  {
+    mode;
+    devices;
+    epochs;
+    seed;
+    faults;
+    loss_percent;
+    queries_per_epoch;
+    per_epoch = List.rev !stats;
+    verifier_cycles = Cycles.now verifier_clock;
+    device_cycles = Cycles.now device_clock;
+    frames_sent;
+    frames_dropped;
+    frames_delivered;
+    tampered =
+      Array.fold_left
+        (fun n (p : prover) -> if p.tampered then n + 1 else n)
+        0 provers;
+    silenced =
+      Array.fold_left
+        (fun n (p : prover) -> if p.silenced || p.hung_epoch >= 0 then n + 1 else n)
+        0 provers;
+    key_derivations =
+      (match aggregator with Some a -> Aggregator.key_derivations a | None -> 0);
+    telemetry =
+      List.map
+        (fun (k, v) -> (Telemetry.key_to_string k, v))
+        (Telemetry.counters telemetry);
+    survived = !survived;
+  }
+
+let verdict_digest s = Crypto.Sha1.to_hex (Crypto.Sha1.digest_string s)
+
+let body r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "swarm campaign: mode=%s devices=%d epochs=%d seed=%d faults=%s loss=%d%% queries/epoch=%d\n"
+    (mode_label r.mode) r.devices r.epochs r.seed
+    (if r.faults then "on" else "off")
+    r.loss_percent r.queries_per_epoch;
+  List.iter
+    (fun s ->
+      add
+        "epoch %d: attested=%d refused=%d gave_up=%d healthy_polls=%d slices=%d batches=%d cache=%dh/%dm verify_cycles=%d\n"
+        s.epoch s.attested s.refused s.gave_up s.healthy_polls s.slices
+        s.batches s.cache_hits s.cache_misses s.verify_cycles;
+      if s.root_hex <> "" then add "  root=%s\n" s.root_hex;
+      add "  verdicts=sha1:%s\n" (verdict_digest s.verdicts))
+    r.per_epoch;
+  add "verifier_cycles=%d device_cycles=%d\n" r.verifier_cycles r.device_cycles;
+  add "frames: sent=%d dropped=%d delivered=%d\n" r.frames_sent r.frames_dropped
+    r.frames_delivered;
+  add "faults: tampered=%d silenced=%d\n" r.tampered r.silenced;
+  add "key_derivations=%d\n" r.key_derivations;
+  List.iter (fun (k, v) -> add "  %s=%d\n" k v) r.telemetry;
+  add "survived: %s\n" (if r.survived then "yes" else "no");
+  Buffer.contents b
+
+let to_string r =
+  let body = body r in
+  body ^ Printf.sprintf "digest: sha1:%s\n" (verdict_digest body)
+
+let equal a b = to_string a = to_string b
+
+let verdicts r = List.map (fun s -> s.verdicts) r.per_epoch

@@ -1,0 +1,101 @@
+(** Fleet-scale swarm-attestation campaigns.
+
+    A campaign provisions [devices] lightweight provers from the
+    registry key hierarchy (each with its own seeded lossy {!Tytan_netsim.Link}
+    and its own device-side attestation key), runs [epochs] fresh-nonce
+    attestation rounds against the shared reference firmware
+    ({!Fleet.reference_image}), then polls fleet health
+    [queries_per_epoch] times per epoch.
+
+    Two verifier engines drive {e identical wire traffic} — per-device
+    {!Tytan_netsim.Verifier} retry sessions labelled [serial/eN], so the
+    nonce, sequence and retransmission schedule of every session are the
+    same in both modes — and differ only in how a response is judged:
+
+    - {!Scalar}: the stateless baseline.  Every session re-derives the
+      device's Ka from the registry and re-runs the HMAC check, and so
+      does every health poll.
+    - {!Batched}: responses are routed through
+      {!Tytan_netsim.Aggregator} — Ka cached per campaign, measurement
+      cache per nonce epoch, verified reports sealed into epoch-stamped
+      Merkle roots, health polls answered in O(1).
+
+    Because the wire schedules coincide, the two modes must produce
+    byte-identical per-device verdicts; the differential test locks this
+    down, which in turn pins the cache logic (a cache that ever served a
+    stale epoch would diverge).
+
+    With [~faults] a {!Tytan_fault.Fault_plan}-derived schedule tampers
+    firmware images (the device then honestly refuses), kills devices
+    outright, or hangs them for one epoch, and the links additionally
+    corrupt, duplicate and reorder frames.  Everything is seeded:
+    the same [(mode, devices, epochs, seed, faults)] tuple reproduces
+    the same report bit for bit. *)
+
+type mode =
+  | Scalar
+  | Batched
+
+val mode_label : mode -> string
+
+type epoch_stats = {
+  epoch : int;
+  attested : int;
+  refused : int;
+  gave_up : int;
+  verdicts : string;
+      (** one char per device index: [A]ttested, [R]efused, [G]ave_up,
+          [C]fa_rejected, [?] pending *)
+  healthy_polls : int;  (** positive fleet-health poll answers *)
+  slices : int;  (** discrete-event slices until the fleet settled *)
+  batches : int;  (** Merkle batches sealed this epoch (0 in scalar) *)
+  root_hex : string;  (** last sealed root, [""] in scalar mode *)
+  cache_hits : int;
+  cache_misses : int;
+  verify_cycles : int;  (** verifier clock advance over this epoch *)
+}
+
+type report = {
+  mode : mode;
+  devices : int;
+  epochs : int;
+  seed : int;
+  faults : bool;
+  loss_percent : int;
+  queries_per_epoch : int;
+  per_epoch : epoch_stats list;
+  verifier_cycles : int;
+  device_cycles : int;
+  frames_sent : int;
+  frames_dropped : int;
+  frames_delivered : int;
+  tampered : int;
+  silenced : int;
+  key_derivations : int;
+  telemetry : (string * int) list;  (** counter snapshot, sorted *)
+  survived : bool;
+      (** every device that was honest in an epoch attested in it *)
+}
+
+val run :
+  mode:mode ->
+  devices:int ->
+  epochs:int ->
+  seed:int ->
+  ?faults:bool ->
+  ?loss_percent:int ->
+  ?queries_per_epoch:int ->
+  unit ->
+  report
+(** Defaults: no faults, 10% frame loss, 6 health polls per epoch. *)
+
+val verdicts : report -> string list
+(** Per-epoch verdict strings — the value the differential test compares
+    across modes byte for byte. *)
+
+val to_string : report -> string
+(** Deterministic rendering ending in a [digest: sha1:...] line over the
+    whole body; two runs are bit-identical iff their renderings are. *)
+
+val equal : report -> report -> bool
+(** Rendering equality — the [--verify] comparison. *)

@@ -1,0 +1,210 @@
+(* Fleet-scale swarm attestation: the differential harness proving the
+   batched/cached verifier verdict-identical to N independent scalar
+   sessions (including under injected faults), plus unit tests for the
+   aggregator's measurement cache — epoch scoping, forgery rejection,
+   Merkle batch membership — and the headline cycle ratio. *)
+
+open Tytan_core
+open Tytan_netsim
+open Tytan_provision
+module Crypto = Tytan_crypto
+module Cycles = Tytan_machine.Cycles
+
+(* --- Differential: batched ≡ scalar ---------------------------------------- *)
+
+let check_differential ~devices ~epochs ~seed ~faults ~loss =
+  let run mode =
+    Swarm.run ~mode ~devices ~epochs ~seed ~faults ~loss_percent:loss ()
+  in
+  let s = run Swarm.Scalar in
+  let b = run Swarm.Batched in
+  let ctx = Printf.sprintf "devices=%d seed=%d faults=%b" devices seed faults in
+  Alcotest.(check (list string))
+    (ctx ^ ": per-device verdicts byte-identical")
+    (Swarm.verdicts s) (Swarm.verdicts b);
+  List.iter2
+    (fun (es : Swarm.epoch_stats) (eb : Swarm.epoch_stats) ->
+      Alcotest.(check int)
+        (ctx ^ ": health-poll answers identical")
+        es.Swarm.healthy_polls eb.Swarm.healthy_polls;
+      Alcotest.(check int)
+        (ctx ^ ": settle slices identical (same wire schedule)")
+        es.Swarm.slices eb.Swarm.slices)
+    s.Swarm.per_epoch b.Swarm.per_epoch;
+  Alcotest.(check bool)
+    (ctx ^ ": survival verdict identical")
+    s.Swarm.survived b.Swarm.survived
+
+let differential_tests =
+  [
+    Alcotest.test_case "clean fleets: random seeds and sizes" `Quick (fun () ->
+        List.iter
+          (fun (devices, seed) ->
+            check_differential ~devices ~epochs:3 ~seed ~faults:false ~loss:10)
+          [ (3, 1); (17, 2); (64, 5); (9, 42) ]);
+    Alcotest.test_case "faulty fleets: device faults + hostile links" `Quick
+      (fun () ->
+        List.iter
+          (fun (devices, seed) ->
+            check_differential ~devices ~epochs:3 ~seed ~faults:true ~loss:15)
+          [ (12, 3); (48, 7); (30, 11) ]);
+    Alcotest.test_case "faulty campaigns really break devices" `Quick (fun () ->
+        (* Guard against the differential passing vacuously: at this size
+           the fault schedule must actually tamper or silence someone. *)
+        let r =
+          Swarm.run ~mode:Swarm.Batched ~devices:48 ~epochs:3 ~seed:7
+            ~faults:true ~loss_percent:15 ()
+        in
+        Alcotest.(check bool)
+          "some device was tampered or silenced" true
+          (r.Swarm.tampered + r.Swarm.silenced > 0);
+        let non_attested =
+          List.fold_left
+            (fun n (e : Swarm.epoch_stats) ->
+              n + e.Swarm.refused + e.Swarm.gave_up)
+            0 r.Swarm.per_epoch
+        in
+        Alcotest.(check bool) "some verdict is not Attested" true
+          (non_attested > 0));
+  ]
+
+(* --- The headline ratio ----------------------------------------------------- *)
+
+let ratio_tests =
+  [
+    Alcotest.test_case "batched verification is >= 5x cheaper (N=256)" `Quick
+      (fun () ->
+        let run mode =
+          Swarm.run ~mode ~devices:256 ~epochs:4 ~seed:1 ()
+        in
+        let s = run Swarm.Scalar in
+        let b = run Swarm.Batched in
+        Alcotest.(check (list string))
+          "verdicts identical" (Swarm.verdicts s) (Swarm.verdicts b);
+        let ratio =
+          float_of_int s.Swarm.verifier_cycles
+          /. float_of_int (max 1 b.Swarm.verifier_cycles)
+        in
+        if ratio < 5.0 then
+          Alcotest.failf "expected >= 5x, got %.2fx (scalar %d, batched %d)"
+            ratio s.Swarm.verifier_cycles b.Swarm.verifier_cycles;
+        (* The cache must actually be doing the work: one miss per
+           device per epoch, hits on every health poll. *)
+        let hits, misses =
+          List.fold_left
+            (fun (h, m) (e : Swarm.epoch_stats) ->
+              (h + e.Swarm.cache_hits, m + e.Swarm.cache_misses))
+            (0, 0) b.Swarm.per_epoch
+        in
+        Alcotest.(check int) "one miss per device per epoch" (256 * 4) misses;
+        Alcotest.(check int) "every health poll served from cache"
+          (256 * 4 * b.Swarm.queries_per_epoch)
+          hits);
+  ]
+
+(* --- Aggregator unit tests -------------------------------------------------- *)
+
+let fw_id = Task_id.of_image (Bytes.of_string "aggregator-unit-test-firmware")
+
+let test_ka ~serial =
+  Crypto.Hmac.mac_string ~key:(Bytes.of_string "unit-master") ("ka/" ^ serial)
+
+let genuine_report ~serial ~nonce =
+  {
+    Attestation.id = fw_id;
+    nonce;
+    mac = Attestation.expected_mac ~ka:(test_ka ~serial) ~id:fw_id ~nonce;
+  }
+
+let make_aggregator () =
+  Aggregator.create ~ka_of:test_ka ~clock:(Cycles.create ()) ()
+
+let aggregator_tests =
+  [
+    Alcotest.test_case "cached verdict only served within its nonce epoch"
+      `Quick (fun () ->
+        let a = make_aggregator () in
+        Aggregator.begin_epoch a ~epoch:0;
+        let n0 = Bytes.of_string "nonce-epoch-0" in
+        let r0 = genuine_report ~serial:"s1" ~nonce:n0 in
+        Alcotest.(check bool) "first check verifies" true
+          (Aggregator.check_report a ~serial:"s1" ~expected:fw_id ~nonce:n0 r0);
+        Alcotest.(check int) "that was a miss" 1 (Aggregator.cache_misses a);
+        Alcotest.(check bool) "re-check is served from the cache" true
+          (Aggregator.check_report a ~serial:"s1" ~expected:fw_id ~nonce:n0 r0);
+        Alcotest.(check int) "hit counted" 1 (Aggregator.cache_hits a);
+        Alcotest.(check int) "no second miss" 1 (Aggregator.cache_misses a);
+        Aggregator.flush a;
+        Alcotest.(check bool) "query answers for the current epoch" true
+          (Aggregator.query a ~serial:"s1" ~epoch:0);
+        Alcotest.(check bool) "query refuses a different epoch" false
+          (Aggregator.query a ~serial:"s1" ~epoch:1);
+        Aggregator.begin_epoch a ~epoch:1;
+        Alcotest.(check bool) "new epoch starts cold: nothing cached" false
+          (Aggregator.query a ~serial:"s1" ~epoch:1);
+        let n1 = Bytes.of_string "nonce-epoch-1" in
+        Alcotest.(check bool) "replaying the old epoch's report fails" false
+          (Aggregator.check_report a ~serial:"s1" ~expected:fw_id ~nonce:n1 r0);
+        let r1 = genuine_report ~serial:"s1" ~nonce:n1 in
+        Alcotest.(check bool) "fresh report for the new nonce verifies" true
+          (Aggregator.check_report a ~serial:"s1" ~expected:fw_id ~nonce:n1 r1);
+        Alcotest.(check int) "the key was only derived once" 1
+          (Aggregator.key_derivations a));
+    Alcotest.test_case "forged reports are rejected and never cached" `Quick
+      (fun () ->
+        let a = make_aggregator () in
+        Aggregator.begin_epoch a ~epoch:0;
+        let nonce = Bytes.of_string "nonce-x" in
+        let forged =
+          { (genuine_report ~serial:"s1" ~nonce) with
+            mac = Bytes.make 20 '\x55'
+          }
+        in
+        Alcotest.(check bool) "forged mac rejected" false
+          (Aggregator.check_report a ~serial:"s1" ~expected:fw_id ~nonce forged);
+        Alcotest.(check bool) "forgery re-checked, not served from cache" false
+          (Aggregator.check_report a ~serial:"s1" ~expected:fw_id ~nonce forged);
+        Alcotest.(check int) "both were misses" 2 (Aggregator.cache_misses a);
+        Aggregator.flush a;
+        Alcotest.(check bool) "forged device never answers healthy" false
+          (Aggregator.query a ~serial:"s1" ~epoch:0);
+        let genuine = genuine_report ~serial:"s1" ~nonce in
+        Alcotest.(check bool) "the genuine report still verifies" true
+          (Aggregator.check_report a ~serial:"s1" ~expected:fw_id ~nonce genuine));
+    Alcotest.test_case "sealed batch membership proofs verify" `Quick (fun () ->
+        let a = make_aggregator () in
+        Aggregator.begin_epoch a ~epoch:0;
+        let nonce = Bytes.of_string "batch-nonce" in
+        for i = 0 to 12 do
+          let serial = Printf.sprintf "s%02d" i in
+          Alcotest.(check bool) "admitted" true
+            (Aggregator.check_report a ~serial ~expected:fw_id ~nonce
+               (genuine_report ~serial ~nonce))
+        done;
+        Aggregator.flush a;
+        (match Aggregator.batches a with
+        | [ (epoch, _, size) ] ->
+            Alcotest.(check int) "stamped with the epoch" 0 epoch;
+            Alcotest.(check int) "all 13 leaves sealed" 13 size
+        | l -> Alcotest.failf "expected one batch, got %d" (List.length l));
+        match Aggregator.last_tree a with
+        | None -> Alcotest.fail "no sealed tree"
+        | Some (tree, leaves) ->
+            let root = Crypto.Merkle.root tree in
+            Array.iteri
+              (fun i leaf ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "leaf %d membership proof" i)
+                  true
+                  (Crypto.Merkle.verify ~root ~leaf
+                     (Crypto.Merkle.proof tree i)))
+              leaves);
+  ]
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ("differential", differential_tests);
+      ("ratio", ratio_tests);
+      ("aggregator", aggregator_tests);
+    ]

@@ -447,6 +447,85 @@ let cfa_cosim_tests =
           ((s1, c1, why1) = (s2, c2, why2)));
   ]
 
+(* --- Per-session verifier scoping ------------------------------------------ *)
+
+(* Regression tests for the global-counter bug: verifier retry/refusal
+   state used to be drawn from one process-wide counter, so sessions
+   shared a sequence space and one flaky prover's refusals could land on
+   (and settle) an honest prover's session. *)
+let session_tests =
+  let fw = Task_id.of_image (Bytes.of_string "session-test-firmware") in
+  let ka = Attestation.derive_ka ~platform_key:(Bytes.make 20 'K') in
+  [
+    Alcotest.test_case
+      "a flaky prover's refusals cannot push an honest session to Refused"
+      `Quick (fun () ->
+        let honest = Verifier.create ~ka ~expected:fw ~session:"dev-a/e0" () in
+        let flaky = Verifier.create ~ka ~expected:fw ~session:"dev-b/e0" () in
+        ignore (Verifier.poll honest ~at:0);
+        ignore (Verifier.poll flaky ~at:0);
+        (* A shared medium broadcasts the flaky device's refusal to every
+           listening session — exactly what Cosim does with remote-bound
+           frames. *)
+        let refusal =
+          Protocol.encode (Protocol.Refusal { seq = Verifier.seq flaky })
+        in
+        Verifier.on_frame honest refusal;
+        Verifier.on_frame flaky refusal;
+        check_bool "flaky session settled Refused" true
+          (Verifier.outcome flaky = Verifier.Refused);
+        check_bool "honest session still pending" true
+          (Verifier.outcome honest = Verifier.Pending);
+        check_int "honest session counted no refusal" 0
+          (Verifier.refusals honest);
+        (* And the honest device can still attest. *)
+        let nonce = Verifier.nonce honest in
+        let report =
+          {
+            Attestation.id = fw;
+            nonce;
+            mac = Attestation.expected_mac ~ka ~id:fw ~nonce;
+          }
+        in
+        Verifier.on_frame honest
+          (Protocol.encode
+             (Protocol.Response { seq = Verifier.seq honest; report }));
+        check_bool "honest session attested" true
+          (Verifier.outcome honest = Verifier.Attested));
+    Alcotest.test_case "named sessions occupy disjoint sequence spaces" `Quick
+      (fun () ->
+        let seqs =
+          List.map
+            (fun d ->
+              Verifier.seq
+                (Verifier.create ~ka ~expected:fw
+                   ~session:(Printf.sprintf "dev-%03d/e0" d)
+                   ()))
+            [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+        in
+        check_int "all distinct" (List.length seqs)
+          (List.length (List.sort_uniq compare seqs)));
+    Alcotest.test_case
+      "session identity is a pure function of the label, not creation order"
+      `Quick (fun () ->
+        let v1 = Verifier.create ~ka ~expected:fw ~session:"dev-a/e3" () in
+        (* Interleave unrelated sessions — with the global counter these
+           would have shifted the next nonce/seq. *)
+        for i = 0 to 9 do
+          ignore (Verifier.create ~ka ~expected:fw ());
+          ignore
+            (Verifier.create ~ka ~expected:fw
+               ~session:(Printf.sprintf "other-%d" i)
+               ())
+        done;
+        let v2 = Verifier.create ~ka ~expected:fw ~session:"dev-a/e3" () in
+        check_bool "same nonce" true (Verifier.nonce v1 = Verifier.nonce v2);
+        check_int "same seq" (Verifier.seq v1) (Verifier.seq v2);
+        let other = Verifier.create ~ka ~expected:fw ~session:"dev-a/e4" () in
+        check_bool "a different epoch label gets a different nonce" true
+          (Verifier.nonce v1 <> Verifier.nonce other));
+  ]
+
 let () =
   Alcotest.run "netsim"
     [
@@ -455,4 +534,5 @@ let () =
       ("protocol-properties", protocol_property_tests);
       ("cosim", cosim_tests);
       ("cfa-cosim", cfa_cosim_tests);
+      ("verifier-session", session_tests);
     ]

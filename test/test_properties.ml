@@ -511,11 +511,77 @@ let machine_props =
         Regfile.get (Cpu.regs cpu) 2 = w);
   ]
 
+(* --- Merkle ---------------------------------------------------------------- *)
+
+let merkle_case_arb =
+  let print (leaves, index) =
+    Printf.sprintf "%d leaves, index %d" (List.length leaves) index
+  in
+  QCheck.make ~print
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (map Bytes.of_string (string_size (int_range 0 60)))
+      >>= fun leaves ->
+      int_bound (List.length leaves - 1) >|= fun index -> (leaves, index))
+
+let flip_byte b pos =
+  let c = Bytes.copy b in
+  Bytes.set c pos (Char.chr (Char.code (Bytes.get c pos) lxor 0x40));
+  c
+
+let merkle_props =
+  [
+    QCheck.Test.make ~name:"any leaf's proof verifies against the root"
+      ~count:200 merkle_case_arb (fun (leaves, index) ->
+        let t = Crypto.Merkle.build (Array.of_list leaves) in
+        let proof = Crypto.Merkle.proof t index in
+        Crypto.Merkle.verify ~root:(Crypto.Merkle.root t)
+          ~leaf:(List.nth leaves index) proof);
+    QCheck.Test.make
+      ~name:"flipping any byte of the leaf or any proof node fails" ~count:60
+      merkle_case_arb (fun (leaves, index) ->
+        let t = Crypto.Merkle.build (Array.of_list leaves) in
+        let root = Crypto.Merkle.root t in
+        let leaf = List.nth leaves index in
+        let proof = Crypto.Merkle.proof t index in
+        let leaf_ok = ref true in
+        for pos = 0 to Bytes.length leaf - 1 do
+          if Crypto.Merkle.verify ~root ~leaf:(flip_byte leaf pos) proof then
+            leaf_ok := false
+        done;
+        let proof_ok = ref true in
+        List.iteri
+          (fun i (step : Crypto.Merkle.step) ->
+            for pos = 0 to Bytes.length step.Crypto.Merkle.sibling - 1 do
+              let mutated =
+                List.mapi
+                  (fun j (s : Crypto.Merkle.step) ->
+                    if i = j then
+                      { s with
+                        Crypto.Merkle.sibling =
+                          flip_byte s.Crypto.Merkle.sibling pos
+                      }
+                    else s)
+                  proof
+              in
+              if Crypto.Merkle.verify ~root ~leaf mutated then proof_ok := false
+            done)
+          proof;
+        !leaf_ok && !proof_ok);
+    QCheck.Test.make ~name:"a one-leaf tree degenerates to the leaf hash"
+      ~count:200 small_bytes_arb (fun leaf ->
+        let t = Crypto.Merkle.build [| leaf |] in
+        Crypto.Merkle.root t = Crypto.Merkle.leaf_hash leaf
+        && Crypto.Merkle.proof t 0 = []
+        && Crypto.Merkle.verify ~root:(Crypto.Merkle.root t) ~leaf []);
+  ]
+
 let () =
   Alcotest.run "properties"
     [
       ("word", List.map to_alcotest word_props);
       ("crypto", List.map to_alcotest crypto_props);
+      ("merkle", List.map to_alcotest merkle_props);
       ("isa", List.map to_alcotest isa_props);
       ("telf", List.map to_alcotest telf_props);
       ("eampu", List.map to_alcotest eampu_props);

@@ -182,4 +182,66 @@ let ipc_soak_test =
       check_int "no leaked sync sessions" 0 (Ipc.sync_sessions_open ipc);
       check_bool "traffic flowed" true (Ipc.deliveries ipc > 20))
 
-let () = Alcotest.run "soak" [ ("soak", [ soak_test; ipc_soak_test ]) ]
+(* --- Fleet determinism soak ------------------------------------------------ *)
+
+(* The swarm campaign's whole value as a test fixture is bit-exact
+   reproducibility: same seed, same report, even with fault injection
+   and even when the two runs share one process (the per-session
+   verifier fix — a process-global counter would shift the second
+   run's nonces). *)
+let fleet_soak_test =
+  Alcotest.test_case "fleet campaigns reproduce bit-identically" `Slow
+    (fun () ->
+      let module Swarm = Tytan_provision.Swarm in
+      List.iter
+        (fun (mode, faults, seed) ->
+          let run () =
+            Swarm.run ~mode ~devices:48 ~epochs:3 ~seed ~faults
+              ~loss_percent:12 ()
+          in
+          let r1 = run () in
+          let r2 = run () in
+          check_bool
+            (Printf.sprintf "%s/faults=%b/seed=%d reproduces"
+               (Swarm.mode_label mode) faults seed)
+            true
+            (Swarm.equal r1 r2);
+          check_bool "rendering is bit-identical" true
+            (Swarm.to_string r1 = Swarm.to_string r2))
+        [
+          (Tytan_provision.Swarm.Batched, false, 7);
+          (Tytan_provision.Swarm.Batched, true, 7);
+          (Tytan_provision.Swarm.Scalar, true, 7);
+          (Tytan_provision.Swarm.Batched, true, 99);
+        ])
+
+(* Telemetry's core accounting contract must survive the swarm additions:
+   on an instrumented platform every cycle is attributed somewhere and
+   the rows still sum exactly to the clock. *)
+let attribution_soak_test =
+  Alcotest.test_case "cycle attribution still sums exactly to Cycles.now"
+    `Slow (fun () ->
+      let config =
+        { Platform.default_config with telemetry_enabled = true }
+      in
+      let p = Platform.create ~config () in
+      for i = 0 to 2 do
+        ignore
+          (Result.get_ok
+             (Platform.load_blocking p
+                ~name:(Printf.sprintf "soak-%d" i)
+                (Tasks.counter ())))
+      done;
+      Platform.run_ticks p 40;
+      let rows = Platform.cycle_attribution p in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 rows in
+      check_int "rows sum to Cycles.now"
+        (Tytan_machine.Cycles.now (Platform.clock p))
+        total)
+
+let () =
+  Alcotest.run "soak"
+    [
+      ("soak", [ soak_test; ipc_soak_test ]);
+      ("fleet-soak", [ fleet_soak_test; attribution_soak_test ]);
+    ]
