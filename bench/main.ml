@@ -1027,6 +1027,43 @@ let run_swarm_bench () =
         batched.Swarm.verifier_cycles)
     sizes
 
+let run_serve_bench () =
+  hr "Verifier gateway under open-loop load — graceful degradation (lib/serve)";
+  let module Gateway = Tytan_serve.Gateway in
+  let devices = if !smoke then 32 else 128 in
+  let slices = if !smoke then 160 else 512 in
+  (* Three offered-load levels around the gateway's carrying capacity:
+     comfortable, near-saturation, and well past it.  The shed rate is
+     the degradation story — past saturation throughput must hold and
+     the excess must exit as typed refusals, not latency collapse. *)
+  let rates = [ 2000; 8000; 24000 ] in
+  row
+    "N=%d devices, %d slices of load, 10%% loss; settled/kslice, latency, shed:\n"
+    devices slices;
+  List.iter
+    (fun rate ->
+      let r =
+        Gateway.run ~devices ~slices ~arrival_permille:rate ~seed:1 ()
+      in
+      if r.Gateway.max_queue_depth > r.Gateway.queue_bound then
+        failwith "serve bench: queue bound violated";
+      if Gateway.settled r <> r.Gateway.admitted then
+        failwith "serve bench: admitted sessions left unsettled";
+      let shed_permille = Gateway.shed r * 1000 / max 1 r.Gateway.arrivals in
+      row
+        "  rate=%5d/k: throughput %5d/k   p50 %7d   p99 %8d cycles   shed %3d/1000\n"
+        rate r.Gateway.throughput_per_kslice r.Gateway.p50_cycles
+        r.Gateway.p99_cycles shed_permille;
+      record ~table:"serve" ~label:(Printf.sprintf "throughput-%d" rate)
+        r.Gateway.throughput_per_kslice;
+      record ~table:"serve" ~label:(Printf.sprintf "p50-cycles-%d" rate)
+        r.Gateway.p50_cycles;
+      record ~table:"serve" ~label:(Printf.sprintf "p99-cycles-%d" rate)
+        r.Gateway.p99_cycles;
+      record ~table:"serve" ~label:(Printf.sprintf "shed-permille-%d" rate)
+        shed_permille)
+    rates
+
 let () =
   let wall = Array.exists (fun a -> a = "--wall") Sys.argv in
   smoke := Array.exists (fun a -> a = "--smoke") Sys.argv;
@@ -1053,6 +1090,7 @@ let () =
   run_cfa_bench ();
   run_telemetry_bench ();
   run_swarm_bench ();
+  run_serve_bench ();
   run_realtime_compliance ();
   run_jitter ();
   run_ablations ();

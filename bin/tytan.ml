@@ -330,6 +330,12 @@ let fleet devices epochs seed faults mode loss verify =
       exit 1
     end
   end;
+  (* A session that never settled is the campaign engine's own failure,
+     faults or no faults — CI gates on it. *)
+  if Swarm.campaign_failed report then begin
+    prerr_endline "tytan: fleet campaign failed: unsettled session verdicts";
+    exit 3
+  end;
   (* Without injected faults every device is honest, so a lost device is
      an infrastructure failure worth a non-zero exit; with --faults a
      broken device is the experiment working as designed. *)
@@ -374,6 +380,79 @@ let fleet_cmd =
           measurement cache (or the scalar baseline with --mode scalar)")
     Term.(
       const fleet $ devices $ epochs $ seed $ faults $ mode $ loss $ verify)
+
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve devices slices rate seed faults loss verify =
+  let open Tytan_serve in
+  let run () =
+    Gateway.run ~devices ~slices ~arrival_permille:rate ~seed ~faults
+      ~loss_percent:loss ()
+  in
+  let report = run () in
+  print_string (Gateway.to_string report);
+  if verify then begin
+    let again = run () in
+    if Gateway.equal report again then
+      print_endline "reproducibility: second run identical (same digest)"
+    else begin
+      print_endline "reproducibility: RUNS DIVERGED";
+      exit 1
+    end
+  end;
+  (* The gateway's structural invariants: the pending queue never grows
+     past its bound, and every admitted session reaches a verdict.
+     Either failing is a gateway bug, not an experiment outcome. *)
+  if
+    report.Gateway.max_queue_depth > report.Gateway.queue_bound
+    || Gateway.settled report <> report.Gateway.admitted
+  then begin
+    prerr_endline "tytan: serve campaign failed: gateway invariant violated";
+    exit 3
+  end
+
+let serve_cmd =
+  let devices =
+    Arg.(value & opt int 256 & info [ "devices" ] ~doc:"Fleet size.")
+  in
+  let slices =
+    Arg.(
+      value & opt int 512
+      & info [ "slices" ] ~doc:"Slices of offered load before the drain.")
+  in
+  let rate =
+    Arg.(
+      value & opt int 4000
+      & info [ "arrival-rate" ]
+          ~doc:"Offered load: session arrivals per 1000 slices.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign PRNG seed.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Inject a seeded network-fault schedule (burst loss, device \
+             stalls, late replies) and link corruption/duplication/reordering.")
+  in
+  let loss =
+    Arg.(value & opt int 10 & info [ "loss" ] ~doc:"Uplink frame loss, percent.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Run the campaign twice and compare reports.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verifier gateway under seeded open-loop load: admission \
+          control, per-device rate limits, deadlines, circuit breakers and \
+          graceful load shedding over lossy links")
+    Term.(
+      const serve $ devices $ slices $ rate $ seed $ faults $ loss $ verify)
 
 (* --- lint ------------------------------------------------------------------ *)
 
@@ -726,5 +805,5 @@ let () =
        (Cmd.group info
           [
             boot_cmd; run_cmd; attest_cmd; inspect_cmd; disasm_cmd; trace_cmd;
-            stats_cmd; lint_cmd; fleet_cmd; chaos_cmd; cfa_cmd;
+            stats_cmd; lint_cmd; fleet_cmd; serve_cmd; chaos_cmd; cfa_cmd;
           ]))

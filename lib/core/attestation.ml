@@ -137,6 +137,10 @@ let verify_cfa ~ka (r : cfa_report) ~expected ~nonce =
 
 let expected_mac ~ka ~id ~nonce = Crypto.Hmac.mac ~key:ka (report_payload ~id ~nonce)
 
+let expected_cfa_mac ~ka ~id ~nonce ~cf_digest ~base_digest ~edge_count =
+  Crypto.Hmac.mac ~key:ka
+    (cfa_payload ~id ~nonce ~cf_digest ~base_digest ~edge_count)
+
 let verify ~ka (report : report) ~expected ~nonce =
   Task_id.equal report.id expected
   && Crypto.Constant_time.equal report.nonce nonce

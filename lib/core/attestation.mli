@@ -97,6 +97,18 @@ val expected_mac : ka:bytes -> id:Task_id.t -> nonce:bytes -> bytes
     epoch and caches it; subsequent reports in the same epoch verify by
     constant-time comparison instead of a fresh HMAC. *)
 
+val expected_cfa_mac :
+  ka:bytes ->
+  id:Task_id.t ->
+  nonce:bytes ->
+  cf_digest:bytes ->
+  base_digest:bytes ->
+  edge_count:int ->
+  bytes
+(** The MAC a genuine platform would put on a {!cfa_report} with these
+    fields — what lightweight fleet provers (which carry a key and a
+    log head but no full platform) use to answer CFA challenges. *)
+
 val cfa_attest :
   t ->
   id:Task_id.t ->

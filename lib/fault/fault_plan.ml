@@ -36,6 +36,19 @@ type kind =
     }
   | Task_kill of { name : string }
   | Task_hang of { name : string }
+  | Burst_loss of {
+      name : string;
+      duration : int;
+    }
+  | Device_stall of {
+      name : string;
+      duration : int;
+    }
+  | Late_reply of {
+      name : string;
+      extra : int;
+      duration : int;
+    }
 
 type event = {
   at_tick : int;
@@ -74,6 +87,9 @@ let kind_label = function
   | Irq_storm _ -> "irq-storm"
   | Task_kill _ -> "task-kill"
   | Task_hang _ -> "task-hang"
+  | Burst_loss _ -> "burst-loss"
+  | Device_stall _ -> "device-stall"
+  | Late_reply _ -> "late-reply"
 
 let describe = function
   | Bit_flip { addr; bit } ->
@@ -86,3 +102,10 @@ let describe = function
       Printf.sprintf "%d spurious interrupts on line %d" count irq
   | Task_kill { name } -> Printf.sprintf "kill task %s" name
   | Task_hang { name } -> Printf.sprintf "hang task %s" name
+  | Burst_loss { name; duration } ->
+      Printf.sprintf "drop every frame on %s's link for %d slices" name duration
+  | Device_stall { name; duration } ->
+      Printf.sprintf "%s ignores all challenges for %d slices" name duration
+  | Late_reply { name; extra; duration } ->
+      Printf.sprintf "%s replies %d slices late for %d slices" name extra
+        duration

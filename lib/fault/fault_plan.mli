@@ -47,6 +47,21 @@ type kind =
   | Task_hang of { name : string }
       (** Suspend the task so it stops making progress — the stimulus a
           watchdog exists to catch. *)
+  | Burst_loss of { name : string; duration : int }
+      (** Correlated outage: the named device's link drops every frame
+          (both directions) for [duration] slices — the fade a verifier
+          gateway's retransmit budget must ride out.  Network-layer:
+          applied by {!Tytan_serve.Gateway} via
+          {!Tytan_netsim.Link.set_burst}; the machine-level injector
+          ignores it. *)
+  | Device_stall of { name : string; duration : int }
+      (** The named device stops answering challenges for [duration]
+          slices (wedged firmware, deep sleep) — frames still flow, the
+          prover just never replies.  Network-layer, gateway-applied. *)
+  | Late_reply of { name : string; extra : int; duration : int }
+      (** For [duration] slices the named device's replies leave [extra]
+          slices late — late enough to cross a session deadline and
+          arrive as a stale frame.  Network-layer, gateway-applied. *)
 
 type event = {
   at_tick : int;

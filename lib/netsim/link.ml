@@ -16,8 +16,13 @@ type t = {
   corrupt_percent : int;
   duplicate_percent : int;
   reorder_percent : int;
+  mutable burst_until : int;  (* frames sent before this slice all drop *)
   mutable sent : int;
-  mutable dropped : int;
+  (* [dropped] is never written directly: it is the sum of the
+     per-reason counters below, so a drop can never be double-counted
+     (or lost) across attribution buckets. *)
+  mutable dropped_loss : int;
+  mutable dropped_burst : int;
   mutable delivered : int;
   mutable corrupted : int;
   mutable duplicated : int;
@@ -43,13 +48,18 @@ let create ?(seed = 0x5EED) ?(loss_percent = 0) ?(delay = 1)
     corrupt_percent;
     duplicate_percent;
     reorder_percent;
+    burst_until = 0;
     sent = 0;
-    dropped = 0;
+    dropped_loss = 0;
+    dropped_burst = 0;
     delivered = 0;
     corrupted = 0;
     duplicated = 0;
     reordered = 0;
   }
+
+let set_burst t ~until = t.burst_until <- max t.burst_until until
+let burst_active t ~at = at < t.burst_until
 
 (* Deterministic LCG (Numerical Recipes constants). *)
 let next_rand t =
@@ -77,7 +87,13 @@ let corrupt_payload t payload =
 
 let send t ~from ~at payload =
   t.sent <- t.sent + 1;
-  if lottery t t.loss_percent then t.dropped <- t.dropped + 1
+  (* The burst window wins over the loss lottery so a burst-dropped
+     frame is attributed to exactly one reason — but the lottery still
+     draws, keeping the PRNG stream (and so every later frame's fate)
+     identical whether or not a burst covered this send. *)
+  let lost = lottery t t.loss_percent in
+  if burst_active t ~at then t.dropped_burst <- t.dropped_burst + 1
+  else if lost then t.dropped_loss <- t.dropped_loss + 1
   else begin
     let payload =
       if lottery t t.corrupt_percent then begin
@@ -111,18 +127,33 @@ let deliver t ~to_ ~at =
   t.delivered <- t.delivered + List.length due;
   List.map (fun f -> f.payload) due
 
+let dropped_total t = t.dropped_loss + t.dropped_burst
+
 let counters t =
   [
     ("sent", t.sent);
-    ("dropped", t.dropped);
+    ("dropped", dropped_total t);
+    ("dropped_loss", t.dropped_loss);
+    ("dropped_burst", t.dropped_burst);
     ("delivered", t.delivered);
     ("corrupted", t.corrupted);
     ("duplicated", t.duplicated);
     ("reordered", t.reordered);
   ]
 
+let reset_counters t =
+  t.sent <- 0;
+  t.dropped_loss <- 0;
+  t.dropped_burst <- 0;
+  t.delivered <- 0;
+  t.corrupted <- 0;
+  t.duplicated <- 0;
+  t.reordered <- 0
+
 let sent_count t = t.sent
-let dropped_count t = t.dropped
+let dropped_count t = dropped_total t
+let dropped_loss_count t = t.dropped_loss
+let dropped_burst_count t = t.dropped_burst
 let delivered_count t = t.delivered
 let corrupted_count t = t.corrupted
 let duplicated_count t = t.duplicated

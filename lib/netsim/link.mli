@@ -43,12 +43,37 @@ val send : t -> from:side -> at:int -> bytes -> unit
 val deliver : t -> to_:side -> at:int -> bytes list
 (** Frames due for [to_] at slice [at] (oldest first); removes them. *)
 
+val set_burst : t -> until:int -> unit
+(** Open (or extend) a burst-loss window: every frame sent at a slice
+    [< until] is dropped, in both directions, counted under
+    [dropped_burst_count].  The loss lottery still draws for each send,
+    so the PRNG stream — and every post-burst frame's fate — is
+    unchanged by the burst.  Windows only ever extend ([max]), never
+    shrink. *)
+
+val burst_active : t -> at:int -> bool
+
 val counters : t -> (string * int) list
 (** Every counter below as [(name, value)] pairs, in a fixed order —
     convenient for dumping into a telemetry snapshot or a report. *)
 
+val reset_counters : t -> unit
+(** Zero every counter (in-flight frames are untouched) so a report can
+    attribute traffic to one phase of a campaign precisely. *)
+
 val sent_count : t -> int
+
 val dropped_count : t -> int
+(** Total drops.  Always exactly [dropped_loss_count +
+    dropped_burst_count] — the total is derived from the per-reason
+    counters, so attribution can neither double-count nor leak. *)
+
+val dropped_loss_count : t -> int
+(** Drops from the random loss lottery ([loss_percent]). *)
+
+val dropped_burst_count : t -> int
+(** Drops from an active {!set_burst} window. *)
+
 val delivered_count : t -> int
 val corrupted_count : t -> int
 val duplicated_count : t -> int

@@ -184,7 +184,8 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
                 (fun p -> if p.serial = name then p.hung_epoch <- epoch)
                 provers
           | Fault_plan.Write_glitch _ | Fault_plan.Mmio_glitch _
-          | Fault_plan.Irq_storm _ ->
+          | Fault_plan.Irq_storm _ | Fault_plan.Burst_loss _
+          | Fault_plan.Device_stall _ | Fault_plan.Late_reply _ ->
               ())
       plan
   in
@@ -440,3 +441,10 @@ let to_string r =
 let equal a b = to_string a = to_string b
 
 let verdicts r = List.map (fun s -> s.verdicts) r.per_epoch
+
+(* A '?' verdict means a session never settled — the campaign engine
+   itself failed to drive the protocol to a conclusion, which is an
+   infrastructure bug regardless of fault injection.  Distinct from
+   [survived] (device health), this is the engine's own health. *)
+let campaign_failed r =
+  List.exists (fun s -> String.contains s.verdicts '?') r.per_epoch

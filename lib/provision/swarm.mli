@@ -99,3 +99,10 @@ val to_string : report -> string
 
 val equal : report -> report -> bool
 (** Rendering equality — the [--verify] comparison. *)
+
+val campaign_failed : report -> bool
+(** True when any session verdict is ['?'] (pending): the campaign
+    engine failed to drive a session to a conclusion.  Orthogonal to
+    [survived] — a fault-injected campaign legitimately loses devices,
+    but an unsettled session is always an infrastructure failure, and
+    the CLI exits non-zero on it so CI can gate. *)

@@ -1,0 +1,861 @@
+open Tytan_core
+open Tytan_netsim
+module Crypto = Tytan_crypto
+module Cycles = Tytan_machine.Cycles
+module Fault_plan = Tytan_fault.Fault_plan
+module Telemetry = Tytan_telemetry.Telemetry
+module Registry = Tytan_provision.Registry
+module Fleet = Tytan_provision.Fleet
+
+type config = {
+  max_pending : int;
+  max_inflight : int;
+  bucket_capacity : int;
+  bucket_refill_slices : int;
+  store_capacity : int;
+  deadline_slices : int;
+  max_attempts : int;
+  backoff : Verifier.backoff;
+  breaker_threshold : int;
+  quarantine_slices : int;
+  epoch_slices : int;
+  slice_cycles : int;
+}
+
+let default_config =
+  {
+    max_pending = 64;
+    max_inflight = 128;
+    bucket_capacity = 4;
+    bucket_refill_slices = 16;
+    store_capacity = 512;
+    deadline_slices = 96;
+    max_attempts = 6;
+    backoff = Verifier.default_backoff;
+    breaker_threshold = 3;
+    quarantine_slices = 256;
+    epoch_slices = 64;
+    slice_cycles = 32_000;
+  }
+
+type refusal =
+  | Busy
+  | Rate_limited
+  | Quarantined
+
+let refusal_label = function
+  | Busy -> "busy"
+  | Rate_limited -> "rate-limited"
+  | Quarantined -> "quarantined"
+
+type admission =
+  | Admitted
+  | Shed of refusal
+
+type session_kind =
+  | Static
+  | Batched
+  | Cfa
+
+(* What the settle sweep records; Gave_up and a crossed deadline both
+   land in [Timed_out] — from the service's point of view the session
+   consumed its budget without an answer either way. *)
+type verdict =
+  | V_attested
+  | V_refused
+  | V_timed_out
+  | V_cfa_rejected
+
+(* Same lightweight prover as [Swarm]: the protocol can only observe a
+   device's uplink, key and loaded identity, so that is all we model —
+   plus the stall/late windows the gateway fault kinds drive. *)
+type prover = {
+  serial : string;
+  link : Link.t;
+  ka : bytes;
+  id : Task_id.t;
+  mutable stall_until : int;
+  mutable late_until : int;
+  mutable late_extra : int;
+}
+
+(* Gateway-side per-device state, LRU-bounded: the cached Ka, the token
+   bucket and the circuit breaker.  Evicting an entry forgets all three
+   — re-admission re-derives the key (and re-charges it). *)
+type dev_state = {
+  mutable ka : bytes;
+  mutable tokens : int;
+  mutable refill_at : int;
+  mutable streak : int;
+  mutable quarantined_until : int;
+  mutable last_used : int;
+}
+
+type session = {
+  s_serial : string;
+  s_device : int;
+  s_kind : session_kind;
+  verifier : Verifier.t;
+  admitted_at : int;
+  mutable started_at : int;  (* -1 while still queued *)
+}
+
+type t = {
+  cfg : config;
+  seed : int;
+  faults : bool;
+  loss_percent : int;
+  registry : Registry.t;
+  fw_id : Task_id.t;
+  genesis : bytes;  (* empty CFA log head for fw_id *)
+  provers : prover array;
+  index_of : (string, int) Hashtbl.t;  (* serial -> prover index *)
+  store : (string, dev_state) Hashtbl.t;
+  by_seq : (string * int, session) Hashtbl.t;  (* live-session demux *)
+  clock : Cycles.t;  (* verifier side *)
+  device_clock : Cycles.t;
+  telemetry : Telemetry.t;
+  aggregator : Aggregator.t;
+  arrival_prng : Fault_plan.Prng.t;
+  pending_q : session Queue.t;
+  mutable inflight : session list;
+  mutable inflight_n : int;
+  mutable now : int;
+  mutable fault_queue : Fault_plan.event list;
+  mutable fault_counts : (string * int) list;
+  mutable arrivals : int;
+  mutable admitted : int;
+  mutable attested : int;
+  mutable refused : int;
+  mutable timed_out : int;
+  mutable cfa_rejected : int;
+  mutable shed_busy : int;
+  mutable shed_rate_limited : int;
+  mutable shed_quarantined : int;
+  mutable max_queue_depth : int;
+  mutable quarantine_trips : int;
+  mutable quarantined_serials : string list;
+  mutable evictions : int;
+  mutable key_derivations : int;
+  mutable malformed : int;
+  mutable stale : int;
+  mutable unknown : int;
+  mutable latencies : int list;  (* settled sessions, newest first *)
+}
+
+let serial_of i = Printf.sprintf "dev-%05d" i
+
+(* Crypto cycles charged by sampling the global compression counters —
+   the same discipline as [Swarm.charged]. *)
+let charged clock f =
+  let s1 = Crypto.Sha1.total_compressions () in
+  let s2 = Crypto.Sha256.total_compressions () in
+  let r = f () in
+  let d1 = Crypto.Sha1.total_compressions () - s1 in
+  let d2 = Crypto.Sha256.total_compressions () - s2 in
+  if d1 > 0 then Cycles.charge clock (d1 * Cost_model.crypto_per_compression);
+  if d2 > 0 then Cycles.charge clock (d2 * Cost_model.sha256_per_compression);
+  r
+
+(* The gateway-layer chaos schedule: correlated outages, wedged devices
+   and deadline-crossing replies, seeded like [Swarm.fault_events] so
+   the whole campaign stays a pure function of its tuple. *)
+let network_faults ~seed ~devices ~horizon =
+  let prng = Fault_plan.Prng.create (seed lxor 0x6A7E) in
+  let count = max 2 (devices / 4) in
+  let span = max 1 (horizon * 3 / 4) in
+  let events =
+    List.init count (fun _ ->
+        let at = Fault_plan.Prng.int prng span in
+        let name = serial_of (Fault_plan.Prng.int prng devices) in
+        let kind =
+          match Fault_plan.Prng.int prng 3 with
+          | 0 ->
+              Fault_plan.Burst_loss
+                { name; duration = 6 + Fault_plan.Prng.int prng 20 }
+          | 1 ->
+              Fault_plan.Device_stall
+                { name; duration = 8 + Fault_plan.Prng.int prng 24 }
+          | _ ->
+              Fault_plan.Late_reply
+                {
+                  name;
+                  extra = 4 + Fault_plan.Prng.int prng 10;
+                  duration = 8 + Fault_plan.Prng.int prng 16;
+                }
+        in
+        { Fault_plan.at_tick = at; kind })
+  in
+  (Fault_plan.make ~seed events).Fault_plan.events
+
+let create ?(config = default_config) ?(faults = false) ?(fault_horizon = 256)
+    ?(loss_percent = 10) ~devices ~seed () =
+  if devices <= 0 then invalid_arg "Gateway.create: devices must be positive";
+  let master =
+    Bytes.of_string (Printf.sprintf "serve-master-%08x" (seed land 0xFFFF_FFFF))
+  in
+  let registry = Registry.create ~master in
+  let image = Fleet.reference_image ~seed ~size:512 in
+  let fw_id = Task_id.of_image image in
+  let clock = Cycles.create () in
+  let device_clock = Cycles.create () in
+  (* Observation must not perturb the run: zero costs, so enabling
+     telemetry leaves every clock bit-identical (the chaos campaign's
+     discipline). *)
+  let telemetry = Telemetry.create ~per_event_cost:0 ~per_span_cost:0 clock in
+  Telemetry.enable telemetry;
+  let corrupt_percent = if faults then 3 else 0 in
+  let index_of = Hashtbl.create (devices * 2) in
+  let genesis =
+    charged device_clock (fun () -> Attestation.cf_genesis ~id:fw_id)
+  in
+  let provers =
+    Array.init devices (fun i ->
+        let serial = serial_of i in
+        Hashtbl.replace index_of serial i;
+        let link =
+          Link.create
+            ~seed:(((seed * 7919) + (i * 104729) + 31) land 0x3FFF_FFFF)
+            ~loss_percent ~corrupt_percent
+            ~duplicate_percent:(if faults then 2 else 0)
+            ~reorder_percent:(if faults then 2 else 0)
+            ()
+        in
+        let platform_key = Registry.platform_key registry ~serial in
+        let ka =
+          charged device_clock (fun () -> Attestation.derive_ka ~platform_key)
+        in
+        {
+          serial;
+          link;
+          ka;
+          id = fw_id;
+          stall_until = 0;
+          late_until = 0;
+          late_extra = 0;
+        })
+  in
+  let aggregator =
+    Aggregator.create
+      ~ka_of:(fun ~serial -> Registry.attestation_key registry ~serial)
+      ~clock ~telemetry ~batch_limit:256 ()
+  in
+  {
+    cfg = config;
+    seed;
+    faults;
+    loss_percent;
+    registry;
+    fw_id;
+    genesis;
+    provers;
+    index_of;
+    store = Hashtbl.create (config.store_capacity * 2);
+    by_seq = Hashtbl.create 1024;
+    clock;
+    device_clock;
+    telemetry;
+    aggregator;
+    arrival_prng = Fault_plan.Prng.create (seed lxor 0xA2211);
+    pending_q = Queue.create ();
+    inflight = [];
+    inflight_n = 0;
+    now = 0;
+    fault_queue =
+      (if faults then network_faults ~seed ~devices ~horizon:fault_horizon
+       else []);
+    fault_counts = [];
+    arrivals = 0;
+    admitted = 0;
+    attested = 0;
+    refused = 0;
+    timed_out = 0;
+    cfa_rejected = 0;
+    shed_busy = 0;
+    shed_rate_limited = 0;
+    shed_quarantined = 0;
+    max_queue_depth = 0;
+    quarantine_trips = 0;
+    quarantined_serials = [];
+    evictions = 0;
+    key_derivations = 0;
+    malformed = 0;
+    stale = 0;
+    unknown = 0;
+    latencies = [];
+  }
+
+let slice t = t.now
+let pending_depth t = Queue.length t.pending_q
+let inflight_count t = t.inflight_n
+let malformed_frames t = t.malformed
+let stale_frames t = t.stale
+let unknown_frames t = t.unknown
+
+let bump t label =
+  t.fault_counts <-
+    (match List.assoc_opt label t.fault_counts with
+    | Some n -> (label, n + 1) :: List.remove_assoc label t.fault_counts
+    | None -> (label, 1) :: t.fault_counts)
+
+let apply_due_faults t =
+  let at = t.now in
+  let rec go () =
+    match t.fault_queue with
+    | ev :: rest when ev.Fault_plan.at_tick <= at ->
+        t.fault_queue <- rest;
+        (match ev.Fault_plan.kind with
+        | Fault_plan.Burst_loss { name; duration } -> (
+            match Hashtbl.find_opt t.index_of name with
+            | Some i ->
+                Link.set_burst t.provers.(i).link ~until:(at + duration);
+                bump t "burst-loss"
+            | None -> ())
+        | Fault_plan.Device_stall { name; duration } -> (
+            match Hashtbl.find_opt t.index_of name with
+            | Some i ->
+                let p = t.provers.(i) in
+                p.stall_until <- max p.stall_until (at + duration);
+                bump t "device-stall"
+            | None -> ())
+        | Fault_plan.Late_reply { name; extra; duration } -> (
+            match Hashtbl.find_opt t.index_of name with
+            | Some i ->
+                let p = t.provers.(i) in
+                p.late_until <- max p.late_until (at + duration);
+                p.late_extra <- extra;
+                bump t "late-reply"
+            | None -> ())
+        | _ -> ());
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* ---- device-state store (LRU, bounded) -------------------------------- *)
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun serial st acc ->
+        match acc with
+        | None -> Some (serial, st)
+        | Some (serial', st') ->
+            (* Deterministic LRU: oldest last_used, serial breaks ties. *)
+            if
+              st.last_used < st'.last_used
+              || (st.last_used = st'.last_used && serial < serial')
+            then Some (serial, st)
+            else acc)
+      t.store None
+  in
+  match victim with
+  | Some (serial, _) ->
+      Hashtbl.remove t.store serial;
+      t.evictions <- t.evictions + 1;
+      Telemetry.incr t.telemetry ~component:"serve" "evictions"
+  | None -> ()
+
+let lookup_store t ~serial =
+  match Hashtbl.find_opt t.store serial with
+  | Some st -> st
+  | None ->
+      if Hashtbl.length t.store >= t.cfg.store_capacity then evict_lru t;
+      let ka =
+        charged t.clock (fun () -> Registry.attestation_key t.registry ~serial)
+      in
+      t.key_derivations <- t.key_derivations + 1;
+      let st =
+        {
+          ka;
+          tokens = t.cfg.bucket_capacity;
+          refill_at = t.now;
+          streak = 0;
+          quarantined_until = 0;
+          last_used = t.now;
+        }
+      in
+      Hashtbl.replace t.store serial st;
+      st
+
+let refill t (st : dev_state) =
+  let elapsed = t.now - st.refill_at in
+  if elapsed >= t.cfg.bucket_refill_slices then begin
+    let n = elapsed / t.cfg.bucket_refill_slices in
+    st.tokens <- min t.cfg.bucket_capacity (st.tokens + n);
+    st.refill_at <- st.refill_at + (n * t.cfg.bucket_refill_slices)
+  end
+
+(* ---- sessions --------------------------------------------------------- *)
+
+let cfa_check t (r : Attestation.cfa_report) =
+  (* A quiescent device answers with the empty, genesis-anchored log;
+     anything else from a device that should be idle is a compromise. *)
+  if
+    r.Attestation.edge_count = 0
+    && Bytes.equal r.Attestation.cf_digest t.genesis
+    && Bytes.equal r.Attestation.base_digest t.genesis
+  then Ok ()
+  else Error "non-empty control-flow log from a quiescent device"
+
+let make_verifier t (st : dev_state) ~serial ~kind ~label =
+  let backoff = t.cfg.backoff in
+  let max_attempts = t.cfg.max_attempts in
+  match kind with
+  | Static ->
+      Verifier.create ~ka:st.ka ~expected:t.fw_id ~backoff ~max_attempts
+        ~refusals_to_settle:2 ~session:label ()
+  | Batched ->
+      (* Verification delegated to the aggregator's measurement cache;
+         the session's own key is unused. *)
+      Verifier.create ~ka:Bytes.empty ~expected:t.fw_id ~backoff ~max_attempts
+        ~refusals_to_settle:2
+        ~check:(fun ~nonce report ->
+          Aggregator.check_report t.aggregator ~serial ~expected:t.fw_id ~nonce
+            report)
+        ~session:label ()
+  | Cfa ->
+      Verifier.create ~ka:st.ka ~expected:t.fw_id ~backoff ~max_attempts
+        ~refusals_to_settle:2
+        ~cfa:(fun r -> cfa_check t r)
+        ~session:label ()
+
+let draw_kind t =
+  match Fault_plan.Prng.int t.arrival_prng 10 with
+  | 0 | 1 | 2 | 3 | 4 -> Static
+  | 5 | 6 | 7 -> Batched
+  | _ -> Cfa
+
+let shed_arrival t refusal =
+  (match refusal with
+  | Busy -> t.shed_busy <- t.shed_busy + 1
+  | Rate_limited -> t.shed_rate_limited <- t.shed_rate_limited + 1
+  | Quarantined -> t.shed_quarantined <- t.shed_quarantined + 1);
+  Telemetry.incr t.telemetry ~component:"serve"
+    ("shed_" ^ refusal_label refusal);
+  Shed refusal
+
+let arrive t ~device =
+  if device < 0 || device >= Array.length t.provers then
+    invalid_arg "Gateway.arrive: no such device";
+  t.arrivals <- t.arrivals + 1;
+  let serial = t.provers.(device).serial in
+  let st = lookup_store t ~serial in
+  st.last_used <- t.now;
+  if t.now < st.quarantined_until then shed_arrival t Quarantined
+  else begin
+    refill t st;
+    if st.tokens <= 0 then shed_arrival t Rate_limited
+    else if Queue.length t.pending_q >= t.cfg.max_pending then
+      shed_arrival t Busy
+    else begin
+      st.tokens <- st.tokens - 1;
+      t.admitted <- t.admitted + 1;
+      let kind = draw_kind t in
+      let label = Printf.sprintf "%s/a%06d" serial t.admitted in
+      let verifier = make_verifier t st ~serial ~kind ~label in
+      Queue.push
+        {
+          s_serial = serial;
+          s_device = device;
+          s_kind = kind;
+          verifier;
+          admitted_at = t.now;
+          started_at = -1;
+        }
+        t.pending_q;
+      let depth = Queue.length t.pending_q in
+      if depth > t.max_queue_depth then t.max_queue_depth <- depth;
+      Admitted
+    end
+  end
+
+let verdict_of = function
+  | Verifier.Attested -> V_attested
+  | Verifier.Refused -> V_refused
+  | Verifier.Gave_up -> V_timed_out
+  | Verifier.Cfa_rejected -> V_cfa_rejected
+  | Verifier.Pending -> assert false
+
+let settle t (s : session) ~verdict =
+  Hashtbl.remove t.by_seq (s.s_serial, Verifier.seq s.verifier);
+  let latency = t.now - s.admitted_at in
+  t.latencies <- latency :: t.latencies;
+  Telemetry.observe t.telemetry ~component:"serve" "session_slices" latency;
+  (match verdict with
+  | V_attested ->
+      t.attested <- t.attested + 1;
+      Telemetry.incr t.telemetry ~component:"serve" "attested"
+  | V_refused ->
+      t.refused <- t.refused + 1;
+      Telemetry.incr t.telemetry ~component:"serve" "refused"
+  | V_timed_out ->
+      t.timed_out <- t.timed_out + 1;
+      Telemetry.incr t.telemetry ~component:"serve" "timed_out"
+  | V_cfa_rejected ->
+      t.cfa_rejected <- t.cfa_rejected + 1;
+      Telemetry.incr t.telemetry ~component:"serve" "cfa_rejected");
+  match Hashtbl.find_opt t.store s.s_serial with
+  | None -> ()  (* evicted mid-session; the breaker state went with it *)
+  | Some st ->
+      let mac_suspect =
+        Verifier.rejected_frames s.verifier > 0 && verdict <> V_attested
+      in
+      let failed =
+        verdict = V_timed_out || verdict = V_cfa_rejected || mac_suspect
+      in
+      if verdict = V_attested then st.streak <- 0
+      else if failed then begin
+        st.streak <- st.streak + 1;
+        if st.streak >= t.cfg.breaker_threshold then begin
+          st.streak <- 0;
+          st.quarantined_until <- t.now + t.cfg.quarantine_slices;
+          t.quarantine_trips <- t.quarantine_trips + 1;
+          if not (List.mem s.s_serial t.quarantined_serials) then
+            t.quarantined_serials <- s.s_serial :: t.quarantined_serials;
+          Telemetry.incr t.telemetry ~component:"serve" "quarantines"
+        end
+      end
+
+(* ---- frame plumbing --------------------------------------------------- *)
+
+let seq_of = function
+  | Protocol.Challenge { seq; _ }
+  | Protocol.Response { seq; _ }
+  | Protocol.Refusal { seq }
+  | Protocol.CfaChallenge { seq; _ }
+  | Protocol.CfaResponse { seq; _ } ->
+      seq
+
+(* The gateway's session demux.  Every inbound frame is classified —
+   malformed, unknown revision, stale, or routed to the live session
+   whose sequence it carries — and none of the paths can raise: garbage
+   ends in a counter, never an exception. *)
+let route t (p : prover) frame =
+  match Protocol.decode frame with
+  | Error e ->
+      if Protocol.is_unknown_tag e then begin
+        t.unknown <- t.unknown + 1;
+        Telemetry.incr t.telemetry ~component:"serve" "unknown_frames"
+      end
+      else begin
+        t.malformed <- t.malformed + 1;
+        Telemetry.incr t.telemetry ~component:"serve" "malformed_frames"
+      end
+  | Ok msg -> (
+      match Hashtbl.find_opt t.by_seq (p.serial, seq_of msg) with
+      | None ->
+          t.stale <- t.stale + 1;
+          Telemetry.incr t.telemetry ~component:"serve" "stale_frames"
+      | Some s -> (
+          (* Static and CFA sessions verify inline, so the frame handler
+             is where their crypto burns; the aggregator's check charges
+             itself internally — wrapping it would double-count. *)
+          match s.s_kind with
+          | Batched -> Verifier.on_frame s.verifier frame
+          | Static | Cfa ->
+              charged t.clock (fun () -> Verifier.on_frame s.verifier frame)))
+
+let inject_frame t ~device frame =
+  if device < 0 || device >= Array.length t.provers then
+    invalid_arg "Gateway.inject_frame: no such device";
+  route t t.provers.(device) frame
+
+let prover_step t (p : prover) =
+  let at = t.now in
+  let frames = Link.deliver p.link ~to_:Link.Device ~at in
+  (* A stalled device still drains its inbox — the frames just die
+     there, exactly like wedged firmware. *)
+  if at >= p.stall_until then
+    List.iter
+      (fun frame ->
+        let reply_at = if at < p.late_until then at + p.late_extra else at in
+        match Protocol.decode frame with
+        | Error _ -> ()
+        | Ok (Protocol.Challenge { seq; id; nonce }) ->
+            if Task_id.equal id p.id then begin
+              let mac =
+                charged t.device_clock (fun () ->
+                    Attestation.expected_mac ~ka:p.ka ~id ~nonce)
+              in
+              Link.send p.link ~from:Link.Device ~at:reply_at
+                (Protocol.encode
+                   (Protocol.Response
+                      { seq; report = { Attestation.id; nonce; mac } }))
+            end
+            else
+              Link.send p.link ~from:Link.Device ~at:reply_at
+                (Protocol.encode (Protocol.Refusal { seq }))
+        | Ok (Protocol.CfaChallenge { seq; id; nonce }) ->
+            if Task_id.equal id p.id then begin
+              (* Quiescent device: the honest answer is the empty log,
+                 anchored at the genesis digest. *)
+              let mac =
+                charged t.device_clock (fun () ->
+                    Attestation.expected_cfa_mac ~ka:p.ka ~id ~nonce
+                      ~cf_digest:t.genesis ~base_digest:t.genesis ~edge_count:0)
+              in
+              let report =
+                {
+                  Attestation.id;
+                  nonce;
+                  cf_digest = t.genesis;
+                  base_digest = t.genesis;
+                  edge_count = 0;
+                  edges = [||];
+                  mac;
+                }
+              in
+              Link.send p.link ~from:Link.Device ~at:reply_at
+                (Protocol.encode (Protocol.CfaResponse { seq; report }))
+            end
+            else
+              Link.send p.link ~from:Link.Device ~at:reply_at
+                (Protocol.encode (Protocol.Refusal { seq }))
+        | Ok _ -> ())
+      frames
+
+(* ---- the service loop ------------------------------------------------- *)
+
+let step t =
+  let at = t.now in
+  apply_due_faults t;
+  if at mod t.cfg.epoch_slices = 0 then
+    (* Seals the outgoing batch and clears the measurement cache: a
+       verdict cached under one nonce epoch must not answer the next. *)
+    Aggregator.begin_epoch t.aggregator ~epoch:(at / t.cfg.epoch_slices);
+  (* Start queued sessions up to the in-flight cap. *)
+  while t.inflight_n < t.cfg.max_inflight && not (Queue.is_empty t.pending_q) do
+    let s = Queue.pop t.pending_q in
+    s.started_at <- at;
+    Hashtbl.replace t.by_seq (s.s_serial, Verifier.seq s.verifier) s;
+    t.inflight <- s :: t.inflight;
+    t.inflight_n <- t.inflight_n + 1
+  done;
+  (* Device side: provers answer what reached them. *)
+  Array.iter (fun p -> prover_step t p) t.provers;
+  (* Remote side: route every arrived frame to its session. *)
+  Array.iter
+    (fun p -> List.iter (route t p) (Link.deliver p.link ~to_:Link.Remote ~at))
+    t.provers;
+  (* Poll, enforce deadlines, settle. *)
+  let still = ref [] in
+  List.iter
+    (fun s ->
+      if
+        Verifier.outcome s.verifier = Verifier.Pending
+        && at - s.started_at >= t.cfg.deadline_slices
+      then settle t s ~verdict:V_timed_out
+      else begin
+        (match Verifier.poll s.verifier ~at with
+        | Some frame ->
+            Link.send t.provers.(s.s_device).link ~from:Link.Remote ~at frame
+        | None -> ());
+        match Verifier.outcome s.verifier with
+        | Verifier.Pending -> still := s :: !still
+        | outcome -> settle t s ~verdict:(verdict_of outcome)
+      end)
+    t.inflight;
+  t.inflight <- List.rev !still;
+  t.inflight_n <- List.length t.inflight;
+  Telemetry.set_gauge t.telemetry ~component:"serve" "queue_depth"
+    (Queue.length t.pending_q);
+  Telemetry.set_gauge t.telemetry ~component:"serve" "inflight" t.inflight_n;
+  t.now <- at + 1
+
+(* ---- reports ---------------------------------------------------------- *)
+
+type report = {
+  devices : int;
+  load_slices : int;
+  total_slices : int;
+  arrival_permille : int;
+  seed : int;
+  faults : bool;
+  loss_percent : int;
+  arrivals : int;
+  admitted : int;
+  attested : int;
+  refused : int;
+  timed_out : int;
+  cfa_rejected : int;
+  shed_busy : int;
+  shed_rate_limited : int;
+  shed_quarantined : int;
+  max_queue_depth : int;
+  queue_bound : int;
+  p50_slices : int;
+  p99_slices : int;
+  p50_cycles : int;
+  p99_cycles : int;
+  throughput_per_kslice : int;
+  quarantined : string list;
+  quarantine_trips : int;
+  evictions : int;
+  key_derivations : int;
+  batches : int;
+  malformed_frames : int;
+  stale_frames : int;
+  unknown_frames : int;
+  verifier_cycles : int;
+  device_cycles : int;
+  link : (string * int) list;
+  fault_counts : (string * int) list;
+  telemetry : (string * int) list;
+}
+
+let shed r = r.shed_busy + r.shed_rate_limited + r.shed_quarantined
+let settled r = r.attested + r.refused + r.timed_out + r.cfa_rejected
+
+(* Nearest-rank percentile over the exact latency population — not the
+   log-bucketed telemetry histogram, so the p99 row in the bench table
+   is sharp. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0 else sorted.(max 0 (((p * n) + 99) / 100 - 1))
+
+let sum_links provers =
+  Array.fold_left
+    (fun acc (p : prover) ->
+      let counters = Link.counters p.link in
+      match acc with
+      | [] -> counters
+      | _ ->
+          List.map2 (fun (k, a) (k', b) ->
+              assert (k = k');
+              (k, a + b))
+            acc counters)
+    [] provers
+
+let report_of t ~load_slices ~arrival_permille =
+  let sorted = Array.of_list t.latencies in
+  Array.sort compare sorted;
+  let total = max 1 t.now in
+  {
+    devices = Array.length t.provers;
+    load_slices;
+    total_slices = t.now;
+    arrival_permille;
+    seed = t.seed;
+    faults = t.faults;
+    loss_percent = t.loss_percent;
+    arrivals = t.arrivals;
+    admitted = t.admitted;
+    attested = t.attested;
+    refused = t.refused;
+    timed_out = t.timed_out;
+    cfa_rejected = t.cfa_rejected;
+    shed_busy = t.shed_busy;
+    shed_rate_limited = t.shed_rate_limited;
+    shed_quarantined = t.shed_quarantined;
+    max_queue_depth = t.max_queue_depth;
+    queue_bound = t.cfg.max_pending;
+    p50_slices = percentile sorted 50;
+    p99_slices = percentile sorted 99;
+    p50_cycles = percentile sorted 50 * t.cfg.slice_cycles;
+    p99_cycles = percentile sorted 99 * t.cfg.slice_cycles;
+    throughput_per_kslice =
+      (t.attested + t.refused + t.timed_out + t.cfa_rejected) * 1000 / total;
+    quarantined = List.sort compare t.quarantined_serials;
+    quarantine_trips = t.quarantine_trips;
+    evictions = t.evictions;
+    key_derivations = t.key_derivations;
+    batches = List.length (Aggregator.batches t.aggregator);
+    malformed_frames = t.malformed;
+    stale_frames = t.stale;
+    unknown_frames = t.unknown;
+    verifier_cycles = Cycles.now t.clock;
+    device_cycles = Cycles.now t.device_clock;
+    link = sum_links t.provers;
+    fault_counts = List.sort compare t.fault_counts;
+    telemetry =
+      List.map
+        (fun (k, v) -> (Telemetry.key_to_string k, v))
+        (Telemetry.counters t.telemetry);
+  }
+
+let run ?(config = default_config) ?(faults = false) ?(loss_percent = 10)
+    ~devices ~slices ~arrival_permille ~seed () =
+  if slices <= 0 then invalid_arg "Gateway.run: slices must be positive";
+  if arrival_permille < 0 then
+    invalid_arg "Gateway.run: arrival_permille must be non-negative";
+  let t =
+    create ~config ~faults ~fault_horizon:slices ~loss_percent ~devices ~seed ()
+  in
+  for _ = 1 to slices do
+    (* Open-loop offered load: arrival_permille / 1000 arrivals per
+       slice in expectation, device chosen uniformly.  The generator
+       does not wait for the gateway — that is what makes overload
+       possible. *)
+    let n =
+      (arrival_permille / 1000)
+      + (if Fault_plan.Prng.int t.arrival_prng 1000 < arrival_permille mod 1000
+         then 1
+         else 0)
+    in
+    for _ = 1 to n do
+      ignore (arrive t ~device:(Fault_plan.Prng.int t.arrival_prng devices))
+    done;
+    step t
+  done;
+  (* Drain: no new arrivals; the deadline bounds every started session,
+     so the queue empties in bounded time.  The cap is a backstop. *)
+  let drain_cap =
+    t.now
+    + ((config.max_pending / max 1 config.max_inflight) + 3)
+      * config.deadline_slices
+    + config.backoff.Verifier.cap_slices
+  in
+  while
+    (t.inflight_n > 0 || not (Queue.is_empty t.pending_q)) && t.now < drain_cap
+  do
+    step t
+  done;
+  (* Backstop only: anything past the cap is forced to a conclusion so
+     [settled = admitted] is an invariant of every report. *)
+  Queue.iter (fun s -> settle t s ~verdict:V_timed_out) t.pending_q;
+  Queue.clear t.pending_q;
+  List.iter (fun s -> settle t s ~verdict:V_timed_out) t.inflight;
+  t.inflight <- [];
+  t.inflight_n <- 0;
+  Aggregator.flush t.aggregator;
+  report_of t ~load_slices:slices ~arrival_permille
+
+let sha1_hex s = Crypto.Sha1.to_hex (Crypto.Sha1.digest_string s)
+
+let body r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add
+    "serve campaign: devices=%d slices=%d(+%d drain) rate=%d/1000 seed=%d faults=%s loss=%d%%\n"
+    r.devices r.load_slices
+    (r.total_slices - r.load_slices)
+    r.arrival_permille r.seed
+    (if r.faults then "on" else "off")
+    r.loss_percent;
+  add "arrivals=%d admitted=%d shed=%d (busy=%d rate=%d quarantine=%d)\n"
+    r.arrivals r.admitted (shed r) r.shed_busy r.shed_rate_limited
+    r.shed_quarantined;
+  add "verdicts: attested=%d refused=%d timed_out=%d cfa_rejected=%d\n"
+    r.attested r.refused r.timed_out r.cfa_rejected;
+  add "queue: max_depth=%d bound=%d\n" r.max_queue_depth r.queue_bound;
+  add "latency: p50=%d p99=%d slices (p50=%d p99=%d cycles)\n" r.p50_slices
+    r.p99_slices r.p50_cycles r.p99_cycles;
+  add "throughput=%d settled/kslice\n" r.throughput_per_kslice;
+  add "quarantine: trips=%d devices=[%s]\n" r.quarantine_trips
+    (String.concat " " r.quarantined);
+  add "store: evictions=%d key_derivations=%d\n" r.evictions r.key_derivations;
+  add "batches=%d\n" r.batches;
+  add "frames: malformed=%d stale=%d unknown=%d\n" r.malformed_frames
+    r.stale_frames r.unknown_frames;
+  add "verifier_cycles=%d device_cycles=%d\n" r.verifier_cycles r.device_cycles;
+  List.iter (fun (k, v) -> add "  link.%s=%d\n" k v) r.link;
+  List.iter (fun (k, v) -> add "  fault.%s=%d\n" k v) r.fault_counts;
+  List.iter (fun (k, v) -> add "  %s=%d\n" k v) r.telemetry;
+  Buffer.contents b
+
+let to_string r =
+  let body = body r in
+  body ^ Printf.sprintf "digest: sha1:%s\n" (sha1_hex body)
+
+let equal a b = to_string a = to_string b

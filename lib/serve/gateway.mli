@@ -1,0 +1,201 @@
+(** The verifier gateway: a long-lived attestation service.
+
+    Everything below [lib/serve] attests {e one} device per session and
+    assumes someone re-creates the session when it ends.  A deployment
+    has neither luxury: a fleet's verifier is a service that thousands of
+    devices hit continuously, and what matters is not whether a single
+    MAC checks but whether the service {e degrades gracefully} when the
+    offered load exceeds what it can carry.  The gateway multiplexes
+    many concurrent {!Tytan_netsim.Verifier} sessions — static, batched
+    (through {!Tytan_netsim.Aggregator}) and CFA — over per-device lossy
+    links, under an explicit robustness regime:
+
+    - {b Admission control}: arrivals queue in a bounded pending queue;
+      when it is full the gateway sheds the session with a typed {!Busy}
+      refusal instead of growing without bound.  At most
+      [max_inflight] sessions run concurrently.
+    - {b Rate limiting}: a per-device token bucket; a device hammering
+      the gateway is refused {!Rate_limited} without consuming protocol
+      resources.
+    - {b Deadlines}: every started session carries a hard deadline on
+      top of the verifier's own retransmit schedule; crossing it settles
+      the session as timed out, so no session can pin gateway state
+      forever.
+    - {b Device-state store}: per-device keys and breaker state live in
+      a bounded LRU store; above capacity the least-recently-used entry
+      is evicted and the key re-derived (and re-charged) on the device's
+      next arrival.
+    - {b Circuit breaker}: a device whose sessions repeatedly time out
+      or fail MAC checks is quarantined for a while — its arrivals are
+      refused {!Quarantined} — so a broken or hostile device cannot
+      monopolise the retransmit budget.
+
+    The gateway is a discrete-event simulation over slices, seeded end
+    to end: the same [(devices, slices, arrival rate, seed, faults)]
+    tuple reproduces verdict counts, latency percentiles and shed
+    counters bit for bit.  {!Tytan_fault.Fault_plan} supplies the
+    network-layer chaos vocabulary ([Burst_loss], [Device_stall],
+    [Late_reply]); this module applies it.  See DESIGN.md §14. *)
+
+open Tytan_netsim
+
+type config = {
+  max_pending : int;  (** pending-queue bound; beyond it arrivals shed *)
+  max_inflight : int;  (** concurrent active sessions *)
+  bucket_capacity : int;  (** per-device token-bucket burst size *)
+  bucket_refill_slices : int;  (** slices per token refilled *)
+  store_capacity : int;  (** LRU device-state entries kept *)
+  deadline_slices : int;  (** hard per-session deadline once started *)
+  max_attempts : int;  (** verifier retransmit budget per session *)
+  backoff : Verifier.backoff;  (** retransmit schedule *)
+  breaker_threshold : int;
+      (** consecutive failed sessions before a device is quarantined *)
+  quarantine_slices : int;  (** how long a tripped breaker holds *)
+  epoch_slices : int;  (** aggregator nonce-epoch length *)
+  slice_cycles : int;  (** nominal cycles per slice, for latency rows *)
+}
+
+val default_config : config
+(** pending 64, inflight 128, bucket 4 cap / 16 slices per token,
+    store 512, deadline 96, 6 attempts under {!Verifier.default_backoff},
+    breaker 3, quarantine 256, epoch 64, 32 000 cycles per slice. *)
+
+type refusal =
+  | Busy  (** pending queue full — load shed *)
+  | Rate_limited  (** the device's token bucket is empty *)
+  | Quarantined  (** the device's circuit breaker is open *)
+
+val refusal_label : refusal -> string
+
+type admission =
+  | Admitted
+  | Shed of refusal
+
+type session_kind =
+  | Static  (** plain challenge/response, inline HMAC check *)
+  | Batched  (** verification routed through the Merkle aggregator *)
+  | Cfa  (** control-flow challenge; quiescent devices answer an
+             empty, genesis-anchored log *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?faults:bool ->
+  ?fault_horizon:int ->
+  ?loss_percent:int ->
+  devices:int ->
+  seed:int ->
+  unit ->
+  t
+(** A gateway over [devices] provisioned provers on seeded lossy links
+    (default 10% loss; with [~faults] the links also corrupt, duplicate
+    and reorder, and a seeded {!Tytan_fault.Fault_plan} schedule of
+    burst-loss, device-stall and late-reply events over the first
+    [fault_horizon] slices is applied as it falls due). *)
+
+val step : t -> unit
+(** Advance one slice: apply due faults, roll the aggregator epoch,
+    start pending sessions up to the in-flight cap, run every prover,
+    route device replies to their sessions, poll and settle. *)
+
+val arrive : t -> device:int -> admission
+(** One attestation request for [device] at the current slice — the
+    admission decision is returned and recorded either way. *)
+
+val inject_frame : t -> device:int -> bytes -> unit
+(** Feed a raw frame to the gateway as if it had arrived from [device]
+    — the fuzzing hook.  Whatever the bytes, the gateway classifies
+    (malformed / unknown-revision / stale / session-routed) and never
+    raises. *)
+
+val slice : t -> int
+
+val pending_depth : t -> int
+
+val inflight_count : t -> int
+
+val malformed_frames : t -> int
+(** Frames that failed {!Tytan_netsim.Protocol.decode}. *)
+
+val unknown_frames : t -> int
+(** Well-formed frames from an unknown (newer) protocol revision. *)
+
+val stale_frames : t -> int
+(** Well-formed frames whose sequence matches no live session — late
+    replies that crossed a deadline. *)
+
+val network_faults :
+  seed:int -> devices:int -> horizon:int -> Tytan_fault.Fault_plan.event list
+(** The seeded gateway-layer fault schedule [create ~faults:true] uses —
+    exposed so tests can pin its determinism. *)
+
+type report = {
+  devices : int;
+  load_slices : int;  (** slices during which arrivals were offered *)
+  total_slices : int;  (** including the drain tail *)
+  arrival_permille : int;  (** offered load: arrivals per 1000 slices *)
+  seed : int;
+  faults : bool;
+  loss_percent : int;
+  arrivals : int;
+  admitted : int;
+  attested : int;
+  refused : int;
+  timed_out : int;  (** deadline crossed or retransmit budget exhausted *)
+  cfa_rejected : int;
+  shed_busy : int;
+  shed_rate_limited : int;
+  shed_quarantined : int;
+  max_queue_depth : int;  (** never exceeds [max_pending] *)
+  queue_bound : int;  (** the configured [max_pending], for the record *)
+  p50_slices : int;  (** median admitted-to-settled latency *)
+  p99_slices : int;
+  p50_cycles : int;  (** the same at [slice_cycles] per slice *)
+  p99_cycles : int;
+  throughput_per_kslice : int;  (** settled sessions per 1000 slices *)
+  quarantined : string list;  (** serials ever quarantined, sorted *)
+  quarantine_trips : int;
+  evictions : int;  (** LRU device-state evictions *)
+  key_derivations : int;  (** gateway-side Ka derivations (re-admissions
+                              after eviction derive again) *)
+  batches : int;  (** Merkle batches sealed by the aggregator *)
+  malformed_frames : int;
+  stale_frames : int;
+  unknown_frames : int;
+  verifier_cycles : int;
+  device_cycles : int;
+  link : (string * int) list;  (** summed link counters, fixed order *)
+  fault_counts : (string * int) list;  (** applied gateway faults, sorted *)
+  telemetry : (string * int) list;  (** counter snapshot, sorted *)
+}
+
+val shed : report -> int
+(** Total shed arrivals across the three refusal kinds. *)
+
+val settled : report -> int
+(** [attested + refused + timed_out + cfa_rejected]; equals [admitted]
+    once a campaign has drained. *)
+
+val run :
+  ?config:config ->
+  ?faults:bool ->
+  ?loss_percent:int ->
+  devices:int ->
+  slices:int ->
+  arrival_permille:int ->
+  seed:int ->
+  unit ->
+  report
+(** A full campaign: offer seeded open-loop load ([arrival_permille]
+    arrivals per 1000 slices, uniform over devices) for [slices] slices,
+    then stop arrivals and drain until every admitted session settles.
+    Anything still unsettled at the (generous) drain cap is force-timed
+    out, so [settled = admitted] always holds. *)
+
+val to_string : report -> string
+(** Deterministic rendering ending in a [digest: sha1:...] line over the
+    whole body; two runs are bit-identical iff their renderings are. *)
+
+val equal : report -> report -> bool
+(** Rendering equality — the differential / [--verify] comparison. *)
