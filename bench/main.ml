@@ -1064,6 +1064,46 @@ let run_serve_bench () =
         shed_permille)
     rates
 
+(* ------------------------------------------------------------------ *)
+(* Load-time vet: four-check baseline vs six-check flow lint           *)
+(* ------------------------------------------------------------------ *)
+
+let run_vet_bench () =
+  hr "Load-time vet cost — 4 checks vs 6 (flow + topology; clock cycles)";
+  let tasks =
+    [
+      ("counter", Tasks.counter ());
+      ("busy-loop", Tasks.busy_loop ());
+      ("ipc-receiver", Tasks.ipc_receiver ());
+      ( "ipc-sender",
+        Tasks.ipc_sender
+          ~receiver:(Task_id.of_image (Bytes.of_string "bench-peer"))
+          ~message0:1 () );
+      ( "key-leaker",
+        Tasks.key_leaker
+          ~receiver:(Task_id.of_image (Bytes.of_string "exfil-sink"))
+          () );
+    ]
+  in
+  row "%-14s %6s %10s %10s %9s\n" "task" "instrs" "vet-4" "vet-6" "overhead";
+  List.iter
+    (fun (name, telf) ->
+      let slots = telf.Telf.text_size / Isa.width in
+      let base = Cost_model.vet_base + (Cost_model.vet_per_instruction * slots) in
+      let flow =
+        Cost_model.vet_base
+        + ((Cost_model.vet_per_instruction + Cost_model.vet_flow) * slots)
+      in
+      row "%-14s %6d %10d %10d %8.1f %%\n" name slots base flow
+        (100.0 *. float_of_int (flow - base) /. float_of_int base);
+      record ~table:"vet" ~label:(name ^ "-4checks") base;
+      record ~table:"vet" ~label:(name ^ "-6checks") flow)
+    tasks;
+  row "(flow/topology ride the computed dataflow: +%d cycles/instr on the\n"
+    Cost_model.vet_flow;
+  row " %d cycles/instr four-check base, %d cycles fixed either way)\n"
+    Cost_model.vet_per_instruction Cost_model.vet_base
+
 let () =
   let wall = Array.exists (fun a -> a = "--wall") Sys.argv in
   smoke := Array.exists (fun a -> a = "--smoke") Sys.argv;
@@ -1098,6 +1138,7 @@ let () =
   run_slot_capacity ();
   run_related_work ();
   run_update_bench ();
+  run_vet_bench ();
   if wall then run_bechamel ();
   Option.iter write_json json_file;
   Printf.printf "\nDone.\n"

@@ -306,7 +306,7 @@ let trace_cmd =
 
 (* --- fleet ---------------------------------------------------------------- *)
 
-let fleet devices epochs seed faults mode loss verify =
+let fleet devices epochs seed faults mode loss rollout verify =
   let open Tytan_provision in
   let mode =
     match mode with
@@ -316,8 +316,22 @@ let fleet devices epochs seed faults mode loss verify =
         Printf.eprintf "tytan: unknown fleet mode %S (scalar|batched)\n" other;
         exit 124
   in
+  let rollout =
+    match rollout with
+    | "none" -> None
+    | "clean" -> Some (Tasks.counter ())
+    | "leaky" ->
+        Some
+          (Tasks.key_leaker
+             ~receiver:(Task_id.of_image (Bytes.of_string "exfil-sink"))
+             ())
+    | other ->
+        Printf.eprintf "tytan: unknown rollout %S (none|clean|leaky)\n" other;
+        exit 124
+  in
   let run () =
-    Swarm.run ~mode ~devices ~epochs ~seed ~faults ~loss_percent:loss ()
+    Swarm.run ~mode ~devices ~epochs ~seed ~faults ~loss_percent:loss ?rollout
+      ()
   in
   let report = run () in
   print_string (Swarm.to_string report);
@@ -367,6 +381,15 @@ let fleet_cmd =
   let loss =
     Arg.(value & opt int 10 & info [ "loss" ] ~doc:"Uplink frame loss, percent.")
   in
+  let rollout =
+    Arg.(
+      value & opt string "none"
+      & info [ "rollout" ]
+          ~doc:
+            "Push a firmware rollout before the campaign: $(b,clean) (a \
+             benign image the fleet adopts) or $(b,leaky) (the key-leaker \
+             exploit, refused platform-wide by the flow vet).")
+  in
   let verify =
     Arg.(
       value & flag
@@ -379,7 +402,8 @@ let fleet_cmd =
           links, K fresh-nonce epochs, batched Merkle aggregation with a \
           measurement cache (or the scalar baseline with --mode scalar)")
     Term.(
-      const fleet $ devices $ epochs $ seed $ faults $ mode $ loss $ verify)
+      const fleet $ devices $ epochs $ seed $ faults $ mode $ loss $ rollout
+      $ verify)
 
 (* --- serve ----------------------------------------------------------------- *)
 
@@ -481,18 +505,56 @@ let demo_tasklang =
           ] );
     ]
 
-let lint strict demo mmio files =
+(* The --flow demo rows exercise the fifth/sixth checks: declared
+   senders must stay clean, the key-leaker exploit must be refused. *)
+let demo_secret_tasklang =
+  let open Tytan_lang.Ast in
+  program
+    ~globals:[ ("key", 0) ]
+    ~secrets:[ "key" ]
+    [ Store (Int 0xF000_3000, Var "key"); Exit ]
+
+let finding_json (f : Tytan_analysis.Finding.t) =
+  Printf.sprintf "{\"check\":%s,\"severity\":%s,\"pc\":%s,\"message\":%s}"
+    (Export.json_string (Tytan_analysis.Finding.check_name f.check))
+    (Export.json_string
+       (String.lowercase_ascii
+          (Tytan_analysis.Finding.severity_name f.severity)))
+    (match f.offset with Some pc -> string_of_int pc | None -> "null")
+    (Export.json_string f.message)
+
+let report_json name accepted (r : Tycheck.report) =
+  Printf.sprintf
+    "{\"name\":%s,\"accepted\":%b,\"violations\":%d,\"wcet\":%s,\"stack\":%s,\"findings\":[%s]}"
+    (Export.json_string name) accepted
+    (List.length (Tycheck.violations r))
+    (match r.Tycheck.wcet with
+    | `Cycles n -> string_of_int n
+    | `Unbounded -> "null")
+    (match r.Tycheck.stack with
+    | `Bytes n -> string_of_int n
+    | `Unbounded -> "null")
+    (String.concat "," (List.map finding_json r.Tycheck.findings))
+
+let lint strict flow json_path demo mmio files =
   let config =
-    let base = Tycheck.default_config in
+    let base =
+      if flow then Tycheck.flow_config else Tycheck.default_config
+    in
     match mmio with [] -> base | ws -> { base with Tycheck.windows = ws }
   in
   let accepts r = if strict then Tycheck.strict_ok r else Tycheck.ok r in
   let failures = ref 0 and parse_failures = ref 0 in
+  let results = ref [] in
+  let record name report =
+    results := report_json name (accepts report) report :: !results
+  in
   let print_report label report =
     Format.printf "@[<v 2>%s:@,%a@]@.@." label Tycheck.pp_report report
   in
   if demo then begin
     let expect label verdict report =
+      record label report;
       let passed = accepts report in
       let outcome_ok = match verdict with `Pass -> passed | `Flag -> not passed in
       if not outcome_ok then incr failures;
@@ -511,14 +573,34 @@ let lint strict demo mmio files =
     expect "yielder" `Pass (check (Tasks.yielder ()));
     expect "tasklang-repeat" `Pass
       (Tytan_lang.Compile.check ~config demo_tasklang);
+    if flow then begin
+      let peer = Task_id.of_image (Bytes.of_string "demo-peer") in
+      expect "ipc-sender (declared peer)" `Pass
+        (check (Tasks.ipc_sender ~receiver:peer ()));
+      expect "sensor-feeder (declared controller)" `Pass
+        (check
+           (Tasks.sensor_feeder ~sensor_addr:0xF400_0000 ~controller:peer
+              ~tag:1 ()));
+      expect "tasklang-secret-to-mac" `Pass
+        (Tytan_lang.Compile.check ~config demo_secret_tasklang)
+    end;
     print_endline "Malicious / defective binaries (expected to be flagged):";
     expect "spy" `Flag (check (Tasks.spy ~victim_addr:0x0000_4000));
     expect "entry-bypass" `Flag
       (check (Tasks.entry_bypass ~victim_entry:0x0000_5000 ~offset:16));
     expect "idt-attacker" `Flag (check (Tasks.idt_attacker ~idt_addr:0x100));
+    if flow then begin
+      let peer = Task_id.of_image (Bytes.of_string "demo-peer") in
+      let decoy = Task_id.of_image (Bytes.of_string "demo-decoy") in
+      expect "key-leaker (decoy manifest)" `Flag
+        (check (Tasks.key_leaker ~decoy ~receiver:peer ()));
+      expect "key-leaker (no manifest)" `Flag
+        (check (Tasks.key_leaker ~receiver:peer ()))
+    end;
     let busy = Tycheck.check ~config (Tasks.busy_loop ()) in
     (* busy_loop is isolated but never yields: flagged only as an
        unbounded-WCET unknown, so it fails strict verification. *)
+    record "busy-loop (strict only)" busy;
     let busy_ok = (not (Tycheck.strict_ok busy)) && Tycheck.ok busy in
     if not busy_ok then incr failures;
     Format.printf "[%s] " (if busy_ok then "FLAGGED" else "UNEXPECTED");
@@ -537,6 +619,7 @@ let lint strict demo mmio files =
               Printf.printf "%s: not a valid TELF image: %s\n" path e
           | Ok telf ->
               let report = Tycheck.check ~config telf in
+              record path report;
               if not (accepts report) then incr failures;
               print_report path report))
     files;
@@ -544,6 +627,17 @@ let lint strict demo mmio files =
     prerr_endline "tytan: lint needs FILE arguments or --demo";
     exit 2
   end;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Printf.fprintf oc
+            "{\"strict\":%b,\"flow\":%b,\"failures\":%d,\"parse_failures\":%d,\"results\":[%s]}\n"
+            strict flow !failures !parse_failures
+            (String.concat "," (List.rev !results))));
   if !parse_failures > 0 then exit 3;
   if !failures > 0 then exit 1
 
@@ -554,6 +648,23 @@ let lint_cmd =
       & info [ "strict" ]
           ~doc:"Fail on unknowns (unverifiable accesses, unbounded WCET) as \
                 well as proven violations.")
+  in
+  let flow =
+    Arg.(
+      value & flag
+      & info [ "flow" ]
+          ~doc:"Additionally run the secret-flow and IPC-topology checks: \
+                secret material must only leave through the crypto windows, \
+                and every statically addressed IPC peer must be declared in \
+                the binary's manifest.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write machine-readable findings (check, severity, pc, \
+                message per finding) to $(docv).")
   in
   let demo =
     Arg.(
@@ -591,8 +702,9 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically verify TELF task binaries (memory isolation, \
-          control-flow integrity, stack bound, WCET) without running them")
-    Term.(const lint $ strict $ demo $ mmio $ files)
+          control-flow integrity, stack bound, WCET, and with $(b,--flow) \
+          secret-flow and IPC topology) without running them")
+    Term.(const lint $ strict $ flow $ json_path $ demo $ mmio $ files)
 
 (* --- chaos ----------------------------------------------------------------- *)
 

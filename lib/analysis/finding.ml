@@ -4,6 +4,8 @@ type check =
   | Cfi
   | Stack
   | Wcet
+  | Flow
+  | Topology
 
 type severity = Violation | Unknown | Info
 
@@ -22,6 +24,8 @@ let check_name = function
   | Cfi -> "cfi"
   | Stack -> "stack"
   | Wcet -> "wcet"
+  | Flow -> "flow"
+  | Topology -> "topology"
 
 let severity_name = function
   | Violation -> "VIOLATION"

@@ -20,6 +20,8 @@ type check =
   | Cfi  (** control-flow integrity *)
   | Stack  (** worst-case stack depth *)
   | Wcet  (** worst-case execution time between yields *)
+  | Flow  (** secret information flow (taint source reaches a sink) *)
+  | Topology  (** IPC peers outside the declared policy manifest *)
 
 type severity = Violation | Unknown | Info
 

@@ -7,11 +7,14 @@ type config = {
   inbox_bytes : int;
   r12_inbox : bool;
   context_frame_bytes : int;
+  flow : Flowcheck.config option;
 }
 
 (* The inbox and frame sizes mirror Ipc.inbox_size and
    Context.frame_bytes; they are plain numbers here so the analysis
-   library stays independent of the kernel. *)
+   library stays independent of the kernel.  Flow/topology vetting is
+   opt-in ([flow = None] keeps the original four checks), so existing
+   vetting deployments are unchanged until they declare a flow policy. *)
 let default_config =
   {
     windows = [ (0xF000_0000, 0x1000_0000) ];
@@ -19,7 +22,10 @@ let default_config =
     inbox_bytes = 64;
     r12_inbox = true;
     context_frame_bytes = 68;
+    flow = None;
   }
+
+let flow_config = { default_config with flow = Some Flowcheck.default_config }
 
 type report = {
   findings : Finding.t list;
@@ -101,11 +107,16 @@ let analyse config (telf : Telf.t) =
           ~context_frame_bytes:config.context_frame_bytes df
       in
       let wcet_findings, wcet = Wcet.check ~loop_bounds:config.loop_bounds df in
+      let flow_findings =
+        match config.flow with
+        | None -> []
+        | Some fc -> Flowcheck.run ~config:fc ~stack_region telf df
+      in
       {
         findings =
           List.stable_sort Finding.compare
             (!format_findings @ reach_findings @ mem_findings @ cfi_findings
-           @ stack_findings @ wcet_findings);
+           @ stack_findings @ wcet_findings @ flow_findings);
         instr_count = Cfg.instr_count cfg;
         reachable_count;
         wcet;

@@ -1,7 +1,8 @@
 (** tycheck — load-time static verification of TELF task binaries.
 
-    One entry point, four checks over a recovered CFG and an abstract
-    interpretation of the 32-bit ISA:
+    One entry point, four always-on checks over a recovered CFG and an
+    abstract interpretation of the 32-bit ISA, plus two opt-in flow
+    checks:
 
     + {b memory safety} — every statically resolvable load/store lands
       in the task's own allocation or a declared MMIO/IPC window;
@@ -11,7 +12,11 @@
     + {b stack bound} — worst-case depth (plus one context frame)
       within the declared [stack_size], recursion rejected;
     + {b WCET} — worst-case cycles between yield points, composed from
-      compiler loop-bound annotations.
+      compiler loop-bound annotations;
+    + {b flow} (with [config.flow]) — no secret material reaches an IPC
+      payload or a non-crypto MMIO store ({!Flowcheck});
+    + {b topology} (with [config.flow]) — every statically addressed
+      IPC peer is declared in the binary's {!Tytan_telf.Manifest}.
 
     The verdict vocabulary is deliberately three-valued: a [Violation]
     is {e proven} misbehaviour and makes {!ok} false; an [Unknown] is an
@@ -34,12 +39,21 @@ type config = {
           pointer at entry *)
   context_frame_bytes : int;
       (** bytes an interrupt can push on top of the task's own peak *)
+  flow : Flowcheck.config option;
+      (** when set, additionally run the secret-flow and IPC-topology
+          checks ({!Flowcheck}) as the fifth and sixth passes *)
 }
 
 val default_config : config
 (** MMIO window [0xF000_0000, +0x1000_0000), no loop bounds, 64-byte
     inbox, r12 convention on, 68-byte context frame — matching the
-    platform defaults without depending on the core library. *)
+    platform defaults without depending on the core library.  Flow
+    vetting off (the original four checks). *)
+
+val flow_config : config
+(** {!default_config} with {!Flowcheck.default_config} enabled — the
+    six-check configuration the flow-vetting loader and
+    [tytan lint --flow] use. *)
 
 type report = {
   findings : Finding.t list;  (** sorted most severe first *)

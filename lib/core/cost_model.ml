@@ -24,6 +24,7 @@ let loader_register = 300
 let loader_copy_chunk = 512
 let vet_base = 900
 let vet_per_instruction = 120
+let vet_flow = 60
 let cfa_log_event = 48
 let ipc_origin_lookup = 76
 let ipc_sender_lookup = 214

@@ -107,6 +107,12 @@ val vet_per_instruction : int
     paper — TyTAN itself trusts the tool chain — so the constants are
     plausible-effort, not Table-4 calibrated. *)
 
+val vet_flow : int
+(** Additional per-instruction cycles when flow vetting is enabled: the
+    taint worklist and topology extraction ride the already-computed
+    dataflow, so the increment is cheaper than the base abstract
+    interpretation (60 vs 120 cycles per instruction). *)
+
 val cfa_log_event : int
 (** Control-flow attestation: appending one edge to the hash-chained
     branch log (three word stores to the protected ring, a counter

@@ -198,9 +198,15 @@ let step_job_inner t job =
                binary tycheck cannot prove isolated never reaches the
                measured-and-registered state. *)
             let open Tytan_analysis in
-            charge t
-              (Cost_model.vet_base
-              + Cost_model.vet_per_instruction * (telf.text_size / Isa.width));
+            let slots = telf.text_size / Isa.width in
+            let per_instruction =
+              Cost_model.vet_per_instruction
+              +
+              match base_config.Tycheck.flow with
+              | None -> 0
+              | Some _ -> Cost_model.vet_flow
+            in
+            charge t (Cost_model.vet_base + (per_instruction * slots));
             let config =
               { base_config with Tycheck.r12_inbox = job.request.secure }
             in

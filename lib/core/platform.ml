@@ -17,6 +17,7 @@ type config = {
   tamper_component : string option;
   allow_dynamic_loading : bool;
   vet_tasks : bool;
+  vet_flow : bool;
   mutable boot_finished : bool;
 }
 
@@ -32,6 +33,7 @@ let default_config =
     tamper_component = None;
     allow_dynamic_loading = true;
     vet_tasks = false;
+    vet_flow = false;
     boot_finished = false;
   }
 
@@ -316,7 +318,9 @@ let create ?(config = default_config) () =
         Loader.create
           ?vet:
             (if config.vet_tasks then
-               Some Tytan_analysis.Tycheck.default_config
+               Some
+                 (if config.vet_flow then Tytan_analysis.Tycheck.flow_config
+                  else Tytan_analysis.Tycheck.default_config)
              else None)
           ~kernel ~rtm ~mpu:(Some mpu) ~heap
           ~code_eip:(Region.base elf_loader) ~regions:trusted_regions ()
@@ -410,7 +414,9 @@ let create ?(config = default_config) () =
         Loader.create
           ?vet:
             (if config.vet_tasks then
-               Some Tytan_analysis.Tycheck.default_config
+               Some
+                 (if config.vet_flow then Tytan_analysis.Tycheck.flow_config
+                  else Tytan_analysis.Tycheck.default_config)
              else None)
           ~kernel ~rtm ~mpu:None ~heap
           ~code_eip:(Region.base elf_loader) ~regions:trusted_regions ()

@@ -58,6 +58,12 @@ type config = {
   (** Run tycheck static verification over every submitted binary and
       refuse unverifiable ones before measurement (default [false];
       an extension beyond the paper's trusted-tool-chain assumption). *)
+  vet_flow : bool;
+  (** With [vet_tasks], additionally run the secret-flow and
+      IPC-topology checks ([Tycheck.flow_config]): a binary whose
+      statically provable behaviour copies attestation-key material
+      into an IPC payload, or that messages a peer outside its declared
+      manifest, is refused at load (default [false]). *)
   mutable boot_finished : bool;
 }
 

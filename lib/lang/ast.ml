@@ -40,11 +40,13 @@ type stmt =
 
 type program = {
   globals : (string * int) list;
+  secrets : string list;
   body : stmt list;
   on_message : stmt list option;
 }
 
-let program ?(globals = []) ?on_message body = { globals; body; on_message }
+let program ?(globals = []) ?(secrets = []) ?on_message body =
+  { globals; secrets; body; on_message }
 
 let rec check_expr ~globals = function
   | Int _ | Inbox_status -> Ok ()
@@ -161,7 +163,10 @@ and pp_block ppf stmts =
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter
-    (fun (name, init) -> Format.fprintf ppf "global %s = %d@ " name init)
+    (fun (name, init) ->
+      Format.fprintf ppf "%s %s = %d@ "
+        (if List.mem name t.secrets then "secret global" else "global")
+        name init)
     t.globals;
   pp_block ppf t.body;
   (match t.on_message with
@@ -178,6 +183,12 @@ let validate t =
   in
   match dup t.globals with
   | Some name -> Error (Printf.sprintf "duplicate global %S" name)
+  | None
+    when List.exists (fun s -> not (List.mem_assoc s t.globals)) t.secrets ->
+      let s =
+        List.find (fun s -> not (List.mem_assoc s t.globals)) t.secrets
+      in
+      Error (Printf.sprintf "secret %S is not a declared global" s)
   | None -> (
       match check_block ~globals:t.globals t.body with
       | Error _ as e -> e

@@ -71,17 +71,26 @@ type stmt =
 
 type program = {
   globals : (string * int) list;  (** name, initial value *)
+  secrets : string list;
+  (** globals holding secret material (key bytes, derived MACs).  The
+      compiler records their data words as secret ranges in the image's
+      {!Tytan_telf.Manifest}, so the flow verifier taints anything
+      loaded from them. *)
   body : stmt list;
   on_message : stmt list option;
   (** secure tasks only: handler for synchronous IPC deliveries *)
 }
 
 val program :
-  ?globals:(string * int) list -> ?on_message:stmt list -> stmt list -> program
+  ?globals:(string * int) list ->
+  ?secrets:string list ->
+  ?on_message:stmt list ->
+  stmt list ->
+  program
 
 val validate : program -> (unit, string) result
 (** Undefined variables, oversized payloads, out-of-range inbox words,
-    duplicate globals. *)
+    duplicate globals, secrets that name no declared global. *)
 
 val pp_expr : Format.formatter -> expr -> unit
 val pp_stmt : Format.formatter -> stmt -> unit

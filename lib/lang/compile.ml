@@ -232,6 +232,41 @@ let build ~secure (t : Ast.program) =
 
 let to_program ~secure t = fst (build ~secure t)
 
+(* Every receiver a [Send] can name is statically known (task identities
+   are literals in the AST), so the compiler can prove the program's IPC
+   topology and declare it in the image manifest.  A task that sends
+   therefore always ships its peer list; the flow verifier refuses any
+   image whose provable sends exceed what it declared. *)
+let rec stmt_peers acc (s : Ast.stmt) =
+  match s with
+  | Ast.Send { receiver; _ } ->
+      let words = Task_id.to_words receiver in
+      if List.mem words acc then acc else words :: acc
+  | Ast.If (_, then_, else_) -> block_peers (block_peers acc then_) else_
+  | Ast.While (_, body) | Ast.Repeat (_, body) -> block_peers acc body
+  | Ast.Assign _ | Ast.Store _ | Ast.Delay _ | Ast.Yield | Ast.Exit
+  | Ast.Clear_inbox | Ast.Queue_send _ | Ast.Queue_recv _ ->
+      acc
+
+and block_peers acc stmts = List.fold_left stmt_peers acc stmts
+
+let manifest_of (t : Ast.program) (p : Assembler.program) =
+  let peers =
+    List.rev
+      (block_peers
+         (block_peers [] t.body)
+         (Option.value t.on_message ~default:[]))
+  in
+  let secret_ranges =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun off -> (off, 4))
+          (List.assoc_opt (var_label name) p.symbols))
+      t.secrets
+  in
+  Tytan_telf.Manifest.make ~peers ~secret_ranges ()
+
 type compiled = {
   telf : Tytan_telf.Telf.t;
   loop_bounds : (int * int) list;
@@ -240,7 +275,9 @@ type compiled = {
 let compile ?(secure = true) ?(stack_size = 512) t =
   let program, loop_bounds = build ~secure t in
   {
-    telf = Tytan_telf.Builder.of_program ~stack_size program;
+    telf =
+      Tytan_telf.Builder.of_program ~manifest:(manifest_of t program)
+        ~stack_size program;
     loop_bounds;
   }
 

@@ -28,7 +28,13 @@ type compiled = {
 }
 
 val compile : ?secure:bool -> ?stack_size:int -> Ast.program -> compiled
-(** Like {!to_telf}, but keeps the loop-bound annotations. *)
+(** Like {!to_telf}, but keeps the loop-bound annotations.
+
+    The produced TELF carries a {!Manifest}: every receiver named by a
+    [Send] becomes a declared peer, and each [secrets] global becomes a
+    secret data range, so the flow verifier knows what the program is
+    allowed to do.  Programs with no sends and no secrets get no
+    manifest (a plain v1 image). *)
 
 val check :
   ?secure:bool ->

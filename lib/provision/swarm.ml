@@ -2,6 +2,9 @@ open Tytan_core
 open Tytan_netsim
 module Crypto = Tytan_crypto
 module Cycles = Tytan_machine.Cycles
+module Isa = Tytan_machine.Isa
+module Telf = Tytan_telf.Telf
+module Tycheck = Tytan_analysis.Tycheck
 module Fault_plan = Tytan_fault.Fault_plan
 module Telemetry = Tytan_telemetry.Telemetry
 
@@ -42,6 +45,17 @@ type epoch_stats = {
   verify_cycles : int;  (* verifier clock delta over this epoch *)
 }
 
+(* A firmware rollout pushed ahead of the campaign.  Every device vets
+   the image with the six-check flow configuration before measurement;
+   the verdict is a pure function of the binary, so a leaky image is
+   refused platform-wide — the whole fleet stays on the incumbent
+   firmware and attests it as before. *)
+type rollout = {
+  accepted : bool;
+  refusal : string option;  (* first violation, when refused *)
+  vet_cycles_per_device : int;
+}
+
 type report = {
   mode : mode;
   devices : int;
@@ -50,6 +64,7 @@ type report = {
   faults : bool;
   loss_percent : int;
   queries_per_epoch : int;
+  rollout : rollout option;
   per_epoch : epoch_stats list;
   verifier_cycles : int;
   device_cycles : int;
@@ -103,17 +118,43 @@ let fault_events ~seed ~devices ~epochs =
   (Fault_plan.make ~seed events).Fault_plan.events
 
 let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
-    ?(queries_per_epoch = 6) () =
+    ?(queries_per_epoch = 6) ?rollout:rollout_image () =
   if devices <= 0 then invalid_arg "Swarm.run: devices must be positive";
   if epochs <= 0 then invalid_arg "Swarm.run: epochs must be positive";
   let master =
     Bytes.of_string (Printf.sprintf "fleet-master-%08x" (seed land 0xFFFF_FFFF))
   in
   let registry = Registry.create ~master in
-  let image = Fleet.reference_image ~seed ~size:512 in
+  let rollout =
+    Option.map
+      (fun (telf : Telf.t) ->
+        let rep = Tycheck.check ~config:Tycheck.flow_config telf in
+        let slots = telf.Telf.text_size / Isa.width in
+        {
+          accepted = Tycheck.ok rep;
+          refusal = Tycheck.first_violation rep;
+          vet_cycles_per_device =
+            Cost_model.vet_base
+            + ((Cost_model.vet_per_instruction + Cost_model.vet_flow) * slots);
+        })
+      rollout_image
+  in
+  let image =
+    (* An accepted rollout replaces the incumbent firmware fleet-wide;
+       a refused one leaves every device attesting the old image. *)
+    match (rollout, rollout_image) with
+    | Some { accepted = true; _ }, Some telf -> Bytes.copy telf.Telf.image
+    | _ -> Fleet.reference_image ~seed ~size:512
+  in
   let fw_id = Task_id.of_image image in
   let verifier_clock = Cycles.create () in
   let device_clock = Cycles.create () in
+  (match rollout with
+  | Some r ->
+      (* Each device's loader vets the pushed binary before measuring
+         it, whatever the verdict turns out to be. *)
+      Cycles.charge device_clock (r.vet_cycles_per_device * devices)
+  | None -> ());
   (* Observation must not perturb the run: costs are zeroed (the chaos
      campaign's discipline) so enabling telemetry leaves every clock
      bit-identical. *)
@@ -384,6 +425,7 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
     faults;
     loss_percent;
     queries_per_epoch;
+    rollout;
     per_epoch = List.rev !stats;
     verifier_cycles = Cycles.now verifier_clock;
     device_cycles = Cycles.now device_clock;
@@ -416,6 +458,15 @@ let body r =
     (mode_label r.mode) r.devices r.epochs r.seed
     (if r.faults then "on" else "off")
     r.loss_percent r.queries_per_epoch;
+  (match r.rollout with
+  | None -> ()
+  | Some { accepted = true; vet_cycles_per_device; _ } ->
+      add "rollout: adopted fleet-wide (vet %d cycles/device)\n"
+        vet_cycles_per_device
+  | Some { accepted = false; refusal; vet_cycles_per_device } ->
+      add "rollout: refused fleet-wide (vet %d cycles/device): %s\n"
+        vet_cycles_per_device
+        (Option.value refusal ~default:"unspecified violation"));
   List.iter
     (fun s ->
       add

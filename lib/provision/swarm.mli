@@ -55,6 +55,19 @@ type epoch_stats = {
   verify_cycles : int;  (** verifier clock advance over this epoch *)
 }
 
+type rollout = {
+  accepted : bool;
+  refusal : string option;
+      (** the first proven violation when the image was refused *)
+  vet_cycles_per_device : int;
+      (** what each device's loader charged for the six-check vet *)
+}
+(** Outcome of a firmware rollout pushed ahead of the campaign: every
+    device vets the image under [Tycheck.flow_config] before measuring
+    it, and since the verdict is a pure function of the binary, a leaky
+    image is refused platform-wide — the fleet stays on the incumbent
+    firmware. *)
+
 type report = {
   mode : mode;
   devices : int;
@@ -63,6 +76,7 @@ type report = {
   faults : bool;
   loss_percent : int;
   queries_per_epoch : int;
+  rollout : rollout option;
   per_epoch : epoch_stats list;
   verifier_cycles : int;
   device_cycles : int;
@@ -85,9 +99,16 @@ val run :
   ?faults:bool ->
   ?loss_percent:int ->
   ?queries_per_epoch:int ->
+  ?rollout:Tytan_telf.Telf.t ->
   unit ->
   report
-(** Defaults: no faults, 10% frame loss, 6 health polls per epoch. *)
+(** Defaults: no faults, 10% frame loss, 6 health polls per epoch, no
+    rollout.  With [~rollout] the campaign first pushes that TELF to
+    every device: an image that survives the six-check vet is adopted
+    as the fleet firmware (and attested from then on); one that does
+    not — a leaky image copying key material into an IPC payload, say —
+    is refused by every device, and the campaign proceeds on the old
+    firmware.  Vet cycles are charged to the device clock either way. *)
 
 val verdicts : report -> string list
 (** Per-epoch verdict strings — the value the differential test compares

@@ -4,12 +4,18 @@ open Tytan_core
 
 let data_cell_offset (telf : Telf.t) = telf.text_size
 
-let build ~secure ?(stack_size = 512) ?on_message main =
+let build ~secure ?manifest ?(stack_size = 512) ?on_message main =
   let program =
     if secure then Toolchain.secure_program ~main ?on_message ()
     else Toolchain.normal_program ~main
   in
-  Builder.of_program ~stack_size program
+  Builder.of_program ?manifest ~stack_size program
+
+(* Hand-written senders declare their one receiver, the same way the
+   Tasklang compiler would have. *)
+let peer_manifest id =
+  let lo, hi = Task_id.to_words id in
+  Manifest.make ~peers:[ (lo, hi) ] ()
 
 (* Common idiom: load the address of a data label, bump the word there. *)
 let increment_cell p ~addr_reg ~scratch label =
@@ -99,7 +105,7 @@ let cruise_controller ~actuator_addr =
 let sensor_feeder ?(secure = true) ~sensor_addr ~controller ~tag
     ?(period_ticks = 1) ?(pad_instructions = 0) () =
   let lo, hi = Task_id.to_words controller in
-  build ~secure (fun p ->
+  build ~secure ~manifest:(peer_manifest controller) (fun p ->
       let open Isa in
       Assembler.label p "main";
       Assembler.label p "loop";
@@ -131,7 +137,7 @@ let sensor_feeder ?(secure = true) ~sensor_addr ~controller ~tag
 let ipc_sender ?(secure = true) ~receiver ?(message0 = 42) ?(sync = true)
     ?(repeat = false) () =
   let lo, hi = Task_id.to_words receiver in
-  build ~secure (fun p ->
+  build ~secure ~manifest:(peer_manifest receiver) (fun p ->
       let open Isa in
       Assembler.label p "main";
       Assembler.label p "send";
@@ -190,7 +196,7 @@ let ipc_receiver ?(secure = true) () =
 
 let storage_client ~storage ~slot ~value =
   let lo, hi = Task_id.to_words storage in
-  build ~secure:true (fun p ->
+  build ~secure:true ~manifest:(peer_manifest storage) (fun p ->
       let open Isa in
       Assembler.label p "main";
       (* Seal: op 1, slot, payload value in the first data word. *)
@@ -285,6 +291,40 @@ let idt_attacker ~idt_addr =
       Assembler.label p "survived";
       Assembler.word p 0)
 
+(* The flow-vetting demonstration exploit.  Every access lands in the
+   MMIO window, control flow is clean, stack and WCET are bounded — the
+   four original checks all pass — yet the task provably copies a word
+   of attestation-key material into an IPC payload.  It reads the key
+   derivation window (0xF000_2000; a plain number mirroring
+   Flowcheck.default_config so this library stays independent of the
+   analysis), then sends the key word to [receiver].  With [decoy] it
+   ships a manifest naming only the decoy, so the send also leaves its
+   declared topology; without, it declares no topology at all. *)
+let key_leaker ?decoy ~receiver ?(key_addr = 0xF000_2000) () =
+  let lo, hi = Task_id.to_words receiver in
+  build ~secure:true
+    ?manifest:(Option.map peer_manifest decoy)
+    (fun p ->
+      let open Isa in
+      Assembler.label p "main";
+      Assembler.instr p (Movi (6, key_addr));
+      Assembler.instr p (Ldw (0, 6, 0)); (* m0 = a key word *)
+      for i = 1 to 7 do
+        Assembler.instr p (Movi (i, 0))
+      done;
+      Assembler.instr p (Movi (8, lo));
+      Assembler.instr p (Movi (9, hi));
+      Assembler.instr p (Movi (10, Ipc.mode_async));
+      Assembler.instr p (Swi Ipc.swi_send);
+      increment_cell p ~addr_reg:4 ~scratch:5 "sent";
+      Assembler.label p "rest";
+      Assembler.instr p (Movi (0, 100));
+      Assembler.instr p (Swi 2);
+      Assembler.jmp_label p "rest";
+      Assembler.begin_data p;
+      Assembler.label p "sent";
+      Assembler.word p 0)
+
 type dispatcher = {
   telf : Telf.t;
   handler_cell : int;
@@ -338,7 +378,7 @@ let gadget_dispatcher ?(stack_size = 512) () =
 
 let shm_requester ~peer ~value =
   let lo, hi = Task_id.to_words peer in
-  build ~secure:true (fun p ->
+  build ~secure:true ~manifest:(peer_manifest peer) (fun p ->
       let open Isa in
       Assembler.label p "main";
       Assembler.instr p (Movi (0, 64)); (* window size *)

@@ -74,6 +74,19 @@ val entry_bypass : victim_entry:Word.t -> offset:Word.t -> Telf.t
 val idt_attacker : idt_addr:Word.t -> Telf.t
 (** Attempts to overwrite an interrupt descriptor table entry. *)
 
+val key_leaker :
+  ?decoy:Task_id.t -> receiver:Task_id.t -> ?key_addr:Word.t -> unit -> Telf.t
+(** The flow-vetting demonstration exploit: passes all four original
+    tycheck checks (in-window accesses, clean CFI, bounded stack and
+    WCET) yet provably loads a word from the attestation-key derivation
+    window ([key_addr], default [0xF000_2000]) into an IPC payload sent
+    to [receiver].  With [decoy] the image declares a manifest naming
+    only the decoy peer (so the send also violates its topology);
+    without one it declares no topology at all.  Under
+    [Tycheck.flow_config] the verifier refuses it with a flow
+    [Violation] naming the source→sink path.  Data layout: [+0] sends
+    attempted. *)
+
 type dispatcher = {
   telf : Telf.t;
   handler_cell : int;  (** image offset of the function-pointer cell *)

@@ -1,8 +1,9 @@
 open Tytan_machine
 
-let of_program ?(bss_size = 0) ?(stack_size = 256) (p : Assembler.program) =
-  Telf.make ~entry:p.entry ~image:p.image ~text_size:p.text_size
-    ~relocations:p.relocations ~bss_size ~stack_size
+let of_program ?manifest ?(bss_size = 0) ?(stack_size = 256)
+    (p : Assembler.program) =
+  Telf.make ?manifest ~entry:p.entry ~image:p.image ~text_size:p.text_size
+    ~relocations:p.relocations ~bss_size ~stack_size ()
 
 let synthetic ?(seed = 0) ~image_size ~reloc_count ~stack_size () =
   if image_size < Isa.width * 2 + (reloc_count * 4) then
@@ -33,4 +34,4 @@ let synthetic ?(seed = 0) ~image_size ~reloc_count ~stack_size () =
   in
   (* Any remaining tail bytes stay zero. *)
   Telf.make ~entry:0 ~image ~text_size:code_size ~relocations ~bss_size:0
-    ~stack_size
+    ~stack_size ()

@@ -4,9 +4,14 @@
 open Tytan_machine
 
 val of_program :
-  ?bss_size:int -> ?stack_size:int -> Assembler.program -> Telf.t
+  ?manifest:Manifest.t ->
+  ?bss_size:int ->
+  ?stack_size:int ->
+  Assembler.program ->
+  Telf.t
 (** Package an assembled program (default [stack_size] 256, [bss_size] 0).
-    The program's [_start] label becomes the entry point. *)
+    The program's [_start] label becomes the entry point.  [manifest]
+    attaches a flow-policy section (TELF format version 2). *)
 
 val synthetic :
   ?seed:int -> image_size:int -> reloc_count:int -> stack_size:int -> unit -> Telf.t

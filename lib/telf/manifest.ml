@@ -1,0 +1,96 @@
+(* The per-image flow-policy manifest carried as a trailing TELF section
+   (format version 2).  Everything is little-endian; counts are u16 so a
+   hostile header cannot make the decoder allocate more than ~1.5 MB. *)
+
+let magic = "TYFM"
+let version = 1
+let header_size = 12
+let entry_size = 8
+
+type t = {
+  peers : (int * int) list;
+  secret_ranges : (int * int) list;
+  declass_windows : (int * int) list;
+}
+
+let empty = { peers = []; secret_ranges = []; declass_windows = [] }
+
+let make ?(peers = []) ?(secret_ranges = []) ?(declass_windows = []) () =
+  let check_range what (off, len) =
+    if off < 0 then invalid_arg (Printf.sprintf "Manifest.make: negative %s offset" what);
+    if len < 0 then invalid_arg (Printf.sprintf "Manifest.make: negative %s length" what)
+  in
+  List.iter (check_range "secret range") secret_ranges;
+  List.iter (check_range "declass window") declass_windows;
+  let too_many l = List.length l > 0xFFFF in
+  if too_many peers || too_many secret_ranges || too_many declass_windows then
+    invalid_arg "Manifest.make: more than 65535 entries";
+  { peers; secret_ranges; declass_windows }
+
+let is_empty t =
+  t.peers = [] && t.secret_ranges = [] && t.declass_windows = []
+
+let mem_peer t ~lo ~hi =
+  List.exists (fun (l, h) -> l = lo && h = hi) t.peers
+
+let size t =
+  header_size
+  + entry_size
+    * (List.length t.peers + List.length t.secret_ranges
+     + List.length t.declass_windows)
+
+let encode t =
+  let b = Bytes.make (size t) '\000' in
+  Bytes.blit_string magic 0 b 0 4;
+  let put16 off v = Bytes.set_uint16_le b off v in
+  put16 4 version;
+  put16 6 (List.length t.peers);
+  put16 8 (List.length t.secret_ranges);
+  put16 10 (List.length t.declass_windows);
+  let pos = ref header_size in
+  let put_pair (a, b') =
+    Bytes.set_int32_le b !pos (Int32.of_int a);
+    Bytes.set_int32_le b (!pos + 4) (Int32.of_int b');
+    pos := !pos + entry_size
+  in
+  List.iter put_pair t.peers;
+  List.iter put_pair t.secret_ranges;
+  List.iter put_pair t.declass_windows;
+  b
+
+let decode b =
+  let len = Bytes.length b in
+  if len < header_size then Error "manifest truncated before header"
+  else if Bytes.sub_string b 0 4 <> magic then Error "bad manifest magic"
+  else
+    let get16 off = Bytes.get_uint16_le b off in
+    if get16 4 <> version then
+      Error (Printf.sprintf "unsupported manifest version %d" (get16 4))
+    else
+      let p = get16 6 and s = get16 8 and d = get16 10 in
+      let expected = header_size + (entry_size * (p + s + d)) in
+      if len <> expected then
+        Error
+          (Printf.sprintf "manifest size %d does not match %d declared entries"
+             len (p + s + d))
+      else
+        (* Peers are arbitrary 64-bit identities; ranges and windows must
+           be non-negative so downstream interval arithmetic stays sane. *)
+        let word off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF in
+        let pairs ~base count =
+          List.init count (fun i ->
+              let off = base + (i * entry_size) in
+              (word off, word (off + 4)))
+        in
+        let peers = pairs ~base:header_size p in
+        let secret_ranges = pairs ~base:(header_size + (entry_size * p)) s in
+        let declass_windows =
+          pairs ~base:(header_size + (entry_size * (p + s))) d
+        in
+        Ok { peers; secret_ranges; declass_windows }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>manifest peers=%d secrets=%d declass=%d@]"
+    (List.length t.peers)
+    (List.length t.secret_ranges)
+    (List.length t.declass_windows)

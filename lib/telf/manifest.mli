@@ -1,0 +1,65 @@
+(** The per-image flow-policy manifest (TELF format version 2).
+
+    A manifest rides the binary as a trailing section and declares the
+    facts the load-time flow/topology checks lint against:
+
+    - {b peers} — the task identities this binary is allowed to address
+      over secure IPC or shared-memory requests, as the [(lo, hi)]
+      register-word halves of a {e Task_id} (the analysis library does
+      not depend on the kernel, so identities travel as raw words here);
+    - {b secret ranges} — base-relative [(offset, length)] byte ranges of
+      the loaded image holding secret material (per-task key storage,
+      Ka-derived values); a load from such a range taints the register;
+    - {b declass windows} — absolute [(base, size)] MMIO regions where
+      writing secret material is legitimate (MAC/crypto engine inputs);
+      stores there declassify instead of leaking.
+
+    Wire format (little-endian):
+    {v
+      offset  size  field
+      0       4     magic "TYFM"
+      4       2     manifest format version (1)
+      6       2     peer count p
+      8       2     secret range count s
+      10      2     declass window count d
+      12      8p    peers: id-lo u32, id-hi u32
+      12+8p   8s    secret ranges: offset u32, length u32
+      ...     8d    declass windows: base u32, size u32
+    v}
+
+    [decode] is defensive: hostile counts, truncation and garbage all
+    come back as [Error], never an exception — the flow checker turns
+    those into findings. *)
+
+type t = {
+  peers : (int * int) list;  (** declared IPC receivers, (lo, hi) words *)
+  secret_ranges : (int * int) list;  (** base-relative (offset, length) *)
+  declass_windows : (int * int) list;  (** absolute (base, size) *)
+}
+
+val empty : t
+
+val make :
+  ?peers:(int * int) list ->
+  ?secret_ranges:(int * int) list ->
+  ?declass_windows:(int * int) list ->
+  unit ->
+  t
+(** @raise Invalid_argument on negative offsets/lengths or more than
+    65535 entries in any table. *)
+
+val is_empty : t -> bool
+
+val mem_peer : t -> lo:int -> hi:int -> bool
+
+val size : t -> int
+(** Encoded byte size. *)
+
+val encode : t -> bytes
+val decode : bytes -> (t, string) result
+
+val magic : string
+val version : int
+val header_size : int
+
+val pp : Format.formatter -> t -> unit

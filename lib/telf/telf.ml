@@ -5,10 +5,12 @@ type t = {
   relocations : int array;
   bss_size : int;
   stack_size : int;
+  manifest : Manifest.t option;
 }
 
 let magic = "TELF"
 let version = 1
+let version_manifest = 2
 let header_size = 32
 
 let validate ~entry ~image ~text_size ~relocations ~bss_size ~stack_size =
@@ -47,24 +49,37 @@ let validate ~entry ~image ~text_size ~relocations ~bss_size ~stack_size =
         Error (Printf.sprintf "relocation offset %d %s" off msg)
     | None -> Ok ()
 
-let make ~entry ~image ~text_size ~relocations ~bss_size ~stack_size =
+let make ?manifest ~entry ~image ~text_size ~relocations ~bss_size ~stack_size
+    () =
   match validate ~entry ~image ~text_size ~relocations ~bss_size ~stack_size with
   | Error msg -> invalid_arg ("Telf.make: " ^ msg)
   | Ok () ->
       let relocations = Array.copy relocations in
       Array.sort compare relocations;
-      { entry; image; text_size; relocations; bss_size; stack_size }
+      (* An empty manifest carries no policy; drop it so the binary
+         encodes as plain version 1. *)
+      let manifest =
+        match manifest with
+        | Some m when Manifest.is_empty m -> None
+        | m -> m
+      in
+      { entry; image; text_size; relocations; bss_size; stack_size; manifest }
 
 let memory_footprint t = Bytes.length t.image + t.bss_size + t.stack_size
 let reloc_count t = Array.length t.relocations
 
 let encode t =
   let n = Array.length t.relocations in
-  let total = header_size + (4 * n) + Bytes.length t.image in
+  let manifest_bytes =
+    match t.manifest with None -> Bytes.empty | Some m -> Manifest.encode m
+  in
+  let total =
+    header_size + (4 * n) + Bytes.length t.image + Bytes.length manifest_bytes
+  in
   let b = Bytes.make total '\000' in
   Bytes.blit_string magic 0 b 0 4;
   let put off v = Bytes.set_int32_le b off (Int32.of_int v) in
-  put 4 version;
+  put 4 (if t.manifest = None then version else version_manifest);
   put 8 t.entry;
   put 12 (Bytes.length t.image);
   put 16 t.text_size;
@@ -73,6 +88,9 @@ let encode t =
   put 28 n;
   Array.iteri (fun i off -> put (header_size + (4 * i)) off) t.relocations;
   Bytes.blit t.image 0 b (header_size + (4 * n)) (Bytes.length t.image);
+  Bytes.blit manifest_bytes 0 b
+    (header_size + (4 * n) + Bytes.length t.image)
+    (Bytes.length manifest_bytes);
   b
 
 let decode b =
@@ -81,7 +99,9 @@ let decode b =
   else if Bytes.sub_string b 0 4 <> magic then Error "bad magic"
   else
     let get off = Int32.to_int (Bytes.get_int32_le b off) in
-    if get 4 <> version then Error (Printf.sprintf "unsupported version %d" (get 4))
+    let file_version = get 4 in
+    if file_version <> version && file_version <> version_manifest then
+      Error (Printf.sprintf "unsupported version %d" file_version)
     else
       let entry = get 8 in
       let image_size = get 12 in
@@ -90,21 +110,54 @@ let decode b =
       let stack_size = get 24 in
       let n = get 28 in
       if n < 0 || image_size < 0 then Error "negative field"
-      else if len <> header_size + (4 * n) + image_size then
+      else if len < header_size + (4 * n) + image_size then
         Error "size mismatch"
       else
-        let relocations = Array.init n (fun i -> get (header_size + (4 * i))) in
-        let image = Bytes.sub b (header_size + (4 * n)) image_size in
-        match
-          validate ~entry ~image ~text_size ~relocations ~bss_size ~stack_size
-        with
+        let tail = len - (header_size + (4 * n) + image_size) in
+        let manifest_result =
+          (* Version 1 binaries end exactly at the image; version 2 must
+             carry a well-formed manifest section and nothing else. *)
+          if file_version = version then
+            if tail = 0 then Ok None else Error "size mismatch"
+          else if tail = 0 then Error "version 2 binary carries no manifest"
+          else
+            match
+              Manifest.decode
+                (Bytes.sub b (header_size + (4 * n) + image_size) tail)
+            with
+            | Ok m -> Ok (Some m)
+            | Error msg -> Error msg
+        in
+        match manifest_result with
         | Error msg -> Error msg
-        | Ok () ->
-            Array.sort compare relocations;
-            Ok { entry; image; text_size; relocations; bss_size; stack_size }
+        | Ok manifest -> (
+            let relocations =
+              Array.init n (fun i -> get (header_size + (4 * i)))
+            in
+            let image = Bytes.sub b (header_size + (4 * n)) image_size in
+            match
+              validate ~entry ~image ~text_size ~relocations ~bss_size
+                ~stack_size
+            with
+            | Error msg -> Error msg
+            | Ok () ->
+                Array.sort compare relocations;
+                Ok
+                  {
+                    entry;
+                    image;
+                    text_size;
+                    relocations;
+                    bss_size;
+                    stack_size;
+                    manifest;
+                  })
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<h>TELF entry=+%d image=%dB text=%dB bss=%dB stack=%dB relocs=%d@]"
+    "@[<h>TELF entry=+%d image=%dB text=%dB bss=%dB stack=%dB relocs=%d%s@]"
     t.entry (Bytes.length t.image) t.text_size t.bss_size t.stack_size
     (Array.length t.relocations)
+    (match t.manifest with
+    | None -> ""
+    | Some m -> Format.asprintf " %a" Manifest.pp m)

@@ -18,12 +18,19 @@
       32      4n    relocation offsets (byte offsets into the image of
                     32-bit fields holding base-relative addresses)
       32+4n   ...   the image, linked at base 0
+      ...     ...   (version 2 only) the flow-policy {!Manifest} section
     v}
 
     A loaded task occupies [image ++ bss ++ stack] contiguously; the
     loader adds the load base to every relocated field ({e apply}) and the
     RTM subtracts it again to compute a position-independent measurement
-    ({e revert}). *)
+    ({e revert}).
+
+    Format version 2 appends a {!Manifest} section after the image: the
+    declared IPC topology and secret/declassification ranges the
+    load-time flow checks lint against.  Version 1 binaries (no
+    manifest) remain fully supported; a binary whose manifest is empty
+    encodes as version 1. *)
 
 type t = {
   entry : int;  (** offset of the entry point within the image *)
@@ -32,25 +39,32 @@ type t = {
   relocations : int array;  (** sorted byte offsets of absolute fields *)
   bss_size : int;
   stack_size : int;
+  manifest : Manifest.t option;  (** flow policy (format version 2) *)
 }
 
 val magic : string
 val version : int
+val version_manifest : int
+(** The format version carrying a trailing manifest section (2). *)
+
 val header_size : int
 (** Fixed part of the header, excluding the relocation table (32). *)
 
 val make :
+  ?manifest:Manifest.t ->
   entry:int ->
   image:bytes ->
   text_size:int ->
   relocations:int array ->
   bss_size:int ->
   stack_size:int ->
+  unit ->
   t
 (** Validates: entry within the text; sizes non-negative; relocation
     offsets word-aligned, inside the image, pairwise non-overlapping,
     and — when they fall in the text — naming an instruction's
     immediate field (the only text bytes the loader may rewrite).
+    An empty [manifest] is normalised to [None].
     @raise Invalid_argument *)
 
 val memory_footprint : t -> int

@@ -201,10 +201,95 @@ let aggregator_tests =
               leaves);
   ]
 
+(* --- Firmware rollout: fleet-wide flow vet --------------------------------- *)
+
+module Tasks = Tytan_tasks.Task_lib
+module Task_id = Tytan_core.Task_id
+
+let rollout_run image =
+  Swarm.run ~mode:Swarm.Batched ~devices:8 ~epochs:2 ~seed:3 ~rollout:image ()
+
+let rollout_tests =
+  [
+    Alcotest.test_case "leaky image refused fleet-wide" `Quick (fun () ->
+        let leaky =
+          Tasks.key_leaker
+            ~receiver:(Task_id.of_image (Bytes.of_string "exfil-sink"))
+            ()
+        in
+        let r = rollout_run leaky in
+        match r.Swarm.rollout with
+        | Some { Swarm.accepted; refusal; vet_cycles_per_device } ->
+            Alcotest.(check bool) "refused" false accepted;
+            Alcotest.(check bool) "vet charged" true (vet_cycles_per_device > 0);
+            let msg = Option.value refusal ~default:"" in
+            Alcotest.(check bool)
+              "refusal names the secret flow" true
+              (let has sub =
+                 let n = String.length sub in
+                 let rec go i =
+                   i + n <= String.length msg
+                   && (String.sub msg i n = sub || go (i + 1))
+                 in
+                 go 0
+               in
+               has "flow" && has "IPC payload");
+            (* the fleet stays on — and attests — the incumbent firmware *)
+            let incumbent =
+              Swarm.run ~mode:Swarm.Batched ~devices:8 ~epochs:2 ~seed:3 ()
+            in
+            Alcotest.(check (list string))
+              "campaign identical to one with no rollout at all"
+              (Swarm.verdicts incumbent) (Swarm.verdicts r)
+        | None -> Alcotest.fail "expected a rollout outcome in the report");
+    Alcotest.test_case "clean image adopted fleet-wide" `Quick (fun () ->
+        let clean = Tasks.counter () in
+        let r = rollout_run clean in
+        match r.Swarm.rollout with
+        | Some { Swarm.accepted; refusal; _ } ->
+            Alcotest.(check bool) "adopted" true accepted;
+            Alcotest.(check bool) "no refusal" true (refusal = None);
+            Alcotest.(check bool) "fleet survived on new firmware" true
+              r.Swarm.survived;
+            (* adopting new firmware changes what the fleet measures, so
+               the sealed roots must differ from the incumbent campaign *)
+            let incumbent =
+              Swarm.run ~mode:Swarm.Batched ~devices:8 ~epochs:2 ~seed:3 ()
+            in
+            Alcotest.(check bool) "different measurement roots" true
+              (List.exists2
+                 (fun (a : Swarm.epoch_stats) (b : Swarm.epoch_stats) ->
+                   a.Swarm.root_hex <> b.Swarm.root_hex)
+                 incumbent.Swarm.per_epoch r.Swarm.per_epoch)
+        | None -> Alcotest.fail "expected a rollout outcome in the report");
+    Alcotest.test_case "rollout verdict identical across engines" `Quick
+      (fun () ->
+        let leaky =
+          Tasks.key_leaker
+            ~receiver:(Task_id.of_image (Bytes.of_string "exfil-sink"))
+            ()
+        in
+        let run mode =
+          Swarm.run ~mode ~devices:5 ~epochs:2 ~seed:9 ~rollout:leaky ()
+        in
+        let s = run Swarm.Scalar and b = run Swarm.Batched in
+        Alcotest.(check bool) "same acceptance" true
+          (match (s.Swarm.rollout, b.Swarm.rollout) with
+          | Some a, Some b ->
+              a.Swarm.accepted = b.Swarm.accepted
+              && a.Swarm.refusal = b.Swarm.refusal
+              && a.Swarm.vet_cycles_per_device = b.Swarm.vet_cycles_per_device
+          | _ -> false);
+        Alcotest.(check (list string))
+          "verdicts still byte-identical" (Swarm.verdicts s)
+          (Swarm.verdicts b));
+  ]
+
 let () =
   Alcotest.run "fleet"
     [
       ("differential", differential_tests);
       ("ratio", ratio_tests);
       ("aggregator", aggregator_tests);
+      ("rollout", rollout_tests);
     ]

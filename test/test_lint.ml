@@ -77,7 +77,7 @@ let craft ?(stack_size = 256) body =
   let prog = Assembler.assemble p in
   Telf.make ~entry:prog.Assembler.entry ~image:prog.Assembler.image
     ~text_size:prog.Assembler.text_size
-    ~relocations:prog.Assembler.relocations ~bss_size:0 ~stack_size
+    ~relocations:prog.Assembler.relocations ~bss_size:0 ~stack_size ()
 
 let crafted_tests =
   [
@@ -165,7 +165,7 @@ let crafted_tests =
         Bytes.blit (Isa.encode (Isa.Swi 1)) 0 image 0 8;
         let telf =
           Telf.make ~entry:0 ~image ~text_size:12 ~relocations:[||] ~bss_size:0
-            ~stack_size:256
+            ~stack_size:256 ()
         in
         let report = Tycheck.check telf in
         check_bool "rejected" true (violation ~check:Finding.Format report));
@@ -229,6 +229,250 @@ let lang_tests =
         | Error e -> Alcotest.failf "interpreter failed: %s" e);
   ]
 
+(* --- Secret flow and IPC topology (the fifth and sixth checks) --------- *)
+
+let peer = Task_id.of_image (Bytes.of_string "flow-test-peer")
+let decoy = Task_id.of_image (Bytes.of_string "flow-test-decoy")
+let flow_check telf = Tycheck.check ~config:Tycheck.flow_config telf
+
+let finding_message_mentions ~check ~severity sub report =
+  List.exists
+    (fun f ->
+      f.Finding.check = check
+      && f.Finding.severity = severity
+      &&
+      let msg = f.Finding.message and n = String.length sub in
+      let rec scan i =
+        i + n <= String.length msg
+        && (String.sub msg i n = sub || scan (i + 1))
+      in
+      scan 0)
+    report.Tycheck.findings
+
+let flow_tests =
+  [
+    Alcotest.test_case "key_leaker passes the original four checks" `Quick
+      (fun () ->
+        let report = Tycheck.check (Tasks.key_leaker ~receiver:peer ()) in
+        check_bool "four-check verifier accepts it" true (Tycheck.ok report));
+    Alcotest.test_case "key_leaker is refused with a source→sink violation"
+      `Quick (fun () ->
+        let report = flow_check (Tasks.key_leaker ~decoy ~receiver:peer ()) in
+        check_bool "rejected" false (Tycheck.ok report);
+        check_bool "flow violation" true (violation ~check:Finding.Flow report);
+        check_bool "names the source" true
+          (finding_message_mentions ~check:Finding.Flow
+             ~severity:Finding.Violation "attestation-key derivation window"
+             report);
+        check_bool "names the sink" true
+          (finding_message_mentions ~check:Finding.Flow
+             ~severity:Finding.Violation "IPC payload" report);
+        check_bool "decoy manifest: send leaves the declared topology" true
+          (finding_message_mentions ~check:Finding.Topology
+             ~severity:Finding.Violation "outside the declared topology"
+             report));
+    Alcotest.test_case "manifest-less sender is a topology violation" `Quick
+      (fun () ->
+        let report = flow_check (Tasks.key_leaker ~receiver:peer ()) in
+        check_bool "topology violation" true
+          (finding_message_mentions ~check:Finding.Topology
+             ~severity:Finding.Violation "declares no topology manifest"
+             report));
+    Alcotest.test_case "shipped tasks vet clean under --flow" `Quick (fun () ->
+        List.iter
+          (fun (name, telf) ->
+            let report = flow_check telf in
+            check_bool
+              (name ^ " has no false flow violations")
+              true (Tycheck.ok report))
+          [
+            ("counter", Tasks.counter ());
+            ("sensor-poller", Tasks.sensor_poller ~sensor_addr:0xF400_0000 ());
+            ( "cruise-controller",
+              Tasks.cruise_controller ~actuator_addr:0xF400_0100 );
+            ( "sensor-feeder",
+              Tasks.sensor_feeder ~sensor_addr:0xF400_0000 ~controller:peer
+                ~tag:1 () );
+            ("ipc-sender", Tasks.ipc_sender ~receiver:peer ());
+            ("ipc-receiver", Tasks.ipc_receiver ());
+            ( "storage-client",
+              Tasks.storage_client ~storage:peer ~slot:1 ~value:7 );
+            ("shm-requester", Tasks.shm_requester ~peer ~value:5);
+            ("shm-reader", Tasks.shm_reader ());
+            ("yielder", Tasks.yielder ());
+            ("busy-loop", Tasks.busy_loop ());
+            ("gadget-dispatcher", (Tasks.gadget_dispatcher ()).Tasks.telf);
+          ]);
+    Alcotest.test_case "declared senders even strict-verify under --flow"
+      `Quick (fun () ->
+        List.iter
+          (fun (name, telf) ->
+            check_bool (name ^ " strict") true
+              (Tycheck.strict_ok (flow_check telf)))
+          [
+            ("ipc-sender", Tasks.ipc_sender ~receiver:peer ());
+            ( "sensor-feeder",
+              Tasks.sensor_feeder ~sensor_addr:0xF400_0000 ~controller:peer
+                ~tag:1 () );
+          ]);
+    Alcotest.test_case "tasklang: secret global into an IPC payload is refused"
+      `Quick (fun () ->
+        let open Tytan_lang in
+        let leak =
+          Ast.program
+            ~globals:[ ("key", 0) ]
+            ~secrets:[ "key" ]
+            [
+              Ast.Send
+                { payload = [ Ast.Var "key" ]; receiver = peer; sync = false };
+              Ast.Exit;
+            ]
+        in
+        let report = Compile.check ~config:Tycheck.flow_config leak in
+        check_bool "rejected" false (Tycheck.ok report);
+        check_bool "flow violation names the manifest range" true
+          (finding_message_mentions ~check:Finding.Flow
+             ~severity:Finding.Violation "manifest secret range" report));
+    Alcotest.test_case
+      "tasklang: secret through the MAC window verifies clean" `Quick
+      (fun () ->
+        let open Tytan_lang in
+        let declassified =
+          Ast.program
+            ~globals:[ ("key", 0) ]
+            ~secrets:[ "key" ]
+            [ Ast.Store (Ast.Int 0xF000_3000, Ast.Var "key"); Ast.Exit ]
+        in
+        let report = Compile.check ~config:Tycheck.flow_config declassified in
+        check_bool "no violations" true (Tycheck.ok report);
+        check_bool "strict even" true (Tycheck.strict_ok report));
+    Alcotest.test_case "tasklang: compiler-declared topology verifies clean"
+      `Quick (fun () ->
+        let open Tytan_lang in
+        let sender =
+          Ast.program
+            [
+              Ast.Send
+                { payload = [ Ast.Int 7 ]; receiver = peer; sync = false };
+              Ast.Exit;
+            ]
+        in
+        let report = Compile.check ~config:Tycheck.flow_config sender in
+        check_bool "no violations" true (Tycheck.ok report));
+    Alcotest.test_case "undeclared secret global is a validation error" `Quick
+      (fun () ->
+        let open Tytan_lang in
+        let bad = Ast.program ~secrets:[ "ghost" ] [ Ast.Exit ] in
+        check_bool "validate rejects" true
+          (match Ast.validate bad with Error _ -> true | Ok () -> false));
+  ]
+
+(* --- CFG cross-check: tycheck's dataflow vs the CFA replay oracle ------- *)
+
+(* The verifier-side replay oracle and the static verifier recover the
+   same binary independently.  For every shipped task the two must agree
+   on the node set, and every flow-sensitive successor edge the dataflow
+   uses must be an edge the replay oracle would accept — otherwise one
+   of them is reasoning about a program the other would refuse. *)
+
+module Replay = Tytan_cfa.Replay
+
+let dataflow_of telf =
+  match Tytan_analysis.Cfg.of_telf telf with
+  | Error e -> Alcotest.failf "cfg recovery failed: %s" e
+  | Ok cfg ->
+      let open Tytan_analysis in
+      let image_size = Bytes.length telf.Telf.image in
+      let footprint = image_size + telf.Telf.bss_size + 64 + telf.Telf.stack_size in
+      let reloc_imms = Hashtbl.create 16 in
+      Array.iter
+        (fun off -> Hashtbl.replace reloc_imms off ())
+        telf.Telf.relocations;
+      let relocated i =
+        Hashtbl.mem reloc_imms (Cfg.offset i + Isa.imm_field_offset)
+      in
+      let init = Array.make Dataflow.reg_count Absval.top in
+      init.(12) <- Absval.rel_const (image_size + telf.Telf.bss_size);
+      init.(15) <- Absval.rel_const footprint;
+      let fallback = Cfg.indirect_code_targets telf in
+      let stack_region = (footprint - telf.Telf.stack_size, footprint) in
+      Dataflow.run ~init ~relocated ~fallback ~stack_region cfg
+
+let cross_check name telf =
+  let open Tytan_analysis in
+  match Replay.oracle_of_telf telf with
+  | Error e -> Alcotest.failf "%s: oracle recovery failed: %s" name e
+  | Ok oracle ->
+      let df = dataflow_of telf in
+      let cfg = df.Dataflow.cfg in
+      Alcotest.(check int)
+        (name ^ ": same node count")
+        (Cfg.instr_count oracle.Replay.cfg)
+        (Cfg.instr_count cfg);
+      for i = 0 to Cfg.instr_count cfg - 1 do
+        check_bool
+          (Printf.sprintf "%s: slot %d decodes identically" name i)
+          true
+          (oracle.Replay.cfg.Cfg.instrs.(i) = cfg.Cfg.instrs.(i))
+      done;
+      Array.iteri
+        (fun i succs ->
+          if df.Dataflow.states.(i) <> None then
+            let allowed =
+              match Cfg.classify cfg i with
+              | Cfg.Fall | Cfg.Other_swi | Cfg.Yield_swi -> [ i + 1 ]
+              | Cfg.Jump (Some t) -> [ t ]
+              | Cfg.Jump None -> []
+              | Cfg.Branch (Some t) -> [ i + 1; t ]
+              | Cfg.Branch None -> [ i + 1 ]
+              (* A call's fall-through is the dataflow's structural
+                 summary of the callee's return; the oracle accepts the
+                 same resumption through its shadow stack, which is why
+                 i+1 is in call_successors by construction. *)
+              | Cfg.Call (Some t) -> [ t; i + 1 ]
+              | Cfg.Call None -> [ i + 1 ]
+              | Cfg.Indirect_jump _ -> oracle.Replay.indirect_targets
+              | Cfg.Indirect_call _ ->
+                  (i + 1) :: oracle.Replay.indirect_targets
+              | Cfg.Return -> oracle.Replay.call_successors
+              | Cfg.Stop | Cfg.Undecodable -> []
+            in
+            List.iter
+              (fun s ->
+                check_bool
+                  (Printf.sprintf
+                     "%s: edge %d→%d is one the replay oracle accepts" name i
+                     s)
+                  true (List.mem s allowed))
+              succs)
+        df.Dataflow.succs
+
+let cfg_cross_tests =
+  let examples () =
+    [
+      ("counter", Tasks.counter ());
+      ("sensor-poller", Tasks.sensor_poller ~sensor_addr:0xF400_0000 ());
+      ("cruise-controller", Tasks.cruise_controller ~actuator_addr:0xF400_0100);
+      ( "sensor-feeder",
+        Tasks.sensor_feeder ~sensor_addr:0xF400_0000 ~controller:peer ~tag:1 () );
+      ("ipc-sender", Tasks.ipc_sender ~receiver:peer ());
+      ("ipc-receiver", Tasks.ipc_receiver ());
+      ("storage-client", Tasks.storage_client ~storage:peer ~slot:1 ~value:7);
+      ("shm-requester", Tasks.shm_requester ~peer ~value:5);
+      ("shm-reader", Tasks.shm_reader ());
+      ("yielder", Tasks.yielder ());
+      ("busy-loop", Tasks.busy_loop ());
+      ("spy", Tasks.spy ~victim_addr:0x4000);
+      ("key-leaker", Tasks.key_leaker ~receiver:peer ());
+      ("gadget-dispatcher", (Tasks.gadget_dispatcher ()).Tasks.telf);
+    ]
+  in
+  [
+    Alcotest.test_case "replay oracle and tycheck agree on every example"
+      `Quick (fun () ->
+        List.iter (fun (name, telf) -> cross_check name telf) (examples ()));
+  ]
+
 (* --- The vetting loader ------------------------------------------------ *)
 
 let loader_tests =
@@ -254,6 +498,38 @@ let loader_tests =
         with
         | Ok _ -> Alcotest.fail "entry_bypass should have been refused"
         | Error _ -> ());
+    Alcotest.test_case "flow-vetting platform refuses the key leaker" `Quick
+      (fun () ->
+        let config =
+          { Platform.default_config with vet_tasks = true; vet_flow = true }
+        in
+        let p = Platform.create ~config () in
+        (match
+           Platform.load_blocking p ~name:"sender"
+             (Tasks.ipc_sender ~receiver:peer ())
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "declared sender refused: %s" e);
+        match
+          Platform.load_blocking p ~name:"leaker"
+            (Tasks.key_leaker ~receiver:peer ())
+        with
+        | Ok _ -> Alcotest.fail "key leaker should have been refused"
+        | Error e ->
+            check_bool "refusal names the vet" true
+              (String.length e >= 12 && String.sub e 0 12 = "vet rejected"));
+    Alcotest.test_case "plain vetting platform still loads the key leaker"
+      `Quick (fun () ->
+        (* Without vet_flow the loader keeps the four-check behaviour:
+           the leak is invisible to memory/CFI/stack/WCET. *)
+        let config = { Platform.default_config with vet_tasks = true } in
+        let p = Platform.create ~config () in
+        match
+          Platform.load_blocking p ~name:"leaker"
+            (Tasks.key_leaker ~receiver:peer ())
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "unexpected refusal: %s" e);
     Alcotest.test_case "non-vetting platform still loads the spy" `Quick
       (fun () ->
         (* Without ~vet the loader keeps the paper's behaviour: load
@@ -273,5 +549,7 @@ let () =
       ("task-library", library_tests);
       ("crafted-escapes", crafted_tests);
       ("tasklang", lang_tests);
+      ("flow", flow_tests);
+      ("cfg-cross-check", cfg_cross_tests);
       ("vetting-loader", loader_tests);
     ]

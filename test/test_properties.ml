@@ -193,7 +193,7 @@ let telf_gen =
   in
   return
     (Telf.make ~entry:0 ~image ~text_size:(code_words * Isa.width)
-       ~relocations ~bss_size:(data_words * 2) ~stack_size:stack)
+       ~relocations ~bss_size:(data_words * 2) ~stack_size:stack ())
 
 let telf_arb = QCheck.make ~print:(Format.asprintf "%a" Telf.pp) telf_gen
 
@@ -227,6 +227,76 @@ let telf_props =
       telf_arb (fun t ->
         Telf.memory_footprint t
         = Bytes.length t.Telf.image + t.bss_size + t.stack_size);
+  ]
+
+(* --- Flow verification over hostile input ----------------------------------- *)
+
+(* Flowcheck.check is the loader's last line of defence against a
+   crafted image, so — like Tycheck.check — it must never raise, no
+   matter how malformed the TELF or how hostile the manifest. *)
+
+let manifest_gen =
+  let open QCheck.Gen in
+  let entry = pair (int_bound 0xFFFF) (int_bound 0xFFFF) in
+  let* peers = list_size (int_bound 4) entry in
+  let* secret_ranges = list_size (int_bound 4) entry in
+  let* declass_windows = list_size (int_bound 4) entry in
+  return (Manifest.make ~peers ~secret_ranges ~declass_windows ())
+
+let manifest_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Manifest.pp) manifest_gen
+
+let telf2_gen =
+  let open QCheck.Gen in
+  let* telf = telf_gen in
+  let* manifest = opt manifest_gen in
+  return
+    (Telf.make ?manifest ~entry:telf.Telf.entry ~image:telf.Telf.image
+       ~text_size:telf.Telf.text_size ~relocations:telf.Telf.relocations
+       ~bss_size:telf.Telf.bss_size ~stack_size:telf.Telf.stack_size ())
+
+let telf2_arb = QCheck.make ~print:(Format.asprintf "%a" Telf.pp) telf2_gen
+
+let never_raises telf =
+  match Tytan_analysis.Flowcheck.check telf with _ -> true
+
+let flow_props =
+  [
+    QCheck.Test.make ~name:"manifest encode/decode round trip" ~count:200
+      manifest_arb (fun m ->
+        match Manifest.decode (Manifest.encode m) with
+        | Ok m' -> m' = m
+        | Error _ -> false);
+    QCheck.Test.make ~name:"manifest decode never crashes on arbitrary bytes"
+      ~count:300 bytes_arb (fun b ->
+        match Manifest.decode b with Ok _ | Error _ -> true);
+    QCheck.Test.make ~name:"manifest-bearing TELF round trips" ~count:200
+      telf2_arb (fun t ->
+        match Telf.decode (Telf.encode t) with
+        | Ok t' -> t' = t
+        | Error _ -> false);
+    QCheck.Test.make ~name:"Flowcheck.check never raises on generated images"
+      ~count:200 telf2_arb never_raises;
+    QCheck.Test.make
+      ~name:"Flowcheck.check never raises on decoded arbitrary bytes"
+      ~count:300 bytes_arb (fun b ->
+        match Telf.decode b with
+        | Error _ -> true
+        | Ok telf -> never_raises telf);
+    QCheck.Test.make
+      ~name:"Flowcheck.check survives truncated / bit-flipped images"
+      ~count:300
+      (QCheck.pair telf2_arb (QCheck.pair QCheck.small_nat QCheck.small_nat))
+      (fun (t, (cut, flip)) ->
+        let b = Telf.encode t in
+        let n = Bytes.length b in
+        let keep = max 1 (n - (cut mod n)) in
+        let b = Bytes.sub b 0 keep in
+        let i = flip mod keep in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+        match Telf.decode b with
+        | Error _ -> true
+        | Ok telf -> never_raises telf);
   ]
 
 (* --- EA-MPU access lattice --------------------------------------------------- *)
@@ -584,6 +654,7 @@ let () =
       ("merkle", List.map to_alcotest merkle_props);
       ("isa", List.map to_alcotest isa_props);
       ("telf", List.map to_alcotest telf_props);
+      ("flow", List.map to_alcotest flow_props);
       ("eampu", List.map to_alcotest eampu_props);
       ("heap", List.map to_alcotest heap_props);
       ("task-id", List.map to_alcotest task_id_props);

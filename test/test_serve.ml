@@ -312,6 +312,7 @@ let mk_swarm_report verdicts : Swarm.report =
     faults = false;
     loss_percent = 10;
     queries_per_epoch = 0;
+    rollout = None;
     per_epoch =
       [
         {

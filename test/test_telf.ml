@@ -10,7 +10,7 @@ let check_int = Alcotest.(check int)
 let sample ?(relocs = [| 16 |]) () =
   let image = Bytes.make 32 '\x11' in
   Telf.make ~entry:0 ~image ~text_size:16 ~relocations:relocs ~bss_size:8
-    ~stack_size:128
+    ~stack_size:128 ()
 
 let format_tests =
   [
@@ -43,7 +43,7 @@ let format_tests =
           (try
              ignore
                (Telf.make ~entry:0 ~image:(Bytes.make 8 ' ') ~text_size:8
-                  ~relocations:[| 6 |] ~bss_size:0 ~stack_size:64);
+                  ~relocations:[| 6 |] ~bss_size:0 ~stack_size:64 ());
              false
            with Invalid_argument _ -> true));
     Alcotest.test_case "entry outside text rejected" `Quick (fun () ->
@@ -51,12 +51,64 @@ let format_tests =
           (try
              ignore
                (Telf.make ~entry:20 ~image:(Bytes.make 32 ' ') ~text_size:16
-                  ~relocations:[||] ~bss_size:0 ~stack_size:64);
+                  ~relocations:[||] ~bss_size:0 ~stack_size:64 ());
              false
            with Invalid_argument _ -> true));
     Alcotest.test_case "memory footprint" `Quick (fun () ->
         check_int "image+bss+stack" (32 + 8 + 128)
           (Telf.memory_footprint (sample ())));
+    Alcotest.test_case "manifest round trip (version 2)" `Quick (fun () ->
+        let manifest =
+          Manifest.make
+            ~peers:[ (0xAB, 0xCD); (1, 2) ]
+            ~secret_ranges:[ (16, 4) ]
+            ~declass_windows:[ (0xF000_3000, 64) ]
+            ()
+        in
+        let image = Bytes.make 32 '\x11' in
+        let t =
+          Telf.make ~entry:0 ~image ~text_size:16 ~relocations:[||] ~bss_size:8
+            ~stack_size:128 ~manifest ()
+        in
+        match Telf.decode (Telf.encode t) with
+        | Ok t' ->
+            check_bool "manifest preserved" true
+              (t'.Telf.manifest = Some manifest)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "version 1 image decodes with no manifest" `Quick
+      (fun () ->
+        match Telf.decode (Telf.encode (sample ())) with
+        | Ok t -> check_bool "no manifest" true (t.Telf.manifest = None)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "empty manifest normalises to none" `Quick (fun () ->
+        let t =
+          Telf.make ~entry:0 ~image:(Bytes.make 32 ' ') ~text_size:16
+            ~relocations:[||] ~bss_size:0 ~stack_size:64
+            ~manifest:Manifest.empty ()
+        in
+        check_bool "normalised" true (t.Telf.manifest = None);
+        (* and hence encodes as a plain version-1 image *)
+        let b = Telf.encode t in
+        check_int "version 1" 1 (Int32.to_int (Bytes.get_int32_le b 4)));
+    Alcotest.test_case "corrupted manifest tail rejected" `Quick (fun () ->
+        let manifest = Manifest.make ~peers:[ (3, 4) ] () in
+        let t =
+          Telf.make ~entry:0 ~image:(Bytes.make 32 '\x11') ~text_size:16
+            ~relocations:[||] ~bss_size:0 ~stack_size:64 ~manifest ()
+        in
+        let b = Telf.encode t in
+        (* smash the manifest magic at the start of the trailing section *)
+        Bytes.set b (Bytes.length b - Manifest.size manifest) 'X';
+        check_bool "error" true (Result.is_error (Telf.decode b)));
+    Alcotest.test_case "truncated manifest rejected" `Quick (fun () ->
+        let manifest = Manifest.make ~peers:[ (3, 4) ] ~secret_ranges:[ (0, 8) ] () in
+        let t =
+          Telf.make ~entry:0 ~image:(Bytes.make 32 '\x11') ~text_size:16
+            ~relocations:[||] ~bss_size:0 ~stack_size:64 ~manifest ()
+        in
+        let b = Telf.encode t in
+        check_bool "error" true
+          (Result.is_error (Telf.decode (Bytes.sub b 0 (Bytes.length b - 5)))));
     Alcotest.test_case "relocations are sorted" `Quick (fun () ->
         let t = sample ~relocs:[| 20; 4; 12 |] () in
         check_bool "sorted" true (t.Telf.relocations = [| 4; 12; 20 |]));
