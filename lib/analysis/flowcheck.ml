@@ -33,20 +33,47 @@ let default_config =
 let key_window_base = 0xF000_2000
 let mac_window_base = 0xF000_3000
 
+(* Manifest declass windows are attacker-controlled: honoured blindly, a
+   hostile image could declare a "declass" window over the key-derivation
+   block (or any exfiltration address) and launder every secret through
+   it.  Only windows wholly inside a platform crypto region are granted;
+   the rest never reach the taint pass and are refused outright. *)
+let declass_window_allowed config (lo, size) =
+  List.exists
+    (fun (base, bsize) -> lo >= base && lo + size <= base + bsize)
+    config.declass_windows
+
+let split_manifest_declass config (manifest : Manifest.t option) =
+  match manifest with
+  | None -> ([], [])
+  | Some m ->
+      List.partition (declass_window_allowed config) m.Manifest.declass_windows
+
+let manifest_findings config (manifest : Manifest.t option) =
+  let _, rejected = split_manifest_declass config manifest in
+  List.map
+    (fun (lo, size) ->
+      Finding.v Finding.Flow Finding.Violation
+        (Printf.sprintf
+           "manifest declass window [0x%08X, +%d] lies outside the platform \
+            crypto regions"
+           lo size))
+    rejected
+
 let sources_of config (manifest : Manifest.t option) =
-  let manifest_ranges, manifest_declass =
+  let manifest_ranges =
     match manifest with
-    | None -> ([], [])
+    | None -> []
     | Some m ->
-        ( List.map
-            (fun (off, len) -> (off, len, "manifest secret range"))
-            m.Manifest.secret_ranges,
-          m.Manifest.declass_windows )
+        List.map
+          (fun (off, len) -> (off, len, "manifest secret range"))
+          m.Manifest.secret_ranges
   in
+  let granted_declass, _ = split_manifest_declass config manifest in
   {
     Taint.secret_windows = config.secret_windows;
     secret_ranges = manifest_ranges;
-    declass_windows = config.declass_windows @ manifest_declass;
+    declass_windows = config.declass_windows @ granted_declass;
   }
 
 let pp_peer lo hi = Printf.sprintf "%08X:%08X" lo hi
@@ -193,7 +220,9 @@ let topology_findings (telf : Telf.t) (df : Dataflow.t) =
 let run ~config ~stack_region (telf : Telf.t) (df : Dataflow.t) =
   let sources = sources_of config telf.manifest in
   let tr = Taint.run sources ~stack_region df in
-  taint_findings sources df tr @ topology_findings telf df
+  manifest_findings config telf.manifest
+  @ taint_findings sources df tr
+  @ topology_findings telf df
 
 (* Standalone entry point for fuzzing and ad-hoc use: mirrors Tycheck's
    dataflow setup (secure-task conventions, default inbox) and, like

@@ -8,7 +8,13 @@
     windows is a [Violation]; lossy cases (unresolved pointers, partial
     overlaps, a memory fixpoint that hit its budget) are [Unknown]s.
     Declassification happens only through the MAC/crypto windows —
-    stores there are legitimate, loads from them are clean.
+    stores there are legitimate, loads from them are clean.  A
+    manifest may narrow declassification to a sub-window of a platform
+    crypto region, but never widen it: a manifest declass window that
+    leaves the platform's crypto regions is itself a [Violation] and is
+    not honoured by the taint pass (a hostile image cannot declare the
+    key-derivation block "declassified" and launder secrets through
+    it).
 
     {b Topology} extracts the static IPC topology: at every reachable
     send or shared-memory SWI the receiver identity in r8/r9 is read

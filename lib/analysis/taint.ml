@@ -74,31 +74,43 @@ let in_declass windows lo hi =
 type mem = (int * int * t) list ref
 
 let mem_add (m : mem) lo hi taint =
+  (* Absorbing one neighbour can grow the interval far enough to touch a
+     range already kept, so re-scan until nothing else overlaps. *)
   let merged = ref (lo, hi, taint) in
-  let rest =
-    List.filter
-      (fun (l, h, t') ->
-        let ml, mh, mt = !merged in
-        if h >= ml - 1 && l <= mh + 1 then begin
-          merged := (min l ml, max h mh, join t' mt);
-          false
-        end
-        else true)
-      !m
-  in
-  m := !merged :: rest
+  let rest = ref !m in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    rest :=
+      List.filter
+        (fun (l, h, t') ->
+          let ml, mh, mt = !merged in
+          if h >= ml - 1 && l <= mh + 1 then begin
+            merged := (min l ml, max h mh, join t' mt);
+            changed := true;
+            false
+          end
+          else true)
+        !rest
+  done;
+  m := !merged :: !rest
 
-let mem_lookup (m : mem) lo hi =
+(* [exact] says the queried span [lo, hi] is the precise byte range the
+   load reads (a singleton abstract address): a partial overlap then
+   provably reads tainted bytes and the full taint flows.  Only an
+   imprecise interval weakens the verdict to [Maybe]. *)
+let mem_lookup (m : mem) ~exact lo hi =
   List.fold_left
     (fun acc (l, h, t') ->
       if lo >= l && hi <= h then join acc t'
-      else if hi >= l && lo <= h then join acc (weaken t')
+      else if hi >= l && lo <= h then
+        join acc (if exact then t' else weaken t')
       else acc)
     Clean !m
 
-let mem_equal a b =
-  List.length a = List.length b
-  && List.for_all (fun r -> List.mem r b) a
+(* Ranges are kept coalesced but in arbitrary order; canonicalise before
+   comparing so semantically equal sets do not burn fixpoint rounds. *)
+let mem_equal a b = List.sort compare a = List.sort compare b
 
 (* --- Register/opstack state --------------------------------------------- *)
 
@@ -153,6 +165,10 @@ let load_taint sources mem addr ~bytes =
   | Absval.Bot -> Clean
   | Absval.Top -> Maybe "value loaded through an unresolved pointer"
   | Absval.Abs (lo, hi) -> (
+      (* A singleton abstract address makes the byte span exact: a load
+         straddling a secret window's edge then provably reads secret
+         bytes — only an imprecise interval downgrades to [Maybe]. *)
+      let exact = lo = hi in
       let hi = hi + bytes - 1 in
       if in_declass sources.declass_windows lo hi then Clean
       else
@@ -160,17 +176,23 @@ let load_taint sources mem addr ~bytes =
         | `Inside label ->
             Secret (Printf.sprintf "%s [0x%08X]" label lo)
         | `Overlaps label ->
-            Maybe (Printf.sprintf "window near %s [0x%08X]" label lo)
+            if exact then
+              Secret (Printf.sprintf "%s edge [0x%08X]" label lo)
+            else Maybe (Printf.sprintf "window near %s [0x%08X]" label lo)
         | `Outside -> Clean)
   | Absval.Rel (lo, hi) -> (
+      let exact = lo = hi in
       let hi = hi + bytes - 1 in
       let from_ranges =
         match classify sources.secret_ranges lo hi with
         | `Inside label -> Secret (Printf.sprintf "%s [base+%d]" label lo)
-        | `Overlaps label -> Maybe (Printf.sprintf "range near %s [base+%d]" label lo)
+        | `Overlaps label ->
+            if exact then
+              Secret (Printf.sprintf "%s edge [base+%d]" label lo)
+            else Maybe (Printf.sprintf "range near %s [base+%d]" label lo)
         | `Outside -> Clean
       in
-      join from_ranges (mem_lookup mem lo hi))
+      join from_ranges (mem_lookup mem ~exact lo hi))
 
 let transfer sources mem ~stack_region (abs_state : Absval.t array option)
     (st : state) (instr : Isa.t) =
@@ -211,12 +233,15 @@ let transfer sources mem ~stack_region (abs_state : Absval.t array option)
         { st with opstack = []; opstack_valid = false }
       else st
   | Isa.Push r ->
-      let opstack =
-        if st.opstack_valid && List.length st.opstack < 32 then
-          g r :: st.opstack
-        else st.opstack
-      in
-      { st with opstack }
+      if not st.opstack_valid then st
+      else if List.length st.opstack < 32 then
+        { st with opstack = g r :: st.opstack }
+      else
+        (* The real spill stack keeps growing past the tracking cap, so
+           every later pop would misalign against the model; invalidate
+           it (like an aliasing store) so pops answer [Maybe], not a
+           laundered [Clean]. *)
+        { st with opstack = []; opstack_valid = false }
   | Isa.Pop rd ->
       let value, opstack =
         match st.opstack with

@@ -8,10 +8,12 @@
 
     - [Clean] — provably carries no secret;
     - [Maybe src] — the analysis lost track (a load through an
-      unresolved pointer, an interval that merely overlaps a secret
-      region); sinks report these as [Unknown];
-    - [Secret src] — provably derived from the named secret source;
-      sinks report these as [Violation].
+      unresolved pointer, an {e imprecise} address interval that
+      overlaps a secret region); sinks report these as [Unknown];
+    - [Secret src] — provably derived from the named secret source,
+      including an exact load that straddles a secret region's edge
+      (some of the bytes read are provably secret); sinks report these
+      as [Violation].
 
     Sources are absolute {e secret windows} (attestation-key MMIO, PRNG
     registers, the protected platform-key bytes) and base-relative
@@ -22,7 +24,9 @@
 
     Register taint propagates through ALU ops (joining operands, with
     [xor r, r]/[sub r, r] recognised as zeroing), through the same LIFO
-    operand-spill model the abstract interpreter uses, and through
+    operand-spill model the abstract interpreter uses (a push past the
+    tracked depth invalidates the model, so pops never launder an
+    untracked secret back to [Clean]), and through
     memory: a tainted store to a resolved base-relative range taints
     that range, and the pass iterates to a fixpoint so loads downstream
     of the store pick the taint back up.  A tainted store through an

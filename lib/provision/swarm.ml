@@ -5,6 +5,7 @@ module Cycles = Tytan_machine.Cycles
 module Isa = Tytan_machine.Isa
 module Telf = Tytan_telf.Telf
 module Tycheck = Tytan_analysis.Tycheck
+module Finding = Tytan_analysis.Finding
 module Fault_plan = Tytan_fault.Fault_plan
 module Telemetry = Tytan_telemetry.Telemetry
 
@@ -46,13 +47,14 @@ type epoch_stats = {
 }
 
 (* A firmware rollout pushed ahead of the campaign.  Every device vets
-   the image with the six-check flow configuration before measurement;
-   the verdict is a pure function of the binary, so a leaky image is
-   refused platform-wide — the whole fleet stays on the incumbent
-   firmware and attests it as before. *)
+   the image with the six-check flow configuration before measurement
+   and adoption requires the strict verdict (no violations and no
+   unknowns); the verdict is a pure function of the binary, so a leaky
+   image is refused platform-wide — the whole fleet stays on the
+   incumbent firmware and attests it as before. *)
 type rollout = {
   accepted : bool;
-  refusal : string option;  (* first violation, when refused *)
+  refusal : string option;  (* first non-clean finding, when refused *)
   vet_cycles_per_device : int;
 }
 
@@ -130,9 +132,21 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
       (fun (telf : Telf.t) ->
         let rep = Tycheck.check ~config:Tycheck.flow_config telf in
         let slots = telf.Telf.text_size / Isa.width in
+        (* Fleet-wide adoption demands the strict verdict: an image the
+           analysis cannot prove clean (Maybe-level flows, unbounded
+           WCET) is refused, not just a proven leak. *)
+        let refusal =
+          match Tycheck.first_violation rep with
+          | Some _ as v -> v
+          | None ->
+              List.find_opt
+                (fun f -> f.Finding.severity <> Finding.Info)
+                rep.Tycheck.findings
+              |> Option.map (Format.asprintf "%a" Finding.pp)
+        in
         {
-          accepted = Tycheck.ok rep;
-          refusal = Tycheck.first_violation rep;
+          accepted = Tycheck.strict_ok rep;
+          refusal;
           vet_cycles_per_device =
             Cost_model.vet_base
             + ((Cost_model.vet_per_instruction + Cost_model.vet_flow) * slots);

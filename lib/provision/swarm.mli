@@ -58,15 +58,18 @@ type epoch_stats = {
 type rollout = {
   accepted : bool;
   refusal : string option;
-      (** the first proven violation when the image was refused *)
+      (** the first non-clean finding (a proven violation when there is
+          one, else the first unknown) when the image was refused *)
   vet_cycles_per_device : int;
       (** what each device's loader charged for the six-check vet *)
 }
 (** Outcome of a firmware rollout pushed ahead of the campaign: every
     device vets the image under [Tycheck.flow_config] before measuring
-    it, and since the verdict is a pure function of the binary, a leaky
-    image is refused platform-wide — the fleet stays on the incumbent
-    firmware. *)
+    it, and adoption requires {!Tycheck.strict_ok} — an image the
+    analysis cannot prove clean (a Maybe-level flow, an unbounded WCET)
+    is refused alongside proven leaks.  The verdict is a pure function
+    of the binary, so a refusal is platform-wide — the fleet stays on
+    the incumbent firmware. *)
 
 type report = {
   mode : mode;

@@ -71,11 +71,11 @@ let library_tests =
 
 (* --- Hand-crafted escapes ---------------------------------------------- *)
 
-let craft ?(stack_size = 256) body =
+let craft ?(stack_size = 256) ?manifest body =
   let p = Assembler.create () in
   body p;
   let prog = Assembler.assemble p in
-  Telf.make ~entry:prog.Assembler.entry ~image:prog.Assembler.image
+  Telf.make ?manifest ~entry:prog.Assembler.entry ~image:prog.Assembler.image
     ~text_size:prog.Assembler.text_size
     ~relocations:prog.Assembler.relocations ~bss_size:0 ~stack_size ()
 
@@ -365,6 +365,103 @@ let flow_tests =
         let bad = Ast.program ~secrets:[ "ghost" ] [ Ast.Exit ] in
         check_bool "validate rejects" true
           (match Ast.validate bad with Error _ -> true | Ok () -> false));
+    Alcotest.test_case "hostile manifest declass window cannot launder the key"
+      `Quick (fun () ->
+        (* The image declares the key-derivation window itself as a
+           declass window: honoured, every key load would come back
+           Clean and the leaker would vet clean fleet-wide.  The window
+           must be refused (it leaves the platform crypto regions) and
+           the leak still caught. *)
+        let lo, hi = Task_id.to_words peer in
+        let manifest =
+          Manifest.make ~peers:[ (lo, hi) ]
+            ~declass_windows:[ (Flowcheck.key_window_base, 16) ]
+            ()
+        in
+        let telf =
+          craft ~manifest (fun p ->
+              let open Isa in
+              Assembler.instr p (Movi (6, Flowcheck.key_window_base));
+              Assembler.instr p (Ldw (0, 6, 0));
+              for i = 1 to 7 do
+                Assembler.instr p (Movi (i, 0))
+              done;
+              Assembler.instr p (Movi (8, lo));
+              Assembler.instr p (Movi (9, hi));
+              Assembler.instr p (Movi (10, Ipc.mode_async));
+              Assembler.instr p (Swi Ipc.swi_send);
+              Assembler.instr p (Swi 1))
+        in
+        let report = flow_check telf in
+        check_bool "rejected" false (Tycheck.ok report);
+        check_bool "the bogus window itself is a violation" true
+          (finding_message_mentions ~check:Finding.Flow
+             ~severity:Finding.Violation "manifest declass window" report);
+        check_bool "and the leak is still caught" true
+          (finding_message_mentions ~check:Finding.Flow
+             ~severity:Finding.Violation "IPC payload" report));
+    Alcotest.test_case "read straddling the key window edge is a violation"
+      `Quick (fun () ->
+        (* An exact 4-byte load at key_window_base - 2 provably reads
+           two key bytes: a partial overlap at a precise address must
+           keep the full Secret taint, not weaken to Maybe/Unknown. *)
+        let lo, hi = Task_id.to_words peer in
+        let telf =
+          craft ~manifest:(Manifest.make ~peers:[ (lo, hi) ] ())
+            (fun p ->
+              let open Isa in
+              Assembler.instr p (Movi (6, Flowcheck.key_window_base - 2));
+              Assembler.instr p (Ldw (0, 6, 0));
+              for i = 1 to 7 do
+                Assembler.instr p (Movi (i, 0))
+              done;
+              Assembler.instr p (Movi (8, lo));
+              Assembler.instr p (Movi (9, hi));
+              Assembler.instr p (Movi (10, Ipc.mode_async));
+              Assembler.instr p (Swi Ipc.swi_send);
+              Assembler.instr p (Swi 1))
+        in
+        let report = flow_check telf in
+        check_bool "rejected" false (Tycheck.ok report);
+        check_bool "flow violation" true (violation ~check:Finding.Flow report));
+    Alcotest.test_case "secret spilled past the tracked depth is not laundered"
+      `Quick (fun () ->
+        (* 32 clean pushes fill the taint model's cap; the 33rd pushes
+           the key word.  The real spill stack is unbounded, so the pop
+           restores the secret — the model must answer Maybe (an
+           Unknown at the send), never a laundered Clean. *)
+        let lo, hi = Task_id.to_words peer in
+        let telf =
+          craft ~stack_size:512
+            ~manifest:(Manifest.make ~peers:[ (lo, hi) ] ())
+            (fun p ->
+              let open Isa in
+              Assembler.instr p (Movi (6, Flowcheck.key_window_base));
+              Assembler.instr p (Ldw (7, 6, 0));
+              Assembler.instr p (Movi (5, 0));
+              for _ = 1 to 32 do
+                Assembler.instr p (Push 5)
+              done;
+              Assembler.instr p (Push 7);
+              Assembler.instr p (Pop 0);
+              for _ = 1 to 32 do
+                Assembler.instr p (Pop 4)
+              done;
+              for i = 1 to 7 do
+                Assembler.instr p (Movi (i, 0))
+              done;
+              Assembler.instr p (Movi (8, lo));
+              Assembler.instr p (Movi (9, hi));
+              Assembler.instr p (Movi (10, Ipc.mode_async));
+              Assembler.instr p (Swi Ipc.swi_send);
+              Assembler.instr p (Swi 1))
+        in
+        let report = flow_check telf in
+        check_bool "no over-claimed violation" true (Tycheck.ok report);
+        check_bool "but not provably clean" false (Tycheck.strict_ok report);
+        check_bool "payload flagged as an untracked spill" true
+          (finding_message_mentions ~check:Finding.Flow
+             ~severity:Finding.Unknown "untracked spill" report));
   ]
 
 (* --- CFG cross-check: tycheck's dataflow vs the CFA replay oracle ------- *)
