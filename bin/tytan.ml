@@ -407,11 +407,19 @@ let fleet_cmd =
 
 (* --- serve ----------------------------------------------------------------- *)
 
-let serve devices slices rate seed faults loss verify =
+let serve devices slices rate seed faults loss arrival think verify =
   let open Tytan_serve in
+  let arrival =
+    match arrival with
+    | "open" -> Gateway.Open_loop
+    | "closed" -> Gateway.Closed_loop { think }
+    | other ->
+        Printf.eprintf "tytan: unknown arrival mode %S (open|closed)\n" other;
+        exit 124
+  in
   let run () =
     Gateway.run ~devices ~slices ~arrival_permille:rate ~seed ~faults
-      ~loss_percent:loss ()
+      ~loss_percent:loss ~arrival ()
   in
   let report = run () in
   print_string (Gateway.to_string report);
@@ -464,6 +472,21 @@ let serve_cmd =
   let loss =
     Arg.(value & opt int 10 & info [ "loss" ] ~doc:"Uplink frame loss, percent.")
   in
+  let arrival =
+    Arg.(
+      value & opt string "open"
+      & info [ "arrival" ]
+          ~doc:
+            "Load generator: $(b,open) (offered load ignores the gateway — \
+             overload possible) or $(b,closed) (each device waits for its \
+             previous session to settle, then thinks --think slices).")
+  in
+  let think =
+    Arg.(
+      value & opt int 8
+      & info [ "think" ]
+          ~doc:"Closed-loop think time, slices between settle and next ask.")
+  in
   let verify =
     Arg.(
       value & flag
@@ -472,11 +495,155 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the verifier gateway under seeded open-loop load: admission \
-          control, per-device rate limits, deadlines, circuit breakers and \
-          graceful load shedding over lossy links")
+         "Run the verifier gateway under seeded load (open- or closed-loop): \
+          admission control, per-device rate limits, deadlines, circuit \
+          breakers and graceful load shedding over lossy links")
     Term.(
-      const serve $ devices $ slices $ rate $ seed $ faults $ loss $ verify)
+      const serve $ devices $ slices $ rate $ seed $ faults $ loss $ arrival
+      $ think $ verify)
+
+(* --- ota -------------------------------------------------------------------- *)
+
+let ota devices epochs canary seed faults loss stale leaky verify =
+  let module Registry = Tytan_provision.Registry in
+  let module Rollout = Tytan_ota.Rollout in
+  if devices <= 0 then begin
+    prerr_endline "tytan: --devices must be positive";
+    exit 124
+  end;
+  if epochs <= 0 then begin
+    prerr_endline "tytan: --epochs must be positive";
+    exit 124
+  end;
+  if canary <= 0 || canary > devices then begin
+    prerr_endline "tytan: --canary must be in 1..devices";
+    exit 124
+  end;
+  let incumbent = Tasks.counter () in
+  let clean k =
+    (* Distinct code bytes per wave (the yield count is an immediate),
+       so every promotion changes the fleet's attested identity. *)
+    { Rollout.label = Printf.sprintf "clean-%d" k;
+      version = k;
+      image = Tasks.yielder ~count:(2 + k) () }
+  in
+  let waves =
+    List.init epochs (fun i -> clean (i + 1))
+    @ (if stale then
+         [ { Rollout.label = "stale-replay";
+             version = 1;
+             image = Tasks.yielder ~count:3 () } ]
+       else [])
+    @
+    if leaky then
+      [ { Rollout.label = "leaky";
+          version = epochs + 1;
+          image =
+            Tasks.key_leaker
+              ~receiver:(Task_id.of_image (Bytes.of_string "exfil-sink"))
+              () } ]
+    else []
+  in
+  let run () =
+    let master =
+      Bytes.of_string
+        (Printf.sprintf "fleet-master-%08x" (seed land 0xFFFF_FFFF))
+    in
+    let registry = Registry.create ~master in
+    Rollout.run ~devices ~canary ~seed ~faults ~loss_percent:loss
+      ~platform_key_of:(fun ~serial -> Registry.platform_key registry ~serial)
+      ~incumbent waves
+  in
+  let report = run () in
+  print_string (Rollout.to_string report);
+  if verify then begin
+    let again = run () in
+    if Rollout.equal report again then
+      print_endline "reproducibility: second run identical (same digest)"
+    else begin
+      print_endline "reproducibility: RUNS DIVERGED";
+      exit 1
+    end
+  end;
+  (* A device verdict that never settled is the rollout engine's own
+     failure, faults or no faults. *)
+  if Rollout.campaign_failed report then begin
+    prerr_endline "tytan: ota campaign failed: unsettled device verdicts";
+    exit 3
+  end;
+  (* Without injected faults no device may be lost to a crash or an
+     unreachable link; refusals (rollback, vet) are verdicts, not
+     losses. *)
+  if (not report.Rollout.survived) && not faults then exit 2
+
+let ota_cmd =
+  let devices =
+    Arg.(value & opt int 24 & info [ "devices" ] ~doc:"Fleet size.")
+  in
+  let epochs =
+    Arg.(
+      value & opt int 3
+      & info [ "epochs" ]
+          ~doc:"Clean firmware waves, versions 1..K, each canaried.")
+  in
+  let canary =
+    Arg.(
+      value & opt int 4
+      & info [ "canary" ]
+          ~doc:
+            "Canary cohort size; promotion is gated on every canary applying \
+             and re-attesting.  --canary equal to --devices is a flat \
+             (ungated) rollout.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign PRNG seed.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Inject a seeded OTA fault schedule (truncated update frames, \
+             counter-reset attempts, canary crashes mid-swap) and link \
+             corruption/duplication/reordering.")
+  in
+  let loss =
+    Arg.(value & opt int 10 & info [ "loss" ] ~doc:"Uplink frame loss, percent.")
+  in
+  let stale =
+    Arg.(
+      value & flag
+      & info [ "stale" ]
+          ~doc:
+            "Append a rollback attempt: re-offer version 1 after the fleet \
+             has advanced past it.  Every canary's monotonic counter refuses \
+             it and the breaker quarantines the presenting devices.")
+  in
+  let leaky =
+    Arg.(
+      value & flag
+      & info [ "leaky" ]
+          ~doc:
+            "Append a key-leaker wave.  The canaries' six-check vet refuses \
+             it on-device and the wave aborts before any non-canary stages a \
+             byte.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Run the campaign twice and compare reports.")
+  in
+  Cmd.v
+    (Cmd.info "ota"
+       ~doc:
+         "Run a staged fleet firmware campaign: signed update offers over \
+          lossy links, go-back-N chunking, per-device monotonic anti-rollback \
+          counters, canary cohorts gated on six-check vetting plus post-swap \
+          attestation, and fleet-wide abort with quarantine on any gate \
+          failure")
+    Term.(
+      const ota $ devices $ epochs $ canary $ seed $ faults $ loss $ stale
+      $ leaky $ verify)
 
 (* --- lint ------------------------------------------------------------------ *)
 
@@ -917,5 +1084,6 @@ let () =
        (Cmd.group info
           [
             boot_cmd; run_cmd; attest_cmd; inspect_cmd; disasm_cmd; trace_cmd;
-            stats_cmd; lint_cmd; fleet_cmd; serve_cmd; chaos_cmd; cfa_cmd;
+            stats_cmd; lint_cmd; fleet_cmd; serve_cmd; ota_cmd; chaos_cmd;
+            cfa_cmd;
           ]))

@@ -137,6 +137,23 @@ let verify_cfa ~ka (r : cfa_report) ~expected ~nonce =
 
 let expected_mac ~ka ~id ~nonce = Crypto.Hmac.mac ~key:ka (report_payload ~id ~nonce)
 
+(* "TYOTA1" | version | size | id_t | image digest: the target version
+   is under the MAC, so an attacker cannot take a genuinely signed old
+   image and re-offer it under a fresher version number — the downgrade
+   check compares the authenticated version, not a transport field. *)
+let update_payload ~id ~version ~size ~digest =
+  let fixed = Bytes.create 8 in
+  Bytes.set_int32_be fixed 0 (Int32.of_int version);
+  Bytes.set_int32_be fixed 4 (Int32.of_int size);
+  Bytes.concat Bytes.empty
+    [ Bytes.of_string "TYOTA1"; fixed; Task_id.to_bytes id; digest ]
+
+let update_mac ~ka ~id ~version ~size ~digest =
+  Crypto.Hmac.mac ~key:ka (update_payload ~id ~version ~size ~digest)
+
+let verify_update_mac ~ka ~id ~version ~size ~digest ~tag =
+  Crypto.Hmac.verify ~key:ka (update_payload ~id ~version ~size ~digest) ~tag
+
 let expected_cfa_mac ~ka ~id ~nonce ~cf_digest ~base_digest ~edge_count =
   Crypto.Hmac.mac ~key:ka
     (cfa_payload ~id ~nonce ~cf_digest ~base_digest ~edge_count)

@@ -97,6 +97,25 @@ val expected_mac : ka:bytes -> id:Task_id.t -> nonce:bytes -> bytes
     epoch and caches it; subsequent reports in the same epoch verify by
     constant-time comparison instead of a fresh HMAC. *)
 
+val update_mac :
+  ka:bytes -> id:Task_id.t -> version:int -> size:int -> digest:bytes -> bytes
+(** The MAC an update authority puts on a firmware offer: HMAC-SHA1 over
+    ["TYOTA1"] | version | size | id_t | image digest under [Ka].  The
+    target {e version} is bound into the MAC, so a genuinely signed old
+    image cannot be re-offered under a fresher version number — the
+    installer's anti-rollback check compares the authenticated
+    version. *)
+
+val verify_update_mac :
+  ka:bytes ->
+  id:Task_id.t ->
+  version:int ->
+  size:int ->
+  digest:bytes ->
+  tag:bytes ->
+  bool
+(** Installer side of {!update_mac} (constant-time). *)
+
 val expected_cfa_mac :
   ka:bytes ->
   id:Task_id.t ->

@@ -197,3 +197,25 @@ val swarm_cache_lookup : int
 val swarm_root_check : int
 (** Comparing a cached verdict's batch root against the sealed epoch
     roots (40; a table probe plus a 32-byte constant-time compare). *)
+
+(** {2 Over-the-air update (extension)} *)
+
+val counter_read : int
+(** One MMIO read of a monotonic-counter register (28; an uncached
+    peripheral bus transaction, slightly cheaper than the PMU's wider
+    sample). *)
+
+val counter_increment : int
+(** One monotonic-counter tick (180; a non-volatile cell write with
+    read-back — the reason bulk version advances cost proportionally). *)
+
+val ota_offer_check : int
+(** Parsing and policy-checking one signed update offer, excluding the
+    MAC itself which is charged per compression (260; header parse plus
+    version/size validation, on the order of the loader's header
+    parse). *)
+
+val ota_chunk_base : int
+(** Per-chunk bookkeeping of the staged-image assembly buffer (96;
+    cursor checks and bounds tests — the copy itself is charged at
+    [loader_copy_per_byte] when the image is loaded). *)

@@ -45,6 +45,30 @@ val update_task :
     [migrate_words] (default 0) copies that many words from the head of
     the old data section to the new one. *)
 
+val apply :
+  Platform.t ->
+  old_task:Tcb.t ->
+  ?migrate_words:int ->
+  ?expected:Task_id.t ->
+  Telf.t ->
+  (report, string) result
+(** The OTA installer's gated variant of {!update_task} — measured
+    activation end to end:
+
+    + {e vet}: the six-check [Tycheck.flow_config] analysis must prove
+      the image clean ({!Tytan_analysis.Tycheck.strict_ok}); the vet is
+      charged to the platform clock at the loader's published rates;
+    + {e stage}: the new version loads suspended while the old one keeps
+      running, exactly as {!update_task};
+    + {e measure}: before the swap, the RTM measurement of the staged
+      bytes must equal [expected] (default: the vetted binary's own
+      identity; an OTA flow passes the identity from the signed offer).
+      On mismatch — the staged image was bit-flipped or substituted
+      between vet and activation — the staged copy is reclaimed, the old
+      task never stops, and the result is an [Error].  An unmeasured
+      image is never activated;
+    + {e swap}: the same bounded atomic swap as {!update_task}. *)
+
 val stop_and_reload :
   Platform.t -> old_task:Tcb.t -> Telf.t -> (report, string) result
 (** The naive alternative (unload, then load): functionally equivalent but

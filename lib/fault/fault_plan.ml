@@ -49,6 +49,12 @@ type kind =
       extra : int;
       duration : int;
     }
+  | Frame_truncate of {
+      name : string;
+      count : int;
+    }
+  | Counter_reset of { name : string }
+  | Canary_crash of { name : string }
 
 type event = {
   at_tick : int;
@@ -90,6 +96,9 @@ let kind_label = function
   | Burst_loss _ -> "burst-loss"
   | Device_stall _ -> "device-stall"
   | Late_reply _ -> "late-reply"
+  | Frame_truncate _ -> "frame-truncate"
+  | Counter_reset _ -> "counter-reset"
+  | Canary_crash _ -> "canary-crash"
 
 let describe = function
   | Bit_flip { addr; bit } ->
@@ -109,3 +118,9 @@ let describe = function
   | Late_reply { name; extra; duration } ->
       Printf.sprintf "%s replies %d slices late for %d slices" name extra
         duration
+  | Frame_truncate { name; count } ->
+      Printf.sprintf "next %d frames to %s arrive truncated" count name
+  | Counter_reset { name } ->
+      Printf.sprintf "attempt to reset %s's monotonic counter" name
+  | Canary_crash { name } ->
+      Printf.sprintf "%s crashes mid-swap during its next activation" name

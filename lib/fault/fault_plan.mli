@@ -62,6 +62,23 @@ type kind =
       (** For [duration] slices the named device's replies leave [extra]
           slices late — late enough to cross a session deadline and
           arrive as a stale frame.  Network-layer, gateway-applied. *)
+  | Frame_truncate of { name : string; count : int }
+      (** The named device's next [count] inbound frames arrive cut
+          short (a corrupted radio burst).  The defensive protocol
+          decoder refuses them; the OTA sender's retransmission schedule
+          recovers.  Network-layer: applied by {!Tytan_ota.Rollout}; the
+          machine-level injector ignores it. *)
+  | Counter_reset of { name : string }
+      (** An attempt to wind the named device's monotonic counter back
+          (the downgrade attacker's first move).  The counter hardware
+          refuses and counts the attempt — the value never moves.
+          OTA-layer, rollout-applied. *)
+  | Canary_crash of { name : string }
+      (** The named device loses power mid-swap during its next
+          activation: the staged image is abandoned {e before} the
+          counter advances and the device goes silent for the wave —
+          the canary failure a staged rollout must turn into a
+          fleet-wide abort.  OTA-layer, rollout-applied. *)
 
 type event = {
   at_tick : int;

@@ -238,6 +238,96 @@ module Pmu = struct
   let reads t = t.reads
 end
 
+module Monotonic_counter = struct
+  type t = {
+    name : string;
+    base : Word.t;
+    clock : Cycles.t;
+    read_cost : int;
+    increment_cost : int;
+    mutable value : int;
+    mutable increments : int;
+    mutable reset_attempts : int;
+  }
+
+  let create clock ~name ~base ~read_cost ~increment_cost ?(initial = 0) () =
+    if initial < 0 then
+      invalid_arg "Monotonic_counter.create: initial must be non-negative";
+    {
+      name;
+      base;
+      clock;
+      read_cost;
+      increment_cost;
+      value = initial;
+      increments = 0;
+      reset_attempts = 0;
+    }
+
+  let value t = t.value
+
+  let increment t =
+    (* Each tick is a separate NV write — slow and individually charged,
+       which is why bulk advances (catching a counter up to a firmware
+       version) cost proportionally. *)
+    Cycles.charge t.clock t.increment_cost;
+    t.value <- t.value + 1;
+    t.increments <- t.increments + 1;
+    t.value
+
+  let advance_to t target =
+    while t.value < target do
+      ignore (increment t)
+    done;
+    t.value
+
+  let increments t = t.increments
+  let reset_attempts t = t.reset_attempts
+
+  let save t =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int t.value);
+    b
+
+  let restore t blob =
+    if Bytes.length blob <> 4 then Error "monotonic counter: bad snapshot"
+    else
+      let v = Int32.to_int (Bytes.get_int32_be blob 0) in
+      if v < 0 then Error "monotonic counter: bad snapshot"
+      else begin
+        (* Restoring can only move forward: replaying an old snapshot is
+           exactly the rollback the counter exists to refuse. *)
+        if v > t.value then t.value <- v else if v < t.value then
+          t.reset_attempts <- t.reset_attempts + 1;
+        Ok ()
+      end
+
+  let size = 12
+
+  let device t =
+    {
+      Memory.name = t.name;
+      base = t.base;
+      size;
+      read32 =
+        (fun ~offset ->
+          Cycles.charge t.clock t.read_cost;
+          match offset with
+          | 0 -> t.value land 0xFFFF_FFFF
+          | 4 -> t.increments land 0xFFFF_FFFF
+          | _ -> t.reset_attempts land 0xFFFF_FFFF);
+      write32 =
+        (fun ~offset v ->
+          match offset with
+          | 0 ->
+              (* The value register is read-only in hardware; a write is
+                 a tamper attempt, counted and refused. *)
+              t.reset_attempts <- t.reset_attempts + 1
+          | 4 -> ignore (increment t)
+          | _ -> if v < t.value then t.reset_attempts <- t.reset_attempts + 1);
+    }
+end
+
 module Console = struct
   type t = { base : Word.t; buffer : Buffer.t }
 

@@ -164,6 +164,66 @@ module Pmu : sig
   (** MMIO reads served. *)
 end
 
+module Monotonic_counter : sig
+  (** A hardware monotonic counter — the OPTIGA-style anti-rollback
+      primitive: a non-volatile count that can be read and incremented
+      but never decreased or reset, so firmware versioned below it is
+      provably old.  The OTA installer bumps it to the activated image's
+      version; any later offer with [version <= value] is a rollback.
+
+      MMIO register map (word registers at [base], {!size} bytes):
+      {v
+        +0  VALUE   read: the count          write: refused (tamper, counted)
+        +4  INCR    write (any value): +1    read: increments served
+        +8  TAMPER  read: refused resets so far
+                    write v < VALUE: refused (counted); else ignored
+      v}
+
+      Every read charges [read_cost] and every increment [increment_cost]
+      (NV writes are slow) to the device clock.  The host-side API mirrors
+      the MMIO one for firmware components holding the device directly. *)
+
+  type t
+
+  val create :
+    Cycles.t ->
+    name:string ->
+    base:Word.t ->
+    read_cost:int ->
+    increment_cost:int ->
+    ?initial:int ->
+    unit ->
+    t
+  (** [initial] (default 0) seeds a fresh part; restoring a provisioned
+      one goes through {!restore}. *)
+
+  val size : int
+  val device : t -> Memory.device
+
+  val value : t -> int
+  (** Host-side read (uncharged — tests and verifiers, not firmware). *)
+
+  val increment : t -> int
+  (** Add one (charging [increment_cost]) and return the new value. *)
+
+  val advance_to : t -> int -> int
+  (** Increment until the value reaches [target] (each step charged) —
+      how an installer catches the counter up to an activated version.
+      Already-reached targets are a no-op; the counter never moves down. *)
+
+  val increments : t -> int
+  val reset_attempts : t -> int
+  (** Refused attempts to lower or overwrite the count. *)
+
+  val save : t -> bytes
+  (** Snapshot for sealed persistence (4 bytes, big-endian). *)
+
+  val restore : t -> bytes -> (unit, string) result
+  (** Restore a {!save} snapshot: the value only ever moves {e forward}
+      (a stale snapshot is counted as a reset attempt and ignored, not
+      applied).  Structurally invalid blobs are rejected. *)
+end
+
 module Console : sig
   type t
 

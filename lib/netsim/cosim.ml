@@ -77,8 +77,12 @@ let device_agent t frame =
             t.malformed <- t.malformed + 1;
             Telemetry.incr (tel t) ~component:"net" "malformed_frames"
           end
-      | Ok (Protocol.Response _ | Protocol.Refusal _ | Protocol.CfaResponse _)
-        ->
+      | Ok
+          ( Protocol.Response _ | Protocol.Refusal _ | Protocol.CfaResponse _
+          | Protocol.UpdateOffer _ | Protocol.UpdateChunk _
+          | Protocol.UpdateAck _ ) ->
+          (* Verifier-side frames echoed back, or OTA traffic this plain
+             attestation agent does not speak — dropped, not answered. *)
           ()
       | Ok (Protocol.Challenge { seq; id; nonce }) ->
           t.served <- t.served + 1;

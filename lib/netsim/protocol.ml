@@ -1,14 +1,66 @@
 open Tytan_core
 
+type ack_status =
+  | Ota_ready
+  | Ota_need
+  | Ota_applied
+  | Ota_refused_auth
+  | Ota_refused_rollback
+  | Ota_refused_digest
+  | Ota_refused_vet
+  | Ota_refused_crash
+
+let ack_status_code = function
+  | Ota_ready -> 0
+  | Ota_need -> 1
+  | Ota_applied -> 2
+  | Ota_refused_auth -> 3
+  | Ota_refused_rollback -> 4
+  | Ota_refused_digest -> 5
+  | Ota_refused_vet -> 6
+  | Ota_refused_crash -> 7
+
+let ack_status_of_code = function
+  | 0 -> Some Ota_ready
+  | 1 -> Some Ota_need
+  | 2 -> Some Ota_applied
+  | 3 -> Some Ota_refused_auth
+  | 4 -> Some Ota_refused_rollback
+  | 5 -> Some Ota_refused_digest
+  | 6 -> Some Ota_refused_vet
+  | 7 -> Some Ota_refused_crash
+  | _ -> None
+
+let ack_status_label = function
+  | Ota_ready -> "ready"
+  | Ota_need -> "need"
+  | Ota_applied -> "applied"
+  | Ota_refused_auth -> "refused-auth"
+  | Ota_refused_rollback -> "refused-rollback"
+  | Ota_refused_digest -> "refused-digest"
+  | Ota_refused_vet -> "refused-vet"
+  | Ota_refused_crash -> "refused-crash"
+
 type message =
   | Challenge of { seq : int; id : Task_id.t; nonce : bytes }
   | Response of { seq : int; report : Attestation.report }
   | Refusal of { seq : int }
   | CfaChallenge of { seq : int; id : Task_id.t; nonce : bytes }
   | CfaResponse of { seq : int; report : Attestation.cfa_report }
+  | UpdateOffer of {
+      seq : int;
+      id : Task_id.t;
+      version : int;
+      size : int;
+      digest : bytes;
+      mac : bytes;
+    }
+  | UpdateChunk of { seq : int; offset : int; data : bytes }
+  | UpdateAck of { seq : int; status : ack_status; arg : int }
 
 let mac_size = Tytan_crypto.Sha1.digest_size
 let max_edges = 0xFFFF
+let max_chunk = 0xFFFF
 
 let add_seq b seq =
   let seq_bytes = Bytes.create 4 in
@@ -65,6 +117,41 @@ let encode = function
       let b = Bytes.create 5 in
       Bytes.set b 0 'X';
       Bytes.set_int32_be b 1 (Int32.of_int seq);
+      b
+  | UpdateOffer { seq; id; version; size; digest; mac } ->
+      if Bytes.length digest <> mac_size then
+        invalid_arg "Protocol.encode: offer digest must be 20 bytes";
+      if Bytes.length mac <> mac_size then
+        invalid_arg "Protocol.encode: offer mac must be 20 bytes";
+      let b = Buffer.create 64 in
+      Buffer.add_char b 'U';
+      add_seq b seq;
+      Buffer.add_bytes b (Task_id.to_bytes id);
+      let fixed = Bytes.create 8 in
+      Bytes.set_int32_be fixed 0 (Int32.of_int version);
+      Bytes.set_int32_be fixed 4 (Int32.of_int size);
+      Buffer.add_bytes b fixed;
+      Buffer.add_bytes b digest;
+      Buffer.add_bytes b mac;
+      Buffer.to_bytes b
+  | UpdateChunk { seq; offset; data } ->
+      if Bytes.length data = 0 || Bytes.length data > max_chunk then
+        invalid_arg "Protocol.encode: chunk data must be 1..65535 bytes";
+      let b = Buffer.create (16 + Bytes.length data) in
+      Buffer.add_char b 'D';
+      add_seq b seq;
+      let head = Bytes.create 6 in
+      Bytes.set_int32_be head 0 (Int32.of_int offset);
+      Bytes.set_uint16_be head 4 (Bytes.length data);
+      Buffer.add_bytes b head;
+      Buffer.add_bytes b data;
+      Buffer.to_bytes b
+  | UpdateAck { seq; status; arg } ->
+      let b = Bytes.create 10 in
+      Bytes.set b 0 'K';
+      Bytes.set_int32_be b 1 (Int32.of_int seq);
+      Bytes.set b 5 (Char.chr (ack_status_code status));
+      Bytes.set_int32_be b 6 (Int32.of_int arg);
       b
 
 let unknown_tag_prefix = "unknown frame tag"
@@ -158,4 +245,45 @@ let decode b =
                                mac_size;
                          };
                      })
+    | 'U' ->
+        (* 'U' | seq(4) | id(8) | version(4) | size(4) | digest(20) | mac(20) *)
+        if len <> 5 + 8 + 8 + (2 * mac_size) then Error "bad offer length"
+        else
+          let version = Int32.to_int (Bytes.get_int32_be b 13) in
+          let size = Int32.to_int (Bytes.get_int32_be b 17) in
+          if version < 0 || size < 0 then Error "bad offer fields"
+          else
+            Ok
+              (UpdateOffer
+                 {
+                   seq = seq_of ();
+                   id = Task_id.of_bytes (Bytes.sub b 5 8);
+                   version;
+                   size;
+                   digest = Bytes.sub b 21 mac_size;
+                   mac = Bytes.sub b (21 + mac_size) mac_size;
+                 })
+    | 'D' ->
+        (* 'D' | seq(4) | offset(4) | len(2) | data *)
+        if len < 11 then Error "truncated chunk"
+        else
+          let offset = Int32.to_int (Bytes.get_int32_be b 5) in
+          let data_len = Bytes.get_uint16_be b 9 in
+          if offset < 0 then Error "bad chunk offset"
+          else if data_len = 0 || len <> 11 + data_len then
+            Error "bad chunk length"
+          else
+            Ok
+              (UpdateChunk
+                 { seq = seq_of (); offset; data = Bytes.sub b 11 data_len })
+    | 'K' ->
+        (* 'K' | seq(4) | status(1) | arg(4) *)
+        if len <> 10 then Error "bad ack length"
+        else (
+          match ack_status_of_code (Char.code (Bytes.get b 5)) with
+          | None -> Error "bad ack status"
+          | Some status ->
+              let arg = Int32.to_int (Bytes.get_int32_be b 6) in
+              if arg < 0 then Error "bad ack arg"
+              else Ok (UpdateAck { seq = seq_of (); status; arg }))
     | c -> Error (Printf.sprintf "%s 0x%02X" unknown_tag_prefix (Char.code c))

@@ -14,9 +14,40 @@
     The sequence number pairs retransmitted challenges with their
     responses; freshness comes from the nonce, authenticity from the
     MAC.  Each edge is src(4,LE) | dst(4,LE) | kind(1)
-    ({!Tytan_machine.Cpu.branch_kind_code}). *)
+    ({!Tytan_machine.Cpu.branch_kind_code}).
+
+    {2 Over-the-air update frames}
+
+    {v
+      update offer  : 'U' | seq(4) | id(8) | version(4) | size(4)
+                          | digest(20) | mac(20)
+      update chunk  : 'D' | seq(4) | offset(4) | len(2) | data
+      update ack    : 'K' | seq(4) | status(1) | arg(4)
+    v}
+
+    The offer's [mac] is {!Tytan_core.Attestation.update_mac} under the
+    device's Ka — version, size, identity and image digest are all
+    authenticated.  Chunks carry raw image bytes (go-back-N: the device
+    acks the next offset it needs and discards anything else).  The ack
+    [status] byte says how the transfer is going ({!ack_status}); [arg]
+    is the next offset needed ([Ota_need]), the counter value
+    ([Ota_applied], [Ota_refused_rollback]) or zero. *)
 
 open Tytan_core
+
+type ack_status =
+  | Ota_ready  (** offer accepted; send chunks from offset 0 *)
+  | Ota_need  (** cumulative progress: [arg] = next byte offset needed *)
+  | Ota_applied  (** image activated; [arg] = new counter value *)
+  | Ota_refused_auth  (** offer MAC did not verify under Ka *)
+  | Ota_refused_rollback
+      (** [version <= counter]; [arg] = the counter the offer lost to *)
+  | Ota_refused_digest  (** assembled image hash ≠ authenticated digest *)
+  | Ota_refused_vet  (** the six-check tycheck vet refused the image *)
+  | Ota_refused_crash  (** device crashed mid-swap; image not activated *)
+
+val ack_status_label : ack_status -> string
+(** Stable label for counters and reports (["ready"], ["refused-vet"]…) *)
 
 type message =
   | Challenge of { seq : int; id : Task_id.t; nonce : bytes }
@@ -24,6 +55,21 @@ type message =
   | Refusal of { seq : int }
   | CfaChallenge of { seq : int; id : Task_id.t; nonce : bytes }
   | CfaResponse of { seq : int; report : Attestation.cfa_report }
+  | UpdateOffer of {
+      seq : int;
+      id : Task_id.t;  (** identity the image must measure to *)
+      version : int;  (** monotonic target version, bound into [mac] *)
+      size : int;  (** encoded TELF size in bytes *)
+      digest : bytes;  (** SHA-1 of the encoded TELF *)
+      mac : bytes;  (** {!Tytan_core.Attestation.update_mac} under Ka *)
+    }
+  | UpdateChunk of { seq : int; offset : int; data : bytes }
+  | UpdateAck of { seq : int; status : ack_status; arg : int }
+
+val max_chunk : int
+(** Most data bytes one UpdateChunk can carry (65 535; the len field is
+    16 bits).  {!encode} raises [Invalid_argument] beyond it (or on an
+    empty chunk). *)
 
 val max_edges : int
 (** Most edges one CfaResponse can carry (65 535; the n_edges field is

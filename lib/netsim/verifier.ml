@@ -144,6 +144,13 @@ let on_frame t frame =
         else t.rejected <- t.rejected + 1
     | Ok (Protocol.Challenge _) | Ok (Protocol.CfaChallenge _) ->
         t.rejected <- t.rejected + 1
+    | Ok
+        ( Protocol.UpdateOffer _ | Protocol.UpdateChunk _
+        | Protocol.UpdateAck _ ) ->
+        (* OTA traffic shares the wire but not this state machine: an
+           attestation session treats it like a frame from another
+           conversation, not a hostile peer. *)
+        t.ignored <- t.ignored + 1
     | Ok (Protocol.Refusal { seq }) ->
         if seq = t.seq then begin
           t.refusals <- t.refusals + 1;

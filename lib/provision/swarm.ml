@@ -130,26 +130,15 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
   let rollout =
     Option.map
       (fun (telf : Telf.t) ->
-        let rep = Tycheck.check ~config:Tycheck.flow_config telf in
-        let slots = telf.Telf.text_size / Isa.width in
-        (* Fleet-wide adoption demands the strict verdict: an image the
-           analysis cannot prove clean (Maybe-level flows, unbounded
-           WCET) is refused, not just a proven leak. *)
-        let refusal =
-          match Tycheck.first_violation rep with
-          | Some _ as v -> v
-          | None ->
-              List.find_opt
-                (fun f -> f.Finding.severity <> Finding.Info)
-                rep.Tycheck.findings
-              |> Option.map (Format.asprintf "%a" Finding.pp)
-        in
+        (* One admission gate for the whole platform: the swarm's
+           pre-campaign rollout vets through the same [Tytan_ota.Gate]
+           the OTA installer runs device-side, so fleet-wide adoption
+           and per-device staging can never disagree on an image. *)
+        let v = Tytan_ota.Gate.vet telf in
         {
-          accepted = Tycheck.strict_ok rep;
-          refusal;
-          vet_cycles_per_device =
-            Cost_model.vet_base
-            + ((Cost_model.vet_per_instruction + Cost_model.vet_flow) * slots);
+          accepted = v.Tytan_ota.Gate.accepted;
+          refusal = v.Tytan_ota.Gate.refusal;
+          vet_cycles_per_device = v.Tytan_ota.Gate.vet_cycles;
         })
       rollout_image
   in
@@ -240,7 +229,9 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
                 provers
           | Fault_plan.Write_glitch _ | Fault_plan.Mmio_glitch _
           | Fault_plan.Irq_storm _ | Fault_plan.Burst_loss _
-          | Fault_plan.Device_stall _ | Fault_plan.Late_reply _ ->
+          | Fault_plan.Device_stall _ | Fault_plan.Late_reply _
+          | Fault_plan.Frame_truncate _ | Fault_plan.Counter_reset _
+          | Fault_plan.Canary_crash _ ->
               ())
       plan
   in

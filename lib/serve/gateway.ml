@@ -141,6 +141,11 @@ type t = {
   mutable stale : int;
   mutable unknown : int;
   mutable latencies : int list;  (* settled sessions, newest first *)
+  mutable closed_next : int array;
+      (* per-device slice of the next closed-loop request; [||] in
+         open-loop mode.  A device with a session in flight is parked
+         at [max_int] until {!settle} reschedules it. *)
+  mutable closed_think : int;
 }
 
 let serial_of i = Printf.sprintf "dev-%05d" i
@@ -283,6 +288,8 @@ let create ?(config = default_config) ?(faults = false) ?(fault_horizon = 256)
     stale = 0;
     unknown = 0;
     latencies = [];
+    closed_next = [||];
+    closed_think = 0;
   }
 
 let slice t = t.now
@@ -482,6 +489,10 @@ let settle t (s : session) ~verdict =
   let latency = t.now - s.admitted_at in
   t.latencies <- latency :: t.latencies;
   Telemetry.observe t.telemetry ~component:"serve" "session_slices" latency;
+  (* Closed loop: the device's client thinks for [closed_think] slices
+     after its session concludes, then asks again. *)
+  if Array.length t.closed_next > 0 then
+    t.closed_next.(s.s_device) <- t.now + t.closed_think;
   (match verdict with
   | V_attested ->
       t.attested <- t.attested + 1;
@@ -524,7 +535,10 @@ let seq_of = function
   | Protocol.Response { seq; _ }
   | Protocol.Refusal { seq }
   | Protocol.CfaChallenge { seq; _ }
-  | Protocol.CfaResponse { seq; _ } ->
+  | Protocol.CfaResponse { seq; _ }
+  | Protocol.UpdateOffer { seq; _ }
+  | Protocol.UpdateChunk { seq; _ }
+  | Protocol.UpdateAck { seq; _ } ->
       seq
 
 (* The gateway's session demux.  Every inbound frame is classified —
@@ -665,11 +679,16 @@ let step t =
 
 (* ---- reports ---------------------------------------------------------- *)
 
+type arrival_mode =
+  | Open_loop
+  | Closed_loop of { think : int }
+
 type report = {
   devices : int;
   load_slices : int;
   total_slices : int;
   arrival_permille : int;
+  think : int option;  (* Some t in closed-loop mode *)
   seed : int;
   faults : bool;
   loss_percent : int;
@@ -727,7 +746,7 @@ let sum_links provers =
             acc counters)
     [] provers
 
-let report_of t ~load_slices ~arrival_permille =
+let report_of t ~load_slices ~arrival_permille ~think =
   let sorted = Array.of_list t.latencies in
   Array.sort compare sorted;
   let total = max 1 t.now in
@@ -736,6 +755,7 @@ let report_of t ~load_slices ~arrival_permille =
     load_slices;
     total_slices = t.now;
     arrival_permille;
+    think;
     seed = t.seed;
     faults = t.faults;
     loss_percent = t.loss_percent;
@@ -775,27 +795,55 @@ let report_of t ~load_slices ~arrival_permille =
   }
 
 let run ?(config = default_config) ?(faults = false) ?(loss_percent = 10)
-    ~devices ~slices ~arrival_permille ~seed () =
+    ?(arrival = Open_loop) ~devices ~slices ~arrival_permille ~seed () =
   if slices <= 0 then invalid_arg "Gateway.run: slices must be positive";
   if arrival_permille < 0 then
     invalid_arg "Gateway.run: arrival_permille must be non-negative";
+  (match arrival with
+  | Closed_loop { think } when think < 0 ->
+      invalid_arg "Gateway.run: think must be non-negative"
+  | _ -> ());
   let t =
     create ~config ~faults ~fault_horizon:slices ~loss_percent ~devices ~seed ()
   in
+  (match arrival with
+  | Open_loop -> ()
+  | Closed_loop { think } ->
+      (* Stagger first requests so the whole population does not slam
+         the gateway at slice 0. *)
+      t.closed_next <- Array.init devices (fun i -> i mod (think + 1));
+      t.closed_think <- think);
   for _ = 1 to slices do
-    (* Open-loop offered load: arrival_permille / 1000 arrivals per
-       slice in expectation, device chosen uniformly.  The generator
-       does not wait for the gateway — that is what makes overload
-       possible. *)
-    let n =
-      (arrival_permille / 1000)
-      + (if Fault_plan.Prng.int t.arrival_prng 1000 < arrival_permille mod 1000
-         then 1
-         else 0)
-    in
-    for _ = 1 to n do
-      ignore (arrive t ~device:(Fault_plan.Prng.int t.arrival_prng devices))
-    done;
+    (match arrival with
+    | Open_loop ->
+        (* Open-loop offered load: arrival_permille / 1000 arrivals per
+           slice in expectation, device chosen uniformly.  The generator
+           does not wait for the gateway — that is what makes overload
+           possible. *)
+        let n =
+          (arrival_permille / 1000)
+          + (if
+               Fault_plan.Prng.int t.arrival_prng 1000
+               < arrival_permille mod 1000
+             then 1
+             else 0)
+        in
+        for _ = 1 to n do
+          ignore (arrive t ~device:(Fault_plan.Prng.int t.arrival_prng devices))
+        done
+    | Closed_loop { think } ->
+        (* Closed-loop load: each device has one outstanding request at
+           most; the next is issued [think] slices after the previous
+           one settles (or is shed).  The generator waits for the
+           gateway — load self-limits, which is what changes the shed
+           profile versus the open-loop generator. *)
+        Array.iteri
+          (fun d due ->
+            if due <= t.now then
+              match arrive t ~device:d with
+              | Admitted -> t.closed_next.(d) <- max_int
+              | Shed _ -> t.closed_next.(d) <- t.now + think + 1)
+          t.closed_next);
     step t
   done;
   (* Drain: no new arrivals; the deadline bounds every started session,
@@ -820,6 +868,10 @@ let run ?(config = default_config) ?(faults = false) ?(loss_percent = 10)
   t.inflight_n <- 0;
   Aggregator.flush t.aggregator;
   report_of t ~load_slices:slices ~arrival_permille
+    ~think:
+      (match arrival with
+      | Open_loop -> None
+      | Closed_loop { think } -> Some think)
 
 let sha1_hex s = Crypto.Sha1.to_hex (Crypto.Sha1.digest_string s)
 
@@ -833,6 +885,9 @@ let body r =
     r.arrival_permille r.seed
     (if r.faults then "on" else "off")
     r.loss_percent;
+  (match r.think with
+  | Some think -> add "arrival=closed think=%d\n" think
+  | None -> ());
   add "arrivals=%d admitted=%d shed=%d (busy=%d rate=%d quarantine=%d)\n"
     r.arrivals r.admitted (shed r) r.shed_busy r.shed_rate_limited
     r.shed_quarantined;

@@ -130,11 +130,21 @@ val network_faults :
 (** The seeded gateway-layer fault schedule [create ~faults:true] uses —
     exposed so tests can pin its determinism. *)
 
+type arrival_mode =
+  | Open_loop
+      (** the generator offers load blindly ([arrival_permille] per 1000
+          slices, uniform over devices) — overload is possible *)
+  | Closed_loop of { think : int }
+      (** each device keeps at most one request outstanding and issues
+          the next [think] slices after the previous settles (or is
+          shed) — load self-limits, which reshapes the shed profile *)
+
 type report = {
   devices : int;
   load_slices : int;  (** slices during which arrivals were offered *)
   total_slices : int;  (** including the drain tail *)
   arrival_permille : int;  (** offered load: arrivals per 1000 slices *)
+  think : int option;  (** [Some t] when the campaign ran closed-loop *)
   seed : int;
   faults : bool;
   loss_percent : int;
@@ -181,17 +191,22 @@ val run :
   ?config:config ->
   ?faults:bool ->
   ?loss_percent:int ->
+  ?arrival:arrival_mode ->
   devices:int ->
   slices:int ->
   arrival_permille:int ->
   seed:int ->
   unit ->
   report
-(** A full campaign: offer seeded open-loop load ([arrival_permille]
-    arrivals per 1000 slices, uniform over devices) for [slices] slices,
-    then stop arrivals and drain until every admitted session settles.
-    Anything still unsettled at the (generous) drain cap is force-timed
-    out, so [settled = admitted] always holds. *)
+(** A full campaign: offer seeded load for [slices] slices, then stop
+    arrivals and drain until every admitted session settles.  Anything
+    still unsettled at the (generous) drain cap is force-timed out, so
+    [settled = admitted] always holds.
+
+    [?arrival] (default {!Open_loop}) picks the generator.  In
+    {!Closed_loop} mode [arrival_permille] is recorded but does not
+    drive arrivals — the population's size and think time do; first
+    requests are staggered over [think + 1] slices. *)
 
 val to_string : report -> string
 (** Deterministic rendering ending in a [digest: sha1:...] line over the
