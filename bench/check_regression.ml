@@ -1,0 +1,133 @@
+(* check_regression — gate a fresh bench row dump against a committed
+   baseline (BENCH_seed.json).
+
+     check_regression BASELINE FRESH
+
+   Both files are the flat row lists `main.exe --json FILE` writes: one
+   `{"table": .., "label": .., "cycles": N}` object per line.  Only the
+   fleet-scale tables (fleet, serve, ota) are gated — the
+   microbenchmark tables carry paper-reproduction constants whose drift
+   the golden tests already pin.  A row regresses when it moves more
+   than 25% the wrong way: labels containing "throughput" are
+   lower-is-worse, everything else (cycles, latency, shed rates) is
+   higher-is-worse.  A gated baseline row missing from the fresh run is
+   itself a failure; a zero baseline can't be gated proportionally and
+   is only reported.  Exit 1 on any regression. *)
+
+let gated_tables = [ "fleet"; "serve"; "ota" ]
+let tolerance_percent = 25
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      really_input_string ic n)
+
+(* Naive substring search — no regex dependency needed for a format we
+   also write. *)
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let field_string line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  match find_sub line pat with
+  | None -> None
+  | Some i -> (
+      let start = i + String.length pat in
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some j -> Some (String.sub line start (j - start)))
+
+let field_int line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  match find_sub line pat with
+  | None -> None
+  | Some i ->
+      let start = i + String.length pat in
+      let stop = ref start in
+      let n = String.length line in
+      while
+        !stop < n
+        && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None
+      else int_of_string_opt (String.sub line start (!stop - start))
+
+let parse_rows path =
+  read_file path
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         match
+           (field_string line "table", field_string line "label",
+            field_int line "cycles")
+         with
+         | Some table, Some label, Some cycles -> Some (table, label, cycles)
+         | _ -> None)
+
+let lower_is_worse label =
+  find_sub label "throughput" <> None
+
+let () =
+  let baseline_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+        prerr_endline "usage: check_regression BASELINE FRESH";
+        exit 124
+  in
+  let baseline = parse_rows baseline_path in
+  let fresh = parse_rows fresh_path in
+  if baseline = [] then begin
+    Printf.eprintf "check_regression: no rows parsed from %s\n" baseline_path;
+    exit 124
+  end;
+  let gated =
+    List.filter (fun (t, _, _) -> List.mem t gated_tables) baseline
+  in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun (table, label, base) ->
+      match
+        List.find_opt (fun (t, l, _) -> t = table && l = label) fresh
+      with
+      | None ->
+          incr failures;
+          Printf.printf "MISSING  %s/%s: baseline=%d, no fresh row\n" table
+            label base
+      | Some (_, _, now) ->
+          if base = 0 then
+            Printf.printf "skip     %s/%s: baseline=0 (not gated), fresh=%d\n"
+              table label now
+          else begin
+            incr checked;
+            let worse =
+              if lower_is_worse label then
+                (* throughput: regression = dropped below 75% of baseline *)
+                now * 100 < base * (100 - tolerance_percent)
+              else now * 100 > base * (100 + tolerance_percent)
+            in
+            let delta_permille = ((now - base) * 1000) / base in
+            if worse then begin
+              incr failures;
+              Printf.printf "REGRESSED %s/%s: baseline=%d fresh=%d (%+d.%d%%)\n"
+                table label base now (delta_permille / 10)
+                (abs delta_permille mod 10)
+            end
+          end)
+    gated;
+  Printf.printf
+    "bench-guard: %d gated rows checked against %s, %d regression%s\n" !checked
+    baseline_path !failures
+    (if !failures = 1 then "" else "s");
+  if !failures > 0 then exit 1

@@ -8,6 +8,7 @@
      tytan cfa [--local] [--loss N]  control-flow attestation demonstration
      tytan stats [--json]            run the instrumented demo, dump metrics
      tytan trace [--out FILE]        event log, or a Perfetto-loadable trace
+     tytan audit [--trail CORR]      flight-recorder trails, SLOs, chain check
 
    See also: dune exec bench/main.exe (tables) and examples/. *)
 
@@ -645,6 +646,270 @@ let ota_cmd =
       const ota $ devices $ epochs $ canary $ seed $ faults $ loss $ stale
       $ leaky $ verify)
 
+(* --- audit ----------------------------------------------------------------- *)
+
+module Obs = Tytan_obs.Obs
+
+let write_text path text =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text)
+
+let audit devices slices canary seed faults trail slo verify_chain tamper
+    json_path perfetto_path =
+  let module Gateway = Tytan_serve.Gateway in
+  let module Registry = Tytan_provision.Registry in
+  let module Swarm = Tytan_provision.Swarm in
+  let module Rollout = Tytan_ota.Rollout in
+  if devices <= 0 then begin
+    prerr_endline "tytan: --devices must be positive";
+    exit 124
+  end;
+  if slices <= 0 then begin
+    prerr_endline "tytan: --slices must be positive";
+    exit 124
+  end;
+  if canary <= 0 || canary > devices then begin
+    prerr_endline "tytan: --canary must be in 1..devices";
+    exit 124
+  end;
+  let tamper_kind =
+    match tamper with
+    | "" -> None
+    | "truncate" -> Some Obs.Log.Truncate
+    | "splice" -> Some Obs.Log.Splice
+    | "bitflip" -> Some (Obs.Log.Bit_flip (seed land 0xFFFF))
+    | other ->
+        Printf.eprintf "tytan: unknown tamper %S (truncate|splice|bitflip)\n"
+          other;
+        exit 124
+  in
+  (* One flight recorder across all three fleet engines: a gateway
+     campaign, a staged OTA campaign whose final stale wave aborts and
+     quarantines its canaries (so the trail has a causal chain worth
+     walking), and a batched swarm epoch pair sealing Merkle roots. *)
+  let log = Obs.Log.create () in
+  let serve_report =
+    Gateway.run ~devices ~slices ~arrival_permille:4000 ~seed ~faults
+      ~loss_percent:10 ~obs:log ()
+  in
+  let master =
+    Bytes.of_string (Printf.sprintf "fleet-master-%08x" (seed land 0xFFFF_FFFF))
+  in
+  let registry = Registry.create ~master in
+  let ota_devices = min devices 24 in
+  let ota_canary = min canary ota_devices in
+  let clean k =
+    { Rollout.label = Printf.sprintf "clean-%d" k;
+      version = k;
+      image = Tasks.yielder ~count:(2 + k) () }
+  in
+  let waves =
+    [ clean 1; clean 2;
+      { Rollout.label = "stale-replay";
+        version = 1;
+        image = Tasks.yielder ~count:3 () } ]
+  in
+  let ota_report =
+    Rollout.run ~devices:ota_devices ~canary:ota_canary ~seed ~faults
+      ~loss_percent:10 ~obs:log
+      ~platform_key_of:(fun ~serial -> Registry.platform_key registry ~serial)
+      ~incumbent:(Tasks.counter ()) waves
+  in
+  let swarm_report =
+    Swarm.run ~mode:Swarm.Batched ~devices:(min devices 32) ~epochs:2 ~seed
+      ~faults ~loss_percent:10 ~obs:log ()
+  in
+  (* Engine invariants first: an unsettled verdict or a broken gateway
+     bound is an infrastructure failure, not an audit finding. *)
+  if
+    serve_report.Gateway.max_queue_depth > serve_report.Gateway.queue_bound
+    || Gateway.settled serve_report <> serve_report.Gateway.admitted
+    || Rollout.campaign_failed ota_report
+    || Swarm.campaign_failed swarm_report
+  then begin
+    prerr_endline "tytan: audit campaigns failed: engine invariant violated";
+    exit 3
+  end;
+  (* SLO scan before export, so breach records are part of the chain. *)
+  let indicators = Obs.Slo.scan log in
+  let breached =
+    List.length (List.filter (fun i -> i.Obs.Slo.breached) indicators)
+  in
+  Printf.printf "audit: records=%d corr_ids=%d head=sha256:%s\n"
+    (Obs.Log.length log)
+    (List.length (Obs.Log.corr_ids log))
+    (Obs.Log.head_hex log);
+  Printf.printf "  serve: arrivals=%d attested=%d shed=%d quarantine_trips=%d\n"
+    serve_report.Gateway.arrivals serve_report.Gateway.attested
+    (Gateway.shed serve_report) serve_report.Gateway.quarantine_trips;
+  Printf.printf "  ota: waves=%d promoted=%d aborted=%d quarantined=%d\n"
+    (List.length ota_report.Rollout.waves)
+    (List.length
+       (List.filter (fun w -> w.Rollout.promoted) ota_report.Rollout.waves))
+    (List.length
+       (List.filter (fun w -> w.Rollout.aborted) ota_report.Rollout.waves))
+    (List.length ota_report.Rollout.quarantined);
+  Printf.printf "  fleet: epochs=%d survived=%s\n"
+    swarm_report.Swarm.epochs
+    (if swarm_report.Swarm.survived then "yes" else "no");
+  Printf.printf "  slo: indicators=%d breached=%d\n"
+    (List.length indicators) breached;
+  (match trail with
+  | "" -> ()
+  | corr ->
+      if not (List.mem_assoc corr (Obs.Log.corr_ids log)) then begin
+        Printf.eprintf "tytan: unknown correlation id %S\n" corr;
+        exit 124
+      end;
+      let members = Obs.Trail.members log ~corr in
+      let recs = Obs.Trail.trace log ~corr in
+      Printf.printf "trail %s: %d members, %d records\n" corr
+        (List.length members) (List.length recs);
+      List.iter
+        (fun (r : Obs.record) ->
+          Printf.printf "  #%d at=%d %s%s %s %s\n" r.Obs.seq r.Obs.at
+            r.Obs.corr
+            (match r.Obs.parent with Some p -> " <- " ^ p | None -> "")
+            (Obs.Event.label r.Obs.event)
+            (Obs.Event.render r.Obs.event))
+        recs);
+  if slo then
+    List.iter
+      (fun (i : Obs.Slo.indicator) ->
+        Printf.printf "slo %s window=%d value=%d threshold=%d %s\n"
+          i.Obs.Slo.name i.Obs.Slo.window_start i.Obs.Slo.value
+          i.Obs.Slo.threshold
+          (if i.Obs.Slo.breached then "BREACH" else "ok"))
+      indicators;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      write_text path (Obs.to_json ~slo:indicators log);
+      Printf.printf "wrote %s: %d records + %d slo indicators\n" path
+        (Obs.Log.length log) (List.length indicators));
+  (match perfetto_path with
+  | None -> ()
+  | Some path ->
+      let clock = Cycles.create () in
+      let tel = Telemetry.create ~per_event_cost:0 ~per_span_cost:0 clock in
+      let flows = Obs.flows_of_log log in
+      let marks = Obs.marks_of_log log in
+      let json = Export.chrome_trace ~flows ~marks tel (Trace.create clock) in
+      write_text path json;
+      Printf.printf
+        "wrote %s: %d marks + %d flow arrows (load in Perfetto / \
+         chrome://tracing)\n"
+        path (List.length marks) (List.length flows));
+  if verify_chain || tamper_kind <> None then begin
+    let trail_bytes = Obs.Log.export log in
+    let trail_bytes =
+      match tamper_kind with
+      | None -> trail_bytes
+      | Some k -> Obs.Log.tamper k trail_bytes
+    in
+    match Obs.Log.verify_chain ~expected_head:(Obs.Log.head_hex log) trail_bytes with
+    | Ok s ->
+        if tamper_kind <> None then begin
+          (* The whole point of the chain is that this cannot happen. *)
+          prerr_endline "tytan: tampered trail verified clean";
+          exit 3
+        end;
+        Printf.printf
+          "chain ok: records=%d checkpoints=%d head=sha256:%s\n"
+          s.Obs.Log.total s.Obs.Log.checkpoints s.Obs.Log.head
+    | Error msg ->
+        if tamper_kind = None then begin
+          prerr_endline ("tytan: clean trail failed verification: " ^ msg);
+          exit 3
+        end;
+        Printf.printf "tamper detected: %s\n" msg;
+        exit 1
+  end
+
+let audit_cmd =
+  let devices =
+    Arg.(value & opt int 64 & info [ "devices" ] ~doc:"Gateway fleet size.")
+  in
+  let slices =
+    Arg.(
+      value & opt int 256
+      & info [ "slices" ] ~doc:"Gateway slices of offered load.")
+  in
+  let canary =
+    Arg.(value & opt int 4 & info [ "canary" ] ~doc:"OTA canary cohort size.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign PRNG seed.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:"Inject the seeded fault schedules in all three campaigns.")
+  in
+  let trail =
+    Arg.(
+      value & opt string ""
+      & info [ "trail" ] ~docv:"CORR"
+          ~doc:
+            "Reconstruct the causal trail of a correlation id (e.g. \
+             $(b,serve/epoch-0), $(b,ota/wave-2), $(b,fleet/epoch-1) or a \
+             per-session id): ancestors, the id itself, and every \
+             descendant's records in log order.")
+  in
+  let slo =
+    Arg.(
+      value & flag
+      & info [ "slo" ]
+          ~doc:
+            "Print every windowed SLO indicator (shed rate, p99 settle \
+             latency, quarantine count, OTA abort rate), breached or not.")
+  in
+  let verify_chain =
+    Arg.(
+      value & flag
+      & info [ "verify-chain" ]
+          ~doc:
+            "Export the trail and re-derive the hash chain, checkpoints and \
+             sequence numbering; exit 1 on any divergence.")
+  in
+  let tamper =
+    Arg.(
+      value & opt string ""
+      & info [ "tamper" ] ~docv:"KIND"
+          ~doc:
+            "Inject a fault into the exported trail before verification: \
+             $(b,truncate), $(b,splice) or $(b,bitflip).  The audit must \
+             detect it (exit 1); a tampered trail verifying clean is an \
+             engine failure (exit 3).")
+  in
+  let json_path =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full audit payload (chain, records, SLOs) as JSON.")
+  in
+  let perfetto_path =
+    Arg.(
+      value & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome-trace file with one mark per record and a flow \
+             arrow per causal edge (load in Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run seeded serve + OTA + fleet campaigns under one flight \
+          recorder, then answer for them: causal trails per correlation id, \
+          windowed SLO indicators, and tamper-evident hash-chain \
+          verification of the exported trail")
+    Term.(
+      const audit $ devices $ slices $ canary $ seed $ faults $ trail $ slo
+      $ verify_chain $ tamper $ json_path $ perfetto_path)
+
 (* --- lint ------------------------------------------------------------------ *)
 
 module Tycheck = Tytan_analysis.Tycheck
@@ -1084,6 +1349,6 @@ let () =
        (Cmd.group info
           [
             boot_cmd; run_cmd; attest_cmd; inspect_cmd; disasm_cmd; trace_cmd;
-            stats_cmd; lint_cmd; fleet_cmd; serve_cmd; ota_cmd; chaos_cmd;
-            cfa_cmd;
+            stats_cmd; lint_cmd; fleet_cmd; serve_cmd; ota_cmd; audit_cmd;
+            chaos_cmd; cfa_cmd;
           ]))

@@ -27,6 +27,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable key_derivations : int;
+  mutable seal_hook : (epoch:int -> root:bytes -> leaves:int -> unit) option;
 }
 
 let create ~ka_of ~clock ?telemetry ?(batch_limit = 256) () =
@@ -47,7 +48,10 @@ let create ~ka_of ~clock ?telemetry ?(batch_limit = 256) () =
     hits = 0;
     misses = 0;
     key_derivations = 0;
+    seal_hook = None;
   }
+
+let on_seal t f = t.seal_hook <- Some f
 
 let emit t f = match t.telemetry with Some tel -> f tel | None -> ()
 
@@ -86,6 +90,9 @@ let seal t =
     emit t (fun tel ->
         Telemetry.observe tel ~component:"swarm" "batch_size" t.pending_count;
         Telemetry.incr tel ~component:"swarm" "batches_sealed");
+    (match t.seal_hook with
+    | Some f -> f ~epoch:t.epoch ~root ~leaves:t.pending_count
+    | None -> ());
     t.pending <- [];
     t.pending_count <- 0
   end

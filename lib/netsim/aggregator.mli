@@ -47,6 +47,13 @@ val create :
 
 val epoch : t -> int
 
+val on_seal : t -> (epoch:int -> root:bytes -> leaves:int -> unit) -> unit
+(** Install an observer called whenever a batch seals (eagerly at the
+    batch limit, on {!flush}, or from {!begin_epoch}) with the sealed
+    epoch, root and leaf count.  Purely observational — the campaign
+    engines use it to thread epoch-seal events into the flight
+    recorder without the aggregator depending on it. *)
+
 val begin_epoch : t -> epoch:int -> unit
 (** Seal any pending batch under the old epoch, then drop every cached
     measurement and root: nothing verified under a previous nonce may

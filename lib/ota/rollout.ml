@@ -5,6 +5,8 @@ module Cycles = Tytan_machine.Cycles
 module Devices = Tytan_machine.Devices
 module Telf = Tytan_telf.Telf
 module Fault_plan = Tytan_fault.Fault_plan
+module Telemetry = Tytan_telemetry.Telemetry
+module Obs = Tytan_obs.Obs
 
 type wave_spec = {
   label : string;
@@ -56,6 +58,7 @@ type report = {
   frames_delivered : int;
   truncated_frames : int;
   quarantined : string list;
+  telemetry : (string * int) list;
   survived : bool;
 }
 
@@ -308,7 +311,7 @@ let attest_gate ~controller_clock ~wave (cohort : dev list) ~expected ~truncated
 
 (* ---- the campaign ----------------------------------------------------- *)
 
-let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
+let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10) ?obs
     ~platform_key_of ~incumbent (waves : wave_spec list) =
   if devices <= 0 then invalid_arg "Rollout.run: devices must be positive";
   if canary <= 0 || canary > devices then
@@ -320,6 +323,36 @@ let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
     waves;
   let controller_clock = Cycles.create () in
   let device_clock = Cycles.create () in
+  (* Observation must not perturb the run: zero costs, so enabling
+     telemetry leaves every clock bit-identical (the chaos campaign's
+     discipline).  Likewise the flight recorder charges nothing. *)
+  let telemetry =
+    Telemetry.create ~per_event_cost:0 ~per_span_cost:0 controller_clock
+  in
+  Telemetry.enable telemetry;
+  let tally name n =
+    for _ = 1 to n do
+      Telemetry.incr telemetry ~component:"ota" name
+    done
+  in
+  (* The campaign's global slice offset: per-phase loops restart their
+     local clock at 0, so flight-recorder timestamps add this base. *)
+  let obs_at = ref 0 in
+  let observe ~corr ~at event =
+    match obs with
+    | None -> ()
+    | Some log -> Obs.Log.record log ~corr ~at event
+  in
+  let terminal_event ~serial ~counter = function
+    | 'A' -> Some (Obs.Event.Swap_applied { serial; counter })
+    | 'R' -> Some (Obs.Event.Update_refused { serial; reason = "rollback" })
+    | 'V' -> Some (Obs.Event.Update_refused { serial; reason = "vet" })
+    | 'M' -> Some (Obs.Event.Update_refused { serial; reason = "auth" })
+    | 'D' -> Some (Obs.Event.Update_refused { serial; reason = "digest" })
+    | 'X' -> Some (Obs.Event.Update_refused { serial; reason = "crash" })
+    | 'G' -> Some (Obs.Event.Update_refused { serial; reason = "unreachable" })
+    | _ -> None
+  in
   let corrupt_percent = if faults then 3 else 0 in
   let incumbent_id = Task_id.of_image incumbent.Telf.image in
   let fleet =
@@ -385,6 +418,14 @@ let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
   let stats = ref [] in
   List.iteri
     (fun wave_idx (w : wave_spec) ->
+      let wave_corr = Printf.sprintf "ota/wave-%d" wave_idx in
+      let dev_corr serial = Printf.sprintf "ota/%s/w%d" serial wave_idx in
+      (match obs with
+      | Some log -> ignore (Obs.Log.mint log wave_corr)
+      | None -> ());
+      observe ~corr:wave_corr ~at:!obs_at
+        (Obs.Event.Wave_opened
+           { wave = wave_idx; label = w.label; version = w.version });
       (* Re-admit last wave's crash victims (they rebooted into the
          incumbent); quarantine decisions stand. *)
       Array.iter (fun d -> Installer.clear_crash d.installer) fleet;
@@ -426,6 +467,7 @@ let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
         fleet;
       let slices = ref 0 in
       let run_phase cohort =
+        let base = !obs_at in
         let sessions =
           List.map
             (fun d ->
@@ -440,6 +482,13 @@ let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
                   (Protocol.UpdateOffer
                      { seq; id; version = w.version; size; digest; mac })
               in
+              (match obs with
+              | Some log ->
+                  ignore (Obs.Log.mint log ~parent:wave_corr (dev_corr d.serial))
+              | None -> ());
+              observe ~corr:(dev_corr d.serial) ~at:base
+                (Obs.Event.Offer_sent
+                   { serial = d.serial; version = w.version });
               {
                 dev = d;
                 seq;
@@ -471,7 +520,25 @@ let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
           List.iter
             (fun s ->
               List.iter
-                (fun frame -> controller_on_frame s ~at frame)
+                (fun frame ->
+                  let was_opened = s.opened in
+                  let before = s.state in
+                  controller_on_frame s ~at frame;
+                  if obs <> None then begin
+                    let corr = dev_corr s.dev.serial in
+                    if (not was_opened) && s.opened then
+                      observe ~corr ~at:(base + at)
+                        (Obs.Event.Transfer_staged { serial = s.dev.serial });
+                    match s.state with
+                    | `Done c when before <> s.state -> (
+                        match
+                          terminal_event ~serial:s.dev.serial
+                            ~counter:s.counter_after c
+                        with
+                        | Some e -> observe ~corr ~at:(base + at) e
+                        | None -> ())
+                    | _ -> ()
+                  end)
                 (Link.deliver s.dev.link ~to_:Link.Remote ~at))
             sessions;
           List.iter (fun s -> controller_poll s ~at) sessions;
@@ -485,9 +552,21 @@ let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
             | `Done '?' | `Offer | `Stream ->
                 s.state <-
                   (if Installer.crashed s.dev.installer then `Done 'X'
-                   else `Done 'G')
+                   else `Done 'G');
+                (match s.state with
+                | `Done c -> (
+                    match
+                      terminal_event ~serial:s.dev.serial
+                        ~counter:s.counter_after c
+                    with
+                    | Some e ->
+                        observe ~corr:(dev_corr s.dev.serial)
+                          ~at:(base + !slice) e
+                    | None -> ())
+                | _ -> ())
             | `Done _ -> ())
           sessions;
+        obs_at := base + !slice;
         List.iter
           (fun s ->
             match s.state with
@@ -569,6 +648,32 @@ let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
         (not faults)
         && (count 'G' > 0 || count 'X' > 0 || String.contains verdicts '?')
       then survived := false;
+      if gate_passed then
+        observe ~corr:wave_corr ~at:!obs_at
+          (Obs.Event.Wave_promoted { wave = wave_idx })
+      else
+        observe ~corr:wave_corr ~at:!obs_at
+          (Obs.Event.Wave_aborted
+             {
+               wave = wave_idx;
+               reason = Option.value abort_reason ~default:"canary gate failed";
+             });
+      List.iter
+        (fun serial ->
+          observe ~corr:(dev_corr serial) ~at:!obs_at
+            (Obs.Event.Quarantined { serial }))
+        (List.sort compare !newly_quarantined);
+      tally "offered" (List.length all_sessions);
+      tally "staged" (List.length (List.filter (fun s -> s.opened) all_sessions));
+      tally "applied" (count 'A');
+      tally "refused_rollback" (count 'R');
+      tally "refused_vet" (count 'V');
+      tally "refused_auth" (count 'M');
+      tally "refused_digest" (count 'D');
+      tally "crashed" (count 'X');
+      tally "gave_up" (count 'G');
+      tally (if gate_passed then "waves_promoted" else "waves_aborted") 1;
+      tally "quarantines" (List.length !newly_quarantined);
       stats :=
         {
           wave = wave_idx;
@@ -624,6 +729,10 @@ let run ~devices ~canary ~seed ?(faults = false) ?(loss_percent = 10)
       |> List.filter (fun d -> d.quarantined)
       |> List.map (fun d -> d.serial)
       |> List.sort compare;
+    telemetry =
+      List.map
+        (fun (k, v) -> (Telemetry.key_to_string k, v))
+        (Telemetry.counters telemetry);
     survived = !survived;
   }
 
@@ -667,6 +776,7 @@ let body r =
   add "frames: sent=%d dropped=%d delivered=%d truncated=%d\n" r.frames_sent
     r.frames_dropped r.frames_delivered r.truncated_frames;
   add "quarantined: [%s]\n" (String.concat " " r.quarantined);
+  List.iter (fun (k, v) -> add "  %s=%d\n" k v) r.telemetry;
   add "survived: %s\n" (if r.survived then "yes" else "no");
   Buffer.contents b
 

@@ -85,6 +85,10 @@ type report = {
   frames_delivered : int;
   truncated_frames : int;  (** frames bitten by [Frame_truncate] faults *)
   quarantined : string list;
+  telemetry : (string * int) list;
+      (** counter snapshot (offers, stages, verdict tallies, wave gate
+          outcomes), sorted by key.  Collection is zero-cost: clocks are
+          bit-identical with telemetry on or off. *)
   survived : bool;
       (** no device was lost to crash/unreachability on a fault-free
           run; legitimate refusals (rollback, vet) do not count
@@ -97,6 +101,7 @@ val run :
   seed:int ->
   ?faults:bool ->
   ?loss_percent:int ->
+  ?obs:Tytan_obs.Obs.Log.t ->
   platform_key_of:(serial:string -> bytes) ->
   incumbent:Telf.t ->
   wave_spec list ->
@@ -109,7 +114,14 @@ val run :
     image every device boots running (counter 0).  With [?faults] a
     seeded schedule arms truncated update frames, counter-reset
     attempts and mid-swap canary crashes, and the links additionally
-    corrupt, duplicate and reorder. *)
+    corrupt, duplicate and reorder.
+
+    With [?obs] every offer, stage, verdict, wave gate decision and
+    quarantine is recorded in the flight recorder: wave correlation ids
+    [ota/wave-N] parent per-device session ids [ota/<serial>/wN], with
+    timestamps on the campaign's global slice axis.  Recording charges
+    no cycles — an observed run is bit-identical to an unobserved
+    one. *)
 
 val fault_events :
   seed:int -> devices:int -> waves:int -> Tytan_fault.Fault_plan.event list

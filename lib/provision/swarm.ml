@@ -8,6 +8,7 @@ module Tycheck = Tytan_analysis.Tycheck
 module Finding = Tytan_analysis.Finding
 module Fault_plan = Tytan_fault.Fault_plan
 module Telemetry = Tytan_telemetry.Telemetry
+module Obs = Tytan_obs.Obs
 
 type mode =
   | Scalar
@@ -120,7 +121,7 @@ let fault_events ~seed ~devices ~epochs =
   (Fault_plan.make ~seed events).Fault_plan.events
 
 let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
-    ?(queries_per_epoch = 6) ?rollout:rollout_image () =
+    ?(queries_per_epoch = 6) ?rollout:rollout_image ?obs () =
   if devices <= 0 then invalid_arg "Swarm.run: devices must be positive";
   if epochs <= 0 then invalid_arg "Swarm.run: epochs must be positive";
   let master =
@@ -165,6 +166,15 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
     Telemetry.create ~per_event_cost:0 ~per_span_cost:0 verifier_clock
   in
   Telemetry.enable telemetry;
+  (* Flight-recorder plumbing: epoch loops restart their local slice
+     clock at 0, so recorded timestamps add this global base.  Like
+     telemetry, recording charges nothing. *)
+  let obs_at = ref 0 in
+  let observe ~corr ~at event =
+    match obs with
+    | None -> ()
+    | Some log -> Obs.Log.record log ~corr ~at event
+  in
   let corrupt_percent = if faults then 3 else 0 in
   let provers =
     Array.init devices (fun i ->
@@ -204,6 +214,15 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
              ~clock:verifier_clock ~telemetry
              ~batch_limit:256 ())
   in
+  (match aggregator with
+  | Some a when obs <> None ->
+      Aggregator.on_seal a (fun ~epoch ~root ~leaves ->
+          observe
+            ~corr:(Printf.sprintf "fleet/epoch-%d" epoch)
+            ~at:!obs_at
+            (Obs.Event.Epoch_sealed
+               { epoch; root_hex = Crypto.Sha256.to_hex root; leaves }))
+  | _ -> ());
   let apply_faults epoch =
     List.iter
       (fun { Fault_plan.at_tick; kind } ->
@@ -267,6 +286,12 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
   let stats = ref [] in
   for e = 0 to epochs - 1 do
     apply_faults e;
+    let base = !obs_at in
+    let epoch_corr = Printf.sprintf "fleet/epoch-%d" e in
+    (match obs with
+    | Some log -> ignore (Obs.Log.mint log epoch_corr)
+    | None -> ());
+    observe ~corr:epoch_corr ~at:base (Obs.Event.Epoch_opened { epoch = e });
     (match aggregator with
     | Some a -> Aggregator.begin_epoch a ~epoch:e
     | None -> ());
@@ -280,6 +305,12 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
       Array.map
         (fun p ->
           let session = Printf.sprintf "%s/e%d" p.serial e in
+          (match obs with
+          | Some log -> ignore (Obs.Log.mint log ~parent:epoch_corr session)
+          | None -> ());
+          observe ~corr:session ~at:base
+            (Obs.Event.Session_admitted
+               { serial = p.serial; kind = mode_label mode });
           match aggregator with
           | None ->
               (* The scalar baseline is a stateless verifier: every
@@ -344,6 +375,7 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
           at := !at + slice_cap
         done)
       sessions;
+    obs_at := base + !slice;
     (match aggregator with Some a -> Aggregator.flush a | None -> ());
     let verdicts =
       String.init devices (fun d ->
@@ -354,6 +386,23 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
           | Verifier.Cfa_rejected -> 'C'
           | Verifier.Pending -> '?')
     in
+    if obs <> None then
+      String.iteri
+        (fun d c ->
+          let verdict =
+            match c with
+            | 'A' -> "attested"
+            | 'R' -> "refused"
+            | 'G' -> "gave-up"
+            | 'C' -> "cfa-rejected"
+            | _ -> "pending"
+          in
+          observe
+            ~corr:(Printf.sprintf "%s/e%d" provers.(d).serial e)
+            ~at:!obs_at
+            (Obs.Event.Verdict_settled
+               { serial = provers.(d).serial; verdict }))
+        verdicts;
     let healthy_polls = ref 0 in
     for _q = 1 to queries_per_epoch do
       for d = 0 to devices - 1 do

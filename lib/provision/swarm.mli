@@ -103,6 +103,7 @@ val run :
   ?loss_percent:int ->
   ?queries_per_epoch:int ->
   ?rollout:Tytan_telf.Telf.t ->
+  ?obs:Tytan_obs.Obs.Log.t ->
   unit ->
   report
 (** Defaults: no faults, 10% frame loss, 6 health polls per epoch, no
@@ -111,7 +112,13 @@ val run :
     as the fleet firmware (and attested from then on); one that does
     not — a leaky image copying key material into an IPC payload, say —
     is refused by every device, and the campaign proceeds on the old
-    firmware.  Vet cycles are charged to the device clock either way. *)
+    firmware.  Vet cycles are charged to the device clock either way.
+
+    With [?obs] every admission, settled verdict and sealed Merkle
+    epoch is recorded in the flight recorder: epoch correlation ids
+    [fleet/epoch-N] parent per-session ids [<serial>/eN], timestamps on
+    the campaign's global slice axis.  Recording charges no cycles —
+    an observed run is bit-identical to an unobserved one. *)
 
 val verdicts : report -> string list
 (** Per-epoch verdict strings — the value the differential test compares

@@ -6,6 +6,7 @@ module Fault_plan = Tytan_fault.Fault_plan
 module Telemetry = Tytan_telemetry.Telemetry
 module Registry = Tytan_provision.Registry
 module Fleet = Tytan_provision.Fleet
+module Obs = Tytan_obs.Obs
 
 type config = {
   max_pending : int;
@@ -95,6 +96,7 @@ type session = {
   s_serial : string;
   s_device : int;
   s_kind : session_kind;
+  s_corr : string;  (* correlation id in the flight recorder *)
   verifier : Verifier.t;
   admitted_at : int;
   mutable started_at : int;  (* -1 while still queued *)
@@ -116,6 +118,8 @@ type t = {
   device_clock : Cycles.t;
   telemetry : Telemetry.t;
   aggregator : Aggregator.t;
+  obs : Obs.Log.t option;
+  mutable obs_epoch : int;  (* last epoch an Epoch_opened was recorded for *)
   arrival_prng : Fault_plan.Prng.t;
   pending_q : session Queue.t;
   mutable inflight : session list;
@@ -194,7 +198,7 @@ let network_faults ~seed ~devices ~horizon =
   (Fault_plan.make ~seed events).Fault_plan.events
 
 let create ?(config = default_config) ?(faults = false) ?(fault_horizon = 256)
-    ?(loss_percent = 10) ~devices ~seed () =
+    ?(loss_percent = 10) ?obs ~devices ~seed () =
   if devices <= 0 then invalid_arg "Gateway.create: devices must be positive";
   let master =
     Bytes.of_string (Printf.sprintf "serve-master-%08x" (seed land 0xFFFF_FFFF))
@@ -245,6 +249,17 @@ let create ?(config = default_config) ?(faults = false) ?(fault_horizon = 256)
       ~ka_of:(fun ~serial -> Registry.attestation_key registry ~serial)
       ~clock ~telemetry ~batch_limit:256 ()
   in
+  (* Epoch-seal events ride the aggregator's observer hook: the sealed
+     batch lands under the corr id of the epoch that collected it. *)
+  (match obs with
+  | Some log ->
+      Aggregator.on_seal aggregator (fun ~epoch ~root ~leaves ->
+          Obs.Log.record log
+            ~corr:(Printf.sprintf "serve/epoch-%d" epoch)
+            ~at:(epoch * config.epoch_slices)
+            (Obs.Event.Epoch_sealed
+               { epoch; root_hex = Crypto.Sha256.to_hex root; leaves }))
+  | None -> ());
   {
     cfg = config;
     seed;
@@ -261,6 +276,8 @@ let create ?(config = default_config) ?(faults = false) ?(fault_horizon = 256)
     device_clock;
     telemetry;
     aggregator;
+    obs;
+    obs_epoch = -1;
     arrival_prng = Fault_plan.Prng.create (seed lxor 0xA2211);
     pending_q = Queue.create ();
     inflight = [];
@@ -291,6 +308,48 @@ let create ?(config = default_config) ?(faults = false) ?(fault_horizon = 256)
     closed_next = [||];
     closed_think = 0;
   }
+
+(* ---- flight recorder -------------------------------------------------- *)
+
+let kind_label = function
+  | Static -> "static"
+  | Batched -> "batched"
+  | Cfa -> "cfa"
+
+let verdict_label = function
+  | V_attested -> "attested"
+  | V_refused -> "refused"
+  | V_timed_out -> "timed-out"
+  | V_cfa_rejected -> "cfa-rejected"
+
+let frame_kind = function
+  | Protocol.Challenge _ -> "challenge"
+  | Protocol.Response _ -> "response"
+  | Protocol.Refusal _ -> "refusal"
+  | Protocol.CfaChallenge _ -> "cfa-challenge"
+  | Protocol.CfaResponse _ -> "cfa-response"
+  | Protocol.UpdateOffer _ -> "update-offer"
+  | Protocol.UpdateChunk _ -> "update-chunk"
+  | Protocol.UpdateAck _ -> "update-ack"
+
+let observe t ~corr event =
+  match t.obs with
+  | None -> ()
+  | Some log -> Obs.Log.record log ~corr ~at:t.now event
+
+(* The epoch correlation id is minted lazily on first use — arrivals in
+   a slice precede the service step, so the first event of an epoch can
+   be an admission. *)
+let epoch_corr t =
+  let e = t.now / t.cfg.epoch_slices in
+  let corr = Printf.sprintf "serve/epoch-%d" e in
+  (match t.obs with
+  | Some log when t.obs_epoch <> e ->
+      t.obs_epoch <- e;
+      ignore (Obs.Log.mint log corr);
+      Obs.Log.record log ~corr ~at:t.now (Obs.Event.Epoch_opened { epoch = e })
+  | _ -> ());
+  corr
 
 let slice t = t.now
 let pending_depth t = Queue.length t.pending_q
@@ -360,7 +419,9 @@ let evict_lru t =
   | Some (serial, _) ->
       Hashtbl.remove t.store serial;
       t.evictions <- t.evictions + 1;
-      Telemetry.incr t.telemetry ~component:"serve" "evictions"
+      Telemetry.incr t.telemetry ~component:"serve" "evictions";
+      if t.obs <> None then
+        observe t ~corr:(epoch_corr t) (Obs.Event.Evicted { serial })
   | None -> ()
 
 let lookup_store t ~serial =
@@ -433,13 +494,16 @@ let draw_kind t =
   | 5 | 6 | 7 -> Batched
   | _ -> Cfa
 
-let shed_arrival t refusal =
+let shed_arrival t ~serial refusal =
   (match refusal with
   | Busy -> t.shed_busy <- t.shed_busy + 1
   | Rate_limited -> t.shed_rate_limited <- t.shed_rate_limited + 1
   | Quarantined -> t.shed_quarantined <- t.shed_quarantined + 1);
   Telemetry.incr t.telemetry ~component:"serve"
     ("shed_" ^ refusal_label refusal);
+  if t.obs <> None then
+    observe t ~corr:(epoch_corr t)
+      (Obs.Event.Session_shed { serial; reason = refusal_label refusal });
   Shed refusal
 
 let arrive t ~device =
@@ -449,23 +513,30 @@ let arrive t ~device =
   let serial = t.provers.(device).serial in
   let st = lookup_store t ~serial in
   st.last_used <- t.now;
-  if t.now < st.quarantined_until then shed_arrival t Quarantined
+  if t.now < st.quarantined_until then shed_arrival t ~serial Quarantined
   else begin
     refill t st;
-    if st.tokens <= 0 then shed_arrival t Rate_limited
+    if st.tokens <= 0 then shed_arrival t ~serial Rate_limited
     else if Queue.length t.pending_q >= t.cfg.max_pending then
-      shed_arrival t Busy
+      shed_arrival t ~serial Busy
     else begin
       st.tokens <- st.tokens - 1;
       t.admitted <- t.admitted + 1;
       let kind = draw_kind t in
       let label = Printf.sprintf "%s/a%06d" serial t.admitted in
       let verifier = make_verifier t st ~serial ~kind ~label in
+      (match t.obs with
+      | Some log ->
+          ignore (Obs.Log.mint log ~parent:(epoch_corr t) label);
+          observe t ~corr:label
+            (Obs.Event.Session_admitted { serial; kind = kind_label kind })
+      | None -> ());
       Queue.push
         {
           s_serial = serial;
           s_device = device;
           s_kind = kind;
+          s_corr = label;
           verifier;
           admitted_at = t.now;
           started_at = -1;
@@ -489,6 +560,9 @@ let settle t (s : session) ~verdict =
   let latency = t.now - s.admitted_at in
   t.latencies <- latency :: t.latencies;
   Telemetry.observe t.telemetry ~component:"serve" "session_slices" latency;
+  observe t ~corr:s.s_corr
+    (Obs.Event.Session_settled
+       { serial = s.s_serial; verdict = verdict_label verdict; latency });
   (* Closed loop: the device's client thinks for [closed_think] slices
      after its session concludes, then asks again. *)
   if Array.length t.closed_next > 0 then
@@ -524,7 +598,11 @@ let settle t (s : session) ~verdict =
           t.quarantine_trips <- t.quarantine_trips + 1;
           if not (List.mem s.s_serial t.quarantined_serials) then
             t.quarantined_serials <- s.s_serial :: t.quarantined_serials;
-          Telemetry.incr t.telemetry ~component:"serve" "quarantines"
+          Telemetry.incr t.telemetry ~component:"serve" "quarantines";
+          observe t ~corr:s.s_corr
+            (Obs.Event.Breaker_tripped { serial = s.s_serial });
+          observe t ~corr:s.s_corr
+            (Obs.Event.Quarantined { serial = s.s_serial })
         end
       end
 
@@ -561,11 +639,13 @@ let route t (p : prover) frame =
       | None ->
           t.stale <- t.stale + 1;
           Telemetry.incr t.telemetry ~component:"serve" "stale_frames"
-      | Some s -> (
+      | Some s ->
+          observe t ~corr:s.s_corr
+            (Obs.Event.Frame_received { kind = frame_kind msg });
           (* Static and CFA sessions verify inline, so the frame handler
              is where their crypto burns; the aggregator's check charges
              itself internally — wrapping it would double-count. *)
-          match s.s_kind with
+          (match s.s_kind with
           | Batched -> Verifier.on_frame s.verifier frame
           | Static | Cfa ->
               charged t.clock (fun () -> Verifier.on_frame s.verifier frame)))
@@ -634,10 +714,12 @@ let prover_step t (p : prover) =
 let step t =
   let at = t.now in
   apply_due_faults t;
-  if at mod t.cfg.epoch_slices = 0 then
+  if at mod t.cfg.epoch_slices = 0 then begin
     (* Seals the outgoing batch and clears the measurement cache: a
        verdict cached under one nonce epoch must not answer the next. *)
     Aggregator.begin_epoch t.aggregator ~epoch:(at / t.cfg.epoch_slices);
+    if t.obs <> None then ignore (epoch_corr t)
+  end;
   (* Start queued sessions up to the in-flight cap. *)
   while t.inflight_n < t.cfg.max_inflight && not (Queue.is_empty t.pending_q) do
     let s = Queue.pop t.pending_q in
@@ -663,6 +745,14 @@ let step t =
       else begin
         (match Verifier.poll s.verifier ~at with
         | Some frame ->
+            (match t.obs with
+            | Some _ -> (
+                match Protocol.decode frame with
+                | Ok msg ->
+                    observe t ~corr:s.s_corr
+                      (Obs.Event.Frame_sent { kind = frame_kind msg })
+                | Error _ -> ())
+            | None -> ());
             Link.send t.provers.(s.s_device).link ~from:Link.Remote ~at frame
         | None -> ());
         match Verifier.outcome s.verifier with
@@ -795,7 +885,7 @@ let report_of t ~load_slices ~arrival_permille ~think =
   }
 
 let run ?(config = default_config) ?(faults = false) ?(loss_percent = 10)
-    ?(arrival = Open_loop) ~devices ~slices ~arrival_permille ~seed () =
+    ?(arrival = Open_loop) ?obs ~devices ~slices ~arrival_permille ~seed () =
   if slices <= 0 then invalid_arg "Gateway.run: slices must be positive";
   if arrival_permille < 0 then
     invalid_arg "Gateway.run: arrival_permille must be non-negative";
@@ -804,7 +894,8 @@ let run ?(config = default_config) ?(faults = false) ?(loss_percent = 10)
       invalid_arg "Gateway.run: think must be non-negative"
   | _ -> ());
   let t =
-    create ~config ~faults ~fault_horizon:slices ~loss_percent ~devices ~seed ()
+    create ~config ~faults ~fault_horizon:slices ~loss_percent ?obs ~devices
+      ~seed ()
   in
   (match arrival with
   | Open_loop -> ()

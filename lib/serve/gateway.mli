@@ -84,6 +84,7 @@ val create :
   ?faults:bool ->
   ?fault_horizon:int ->
   ?loss_percent:int ->
+  ?obs:Tytan_obs.Obs.Log.t ->
   devices:int ->
   seed:int ->
   unit ->
@@ -92,7 +93,13 @@ val create :
     (default 10% loss; with [~faults] the links also corrupt, duplicate
     and reorder, and a seeded {!Tytan_fault.Fault_plan} schedule of
     burst-loss, device-stall and late-reply events over the first
-    [fault_horizon] slices is applied as it falls due). *)
+    [fault_horizon] slices is applied as it falls due).
+
+    With [?obs] every admission, shed, frame, verdict, breaker trip and
+    epoch seal is recorded in the flight recorder: epoch correlation
+    ids [serve/epoch-N] parent per-session ids [serial/aNNNNNN], so any
+    outcome traces back through its causal chain.  Recording charges no
+    cycles — an observed run is bit-identical to an unobserved one. *)
 
 val step : t -> unit
 (** Advance one slice: apply due faults, roll the aggregator epoch,
@@ -192,6 +199,7 @@ val run :
   ?faults:bool ->
   ?loss_percent:int ->
   ?arrival:arrival_mode ->
+  ?obs:Tytan_obs.Obs.Log.t ->
   devices:int ->
   slices:int ->
   arrival_permille:int ->

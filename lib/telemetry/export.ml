@@ -31,16 +31,35 @@ let json_string s = Printf.sprintf "\"%s\"" (escape s)
    gets a tid in order of first appearance.  Output is sorted by [ts]
    (stable), which both Perfetto and the golden test rely on. *)
 
+type flow = {
+  flow_id : int;
+  flow_name : string;
+  src_ts : int;
+  dst_ts : int;
+}
+
+type mark = {
+  mark_ts : int;
+  mark_name : string;
+  mark_cat : string;
+}
+
+type phase =
+  | Span of int  (* "X" with this duration *)
+  | Instant  (* "i" *)
+  | Flow_start of int  (* "s" with this id *)
+  | Flow_end of int  (* "f" with this id *)
+
 type event = {
   ts : int;
-  dur : int option;  (* Some -> "X", None -> "i" *)
+  ph : phase;
   name : string;
   cat : string;
   tid : int;
   arg_task : string option;
 }
 
-let chrome_trace telemetry trace =
+let chrome_trace ?(flows = []) ?(marks = []) telemetry trace =
   let tids = Hashtbl.create 8 in
   let next_tid = ref 1 in
   let tid_of = function
@@ -59,7 +78,7 @@ let chrome_trace telemetry trace =
       (fun (s : Telemetry.span) ->
         {
           ts = s.start_cycle;
-          dur = Some s.duration;
+          ph = Span s.duration;
           name = s.span_key.Telemetry.name;
           cat = s.span_key.Telemetry.component;
           tid = tid_of s.span_key.Telemetry.task;
@@ -72,7 +91,7 @@ let chrome_trace telemetry trace =
       (fun (e : Trace.event) ->
         {
           ts = e.at_cycle;
-          dur = None;
+          ph = Instant;
           name = e.detail;
           cat = e.source;
           tid = 0;
@@ -80,10 +99,46 @@ let chrome_trace telemetry trace =
         })
       (Trace.events trace)
   in
+  let mark_events =
+    List.map
+      (fun m ->
+        {
+          ts = m.mark_ts;
+          ph = Span 1;
+          name = m.mark_name;
+          cat = m.mark_cat;
+          tid = 0;
+          arg_task = None;
+        })
+      marks
+  in
+  let flow_events =
+    List.concat_map
+      (fun f ->
+        [
+          {
+            ts = f.src_ts;
+            ph = Flow_start f.flow_id;
+            name = f.flow_name;
+            cat = "flow";
+            tid = 0;
+            arg_task = None;
+          };
+          {
+            ts = f.dst_ts;
+            ph = Flow_end f.flow_id;
+            name = f.flow_name;
+            cat = "flow";
+            tid = 0;
+            arg_task = None;
+          };
+        ])
+      flows
+  in
   let events =
     List.stable_sort
       (fun a b -> compare a.ts b.ts)
-      (span_events @ instant_events)
+      (span_events @ instant_events @ mark_events @ flow_events)
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
@@ -115,15 +170,23 @@ let chrome_trace telemetry trace =
         | Some task -> Printf.sprintf ",\"args\":{\"task\":%s}" (json_string task)
       in
       let body =
-        match e.dur with
-        | Some dur ->
+        match e.ph with
+        | Span dur ->
             Printf.sprintf
               "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d%s}"
               (json_string e.name) (json_string e.cat) e.ts dur e.tid args
-        | None ->
+        | Instant ->
             Printf.sprintf
               "{\"name\":%s,\"cat\":%s,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
               (json_string e.name) (json_string e.cat) e.ts e.tid args
+        | Flow_start id ->
+            Printf.sprintf
+              "{\"name\":%s,\"cat\":%s,\"ph\":\"s\",\"id\":%d,\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
+              (json_string e.name) (json_string e.cat) id e.ts e.tid args
+        | Flow_end id ->
+            Printf.sprintf
+              "{\"name\":%s,\"cat\":%s,\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
+              (json_string e.name) (json_string e.cat) id e.ts e.tid args
       in
       Buffer.add_string buf body;
       if i < n - 1 then Buffer.add_string buf ",";

@@ -2,12 +2,33 @@
 
 open Tytan_machine
 
-val chrome_trace : Telemetry.t -> Trace.t -> string
+type flow = {
+  flow_id : int;  (** shared by the start/finish pair *)
+  flow_name : string;
+  src_ts : int;
+  dst_ts : int;
+}
+(** One causal arrow: a flow-event pair (["ph":"s"] / ["ph":"f"]) from
+    [src_ts] to [dst_ts], both on tid 0.  Perfetto renders these as
+    arrows between the slices enclosing each endpoint. *)
+
+type mark = {
+  mark_ts : int;
+  mark_name : string;
+  mark_cat : string;
+}
+(** A width-1 anchor slice (["ph":"X"], [dur=1]) on tid 0 — gives flow
+    arrows something to attach to when no telemetry span encloses the
+    timestamp. *)
+
+val chrome_trace : ?flows:flow list -> ?marks:mark list -> Telemetry.t -> Trace.t -> string
 (** One Perfetto-loadable timeline merging completed telemetry spans
     (["ph":"X"] duration events) with {!Trace} events (["ph":"i"]
     instants).  [ts] and [dur] are raw simulated cycles; tid 0 is the
     kernel/firmware and each task gets its own thread row.  Events are
-    sorted by [ts] and the output is deterministic (golden-testable). *)
+    sorted by [ts] and the output is deterministic (golden-testable).
+    [?flows] adds causal-arrow pairs and [?marks] their anchor slices
+    (both default empty, leaving legacy output byte-identical). *)
 
 val summary : Telemetry.t -> string
 (** Human-readable report: counters, gauges, histogram statistics and
