@@ -10,9 +10,12 @@
    the golden tests already pin.  A row regresses when it moves more
    than 25% the wrong way: labels containing "throughput" are
    lower-is-worse, everything else (cycles, latency, shed rates) is
-   higher-is-worse.  A gated baseline row missing from the fresh run is
-   itself a failure; a zero baseline can't be gated proportionally and
-   is only reported.  Exit 1 on any regression. *)
+   higher-is-worse.  Labels ending in "-identical" are boolean identity
+   assertions (1 = the parallel run rendered bit-for-bit the sequential
+   report) and are gated exactly, with no tolerance band.  A gated
+   baseline row missing from the fresh run is itself a failure; a zero
+   baseline can't be gated proportionally and is only reported.  Exit 1
+   on any regression. *)
 
 let gated_tables = [ "fleet"; "serve"; "ota" ]
 let tolerance_percent = 25
@@ -77,6 +80,11 @@ let parse_rows path =
 let lower_is_worse label =
   find_sub label "throughput" <> None
 
+let exact_match label =
+  let suffix = "-identical" in
+  let n = String.length label and m = String.length suffix in
+  n >= m && String.sub label (n - m) m = suffix
+
 let () =
   let baseline_path, fresh_path =
     match Sys.argv with
@@ -106,7 +114,15 @@ let () =
           Printf.printf "MISSING  %s/%s: baseline=%d, no fresh row\n" table
             label base
       | Some (_, _, now) ->
-          if base = 0 then
+          if exact_match label then begin
+            incr checked;
+            if now <> base then begin
+              incr failures;
+              Printf.printf "DIVERGED %s/%s: baseline=%d fresh=%d (exact)\n"
+                table label base now
+            end
+          end
+          else if base = 0 then
             Printf.printf "skip     %s/%s: baseline=0 (not gated), fresh=%d\n"
               table label now
           else begin

@@ -1000,7 +1000,9 @@ let run_telemetry_bench () =
   record ~table:"telemetry" ~label:"model-overhead" model
 
 let run_swarm_bench () =
-  hr "Fleet-scale swarm attestation — scalar vs batched verifier (lib/provision)";
+  hr
+    "Fleet-scale swarm attestation — scalar vs batched vs incremental \
+     verifier (lib/provision)";
   let module Swarm = Tytan_provision.Swarm in
   let sizes = if !smoke then [ 16; 64 ] else [ 16; 256; 2048 ] in
   let epochs = 4 in
@@ -1013,19 +1015,83 @@ let run_swarm_bench () =
       in
       let scalar = campaign Swarm.Scalar in
       let batched = campaign Swarm.Batched in
+      let incremental = campaign Swarm.Incremental in
       if Swarm.verdicts scalar <> Swarm.verdicts batched then
         failwith "swarm bench: scalar/batched verdicts diverged";
+      if Swarm.verdicts batched <> Swarm.verdicts incremental then
+        failwith "swarm bench: batched/incremental verdicts diverged";
       let ratio =
         float_of_int scalar.Swarm.verifier_cycles
         /. float_of_int (max 1 batched.Swarm.verifier_cycles)
       in
-      row "  N=%4d: scalar %10d   batched %10d   (%.1fx, verdicts identical)\n"
-        n scalar.Swarm.verifier_cycles batched.Swarm.verifier_cycles ratio;
+      row
+        "  N=%4d: scalar %10d   batched %10d   incremental %10d   (%.1fx, \
+         verdicts identical)\n"
+        n scalar.Swarm.verifier_cycles batched.Swarm.verifier_cycles
+        incremental.Swarm.verifier_cycles ratio;
       record ~table:"fleet" ~label:(Printf.sprintf "scalar-verify-%d" n)
         scalar.Swarm.verifier_cycles;
       record ~table:"fleet" ~label:(Printf.sprintf "batched-verify-%d" n)
-        batched.Swarm.verifier_cycles)
-    sizes
+        batched.Swarm.verifier_cycles;
+      record ~table:"fleet" ~label:(Printf.sprintf "incremental-verify-%d" n)
+        incremental.Swarm.verifier_cycles)
+    sizes;
+  (* Steady state: epoch 0 sweeps the whole fleet, afterwards only the
+     ~1% that rebooted (plus anything whose continuity broke) is
+     re-challenged — the O(changed) epoch.  The row records the mean
+     post-sweep epoch cost; the regression gate holds it an order of
+     magnitude under the rebuild-everything batched campaign. *)
+  let n = if !smoke then 64 else 2048 in
+  let steady =
+    Swarm.run ~mode:Swarm.Incremental ~devices:n ~epochs ~seed:1 ~steady:true
+      ~churn_permille:10 ()
+  in
+  let post_sweep =
+    List.filter (fun s -> s.Swarm.epoch > 0) steady.Swarm.per_epoch
+  in
+  let steady_epoch =
+    List.fold_left (fun acc s -> acc + s.Swarm.verify_cycles) 0 post_sweep
+    / max 1 (List.length post_sweep)
+  in
+  let carried =
+    List.fold_left (fun acc s -> acc + s.Swarm.carried) 0 post_sweep
+    / max 1 (List.length post_sweep)
+  in
+  row
+    "  steady N=%4d, 1%% churn: epoch-0 sweep %10d, steady epoch %8d cycles \
+     (%d/%d devices carried)\n"
+    n
+    (match steady.Swarm.per_epoch with s :: _ -> s.Swarm.verify_cycles | [] -> 0)
+    steady_epoch carried n;
+  record ~table:"fleet"
+    ~label:(Printf.sprintf "incremental-steady-epoch-%d" n)
+    steady_epoch;
+  (* Domain-parallel identity: the sharded run must render bit-for-bit
+     the same report as the sequential one.  Recorded as exact-match
+     rows (1 = identical) so the regression gate fails on any drift,
+     with no tolerance band. *)
+  let pn = if !smoke then 32 else 256 in
+  let identical mode ~steady ~churn_permille =
+    let go domains =
+      Swarm.run ~mode ~devices:pn ~epochs ~seed:1 ~domains ~steady
+        ~churn_permille ()
+    in
+    if Swarm.to_string (go 1) = Swarm.to_string (go 4) then 1 else 0
+  in
+  let batched_id = identical Swarm.Batched ~steady:false ~churn_permille:0 in
+  let steady_id =
+    identical Swarm.Incremental ~steady:true ~churn_permille:10
+  in
+  row
+    "  domains=4 vs 1 at N=%d: batched %s, incremental-steady %s\n" pn
+    (if batched_id = 1 then "bit-identical" else "DIVERGED")
+    (if steady_id = 1 then "bit-identical" else "DIVERGED");
+  record ~table:"fleet"
+    ~label:(Printf.sprintf "parallel-batched-%d-identical" pn)
+    batched_id;
+  record ~table:"fleet"
+    ~label:(Printf.sprintf "parallel-steady-%d-identical" pn)
+    steady_id
 
 let run_serve_bench () =
   hr "Verifier gateway under open-loop load — graceful degradation (lib/serve)";

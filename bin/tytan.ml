@@ -307,16 +307,31 @@ let trace_cmd =
 
 (* --- fleet ---------------------------------------------------------------- *)
 
-let fleet devices epochs seed faults mode loss rollout verify =
+let fleet devices epochs seed faults mode loss rollout domains steady churn
+    verify =
   let open Tytan_provision in
   let mode =
     match mode with
     | "scalar" -> Swarm.Scalar
     | "batched" -> Swarm.Batched
+    | "incremental" -> Swarm.Incremental
     | other ->
-        Printf.eprintf "tytan: unknown fleet mode %S (scalar|batched)\n" other;
+        Printf.eprintf
+          "tytan: unknown fleet mode %S (scalar|batched|incremental)\n" other;
         exit 124
   in
+  if steady && mode <> Swarm.Incremental then begin
+    prerr_endline "tytan: --steady requires --mode incremental";
+    exit 124
+  end;
+  if domains < 1 then begin
+    prerr_endline "tytan: --domains must be at least 1";
+    exit 124
+  end;
+  if churn < 0 || churn > 1000 then begin
+    prerr_endline "tytan: --churn must be in 0..1000 (permille)";
+    exit 124
+  end;
   let rollout =
     match rollout with
     | "none" -> None
@@ -332,7 +347,7 @@ let fleet devices epochs seed faults mode loss rollout verify =
   in
   let run () =
     Swarm.run ~mode ~devices ~epochs ~seed ~faults ~loss_percent:loss ?rollout
-      ()
+      ~domains ~steady ~churn_permille:churn ()
   in
   let report = run () in
   print_string (Swarm.to_string report);
@@ -377,7 +392,11 @@ let fleet_cmd =
   let mode =
     Arg.(
       value & opt string "batched"
-      & info [ "mode" ] ~doc:"Verifier engine: batched (aggregator) or scalar.")
+      & info [ "mode" ]
+          ~doc:
+            "Verifier engine: batched (aggregator, tree rebuilt per epoch), \
+             incremental (persistent Merkle leaves, dirty-path recompute, \
+             sparse epoch deltas) or scalar (stateless baseline).")
   in
   let loss =
     Arg.(value & opt int 10 & info [ "loss" ] ~doc:"Uplink frame loss, percent.")
@@ -391,6 +410,32 @@ let fleet_cmd =
              benign image the fleet adopts) or $(b,leaky) (the key-leaker \
              exploit, refused platform-wide by the flow vet).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Shard host-side verification across this many OCaml domains. \
+             Devices are pinned to shards by contiguous index ranges, so the \
+             report is bit-identical to --domains 1.")
+  in
+  let steady =
+    Arg.(
+      value & flag
+      & info [ "steady" ]
+          ~doc:
+            "Steady-state verification (incremental mode only): after a full \
+             epoch-0 sweep, only devices whose continuity broke are \
+             re-challenged; the rest are carried on liveness (verdict 'a').")
+  in
+  let churn =
+    Arg.(
+      value & opt int 0
+      & info [ "churn" ]
+          ~doc:
+            "Reboot this permille of the fleet per epoch on a seeded \
+             schedule (forces re-challenge in steady state).")
+  in
   let verify =
     Arg.(
       value & flag
@@ -401,10 +446,12 @@ let fleet_cmd =
        ~doc:
          "Run a fleet-scale swarm-attestation campaign: N provers over lossy \
           links, K fresh-nonce epochs, batched Merkle aggregation with a \
-          measurement cache (or the scalar baseline with --mode scalar)")
+          measurement cache, incremental epoch-persistent aggregation \
+          (--mode incremental, optionally --steady), or the scalar baseline \
+          (--mode scalar); --domains D shards verification bit-identically")
     Term.(
       const fleet $ devices $ epochs $ seed $ faults $ mode $ loss $ rollout
-      $ verify)
+      $ domains $ steady $ churn $ verify)
 
 (* --- serve ----------------------------------------------------------------- *)
 

@@ -137,6 +137,16 @@ let verify_cfa ~ka (r : cfa_report) ~expected ~nonce =
 
 let expected_mac ~ka ~id ~nonce = Crypto.Hmac.mac ~key:ka (report_payload ~id ~nonce)
 
+(* Verifier-side fast path: a fleet host checks many reports under the
+   same Ka, so it precomputes the HMAC key schedule once per device and
+   pays only the message compressions per report. *)
+type mac_state = Crypto.Hmac.state
+
+let prepare_mac ~ka = Crypto.Hmac.prepare ~key:ka
+
+let expected_mac_with state ~id ~nonce =
+  Crypto.Hmac.mac_with state (report_payload ~id ~nonce)
+
 (* "TYOTA1" | version | size | id_t | image digest: the target version
    is under the MAC, so an attacker cannot take a genuinely signed old
    image and re-offer it under a fresher version number — the downgrade

@@ -97,6 +97,17 @@ val expected_mac : ka:bytes -> id:Task_id.t -> nonce:bytes -> bytes
     epoch and caches it; subsequent reports in the same epoch verify by
     constant-time comparison instead of a fresh HMAC. *)
 
+type mac_state = Tytan_crypto.Hmac.state
+(** Precomputed per-device HMAC key schedule: the two Ka key-pad
+    compressions, absorbed once per device instead of once per epoch.
+    Immutable, so shareable across domains. *)
+
+val prepare_mac : ka:bytes -> mac_state
+
+val expected_mac_with : mac_state -> id:Task_id.t -> nonce:bytes -> bytes
+(** [expected_mac] via a precomputed key schedule — same tag, two fewer
+    SHA-1 compressions per call. *)
+
 val update_mac :
   ka:bytes -> id:Task_id.t -> version:int -> size:int -> digest:bytes -> bytes
 (** The MAC an update authority puts on a firmware offer: HMAC-SHA1 over

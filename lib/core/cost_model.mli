@@ -198,6 +198,12 @@ val swarm_root_check : int
 (** Comparing a cached verdict's batch root against the sealed epoch
     roots (40; a table probe plus a 32-byte constant-time compare). *)
 
+val swarm_liveness : int
+(** Processing one out-of-band keepalive from a device the incremental
+    verifier chose not to re-challenge this epoch (32; a table probe
+    plus an epoch stamp).  The price of carrying a healthy device in
+    steady state — the O(changed) epoch's per-device floor. *)
+
 (** {2 Over-the-air update (extension)} *)
 
 val counter_read : int

@@ -10,5 +10,19 @@ val mac : key:bytes -> bytes -> bytes
 
 val mac_string : key:bytes -> string -> bytes
 
+type state
+(** Precomputed HMAC key schedule: the two key-pad block compressions,
+    absorbed once.  Immutable — [mac_with] clones the contexts, so one
+    state may serve many MACs (and, being read-only after [prepare],
+    may be shared across domains). *)
+
+val prepare : key:bytes -> state
+(** Absorb the inner/outer key pads (2 compressions).  Amortizes the
+    key half of the MAC across every subsequent [mac_with]. *)
+
+val mac_with : state -> bytes -> bytes
+(** [mac_with st msg] equals [mac ~key msg] for the [key] that built
+    [st], at 2 fewer compressions per call. *)
+
 val verify : key:bytes -> bytes -> tag:bytes -> bool
 (** Constant-time tag comparison. *)

@@ -40,3 +40,37 @@ val proof : t -> int -> proof
 val verify : root:bytes -> leaf:bytes -> proof -> bool
 (** Recompute the path from the raw [leaf] payload and compare against
     [root] (constant-time digest comparison). *)
+
+(** Incremental tree for epoch-persistent aggregation: leaves survive
+    across commits, and a commit rehashes only the root-paths of leaves
+    appended or overwritten since the previous commit — O(changed ·
+    log n) hashing instead of O(n).  Roots and proofs are bit-identical
+    to {!build} over the same payload sequence (same domain separation,
+    same odd-node promotion). *)
+module Inc : sig
+  type t
+
+  val create : unit -> t
+
+  val size : t -> int
+  (** Number of leaves (committed or not). *)
+
+  val append : t -> bytes -> int
+  (** Append a leaf payload; returns its index.  Takes effect at the
+      next {!commit}. *)
+
+  val set : t -> int -> bytes -> unit
+  (** Overwrite the payload of an existing leaf. *)
+
+  val commit : t -> bytes
+  (** Recompute dirty paths and return the new root.  Raises
+      [Invalid_argument] on an empty tree. *)
+
+  val root : t -> bytes
+  (** Current committed root.  Raises [Invalid_argument] if there are
+      uncommitted changes. *)
+
+  val proof : t -> int -> proof
+  (** Membership proof for leaf [index] against the committed root;
+      verifiable with {!verify}.  Raises on uncommitted changes. *)
+end

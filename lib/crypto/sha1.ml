@@ -1,8 +1,23 @@
 (* SHA-1 per RFC 3174.  32-bit lane arithmetic is done on OCaml ints
-   masked to 32 bits. *)
+   masked to 32 bits.
+
+   The compression loop is the hottest code in the whole simulator —
+   every measurement, MAC and Merkle node lands here — so it avoids
+   per-block work: the 80-word message schedule is preallocated in the
+   context and the block loads use unsafe byte accessors.  The unsafe
+   accesses are sound because [compress] is only ever called with
+   [pos + block_size <= Bytes.length block], an invariant [feed_sub]
+   (the single call site gatekeeper) validates on entry. *)
 
 let digest_size = 20
-let global_compressions = ref 0
+
+(* Process-global and per-domain compression tallies.  The global count
+   is an [Atomic.t] so concurrent domains never lose increments; the
+   per-domain count backs cycle charging ([charged]-style samplers take
+   a delta around an operation, which must not see another domain's
+   compressions interleave). *)
+let global_compressions = Atomic.make 0
+let domain_compressions_key = Domain.DLS.new_key (fun () -> ref 0)
 let block_size = 64
 let mask32 = 0xFFFF_FFFF
 
@@ -13,6 +28,7 @@ type ctx = {
   mutable h3 : int;
   mutable h4 : int;
   buffer : Bytes.t;  (* partial block *)
+  w : int array;  (* preallocated 80-word message schedule *)
   mutable buffered : int;
   mutable total_bytes : int;
   mutable compressions : int;
@@ -27,25 +43,39 @@ let init () =
     h3 = 0x10325476;
     h4 = 0xC3D2E1F0;
     buffer = Bytes.make block_size '\000';
+    w = Array.make 80 0;
     buffered = 0;
     total_bytes = 0;
     compressions = 0;
     finalized = false;
   }
 
+(* Snapshot of a streaming context: the clone absorbs further input
+   independently of the original.  This is what lets HMAC cache its
+   key-pad compressions ({!Hmac.prepare}). *)
+let copy ctx =
+  { ctx with buffer = Bytes.copy ctx.buffer; w = Array.make 80 0 }
+
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 
 let compress ctx block pos =
-  let w = Array.make 80 0 in
+  let w = ctx.w in
   for i = 0 to 15 do
-    w.(i) <-
-      (Char.code (Bytes.get block (pos + (4 * i))) lsl 24)
-      lor (Char.code (Bytes.get block (pos + (4 * i) + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (pos + (4 * i) + 2)) lsl 8)
-      lor Char.code (Bytes.get block (pos + (4 * i) + 3))
+    let o = pos + (i lsl 2) in
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block o) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (o + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (o + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (o + 3)))
   done;
   for i = 16 to 79 do
-    w.(i) <- rotl (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
+    let x =
+      Array.unsafe_get w (i - 3)
+      lxor Array.unsafe_get w (i - 8)
+      lxor Array.unsafe_get w (i - 14)
+      lxor Array.unsafe_get w (i - 16)
+    in
+    Array.unsafe_set w i (((x lsl 1) lor (x lsr 31)) land mask32)
   done;
   let a = ref ctx.h0
   and b = ref ctx.h1
@@ -60,7 +90,7 @@ let compress ctx block pos =
         (!b land !c lor (!b land !d) lor (!c land !d), 0x8F1BBCDC)
       else (!b lxor !c lxor !d, 0xCA62C1D6)
     in
-    let temp = (rotl !a 5 + f + !e + k + w.(i)) land mask32 in
+    let temp = (rotl !a 5 + f + !e + k + Array.unsafe_get w i) land mask32 in
     e := !d;
     d := !c;
     c := rotl !b 30;
@@ -73,7 +103,8 @@ let compress ctx block pos =
   ctx.h3 <- (ctx.h3 + !d) land mask32;
   ctx.h4 <- (ctx.h4 + !e) land mask32;
   ctx.compressions <- ctx.compressions + 1;
-  incr global_compressions
+  Atomic.incr global_compressions;
+  incr (Domain.DLS.get domain_compressions_key)
 
 let feed_sub ctx data ~pos ~len =
   if ctx.finalized then invalid_arg "Sha1.feed: context already finalized";
@@ -146,8 +177,8 @@ let digest data =
 
 let digest_string s = digest (Bytes.of_string s)
 let compression_count ctx = ctx.compressions
-
-let total_compressions () = !global_compressions
+let total_compressions () = Atomic.get global_compressions
+let domain_compressions () = !(Domain.DLS.get domain_compressions_key)
 
 let to_hex b =
   String.concat ""

@@ -18,6 +18,11 @@ val block_size : int
 
 val init : unit -> ctx
 
+val copy : ctx -> ctx
+(** Independent snapshot of a streaming context: feeding the copy does
+    not disturb the original.  HMAC uses this to cache the two key-pad
+    compressions across MACs under the same key ({!Hmac.prepare}). *)
+
 val feed : ctx -> bytes -> unit
 (** Absorb data; may be called any number of times. *)
 
@@ -42,4 +47,12 @@ val total_compressions : unit -> int
 (** Process-global count of compression-function invocations across all
     contexts.  Trusted services charge simulated cycles for crypto by
     sampling this before and after an operation, so the cycle cost of a
-    MAC or key derivation reflects the real block count. *)
+    MAC or key derivation reflects the real block count.  Backed by an
+    [Atomic.t]: exact even when several domains hash concurrently. *)
+
+val domain_compressions : unit -> int
+(** Count of compression-function invocations performed by the {e
+    calling domain}.  Charged-cycle samplers that may run inside worker
+    domains must take deltas of this counter, not the global one —
+    otherwise another domain's hashing would be billed to this worker's
+    clock. *)

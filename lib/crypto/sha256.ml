@@ -1,7 +1,19 @@
-(* SHA-256 per FIPS 180-4; 32-bit lanes on masked OCaml ints. *)
+(* SHA-256 per FIPS 180-4; 32-bit lanes on masked OCaml ints.
+
+   Like {!Sha1}, the compression loop is hot (every Merkle node in a
+   fleet epoch lands here), so the 64-word message schedule is
+   preallocated in the context and block loads use unsafe byte
+   accessors.  Soundness of the unsafe accesses: [compress] is only
+   called with [pos + block_size <= Bytes.length block], validated by
+   [feed_sub] on entry. *)
 
 let digest_size = 32
-let global_compressions = ref 0
+
+(* See sha1.ml for why there are two counters: the Atomic survives
+   concurrent domains, the DLS counter gives charged-cycle samplers a
+   delta unpolluted by other domains' hashing. *)
+let global_compressions = Atomic.make 0
+let domain_compressions_key = Domain.DLS.new_key (fun () -> ref 0)
 let block_size = 64
 let mask32 = 0xFFFF_FFFF
 
@@ -23,6 +35,7 @@ let k =
 type ctx = {
   h : int array;  (* 8 lanes *)
   buffer : Bytes.t;
+  w : int array;  (* preallocated 64-word message schedule *)
   mutable buffered : int;
   mutable total_bytes : int;
   mutable compressions : int;
@@ -37,28 +50,43 @@ let init () =
         0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
       |];
     buffer = Bytes.make block_size '\000';
+    w = Array.make 64 0;
     buffered = 0;
     total_bytes = 0;
     compressions = 0;
     finalized = false;
   }
 
+(* Independent snapshot of a streaming context (see Sha1.copy). *)
+let copy ctx =
+  {
+    ctx with
+    h = Array.copy ctx.h;
+    buffer = Bytes.copy ctx.buffer;
+    w = Array.make 64 0;
+  }
+
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 let shr x n = x lsr n
 
 let compress ctx block pos =
-  let w = Array.make 64 0 in
+  let w = ctx.w in
   for i = 0 to 15 do
-    w.(i) <-
-      (Char.code (Bytes.get block (pos + (4 * i))) lsl 24)
-      lor (Char.code (Bytes.get block (pos + (4 * i) + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (pos + (4 * i) + 2)) lsl 8)
-      lor Char.code (Bytes.get block (pos + (4 * i) + 3))
+    let o = pos + (i lsl 2) in
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block o) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (o + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (o + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (o + 3)))
   done;
   for i = 16 to 63 do
-    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor shr w.(i - 15) 3 in
-    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor shr w.(i - 2) 10 in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
+    let x15 = Array.unsafe_get w (i - 15) in
+    let x2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr x15 7 lxor rotr x15 18 lxor shr x15 3 in
+    let s1 = rotr x2 17 lxor rotr x2 19 lxor shr x2 10 in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask32)
   done;
   let a = ref ctx.h.(0)
   and b = ref ctx.h.(1)
@@ -71,7 +99,9 @@ let compress ctx block pos =
   for i = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = !e land !f lxor (lnot !e land mask32 land !g) in
-    let temp1 = (!h + s1 + ch + k.(i) + w.(i)) land mask32 in
+    let temp1 =
+      (!h + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask32
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
     let temp2 = (s0 + maj) land mask32 in
@@ -94,7 +124,8 @@ let compress ctx block pos =
   update 6 !g;
   update 7 !h;
   ctx.compressions <- ctx.compressions + 1;
-  incr global_compressions
+  Atomic.incr global_compressions;
+  incr (Domain.DLS.get domain_compressions_key)
 
 let feed_sub ctx data ~pos ~len =
   if ctx.finalized then invalid_arg "Sha256.feed: context already finalized";
@@ -159,7 +190,8 @@ let digest data =
 
 let digest_string s = digest (Bytes.of_string s)
 let compression_count ctx = ctx.compressions
-let total_compressions () = !global_compressions
+let total_compressions () = Atomic.get global_compressions
+let domain_compressions () = !(Domain.DLS.get domain_compressions_key)
 
 let to_hex b =
   String.concat ""

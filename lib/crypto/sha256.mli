@@ -15,6 +15,10 @@ val block_size : int
 (** 64 bytes — same interruption unit as SHA-1. *)
 
 val init : unit -> ctx
+
+val copy : ctx -> ctx
+(** Independent snapshot of a streaming context (see {!Sha1.copy}). *)
+
 val feed : ctx -> bytes -> unit
 val feed_sub : ctx -> bytes -> pos:int -> len:int -> unit
 
@@ -31,4 +35,10 @@ val total_compressions : unit -> int
 (** Process-global count of compression-function invocations across all
     contexts, mirroring {!Sha1.total_compressions}: services that charge
     simulated cycles for SHA-256 work (the Merkle aggregator) sample this
-    before and after an operation. *)
+    before and after an operation.  Backed by an [Atomic.t]: exact even
+    when several domains hash concurrently. *)
+
+val domain_compressions : unit -> int
+(** Per-calling-domain compression count, mirroring
+    {!Sha1.domain_compressions}: the delta source for charged-cycle
+    samplers that may run inside worker domains. *)

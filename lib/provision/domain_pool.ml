@@ -1,0 +1,115 @@
+(* A tiny fork-join pool over OCaml Domains, hand-rolled so the
+   campaign engine carries no dependency beyond the stdlib.
+
+   Domains are spawned once per pool (spawning per slice would dwarf
+   the work); each [run] hands every worker the same closure plus its
+   worker index and joins them all before returning.  Worker 0 is the
+   calling domain — with [domains = 1] no domain is ever spawned and
+   [run f] is exactly [f 0], which is how the engine guarantees the
+   sequential path stays byte-for-byte the legacy one.
+
+   Memory model: all handoff is under each worker's mutex (job in,
+   completion out), so every write a worker makes during [f] happens-
+   before the caller's return from [run].  Exceptions raised inside a
+   worker are caught, carried back, and re-raised on the caller. *)
+
+type worker = {
+  index : int;
+  lock : Mutex.t;
+  cv : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable failure : exn option;
+  mutable stop : bool;
+}
+
+type t = {
+  workers : worker array;  (* workers 1..domains-1; worker 0 is inline *)
+  handles : unit Domain.t array;
+  domains : int;
+}
+
+let worker_loop w =
+  let rec go () =
+    Mutex.lock w.lock;
+    while w.job = None && not w.stop do
+      Condition.wait w.cv w.lock
+    done;
+    if w.stop then Mutex.unlock w.lock
+    else begin
+      let f = Option.get w.job in
+      Mutex.unlock w.lock;
+      let failure = (try f w.index; None with e -> Some e) in
+      Mutex.lock w.lock;
+      w.job <- None;
+      w.failure <- failure;
+      Condition.broadcast w.cv;
+      Mutex.unlock w.lock;
+      go ()
+    end
+  in
+  go ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains";
+  let workers =
+    Array.init (domains - 1) (fun i ->
+        {
+          index = i + 1;
+          lock = Mutex.create ();
+          cv = Condition.create ();
+          job = None;
+          failure = None;
+          stop = false;
+        })
+  in
+  let handles =
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
+  in
+  { workers; handles; domains }
+
+let size t = t.domains
+
+let run t f =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.lock;
+      w.job <- Some f;
+      Condition.broadcast w.cv;
+      Mutex.unlock w.lock)
+    t.workers;
+  let mine = (try f 0; None with e -> Some e) in
+  Array.iter
+    (fun w ->
+      Mutex.lock w.lock;
+      while w.job <> None do
+        Condition.wait w.cv w.lock
+      done;
+      Mutex.unlock w.lock)
+    t.workers;
+  (match mine with Some e -> raise e | None -> ());
+  Array.iter
+    (fun w ->
+      match w.failure with
+      | Some e ->
+          w.failure <- None;
+          raise e
+      | None -> ())
+    t.workers
+
+let shutdown t =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.lock;
+      w.stop <- true;
+      Condition.broadcast w.cv;
+      Mutex.unlock w.lock)
+    t.workers;
+  Array.iter Domain.join t.handles
+
+(* Split [0, count) into [domains] contiguous ranges, sizes differing
+   by at most one.  The fixed device->shard pinning every parallel
+   stage shares: determinism needs the mapping to be a function of
+   (count, domains) alone, never of scheduling. *)
+let ranges ~count ~domains =
+  Array.init domains (fun w ->
+      (w * count / domains, (w + 1) * count / domains))

@@ -1,0 +1,27 @@
+(** Hand-rolled fork-join pool over OCaml Domains.
+
+    The campaign engine shards device ranges across domains with
+    deterministic pinning; this pool is the only concurrency primitive
+    it uses.  Workers are spawned once per pool and reused for every
+    {!run}; worker 0 is always the calling domain, so a one-domain pool
+    never spawns and [run pool f] is exactly [f 0]. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains - 1] worker domains (none for [domains = 1]). *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f w] for every worker index [w] in
+    [0 .. domains-1] concurrently and returns when all have finished
+    (worker 0 runs [f 0] on the calling domain).  All worker writes
+    happen-before the return.  A worker exception is re-raised here. *)
+
+val shutdown : t -> unit
+(** Join every worker domain.  The pool must not be used afterwards. *)
+
+val ranges : count:int -> domains:int -> (int * int) array
+(** Deterministic contiguous partition of [0, count): element [w] is
+    the half-open [(lo, hi)] range pinned to worker/shard [w]. *)

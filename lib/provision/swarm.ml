@@ -13,8 +13,12 @@ module Obs = Tytan_obs.Obs
 type mode =
   | Scalar
   | Batched
+  | Incremental
 
-let mode_label = function Scalar -> "scalar" | Batched -> "batched"
+let mode_label = function
+  | Scalar -> "scalar"
+  | Batched -> "batched"
+  | Incremental -> "incremental"
 
 (* A fleet prover is deliberately lighter than a full [Fleet.device]:
    at 2 048 devices a [Platform.t] each would dominate memory for no
@@ -25,7 +29,7 @@ let mode_label = function Scalar -> "scalar" | Batched -> "batched"
 type prover = {
   serial : string;
   link : Link.t;
-  ka : bytes;
+  mutable ka : bytes;  (* re-derived on reboot (same value, real cost) *)
   mutable loaded : Task_id.t;
   mutable tampered : bool;
   mutable silenced : bool;  (* permanent: Task_kill *)
@@ -37,13 +41,16 @@ type epoch_stats = {
   attested : int;
   refused : int;
   gave_up : int;
-  verdicts : string;  (* one char per device: A/R/G/C/? *)
+  verdicts : string;  (* one char per device: A/a/R/G/C/? *)
   healthy_polls : int;
   slices : int;
   batches : int;  (* sealed this epoch (0 in scalar mode) *)
   root_hex : string;  (* last sealed root, "" in scalar mode *)
   cache_hits : int;  (* this epoch *)
   cache_misses : int;
+  challenged : int;  (* devices driven through the wire protocol *)
+  carried : int;  (* devices carried on liveness without re-challenge *)
+  delta_changed : int;  (* incremental: size of this epoch's sparse delta *)
   verify_cycles : int;  (* verifier clock delta over this epoch *)
 }
 
@@ -67,6 +74,8 @@ type report = {
   faults : bool;
   loss_percent : int;
   queries_per_epoch : int;
+  steady : bool;
+  churn_permille : int;
   rollout : rollout option;
   per_epoch : epoch_stats list;
   verifier_cycles : int;
@@ -83,15 +92,16 @@ type report = {
 
 let serial_of i = Printf.sprintf "dev-%05d" i
 
-(* Crypto cycles are charged by sampling the process-global compression
-   counters around an operation — SHA-1 and SHA-256 at their respective
-   per-compression rates. *)
-let charged clock f =
-  let s1 = Crypto.Sha1.total_compressions () in
-  let s2 = Crypto.Sha256.total_compressions () in
+(* Crypto cycles are charged by sampling the calling domain's
+   compression counters around an operation — SHA-1 and SHA-256 at
+   their respective per-compression rates.  Domain-local counters so a
+   worker's charge never includes another domain's hashing. *)
+let charged_on clock f =
+  let s1 = Crypto.Sha1.domain_compressions () in
+  let s2 = Crypto.Sha256.domain_compressions () in
   let r = f () in
-  let d1 = Crypto.Sha1.total_compressions () - s1 in
-  let d2 = Crypto.Sha256.total_compressions () - s2 in
+  let d1 = Crypto.Sha1.domain_compressions () - s1 in
+  let d2 = Crypto.Sha256.domain_compressions () - s2 in
   if d1 > 0 then Cycles.charge clock (d1 * Cost_model.crypto_per_compression);
   if d2 > 0 then Cycles.charge clock (d2 * Cost_model.sha256_per_compression);
   r
@@ -120,10 +130,32 @@ let fault_events ~seed ~devices ~epochs =
   in
   (Fault_plan.make ~seed events).Fault_plan.events
 
+(* Reboot churn: per epoch, [churn_permille]/1000 of the fleet power-
+   cycles.  A reboot re-derives the device's boot keys (real device
+   cycles, same key value) and, in steady state, forces the verifier to
+   re-challenge the device — continuity of its liveness stream is
+   broken.  A pure function of the seed, so every mode sees the same
+   schedule. *)
+let churn_events ~seed ~devices ~epochs ~churn_permille =
+  if churn_permille = 0 then Array.make epochs []
+  else begin
+    let prng = Fault_plan.Prng.create (seed lxor 0xC4A1) in
+    Array.init epochs (fun _ ->
+        let n = max 1 (devices * churn_permille / 1000) in
+        List.init n (fun _ -> Fault_plan.Prng.int prng devices))
+  end
+
 let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
-    ?(queries_per_epoch = 6) ?rollout:rollout_image ?obs () =
+    ?(queries_per_epoch = 6) ?rollout:rollout_image ?obs ?(domains = 1)
+    ?(steady = false) ?(churn_permille = 0) () =
   if devices <= 0 then invalid_arg "Swarm.run: devices must be positive";
   if epochs <= 0 then invalid_arg "Swarm.run: epochs must be positive";
+  if domains < 1 then invalid_arg "Swarm.run: domains must be positive";
+  if steady && mode <> Incremental then
+    invalid_arg "Swarm.run: steady requires incremental mode";
+  if churn_permille < 0 || churn_permille > 1000 then
+    invalid_arg "Swarm.run: churn_permille out of range";
+  let domains = max 1 (min domains devices) in
   let master =
     Bytes.of_string (Printf.sprintf "fleet-master-%08x" (seed land 0xFFFF_FFFF))
   in
@@ -188,9 +220,9 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
             ()
         in
         let platform_key = Registry.platform_key registry ~serial in
-        (* Device-side boot-time key derivation, same in either mode. *)
+        (* Device-side boot-time key derivation, same in every mode. *)
         let ka =
-          charged device_clock (fun () ->
+          charged_on device_clock (fun () ->
               Attestation.derive_ka ~platform_key)
         in
         {
@@ -204,6 +236,47 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
         })
   in
   let plan = if faults then fault_events ~seed ~devices ~epochs else [] in
+  let churn = churn_events ~seed ~devices ~epochs ~churn_permille in
+  (* The parallel harness.  Each worker domain owns one contiguous
+     device range — chosen by index arithmetic, never by scheduling —
+     plus private verifier/device clocks merged into the main clocks by
+     commutative sum at sequential sync points.  With one domain the
+     pool runs inline and the "worker" clocks ARE the main clocks, so
+     the sequential path is byte-for-byte the legacy engine. *)
+  let pool = Domain_pool.create ~domains in
+  let ranges = Domain_pool.ranges ~count:devices ~domains in
+  let shard_of = Array.make devices 0 in
+  Array.iteri
+    (fun w (lo, hi) ->
+      for d = lo to hi - 1 do
+        shard_of.(d) <- w
+      done)
+    ranges;
+  let wver =
+    Array.init domains (fun w ->
+        if domains = 1 && w = 0 then verifier_clock else Cycles.create ())
+  in
+  let wdev =
+    Array.init domains (fun w ->
+        if domains = 1 && w = 0 then device_clock else Cycles.create ())
+  in
+  let wver_merged = Array.make domains 0 in
+  let wdev_merged = Array.make domains 0 in
+  let merge_worker_clocks () =
+    if domains > 1 then
+      for w = 0 to domains - 1 do
+        let v = Cycles.now wver.(w) in
+        if v > wver_merged.(w) then begin
+          Cycles.charge verifier_clock (v - wver_merged.(w));
+          wver_merged.(w) <- v
+        end;
+        let dv = Cycles.now wdev.(w) in
+        if dv > wdev_merged.(w) then begin
+          Cycles.charge device_clock (dv - wdev_merged.(w));
+          wdev_merged.(w) <- dv
+        end
+      done
+  in
   let aggregator =
     match mode with
     | Scalar -> None
@@ -211,8 +284,14 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
         Some
           (Aggregator.create
              ~ka_of:(fun ~serial -> Registry.attestation_key registry ~serial)
-             ~clock:verifier_clock ~telemetry
-             ~batch_limit:256 ())
+             ~clock:verifier_clock ~telemetry ~batch_limit:256 ~shards:domains
+             ())
+    | Incremental ->
+        Some
+          (Aggregator.create
+             ~ka_of:(fun ~serial -> Registry.attestation_key registry ~serial)
+             ~clock:verifier_clock ~telemetry ~batch_limit:256
+             ~kind:Aggregator.Retain ~shards:domains ())
   in
   (match aggregator with
   | Some a when obs <> None ->
@@ -255,7 +334,7 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
       plan
   in
   let silent (p : prover) ~epoch = p.silenced || p.hung_epoch = epoch in
-  let prover_step (p : prover) ~epoch ~at =
+  let prover_step (p : prover) ~epoch ~at ~clock =
     List.iter
       (fun frame ->
         match Protocol.decode frame with
@@ -264,7 +343,7 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
             if not (silent p ~epoch) then
               if Task_id.equal id p.loaded then begin
                 let mac =
-                  charged device_clock (fun () ->
+                  charged_on clock (fun () ->
                       Attestation.expected_mac ~ka:p.ka ~id ~nonce)
                 in
                 Link.send p.link ~from:Link.Device ~at
@@ -284,8 +363,32 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
   in
   let survived = ref true in
   let stats = ref [] in
+  (* Steady-state bookkeeping: the verdict and proven identity each
+     device settled on last epoch.  A device is carried (not
+     re-challenged) only while all of: it attested cleanly last epoch,
+     its RTM still measures the identity it proved (an honest RTM pushes
+     measurement changes), it did not reboot, and its out-of-band
+     keepalive stream is intact this epoch.  Everything else re-enters
+     the wire protocol — so tampers, kills, hangs, reboots and fresh
+     devices always face a real challenge. *)
+  let last_ok = Array.make devices false in
+  let verified_id : Task_id.t option array = Array.make devices None in
+  let rebooted = Array.make devices false in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
   for e = 0 to epochs - 1 do
     apply_faults e;
+    Array.fill rebooted 0 devices false;
+    List.iter
+      (fun d ->
+        if not rebooted.(d) then begin
+          rebooted.(d) <- true;
+          let p = provers.(d) in
+          let platform_key = Registry.platform_key registry ~serial:p.serial in
+          p.ka <-
+            charged_on device_clock (fun () ->
+                Attestation.derive_ka ~platform_key)
+        end)
+      churn.(e);
     let base = !obs_at in
     let epoch_corr = Printf.sprintf "fleet/epoch-%d" e in
     (match obs with
@@ -301,97 +404,173 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
       | None -> (0, 0)
     in
     let cycles0 = Cycles.now verifier_clock in
-    let sessions =
-      Array.map
-        (fun p ->
-          let session = Printf.sprintf "%s/e%d" p.serial e in
-          (match obs with
-          | Some log -> ignore (Obs.Log.mint log ~parent:epoch_corr session)
-          | None -> ());
+    let challenge = Array.make devices true in
+    if steady && e > 0 then
+      for d = 0 to devices - 1 do
+        let p = provers.(d) in
+        challenge.(d) <-
+          (not last_ok.(d))
+          || (match verified_id.(d) with
+             | Some id -> not (Task_id.equal id p.loaded)
+             | None -> true)
+          || rebooted.(d)
+          || silent p ~epoch:e
+      done;
+    let sessions : Verifier.t option array = Array.make devices None in
+    (* Correlation ids and admission events are recorded sequentially,
+       in device order, before any parallel work touches the epoch. *)
+    Array.iteri
+      (fun d (p : prover) ->
+        let session = Printf.sprintf "%s/e%d" p.serial e in
+        (match obs with
+        | Some log -> ignore (Obs.Log.mint log ~parent:epoch_corr session)
+        | None -> ());
+        if challenge.(d) then
           observe ~corr:session ~at:base
             (Obs.Event.Session_admitted
-               { serial = p.serial; kind = mode_label mode });
-          match aggregator with
-          | None ->
-              (* The scalar baseline is a stateless verifier: every
-                 session re-derives the device's Ka from the registry
-                 and re-runs the HMAC check itself. *)
-              let ka =
-                charged verifier_clock (fun () ->
-                    Registry.attestation_key registry ~serial:p.serial)
-              in
-              Verifier.create ~ka ~expected:fw_id ~backoff
-                ~refusals_to_settle:2 ~session ()
-          | Some a ->
-              (* Verification is delegated to the aggregator's
-                 measurement cache; the session's own key is unused. *)
-              Verifier.create ~ka:Bytes.empty ~expected:fw_id ~backoff
-                ~refusals_to_settle:2
-                ~check:(fun ~nonce report ->
-                  Aggregator.check_report a ~serial:p.serial ~expected:fw_id
-                    ~nonce report)
-                ~session ())
-        provers
-    in
+               { serial = p.serial; kind = mode_label mode }))
+      provers;
+    (* Session creation fans out: the scalar baseline re-derives Ka per
+       session (the dominant cost), charged to the worker's clock. *)
+    Domain_pool.run pool (fun w ->
+        let lo, hi = ranges.(w) in
+        for d = lo to hi - 1 do
+          if challenge.(d) then begin
+            let p = provers.(d) in
+            let session = Printf.sprintf "%s/e%d" p.serial e in
+            let v =
+              match aggregator with
+              | None ->
+                  (* The scalar baseline is a stateless verifier: every
+                     session re-derives the device's Ka from the
+                     registry and re-runs the HMAC check itself. *)
+                  let ka =
+                    charged_on wver.(w) (fun () ->
+                        Registry.attestation_key registry ~serial:p.serial)
+                  in
+                  Verifier.create ~ka ~expected:fw_id ~backoff
+                    ~refusals_to_settle:2 ~session ()
+              | Some a ->
+                  (* Verification is delegated to the aggregator's
+                     measurement cache; the session's own key is
+                     unused.  The device's shard is its worker index —
+                     fixed, so the check always runs on the shard's
+                     owning domain. *)
+                  Verifier.create ~ka:Bytes.empty ~expected:fw_id ~backoff
+                    ~refusals_to_settle:2
+                    ~check:(fun ~nonce report ->
+                      Aggregator.check_report ~shard:shard_of.(d) a
+                        ~serial:p.serial ~expected:fw_id ~nonce report)
+                    ~session ()
+            in
+            sessions.(d) <- Some v
+          end
+        done);
     let stash = Array.make devices None in
     let all_settled () =
-      Array.for_all (fun v -> Verifier.outcome v <> Verifier.Pending) sessions
+      Array.for_all
+        (fun v ->
+          match v with
+          | None -> true
+          | Some v -> Verifier.outcome v <> Verifier.Pending)
+        sessions
     in
     let slice = ref 0 in
     while (not (all_settled ())) && !slice <= slice_cap do
       let at = !slice in
-      for d = 0 to devices - 1 do
-        let p = provers.(d) in
-        let v = sessions.(d) in
-        prover_step p ~epoch:e ~at;
-        List.iter
-          (fun frame ->
-            let before = Verifier.outcome v in
-            (* Scalar sessions verify inline, so the frame handler is
-               where their crypto burns; the aggregator's check charges
-               itself internally — wrapping it here would double-count. *)
-            (match aggregator with
-            | None -> charged verifier_clock (fun () -> Verifier.on_frame v frame)
-            | Some _ -> Verifier.on_frame v frame);
-            if before = Verifier.Pending && Verifier.outcome v = Verifier.Attested
-            then
-              match Protocol.decode frame with
-              | Ok (Protocol.Response { report; _ }) -> stash.(d) <- Some report
-              | _ -> ())
-          (Link.deliver p.link ~to_:Link.Remote ~at);
-        match Verifier.poll v ~at with
-        | Some frame -> Link.send p.link ~from:Link.Remote ~at frame
-        | None -> ()
-      done;
+      Domain_pool.run pool (fun w ->
+          let lo, hi = ranges.(w) in
+          for d = lo to hi - 1 do
+            match sessions.(d) with
+            | None -> ()  (* carried: no wire traffic this epoch *)
+            | Some v ->
+                let p = provers.(d) in
+                prover_step p ~epoch:e ~at ~clock:wdev.(w);
+                List.iter
+                  (fun frame ->
+                    let before = Verifier.outcome v in
+                    (* Scalar sessions verify inline, so the frame
+                       handler is where their crypto burns; the
+                       aggregator's check charges itself internally —
+                       wrapping it here would double-count. *)
+                    (match aggregator with
+                    | None ->
+                        charged_on wver.(w) (fun () ->
+                            Verifier.on_frame v frame)
+                    | Some _ -> Verifier.on_frame v frame);
+                    if
+                      before = Verifier.Pending
+                      && Verifier.outcome v = Verifier.Attested
+                    then
+                      match Protocol.decode frame with
+                      | Ok (Protocol.Response { report; _ }) ->
+                          stash.(d) <- Some report
+                      | _ -> ())
+                  (Link.deliver p.link ~to_:Link.Remote ~at);
+                (match Verifier.poll v ~at with
+                | Some frame -> Link.send p.link ~from:Link.Remote ~at frame
+                | None -> ())
+          done);
+      (* Sequential sync point: queued admissions land in shard (=
+         device) order, exactly where the sequential engine admitted
+         them inline. *)
+      (match aggregator with Some a -> Aggregator.drain a | None -> ());
       incr slice
     done;
     (* Anything still pending past the cap has exhausted its schedule:
        drive the state machine until it concedes. *)
     Array.iter
       (fun v ->
-        let at = ref (2 * slice_cap) in
-        while Verifier.outcome v = Verifier.Pending do
-          ignore (Verifier.poll v ~at:!at);
-          at := !at + slice_cap
-        done)
+        match v with
+        | None -> ()
+        | Some v ->
+            let at = ref (2 * slice_cap) in
+            while Verifier.outcome v = Verifier.Pending do
+              ignore (Verifier.poll v ~at:!at);
+              at := !at + slice_cap
+            done)
       sessions;
     obs_at := base + !slice;
+    (* Devices carried on liveness: charge the keepalive processing and
+       stamp their retained slots alive before the epoch seals. *)
+    (match aggregator with
+    | Some a when steady ->
+        for d = 0 to devices - 1 do
+          if not challenge.(d) then begin
+            Cycles.charge verifier_clock Cost_model.swarm_liveness;
+            ignore (Aggregator.carry a ~serial:provers.(d).serial)
+          end
+        done
+    | _ -> ());
     (match aggregator with Some a -> Aggregator.flush a | None -> ());
     let verdicts =
       String.init devices (fun d ->
-          match Verifier.outcome sessions.(d) with
-          | Verifier.Attested -> 'A'
-          | Verifier.Refused -> 'R'
-          | Verifier.Gave_up -> 'G'
-          | Verifier.Cfa_rejected -> 'C'
-          | Verifier.Pending -> '?')
+          match sessions.(d) with
+          | None -> 'a'  (* carried forward on liveness *)
+          | Some v -> (
+              match Verifier.outcome v with
+              | Verifier.Attested -> 'A'
+              | Verifier.Refused -> 'R'
+              | Verifier.Gave_up -> 'G'
+              | Verifier.Cfa_rejected -> 'C'
+              | Verifier.Pending -> '?'))
     in
+    String.iteri
+      (fun d c ->
+        match c with
+        | 'A' ->
+            last_ok.(d) <- true;
+            verified_id.(d) <- Some fw_id
+        | 'a' -> ()
+        | _ -> last_ok.(d) <- false)
+      verdicts;
     if obs <> None then
       String.iteri
         (fun d c ->
           let verdict =
             match c with
             | 'A' -> "attested"
+            | 'a' -> "carried"
             | 'R' -> "refused"
             | 'G' -> "gave-up"
             | 'C' -> "cfa-rejected"
@@ -404,30 +583,71 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
                { serial = provers.(d).serial; verdict }))
         verdicts;
     let healthy_polls = ref 0 in
-    for _q = 1 to queries_per_epoch do
-      for d = 0 to devices - 1 do
-        let healthy =
-          match aggregator with
-          | Some a -> Aggregator.query a ~serial:provers.(d).serial ~epoch:e
-          | None -> (
-              match (stash.(d), Verifier.outcome sessions.(d)) with
-              | Some report, Verifier.Attested ->
-                  charged verifier_clock (fun () ->
-                      let ka =
-                        Registry.attestation_key registry
-                          ~serial:provers.(d).serial
-                      in
-                      Attestation.verify ~ka report ~expected:fw_id
-                        ~nonce:(Verifier.nonce sessions.(d)))
-              | _ -> false)
-        in
-        if healthy then incr healthy_polls
-      done
-    done;
+    (match aggregator with
+    | Some a ->
+        for _q = 1 to queries_per_epoch do
+          for d = 0 to devices - 1 do
+            let serial = provers.(d).serial in
+            let healthy =
+              if challenge.(d) then
+                Aggregator.query ~shard:shard_of.(d) a ~serial ~epoch:e
+              else Aggregator.carried_healthy a ~serial
+            in
+            if healthy then incr healthy_polls
+          done
+        done
+    | None ->
+        if domains = 1 then
+          for _q = 1 to queries_per_epoch do
+            for d = 0 to devices - 1 do
+              let healthy =
+                match (stash.(d), Verifier.outcome (Option.get sessions.(d))) with
+                | Some report, Verifier.Attested ->
+                    charged_on verifier_clock (fun () ->
+                        let ka =
+                          Registry.attestation_key registry
+                            ~serial:provers.(d).serial
+                        in
+                        Attestation.verify ~ka report ~expected:fw_id
+                          ~nonce:(Verifier.nonce (Option.get sessions.(d))))
+                | _ -> false
+              in
+              if healthy then incr healthy_polls
+            done
+          done
+        else begin
+          (* Scalar polls are the expensive path (full KDF + HMAC per
+             poll) and are embarrassingly parallel: per-device counts
+             summed sequentially — the same total in any interleaving. *)
+          let per_device = Array.make devices 0 in
+          Domain_pool.run pool (fun w ->
+              let lo, hi = ranges.(w) in
+              for d = lo to hi - 1 do
+                let n = ref 0 in
+                for _q = 1 to queries_per_epoch do
+                  (match
+                     (stash.(d), Verifier.outcome (Option.get sessions.(d)))
+                   with
+                  | Some report, Verifier.Attested ->
+                      if
+                        charged_on wver.(w) (fun () ->
+                            let ka =
+                              Registry.attestation_key registry
+                                ~serial:provers.(d).serial
+                            in
+                            Attestation.verify ~ka report ~expected:fw_id
+                              ~nonce:(Verifier.nonce (Option.get sessions.(d))))
+                      then incr n
+                  | _ -> ())
+                done;
+                per_device.(d) <- !n
+              done);
+          healthy_polls := Array.fold_left ( + ) 0 per_device
+        end);
     String.iteri
       (fun d c ->
         if (not (silent provers.(d) ~epoch:e)) && not provers.(d).tampered then
-          if c <> 'A' then survived := false)
+          if c <> 'A' && c <> 'a' then survived := false)
       verdicts;
     let hits1, misses1, batch_list =
       match aggregator with
@@ -443,10 +663,26 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
       | (_, root, _) :: _ -> Crypto.Sha256.to_hex root
       | [] -> ""
     in
+    let delta_changed =
+      match aggregator with
+      | Some a when mode = Incremental -> (
+          match
+            List.find_opt
+              (fun (d : Aggregator.delta) -> d.Aggregator.at_epoch = e)
+              (Aggregator.epoch_deltas a)
+          with
+          | Some d -> List.length d.Aggregator.changed
+          | None -> 0)
+      | _ -> 0
+    in
+    merge_worker_clocks ();
     let verify_cycles = Cycles.now verifier_clock - cycles0 in
     Telemetry.observe telemetry ~component:"swarm" "epoch_verify_cycles"
       verify_cycles;
     let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 in
+    let challenged_n =
+      Array.fold_left (fun n c -> if c then n + 1 else n) 0 challenge
+    in
     stats :=
       {
         epoch = e;
@@ -460,10 +696,14 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
         root_hex;
         cache_hits = hits1 - hits0;
         cache_misses = misses1 - misses0;
+        challenged = challenged_n;
+        carried = devices - challenged_n;
+        delta_changed;
         verify_cycles;
       }
       :: !stats
   done;
+  merge_worker_clocks ();
   let frames_sent = Array.fold_left (fun n p -> n + Link.sent_count p.link) 0 provers in
   let frames_dropped =
     Array.fold_left (fun n p -> n + Link.dropped_count p.link) 0 provers
@@ -479,6 +719,8 @@ let run ~mode ~devices ~epochs ~seed ?(faults = false) ?(loss_percent = 10)
     faults;
     loss_percent;
     queries_per_epoch;
+    steady;
+    churn_permille;
     rollout;
     per_epoch = List.rev !stats;
     verifier_cycles = Cycles.now verifier_clock;
@@ -508,10 +750,13 @@ let verdict_digest s = Crypto.Sha1.to_hex (Crypto.Sha1.digest_string s)
 let body r =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  add "swarm campaign: mode=%s devices=%d epochs=%d seed=%d faults=%s loss=%d%% queries/epoch=%d\n"
+  add
+    "swarm campaign: mode=%s devices=%d epochs=%d seed=%d faults=%s loss=%d%% queries/epoch=%d steady=%s churn=%d\n"
     (mode_label r.mode) r.devices r.epochs r.seed
     (if r.faults then "on" else "off")
-    r.loss_percent r.queries_per_epoch;
+    r.loss_percent r.queries_per_epoch
+    (if r.steady then "on" else "off")
+    r.churn_permille;
   (match r.rollout with
   | None -> ()
   | Some { accepted = true; vet_cycles_per_device; _ } ->
@@ -524,9 +769,10 @@ let body r =
   List.iter
     (fun s ->
       add
-        "epoch %d: attested=%d refused=%d gave_up=%d healthy_polls=%d slices=%d batches=%d cache=%dh/%dm verify_cycles=%d\n"
+        "epoch %d: attested=%d refused=%d gave_up=%d healthy_polls=%d slices=%d batches=%d cache=%dh/%dm challenged=%d carried=%d delta=%d verify_cycles=%d\n"
         s.epoch s.attested s.refused s.gave_up s.healthy_polls s.slices
-        s.batches s.cache_hits s.cache_misses s.verify_cycles;
+        s.batches s.cache_hits s.cache_misses s.challenged s.carried
+        s.delta_changed s.verify_cycles;
       if s.root_hex <> "" then add "  root=%s\n" s.root_hex;
       add "  verdicts=sha1:%s\n" (verdict_digest s.verdicts))
     r.per_epoch;
@@ -546,6 +792,27 @@ let to_string r =
 let equal a b = to_string a = to_string b
 
 let verdicts r = List.map (fun s -> s.verdicts) r.per_epoch
+
+let normalize_verdicts s =
+  String.map (fun c -> if c = 'a' then 'A' else c) s
+
+(* Mode-independent semantic content: what the verifier concluded about
+   each device ('a' carried folds into 'A' — both vouch for health),
+   how many health polls answered positive, how long settling took, and
+   whether the honest fleet survived.  Everything mode-specific (roots,
+   cache shape, batch count, cycle totals) is excluded, so scalar,
+   batched, incremental and any domain count must all agree byte for
+   byte on identity-schedule campaigns. *)
+let semantic_digest r =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Printf.ksprintf (Buffer.add_string b) "%s|%d|%d\n"
+        (normalize_verdicts s.verdicts)
+        s.healthy_polls s.slices)
+    r.per_epoch;
+  Buffer.add_string b (if r.survived then "survived" else "lost");
+  Crypto.Sha256.to_hex (Crypto.Sha256.digest_string (Buffer.contents b))
 
 (* A '?' verdict means a session never settled — the campaign engine
    itself failed to drive the protocol to a conclusion, which is an

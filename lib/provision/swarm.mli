@@ -7,10 +7,11 @@
     ({!Fleet.reference_image}), then polls fleet health
     [queries_per_epoch] times per epoch.
 
-    Two verifier engines drive {e identical wire traffic} — per-device
+    Three verifier engines drive {e identical wire traffic} — per-device
     {!Tytan_netsim.Verifier} retry sessions labelled [serial/eN], so the
     nonce, sequence and retransmission schedule of every session are the
-    same in both modes — and differ only in how a response is judged:
+    same in every mode — and differ only in how a response is judged and
+    what survives between epochs:
 
     - {!Scalar}: the stateless baseline.  Every session re-derives the
       device's Ka from the registry and re-runs the HMAC check, and so
@@ -18,23 +19,55 @@
     - {!Batched}: responses are routed through
       {!Tytan_netsim.Aggregator} — Ka cached per campaign, measurement
       cache per nonce epoch, verified reports sealed into epoch-stamped
-      Merkle roots, health polls answered in O(1).
+      Merkle roots, health polls answered in O(1).  The Merkle tree is
+      rebuilt from scratch every epoch.
+    - {!Incremental}: the aggregator retains one leaf per device across
+      epochs ({!Tytan_netsim.Aggregator.Retain}), recomputes only the
+      root-paths of leaves that changed, and emits a sparse per-epoch
+      delta.  On an identity schedule (every device challenged each
+      epoch) it is verdict- and poll-identical to {!Batched}.
 
-    Because the wire schedules coincide, the two modes must produce
+    Because the wire schedules coincide, the modes must produce
     byte-identical per-device verdicts; the differential test locks this
     down, which in turn pins the cache logic (a cache that ever served a
     stale epoch would diverge).
+
+    {2 Parallel verification}
+
+    With [~domains:d > 1] host-side verification shards across [d]
+    OCaml domains.  Devices are pinned to shards by contiguous index
+    ranges ({!Domain_pool.ranges}) — a pure function of
+    [(devices, domains)], never of scheduling — and each shard owns its
+    aggregator state, so verdicts, roots, reports and digests are
+    bit-identical to the sequential run ([to_string] does not mention
+    [domains] at all).  Cycle charging uses per-domain compression
+    counters merged by commutative sum at sequential sync points.
+
+    {2 Steady state}
+
+    With [~steady:true] (incremental mode only) epoch 0 challenges the
+    whole fleet; afterwards a device is re-challenged only when its
+    continuity breaks: its last verdict was not clean, its RTM measures
+    a different identity than it last proved, it rebooted (churn), or
+    its out-of-band keepalive stream lapsed this epoch.  Devices carried
+    on liveness get verdict ['a'], cost {!Tytan_core.Cost_model.swarm_liveness}
+    each, and keep answering health polls through their retained sealed
+    leaf — the O(changed) epoch.  [~churn_permille] reboots that
+    fraction of the fleet per epoch on a seed-determined schedule
+    (identical in every mode; a reboot re-derives device keys and, in
+    steady state, forces a re-challenge).
 
     With [~faults] a {!Tytan_fault.Fault_plan}-derived schedule tampers
     firmware images (the device then honestly refuses), kills devices
     outright, or hangs them for one epoch, and the links additionally
     corrupt, duplicate and reorder frames.  Everything is seeded:
-    the same [(mode, devices, epochs, seed, faults)] tuple reproduces
-    the same report bit for bit. *)
+    the same [(mode, devices, epochs, seed, faults, domains, steady,
+    churn)] tuple reproduces the same report bit for bit. *)
 
 type mode =
   | Scalar
   | Batched
+  | Incremental
 
 val mode_label : mode -> string
 
@@ -44,7 +77,8 @@ type epoch_stats = {
   refused : int;
   gave_up : int;
   verdicts : string;
-      (** one char per device index: [A]ttested, [R]efused, [G]ave_up,
+      (** one char per device index: [A]ttested, [a] carried on
+          liveness (steady state), [R]efused, [G]ave_up,
           [C]fa_rejected, [?] pending *)
   healthy_polls : int;  (** positive fleet-health poll answers *)
   slices : int;  (** discrete-event slices until the fleet settled *)
@@ -52,6 +86,10 @@ type epoch_stats = {
   root_hex : string;  (** last sealed root, [""] in scalar mode *)
   cache_hits : int;
   cache_misses : int;
+  challenged : int;  (** devices driven through the wire protocol *)
+  carried : int;  (** devices carried on liveness without re-challenge *)
+  delta_changed : int;
+      (** incremental modes: leaves in this epoch's sparse delta *)
   verify_cycles : int;  (** verifier clock advance over this epoch *)
 }
 
@@ -79,6 +117,8 @@ type report = {
   faults : bool;
   loss_percent : int;
   queries_per_epoch : int;
+  steady : bool;
+  churn_permille : int;
   rollout : rollout option;
   per_epoch : epoch_stats list;
   verifier_cycles : int;
@@ -91,7 +131,8 @@ type report = {
   key_derivations : int;
   telemetry : (string * int) list;  (** counter snapshot, sorted *)
   survived : bool;
-      (** every device that was honest in an epoch attested in it *)
+      (** every device that was honest in an epoch attested (or was
+          carried) in it *)
 }
 
 val run :
@@ -104,10 +145,14 @@ val run :
   ?queries_per_epoch:int ->
   ?rollout:Tytan_telf.Telf.t ->
   ?obs:Tytan_obs.Obs.Log.t ->
+  ?domains:int ->
+  ?steady:bool ->
+  ?churn_permille:int ->
   unit ->
   report
 (** Defaults: no faults, 10% frame loss, 6 health polls per epoch, no
-    rollout.  With [~rollout] the campaign first pushes that TELF to
+    rollout, [domains = 1], [steady = false], [churn_permille = 0].
+    With [~rollout] the campaign first pushes that TELF to
     every device: an image that survives the six-check vet is adopted
     as the fleet firmware (and attested from then on); one that does
     not — a leaky image copying key material into an IPC payload, say —
@@ -118,7 +163,11 @@ val run :
     epoch is recorded in the flight recorder: epoch correlation ids
     [fleet/epoch-N] parent per-session ids [<serial>/eN], timestamps on
     the campaign's global slice axis.  Recording charges no cycles —
-    an observed run is bit-identical to an unobserved one. *)
+    an observed run is bit-identical to an unobserved one.
+
+    [domains] is clamped to [devices]; [~steady:true] with a mode other
+    than {!Incremental} and out-of-range [churn_permille] raise
+    [Invalid_argument]. *)
 
 val verdicts : report -> string list
 (** Per-epoch verdict strings — the value the differential test compares
@@ -126,10 +175,20 @@ val verdicts : report -> string list
 
 val to_string : report -> string
 (** Deterministic rendering ending in a [digest: sha1:...] line over the
-    whole body; two runs are bit-identical iff their renderings are. *)
+    whole body; two runs are bit-identical iff their renderings are.
+    [domains] is deliberately absent — a parallel run must render
+    byte-identically to its sequential twin. *)
 
 val equal : report -> report -> bool
 (** Rendering equality — the [--verify] comparison. *)
+
+val semantic_digest : report -> string
+(** SHA-256 hex over the mode-independent semantic content: per-epoch
+    verdict strings with ['a'] normalised to ['A'] (a carried device is
+    vouched-for exactly like an attested one), healthy-poll counts,
+    settle slices, and survival.  Mode-specific shape (roots, batch and
+    cache counts, cycle totals) is excluded, so scalar, batched and
+    incremental runs of the same identity-schedule campaign must agree. *)
 
 val campaign_failed : report -> bool
 (** True when any session verdict is ['?'] (pending): the campaign

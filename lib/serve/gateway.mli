@@ -53,12 +53,19 @@ type config = {
   quarantine_slices : int;  (** how long a tripped breaker holds *)
   epoch_slices : int;  (** aggregator nonce-epoch length *)
   slice_cycles : int;  (** nominal cycles per slice, for latency rows *)
+  aggregation : Aggregator.kind;
+      (** how the aggregator carries sealed state across epochs:
+          {!Aggregator.Rebuild} (the default — each epoch's batches are
+          built from scratch, the original gateway behaviour, bit for
+          bit) or {!Aggregator.Retain} (one persistent leaf per device,
+          dirty-path recomputation, sparse epoch deltas). *)
 }
 
 val default_config : config
 (** pending 64, inflight 128, bucket 4 cap / 16 slices per token,
     store 512, deadline 96, 6 attempts under {!Verifier.default_backoff},
-    breaker 3, quarantine 256, epoch 64, 32 000 cycles per slice. *)
+    breaker 3, quarantine 256, epoch 64, 32 000 cycles per slice,
+    [Rebuild] aggregation. *)
 
 type refusal =
   | Busy  (** pending queue full — load shed *)

@@ -68,6 +68,197 @@ let differential_tests =
           (non_attested > 0));
   ]
 
+(* --- Three-mode soak: scalar == batched == incremental --------------------- *)
+
+(* On an identity schedule (no --steady) all three engines must agree:
+   batched and incremental are checked verdict-by-verdict against scalar,
+   and the mode-independent semantic digest must match exactly.  20
+   seeds, alternating fault injection and link loss, so the agreement is
+   exercised across refusals, kills, hangs and hostile links — not just
+   the happy path. *)
+let soak_tests =
+  [
+    Alcotest.test_case "20-seed soak: all modes verdict- and digest-identical"
+      `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let faults = seed land 1 = 1 in
+            let loss = if seed mod 3 = 0 then 12 else 0 in
+            let run mode =
+              Swarm.run ~mode ~devices:14 ~epochs:3 ~seed ~faults
+                ~loss_percent:loss ()
+            in
+            let s = run Swarm.Scalar in
+            let b = run Swarm.Batched in
+            let i = run Swarm.Incremental in
+            let ctx =
+              Printf.sprintf "seed=%d faults=%b loss=%d" seed faults loss
+            in
+            Alcotest.(check (list string))
+              (ctx ^ ": scalar/batched verdicts")
+              (Swarm.verdicts s) (Swarm.verdicts b);
+            Alcotest.(check (list string))
+              (ctx ^ ": batched/incremental verdicts")
+              (Swarm.verdicts b) (Swarm.verdicts i);
+            Alcotest.(check string)
+              (ctx ^ ": semantic digest scalar/incremental")
+              (Swarm.semantic_digest s)
+              (Swarm.semantic_digest i);
+            Alcotest.(check string)
+              (ctx ^ ": semantic digest scalar/batched")
+              (Swarm.semantic_digest s)
+              (Swarm.semantic_digest b);
+            Alcotest.(check bool)
+              (ctx ^ ": survival verdict")
+              s.Swarm.survived i.Swarm.survived)
+          (List.init 20 (fun i -> i + 1)));
+  ]
+
+(* --- Domain-parallel bit identity ------------------------------------------- *)
+
+(* The report deliberately never mentions the domain count, so
+   [Swarm.to_string] equality IS the bit-identity claim: a sharded run
+   must render byte-for-byte what the sequential run renders — verdicts,
+   roots, cycle totals, telemetry, digest line, everything.  Skipped on
+   single-core hosts where spawning domains proves nothing. *)
+let parallel_tests =
+  let multicore = Domain.recommended_domain_count () > 1 in
+  let identical ?(faults = false) ?(steady = false) ?(churn_permille = 0) ~mode
+      ~seed () =
+    let go domains =
+      Swarm.to_string
+        (Swarm.run ~mode ~devices:16 ~epochs:3 ~seed ~faults ~domains ~steady
+           ~churn_permille ())
+    in
+    let sequential = go 1 in
+    List.iter
+      (fun domains ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s seed=%d faults=%b steady=%b: %d domains"
+             (Swarm.mode_label mode) seed faults steady domains)
+          sequential (go domains))
+      [ 2; 4 ]
+  in
+  let guarded f () = if multicore then f () in
+  [
+    Alcotest.test_case "incremental report bit-identical across 1/2/4 domains"
+      `Quick
+      (guarded (fun () ->
+           List.iter
+             (fun (seed, faults) ->
+               identical ~mode:Swarm.Incremental ~seed ~faults ())
+             [ (2, false); (7, true); (13, false) ]));
+    Alcotest.test_case "batched and scalar engines shard identically too"
+      `Quick
+      (guarded (fun () ->
+           identical ~mode:Swarm.Batched ~seed:3 ();
+           identical ~mode:Swarm.Batched ~seed:7 ~faults:true ();
+           identical ~mode:Swarm.Scalar ~seed:3 ()));
+    Alcotest.test_case "steady-state churn campaigns shard identically" `Quick
+      (guarded (fun () ->
+           identical ~mode:Swarm.Incremental ~seed:5 ~steady:true
+             ~churn_permille:80 ();
+           identical ~mode:Swarm.Incremental ~seed:9 ~faults:true ~steady:true
+             ~churn_permille:40 ()));
+  ]
+
+(* --- Steady state ------------------------------------------------------------ *)
+
+let steady_run ?(devices = 24) ?(epochs = 5) ?(seed = 5) ?(faults = false)
+    ?(churn_permille = 50) () =
+  Swarm.run ~mode:Swarm.Incremental ~devices ~epochs ~seed ~faults ~steady:true
+    ~churn_permille ()
+
+let steady_tests =
+  [
+    Alcotest.test_case "epoch 0 sweeps everyone, then carries the healthy"
+      `Quick (fun () ->
+        let r = steady_run () in
+        (match r.Swarm.per_epoch with
+        | e0 :: rest ->
+            Alcotest.(check int) "epoch 0 challenges the whole fleet" 24
+              e0.Swarm.challenged;
+            Alcotest.(check int) "epoch 0 carries no one" 0 e0.Swarm.carried;
+            List.iter
+              (fun (e : Swarm.epoch_stats) ->
+                Alcotest.(check int)
+                  (Printf.sprintf "epoch %d: challenged + carried = fleet"
+                     e.Swarm.epoch)
+                  24
+                  (e.Swarm.challenged + e.Swarm.carried);
+                Alcotest.(check bool)
+                  (Printf.sprintf "epoch %d carries most of the fleet"
+                     e.Swarm.epoch)
+                  true
+                  (e.Swarm.carried > e.Swarm.challenged))
+              rest
+        | [] -> Alcotest.fail "no epochs");
+        Alcotest.(check bool) "fleet survived" true r.Swarm.survived);
+    Alcotest.test_case "a device is carried only on the heels of a good verdict"
+      `Quick (fun () ->
+        (* 'a' at epoch e means the verifier vouched without a wire
+           exchange — legitimate only if epoch e-1 ended Attested or
+           carried.  Checked under faults, where the temptation to carry
+           a broken device is real. *)
+        List.iter
+          (fun (seed, faults) ->
+            let r = steady_run ~seed ~faults ~epochs:6 () in
+            let v = Array.of_list (Swarm.verdicts r) in
+            for e = 1 to Array.length v - 1 do
+              String.iteri
+                (fun d c ->
+                  if c = 'a' then
+                    let prev = v.(e - 1).[d] in
+                    Alcotest.(check bool)
+                      (Printf.sprintf
+                         "seed=%d epoch %d device %d carried after '%c'" seed e
+                         d prev)
+                      true
+                      (prev = 'A' || prev = 'a'))
+                v.(e)
+            done)
+          [ (5, false); (7, true); (11, true) ]);
+    Alcotest.test_case "quiet steady epochs have an empty delta" `Quick
+      (fun () ->
+        (* With no churn and no faults nothing changes identity after the
+           sweep, so every post-sweep sparse delta must be empty — the
+           O(changed) claim at changed = 0. *)
+        let r = steady_run ~seed:3 ~churn_permille:0 () in
+        List.iter
+          (fun (e : Swarm.epoch_stats) ->
+            if e.Swarm.epoch > 0 then
+              Alcotest.(check int)
+                (Printf.sprintf "epoch %d delta" e.Swarm.epoch)
+                0 e.Swarm.delta_changed)
+          r.Swarm.per_epoch);
+    Alcotest.test_case "steady epochs are an order cheaper than the sweep"
+      `Quick (fun () ->
+        let r = steady_run ~devices:64 ~seed:1 ~churn_permille:10 () in
+        match r.Swarm.per_epoch with
+        | sweep :: rest when rest <> [] ->
+            let worst_steady =
+              List.fold_left
+                (fun m (e : Swarm.epoch_stats) -> max m e.Swarm.verify_cycles)
+                0 rest
+            in
+            if sweep.Swarm.verify_cycles < 10 * worst_steady then
+              Alcotest.failf "sweep %d < 10x worst steady epoch %d"
+                sweep.Swarm.verify_cycles worst_steady
+        | _ -> Alcotest.fail "need a sweep and at least one steady epoch");
+    Alcotest.test_case "steady mode requires the incremental engine" `Quick
+      (fun () ->
+        List.iter
+          (fun mode ->
+            Alcotest.(check bool)
+              (Swarm.mode_label mode ^ " rejected") true
+              (try
+                 ignore
+                   (Swarm.run ~mode ~devices:4 ~epochs:2 ~seed:1 ~steady:true ());
+                 false
+               with Invalid_argument _ -> true))
+          [ Swarm.Scalar; Swarm.Batched ]);
+  ]
+
 (* --- The headline ratio ----------------------------------------------------- *)
 
 let ratio_tests =
@@ -199,6 +390,82 @@ let aggregator_tests =
                   (Crypto.Merkle.verify ~root ~leaf
                      (Crypto.Merkle.proof tree i)))
               leaves);
+    Alcotest.test_case "retained tree: carry, tombstone, membership, deltas"
+      `Quick (fun () ->
+        let a =
+          Aggregator.create ~ka_of:test_ka ~clock:(Cycles.create ())
+            ~kind:Aggregator.Retain ()
+        in
+        let attest ~serial ~nonce =
+          Alcotest.(check bool) (serial ^ " admitted") true
+            (Aggregator.check_report a ~serial ~expected:fw_id ~nonce
+               (genuine_report ~serial ~nonce))
+        in
+        (* Epoch 0: the full sweep — everyone attests. *)
+        Aggregator.begin_epoch a ~epoch:0;
+        let n0 = Bytes.of_string "retain-nonce-0" in
+        List.iter (fun serial -> attest ~serial ~nonce:n0) [ "s0"; "s1"; "s2" ];
+        Aggregator.flush a;
+        Alcotest.(check int) "three live leaves" 3 (Aggregator.live_leaves a);
+        (match Aggregator.epoch_deltas a with
+        | [ d ] ->
+            Alcotest.(check int) "sweep delta at epoch 0" 0 d.Aggregator.at_epoch;
+            Alcotest.(check int) "sweep delta covers the arrivals" 3
+              (List.length d.Aggregator.changed);
+            List.iter
+              (fun (e : Aggregator.delta_entry) ->
+                Alcotest.(check bool) (e.Aggregator.serial ^ " arrived") true
+                  (e.Aggregator.before = None && e.Aggregator.after <> None))
+              d.Aggregator.changed
+        | l -> Alcotest.failf "expected one delta, got %d" (List.length l));
+        (match Aggregator.membership_proof a ~serial:"s1" with
+        | None -> Alcotest.fail "live device must have a membership proof"
+        | Some (leaf, proof) ->
+            let root =
+              match Aggregator.batches a with
+              | [ (0, root, 3) ] -> root
+              | l -> Alcotest.failf "expected one 3-leaf batch, got %d"
+                       (List.length l)
+            in
+            Alcotest.(check bool) "proof verifies against the sealed root" true
+              (Crypto.Merkle.verify ~root ~leaf proof));
+        (* Epoch 1: s0 re-attests (same identity — delta stays empty),
+           s1 is carried on liveness, s2 goes silent. *)
+        Aggregator.begin_epoch a ~epoch:1;
+        let n1 = Bytes.of_string "retain-nonce-1" in
+        attest ~serial:"s0" ~nonce:n1;
+        Alcotest.(check bool) "live device can be carried" true
+          (Aggregator.carry a ~serial:"s1");
+        Alcotest.(check bool) "unknown device cannot be carried" false
+          (Aggregator.carry a ~serial:"ghost");
+        Aggregator.flush a;
+        Alcotest.(check bool) "re-attested device healthy" true
+          (Aggregator.query a ~serial:"s0" ~epoch:1);
+        Alcotest.(check bool) "carried device polls healthy" true
+          (Aggregator.carried_healthy a ~serial:"s1");
+        Alcotest.(check bool) "silent device tombstoned" false
+          (Aggregator.carried_healthy a ~serial:"s2");
+        Alcotest.(check int) "tombstone shrinks the live set" 2
+          (Aggregator.live_leaves a);
+        Alcotest.(check bool) "tombstoned device loses its proof" true
+          (Aggregator.membership_proof a ~serial:"s2" = None);
+        Alcotest.(check bool) "tombstoned device cannot be carried back" false
+          (Aggregator.carry a ~serial:"s2");
+        (match Aggregator.epoch_deltas a with
+        | [ _; d1 ] -> (
+            Alcotest.(check int) "delta stamped epoch 1" 1 d1.Aggregator.at_epoch;
+            (* only s2's departure is an identity change — s0's fresh
+               report re-sealed the same firmware id, s1 was carried *)
+            match d1.Aggregator.changed with
+            | [ e ] ->
+                Alcotest.(check string) "the departure is s2" "s2"
+                  e.Aggregator.serial;
+                Alcotest.(check bool) "recorded as a tombstone" true
+                  (e.Aggregator.before <> None && e.Aggregator.after = None)
+            | l ->
+                Alcotest.failf "expected exactly the departure, got %d entries"
+                  (List.length l))
+        | l -> Alcotest.failf "expected two deltas, got %d" (List.length l)));
   ]
 
 (* --- Firmware rollout: fleet-wide flow vet --------------------------------- *)
@@ -289,6 +556,9 @@ let () =
   Alcotest.run "fleet"
     [
       ("differential", differential_tests);
+      ("soak", soak_tests);
+      ("parallel", parallel_tests);
+      ("steady", steady_tests);
       ("ratio", ratio_tests);
       ("aggregator", aggregator_tests);
       ("rollout", rollout_tests);
